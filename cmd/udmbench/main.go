@@ -1,0 +1,138 @@
+// Command udmbench regenerates the paper's evaluation figures (Aggarwal,
+// ICDE 2007, Figures 4–11) and the repo's ablations on synthetic
+// stand-ins for the UCI data sets. Each figure prints as an aligned table
+// (the series the paper plots) and optionally as an ASCII chart and a CSV
+// file.
+//
+// Usage:
+//
+//	udmbench -fig all
+//	udmbench -fig fig4 -rows 4800 -plot
+//	udmbench -fig fig9 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"udm/internal/eval"
+	"udm/internal/experiments"
+)
+
+func main() {
+	var (
+		figID    = flag.String("fig", "all", "figure to regenerate (fig4..fig11, ablation-*, or 'all')")
+		rows     = flag.Int("rows", 0, "rows generated per data set (0 = default 2400)")
+		q        = flag.Int("q", 0, "micro-clusters for the fixed-q figures (0 = default 140)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default 1)")
+		plot     = flag.Bool("plot", false, "also render each figure as an ASCII chart")
+		csv      = flag.String("csv", "", "directory to write one CSV per figure (created if missing)")
+		md       = flag.Bool("md", false, "emit GitHub-flavored Markdown tables instead of aligned text")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		parallel = flag.Int("parallel", 1, "figures to run concurrently (timing figures get noisy above 1)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range experiments.All() {
+			fmt.Printf("%-20s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Rows: *rows, MicroClusters: *q}
+
+	var figs []experiments.Figure
+	if *figID == "all" {
+		figs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*figID, ",") {
+			f, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fatal(fmt.Errorf("creating CSV directory: %w", err))
+		}
+	}
+
+	if *parallel < 1 {
+		fatal(fmt.Errorf("-parallel %d", *parallel))
+	}
+	type run struct {
+		tab     *eval.Table
+		err     error
+		elapsed time.Duration
+	}
+	runs := make([]run, len(figs))
+	done := make([]chan struct{}, len(figs))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, f := range figs {
+		done[i] = make(chan struct{})
+		wg.Add(1)
+		go func(i int, f experiments.Figure) {
+			defer wg.Done()
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			tab, err := f.Run(cfg)
+			runs[i] = run{tab: tab, err: err, elapsed: time.Since(start)}
+		}(i, f)
+	}
+
+	// Print each figure as soon as it (and everything before it) is done,
+	// so sequential runs stream results incrementally.
+	for i, f := range figs {
+		<-done[i]
+		if runs[i].err != nil {
+			fatal(fmt.Errorf("%s: %w", f.ID, runs[i].err))
+		}
+		tab := runs[i].tab
+		if *md {
+			if err := tab.WriteMarkdown(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else if err := tab.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s in %v)\n\n", f.ID, runs[i].elapsed.Round(time.Millisecond))
+		if *plot {
+			if err := tab.PlotASCII(os.Stdout, 64, 18); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *csv != "" {
+			path := filepath.Join(*csv, f.ID+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tab.WriteCSV(out); err != nil {
+				out.Close()
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udmbench:", err)
+	os.Exit(1)
+}

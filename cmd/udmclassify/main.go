@@ -1,0 +1,149 @@
+// Command udmclassify trains the density-based subspace classifier on a
+// labeled CSV (with optional "name±" error columns) and either evaluates
+// it on a labeled test CSV or predicts labels for an unlabeled one.
+//
+// Usage:
+//
+//	udmclassify -train train.csv -test test.csv
+//	udmclassify -train train.csv -test new.csv -predict
+//	udmclassify -train train.csv -test test.csv -no-adjust -q 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udm/internal/baseline"
+	"udm/internal/core"
+	"udm/internal/dataset"
+	"udm/internal/eval"
+)
+
+func main() {
+	var (
+		trainPath = flag.String("train", "", "labeled training CSV (required unless -load)")
+		testPath  = flag.String("test", "", "test CSV (required)")
+		savePath  = flag.String("save", "", "save the trained transform (model) to this file")
+		loadPath  = flag.String("load", "", "load a previously saved transform instead of training")
+		q         = flag.Int("q", 0, "micro-clusters (0 = default 140)")
+		threshold = flag.Float64("a", 0, "accuracy threshold a (0 = default 0.6)")
+		noAdjust  = flag.Bool("no-adjust", false, "ignore error columns (the paper's comparator)")
+		predict   = flag.Bool("predict", false, "print one predicted label per test row instead of evaluating")
+		seed      = flag.Int64("seed", 1, "random seed for transform construction")
+		compareNN = flag.Bool("nn", false, "also evaluate the nearest-neighbor baseline")
+		rules     = flag.Int("rules", 0, "print up to this many extracted rules per class and exit")
+	)
+	flag.Parse()
+	if (*trainPath == "" && *loadPath == "") || *testPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	test, err := dataset.LoadCSV(*testPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var train *dataset.Dataset
+	var tr *core.Transform
+	if *loadPath != "" {
+		tr, err = core.LoadTransformFile(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		train, err = dataset.LoadCSV(*trainPath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = core.NewTransform(train, core.TransformOptions{
+			MicroClusters: *q,
+			ErrorAdjust:   !*noAdjust && train.HasErrors(),
+			Seed:          *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *savePath != "" {
+		if err := tr.SaveFile(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "udmclassify: saved model to %s\n", *savePath)
+	}
+	clf, err := core.NewClassifier(tr, core.ClassifierOptions{Threshold: *threshold})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *rules > 0 {
+		extracted, err := clf.ExtractRules(tr, core.RuleOptions{MaxPerClass: *rules})
+		if err != nil {
+			fatal(err)
+		}
+		var dimNames, classNames []string
+		if train != nil {
+			dimNames, classNames = train.Names, train.ClassNames
+		} else {
+			dimNames, classNames = test.Names, test.ClassNames
+		}
+		for _, r := range extracted {
+			fmt.Println(r.Format(dimNames, classNames))
+		}
+		return
+	}
+
+	if *predict {
+		for i := 0; i < test.Len(); i++ {
+			label, err := clf.Classify(test.X[i])
+			if err != nil {
+				fatal(fmt.Errorf("row %d: %w", i, err))
+			}
+			name := fmt.Sprint(label)
+			if train != nil && label < len(train.ClassNames) {
+				name = train.ClassNames[label]
+			}
+			fmt.Println(name)
+		}
+		return
+	}
+
+	res, err := eval.Evaluate(clf, test)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("density classifier: accuracy %.4f on %d rows (%.3f ms/example)\n",
+		res.Accuracy(), res.N, res.PerExample().Seconds()*1e3)
+	fmt.Println("confusion (rows = actual, cols = predicted):")
+	for _, row := range res.Confusion {
+		for _, n := range row {
+			fmt.Printf("%6d", n)
+		}
+		fmt.Println()
+	}
+	for c := range res.Confusion {
+		fmt.Printf("class %d: precision %.3f  recall %.3f  F1 %.3f\n",
+			c, res.Precision(c), res.Recall(c), res.F1(c))
+	}
+
+	if *compareNN {
+		if train == nil {
+			fatal(fmt.Errorf("-nn requires -train (the baseline needs the raw records)"))
+		}
+		nn, err := baseline.NewNearestNeighbor(train)
+		if err != nil {
+			fatal(err)
+		}
+		nnRes, err := eval.Evaluate(nn, test)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nearest neighbor:  accuracy %.4f\n", nnRes.Accuracy())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udmclassify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command udmcluster runs the unsupervised miners on a CSV data set
+// (with optional "name±" error columns): uncertain DBSCAN, uncertain
+// k-means, or density-based outlier detection.
+//
+// Usage:
+//
+//	udmcluster -in data.csv -algo dbscan -eps 1.5
+//	udmcluster -in data.csv -algo kmeans -k 3
+//	udmcluster -in data.csv -algo outlier -contamination 0.02
+//
+// Output: one line per row with the cluster label (or OUTLIER flag and
+// score), plus a summary on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"udm/internal/cluster"
+	"udm/internal/dataset"
+	"udm/internal/kde"
+	"udm/internal/outlier"
+)
+
+func main() {
+	var (
+		in            = flag.String("in", "", "input CSV (required)")
+		algo          = flag.String("algo", "dbscan", "algorithm: dbscan, kmeans, outlier")
+		eps           = flag.Float64("eps", 1.0, "dbscan: connectivity radius")
+		quantile      = flag.Float64("quantile", 0, "dbscan: core-density quantile (0 = default 0.25)")
+		k             = flag.Int("k", 2, "kmeans: number of clusters")
+		contamination = flag.Float64("contamination", 0, "outlier: flagged fraction (0 = default 0.05)")
+		noAdjust      = flag.Bool("no-adjust", false, "ignore error columns")
+		seed          = flag.Int64("seed", 1, "random seed (kmeans seeding)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := dataset.LoadCSV(*in)
+	if err != nil {
+		fatal(err)
+	}
+	adjust := !*noAdjust && ds.HasErrors()
+
+	switch *algo {
+	case "dbscan":
+		res, err := cluster.DBSCAN(ds, cluster.Options{
+			Eps:             *eps,
+			DensityQuantile: *quantile,
+			KDE:             kde.Options{ErrorAdjust: adjust},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, l := range res.Labels {
+			fmt.Println(l)
+		}
+		noise := 0
+		for _, l := range res.Labels {
+			if l == cluster.Noise {
+				noise++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "udmcluster: %d clusters, %d noise rows (threshold %.4g)\n",
+			res.NumClusters, noise, res.Threshold)
+	case "kmeans":
+		res, err := cluster.KMeans(ds, cluster.KMeansOptions{
+			K: *k, ErrorAdjust: adjust, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, l := range res.Labels {
+			fmt.Println(l)
+		}
+		fmt.Fprintf(os.Stderr, "udmcluster: k=%d converged in %d iterations (inertia %.4g)\n",
+			*k, res.Iterations, res.Inertia)
+	case "outlier":
+		res, err := outlier.Detect(ds, outlier.Options{
+			Contamination: *contamination,
+			KDE:           kde.Options{ErrorAdjust: adjust},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		flagged := 0
+		for i := range res.Scores {
+			mark := ""
+			if res.Outlier[i] {
+				mark = " OUTLIER"
+				flagged++
+			}
+			fmt.Printf("%.6g%s\n", res.Scores[i], mark)
+		}
+		fmt.Fprintf(os.Stderr, "udmcluster: flagged %d of %d rows (score threshold %.4g)\n",
+			flagged, ds.Len(), res.Threshold)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (valid: dbscan, kmeans, outlier)", *algo))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udmcluster:", err)
+	os.Exit(1)
+}

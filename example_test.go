@@ -1,0 +1,237 @@
+package udm_test
+
+import (
+	"fmt"
+	"log"
+
+	"udm"
+)
+
+// ExampleTrain shows the one-call pipeline: perturb clean data with
+// recorded errors, train the density-based subspace classifier, and
+// classify points deep inside each class region.
+func ExampleTrain() {
+	clean, err := udm.TwoBlobs(3).Generate(600, udm.NewRand(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy, err := udm.Perturb(clean, 1.0, udm.NewRand(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := udm.Train(noisy, udm.TrainConfig{MicroClusters: 40, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	left, err := clf.Classify([]float64{-3, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	right, err := clf.Classify([]float64{3, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(clean.ClassNames[left], clean.ClassNames[right])
+	// Output: left right
+}
+
+// ExampleSummarize compresses a data set into micro-clusters and
+// evaluates a subspace density from the summaries alone.
+func ExampleSummarize() {
+	ds, err := udm.TwoBlobs(3).Generate(500, udm.NewRand(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := udm.Summarize(ds, 25, udm.NewRand(5))
+	est, err := udm.NewClusterDensity(s, udm.DensityOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	atMode := est.DensitySub([]float64{-3, 0}, []int{0})
+	atTrough := est.DensitySub([]float64{0, 0}, []int{0})
+	fmt.Println(s.Len(), "clusters; mode is denser:", atMode > atTrough)
+	// Output: 25 clusters; mode is denser: true
+}
+
+// ExampleDBSCAN clusters two well-separated groups.
+func ExampleDBSCAN() {
+	ds, err := udm.TwoBlobs(6).Generate(400, udm.NewRand(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := udm.DBSCAN(ds, udm.DBSCANOptions{Eps: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	// Output: clusters: 2
+}
+
+// ExampleNewStreamEngine ingests a stream and reports a time window.
+func ExampleNewStreamEngine() {
+	eng, err := udm.NewStreamEngine(udm.StreamOptions{
+		MicroClusters: 10, Dims: 1, SnapshotEvery: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := udm.NewRand(7)
+	for i := 0; i < 600; i++ {
+		center := 0.0
+		if i >= 300 {
+			center = 8.0 // regime change halfway through
+		}
+		eng.Add([]float64{r.Norm(center, 0.3)}, nil, int64(i))
+	}
+	feats, err := eng.Window(299, 599) // second half only
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, sum := 0, 0.0
+	for _, f := range feats {
+		n += f.N
+		sum += f.CF1[0]
+	}
+	fmt.Printf("window: %d records, mean %.1f\n", n, sum/float64(n))
+	// Output: window: 300 records, mean 8.0
+}
+
+// ExampleClassifier_ExtractRules distills a trained classifier into
+// readable rules.
+func ExampleClassifier_ExtractRules() {
+	clean, err := udm.TwoBlobs(4).Generate(800, udm.NewRand(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := udm.NewTransform(clean, udm.TransformOptions{MicroClusters: 10, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := udm.NewClassifier(tr, udm.ClassifierOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := clf.ExtractRules(tr, udm.RuleOptions{MaxPerClass: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The top rule keys on the discriminatory dimension x (dim 0).
+	top := rules[0]
+	usesX := false
+	for _, j := range top.Dims {
+		if j == 0 {
+			usesX = true
+		}
+	}
+	fmt.Println("uses x:", usesX, "confident:", top.Accuracy > 0.9, "classes named:", len(clean.ClassNames) == 2)
+	// Output: uses x: true confident: true classes named: true
+}
+
+// ExampleMicroaggregate publishes k-anonymous cell means with honest
+// errors.
+func ExampleMicroaggregate() {
+	ds := udm.NewDataset("income")
+	for _, v := range []float64{10, 12, 50, 52, 90, 92} {
+		_ = ds.Append([]float64{v}, nil, udm.Unlabeled)
+	}
+	agg, err := udm.Microaggregate(ds, udm.MicroaggregateOptions{GroupSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f ±%.0f\n", agg.X[0][0], agg.Err[0][0])
+	// Output: 11 ±1
+}
+
+// ExampleKMeans clusters with the error-adjusted assignment distance.
+func ExampleKMeans() {
+	ds, err := udm.TwoBlobs(6).Generate(300, udm.NewRand(22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := udm.KMeans(ds, udm.KMeansOptions{K: 2, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("centroids:", len(res.Centroids), "converged:", res.Iterations < 100)
+	// Output: centroids: 2 converged: true
+}
+
+// ExampleAUC ranks anomaly scores against ground truth.
+func ExampleAUC() {
+	scores := []float64{9.1, 8.7, 3.2, 2.9, 2.5}
+	isAnomaly := []bool{true, true, false, false, false}
+	auc, err := udm.AUC(scores, isAnomaly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(auc)
+	// Output: 1
+}
+
+// ExampleXOR shows the interaction-only generator defeating depth-1
+// subspace search while the depth-2 join recovers it.
+func ExampleXOR() {
+	train, err := udm.XOR(1000, 2.5, 0, udm.NewRand(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := udm.NewTransform(train, udm.TransformOptions{MicroClusters: 50, Seed: 51})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clf, err := udm.NewClassifier(tr, udm.ClassifierOptions{
+		MaxSubspaceSize: 2,
+		Threshold:       0.45, // singles sit at ≈0.5; let them through to the join
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Opposite-sign corner → class 1.
+	label, err := clf.Classify([]float64{2.5, -2.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(train.ClassNames[label])
+	// Output: opposite-sign
+}
+
+// ExampleCVBandwidths tunes bandwidths on bimodal data where the
+// Silverman rule oversmooths.
+func ExampleCVBandwidths() {
+	ds := udm.NewDataset("v")
+	r := udm.NewRand(52)
+	for i := 0; i < 300; i++ {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4.0
+		}
+		_ = ds.Append([]float64{r.Norm(c, 0.5)}, nil, udm.Unlabeled)
+	}
+	h, err := udm.CVBandwidths(ds, false, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := udm.NewPointDensity(ds, udm.DensityOptions{Bandwidths: h})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bimodal := est.DensitySub([]float64{-4}, []int{0}) > 3*est.DensitySub([]float64{0}, []int{0})
+	fmt.Println("modes resolved:", bimodal)
+	// Output: modes resolved: true
+}
+
+// ExampleDetectOutliers flags the isolated reading in a tight blob.
+func ExampleDetectOutliers() {
+	ds := udm.NewDataset("v")
+	r := udm.NewRand(8)
+	for i := 0; i < 200; i++ {
+		_ = ds.Append([]float64{r.Norm(0, 1)}, nil, udm.Unlabeled)
+	}
+	_ = ds.Append([]float64{40}, nil, udm.Unlabeled)
+	res, err := udm.DetectOutliers(ds, udm.OutlierOptions{Contamination: 1.0 / 201})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("isolated reading flagged:", res.Outlier[200])
+	// Output: isolated reading flagged: true
+}

@@ -1,0 +1,96 @@
+// Anomaly detection on uncertain data: telling "broken" from "noisy".
+//
+// A fleet of sensors reports readings; each reading carries the sensor's
+// current error estimate. Two kinds of extreme readings arrive: genuine
+// anomalous events reported by healthy low-error sensors, and wild
+// readings from degraded sensors that honestly report huge error bars.
+//
+// The error-oblivious detector scores both kinds as equally surprising.
+// The error-aware detector asks the right question — "how surprising is
+// this reading GIVEN ITS OWN error bar?" — by evaluating the density in
+// expectation over the reading's error distribution (DetectOutliers with
+// UseQueryError). A reading displaced by a known ±12 error is consistent
+// with the bulk; an identical reading claiming ±0.3 is not.
+//
+// Run with: go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udm"
+)
+
+func main() {
+	r := udm.NewRand(99)
+
+	// Normal operation: readings near (20, 50) with small errors.
+	ds := udm.NewDataset("temperature", "vibration")
+	n := 0
+	addReading := func(x, y, e float64) int {
+		if err := ds.Append([]float64{x, y}, []float64{e, e}, udm.Unlabeled); err != nil {
+			log.Fatal(err)
+		}
+		n++
+		return n - 1
+	}
+	for i := 0; i < 1000; i++ {
+		addReading(r.Norm(20, 1), r.Norm(50, 2), 0.3)
+	}
+	// Three genuine anomalies from healthy sensors (low error).
+	events := []int{
+		addReading(33, 50, 0.3),
+		addReading(20, 78, 0.3),
+		addReading(31, 69, 0.3),
+	}
+	// Three wild readings from degraded sensors that SAY so (huge error),
+	// at comparably extreme positions.
+	degraded := []int{
+		addReading(34, 51, 12),
+		addReading(21, 77, 12),
+		addReading(8, 30, 12),
+	}
+
+	run := func(aware bool) *udm.OutlierResult {
+		res, err := udm.DetectOutliers(ds, udm.OutlierOptions{
+			Contamination: 3.0 / float64(ds.Len()),
+			UseQueryError: aware,
+			KDE:           udm.DensityOptions{ErrorAdjust: aware},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	blind := run(false)
+	aware := run(true)
+
+	report := func(name string, res *udm.OutlierResult, idx []int) {
+		hits := 0
+		for _, i := range idx {
+			if res.Outlier[i] {
+				hits++
+			}
+		}
+		fmt.Printf("  %s: %d/3 flagged\n", name, hits)
+	}
+	fmt.Println("error-OBLIVIOUS detector, top 3:")
+	report("genuine events  ", blind, events)
+	report("degraded sensors", blind, degraded)
+	fmt.Println("error-AWARE detector, top 3:")
+	report("genuine events  ", aware, events)
+	report("degraded sensors", aware, degraded)
+
+	fmt.Println("\nscore comparison (higher = more anomalous):")
+	fmt.Printf("  %-28s %-10s %-10s\n", "reading", "oblivious", "aware")
+	labels := []string{"event (33,50) ±0.3", "event (20,78) ±0.3", "event (31,69) ±0.3",
+		"degraded (34,51) ±12", "degraded (21,77) ±12", "degraded (8,30) ±12"}
+	all := append(append([]int{}, events...), degraded...)
+	for i, idx := range all {
+		fmt.Printf("  %-28s %-10.2f %-10.2f\n", labels[i], blind.Scores[idx], aware.Scores[idx])
+	}
+	fmt.Println("\nThe aware detector integrates each reading's own error bar into its")
+	fmt.Println("surprise score, so honestly-uncertain readings stop crowding out the")
+	fmt.Println("genuine events.")
+}

@@ -1,0 +1,112 @@
+// Missing data: imputation with honest error bars.
+//
+// The paper's second motivating application: "in the case of missing
+// data, imputation procedures can be used to estimate the missing values.
+// If such procedures are used, then the statistical error of imputation
+// for a given entry is often known a-priori."
+//
+// We use the forest-cover profile as a remote-sensing stand-in (cloud
+// cover and sensor dropouts routinely blank out individual readings),
+// knock out 40% of the training entries completely at random, and repair
+// the table with three imputers that each record an honest per-entry
+// error. Every repaired table is then mined twice: consuming the
+// imputation errors (the paper's method) and discarding them.
+//
+// The comparison also demonstrates a property worth knowing before
+// reaching for error adjustment: it pays off for *noise-type* errors
+// (the stored value is truth plus noise — hot-deck donors behave this
+// way, as does measurement error) and has little to fix for
+// *estimate-type* errors (mean and kNN imputation store a conditional
+// mean, which is already the quietest value available).
+//
+// Run with: go run ./examples/imputation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udm"
+)
+
+func main() {
+	r := udm.NewRand(7)
+
+	spec, err := udm.DataProfile("forest-cover")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := spec.Generate(2400, r.Split("gen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hold out intact test data: the question is how well we can learn
+	// from the damaged table.
+	trainClean, test, err := clean.StratifiedSplit(0.7, r.Split("split"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Damage the training table: 40% of entries go missing.
+	mask, err := udm.MaskCompletelyAtRandom(trainClean, 0.4, r.Split("mask"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("masked %d of %d training entries (%.0f%%)\n\n",
+		mask.MissingCount(), trainClean.Len()*trainClean.Dims(),
+		100*float64(mask.MissingCount())/float64(trainClean.Len()*trainClean.Dims()))
+
+	imputers := []struct {
+		name string
+		imp  udm.Imputer
+	}{
+		{"hot-deck imputation (noise-type)   ", udm.HotDeckImputer{R: r.Split("hotdeck")}},
+		{"kNN imputation (estimate-type)     ", udm.KNNImputer{K: 7}},
+		{"mean imputation (estimate-type)    ", udm.MeanImputer{}},
+	}
+	fmt.Printf("%-37s %-12s %-12s\n", "imputer", "with errors", "discarded")
+	for _, im := range imputers {
+		imputed, err := im.imp.Impute(trainClean, mask)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		withErr, err := udm.Train(imputed, udm.TrainConfig{MicroClusters: 100, Seed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		off := false
+		noErr, err := udm.Train(imputed, udm.TrainConfig{MicroClusters: 100, Seed: 2, ErrorAdjust: &off})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		resWith, err := udm.Evaluate(withErr, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resNo, err := udm.Evaluate(noErr, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-37s %-12.3f %-12.3f\n", im.name, resWith.Accuracy(), resNo.Accuracy())
+	}
+
+	// Reference: training on the undamaged table.
+	oracle, err := udm.Train(trainClean, udm.TrainConfig{MicroClusters: 100, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resOracle, err := udm.Evaluate(oracle, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreference (no missing data): %.3f\n", resOracle.Accuracy())
+	fmt.Println("\nEvery imputer records an honest per-entry error, and on this")
+	fmt.Println("multi-class profile consuming those errors beats discarding them for")
+	fmt.Println("all three. The margin is structural for hot-deck (its values really")
+	fmt.Println("are truth plus noise); for mean/kNN — which store conditional means —")
+	fmt.Println("the benefit shrinks on easier, near-separable data, where widening")
+	fmt.Println("already-quiet values mostly over-smooths (see EXPERIMENTS.md).")
+}

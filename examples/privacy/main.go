@@ -1,0 +1,86 @@
+// Privacy-preserving publication: mining selectively-masked data.
+//
+// The paper's privacy motivation (cf. Agrawal–Srikant): numeric values
+// are masked with noise before release, and the noise scale is published
+// alongside. Here the masking is per-entry — each field of each record is
+// independently either lightly masked or heavily masked (users blank out
+// the specific values they consider sensitive) — which is exactly the
+// heterogeneous regime the density transform exploits: for every record
+// some coordinates stay reliable, and the subspace classifier finds them.
+//
+// Three miners see the same published table:
+//
+//   - the error-adjusted density miner (uses the published noise scales),
+//   - the face-value density miner (ignores them),
+//   - a nearest-neighbor miner (classical, error-oblivious).
+//
+// Run with: go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udm"
+)
+
+func main() {
+	r := udm.NewRand(13)
+
+	spec, err := udm.DataProfile("forest-cover")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := spec.Generate(2400, r.Split("gen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-entry masking: 50% of entries heavily masked (σ = hi·σ_col),")
+	fmt.Println("the rest lightly (σ = 0.1·σ_col); noise scales published.")
+	fmt.Println()
+	fmt.Printf("%6s  %16s  %16s  %16s\n", "hi", "error-adjusted", "face-value", "nearest-nbr")
+	for _, hi := range []float64{0, 1, 2, 3} {
+		published, err := udm.MixedLevelPerturb(clean, 0.1, hi, 0.5,
+			r.Split(fmt.Sprintf("mask-%g", hi)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, test, err := published.StratifiedSplit(0.7, r.Split(fmt.Sprintf("split-%g", hi)))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		adjusted, err := udm.Train(train, udm.TrainConfig{MicroClusters: 100, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		off := false
+		face, err := udm.Train(train, udm.TrainConfig{MicroClusters: 100, Seed: 3, ErrorAdjust: &off})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nn, err := udm.NewNearestNeighbor(train)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		resAdj, err := udm.Evaluate(adjusted, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resFace, err := udm.Evaluate(face, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resNN, err := udm.Evaluate(nn, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.1f  %16.3f  %16.3f  %16.3f\n",
+			hi, resAdj.Accuracy(), resFace.Accuracy(), resNN.Accuracy())
+	}
+	fmt.Println("\nAll miners see identical published values; only the first uses the")
+	fmt.Println("published noise scales. Privacy comes from the noise; the remaining")
+	fmt.Println("utility comes from modeling it.")
+}

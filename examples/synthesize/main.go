@@ -1,0 +1,122 @@
+// Synthetic data publishing from the density transform.
+//
+// The density transform is a generative model: per-class micro-cluster
+// summaries define a mixture distribution that can be *sampled*. A data
+// holder can therefore publish a fully synthetic table — no original
+// record leaves the building, only q cluster summaries' worth of
+// structure — and an outside analyst can still train a useful model.
+//
+// This example: (1) condenses a private, uncertain medical-style table
+// into its transform, (2) samples a synthetic table from it, (3) trains
+// a classifier on the synthetic table, and (4) shows its accuracy on
+// real held-out cases approaches that of a classifier trained on the
+// real private table.
+//
+// Run with: go run ./examples/synthesize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udm"
+)
+
+func main() {
+	r := udm.NewRand(55)
+
+	spec, err := udm.DataProfile("breast-cancer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := spec.Generate(2000, r.Split("gen"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Clinical measurements carry known per-entry error.
+	private, err := udm.Perturb(clean, 0.5, r.Split("noise"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainReal, test, err := private.StratifiedSplit(0.7, r.Split("split"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The publishable artifact: per-class micro-cluster summaries.
+	transform, err := udm.NewTransform(trainReal, udm.TransformOptions{
+		MicroClusters: 60, ErrorAdjust: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("private table: %d rows -> published transform: %d classes × ≤60 summaries\n",
+		trainReal.Len(), transform.NumClasses())
+
+	// Sample a synthetic table class by class.
+	synthetic := udm.NewDataset(trainReal.Names...)
+	synthetic.ClassNames = trainReal.ClassNames
+	for class := 0; class < transform.NumClasses(); class++ {
+		est, err := udm.NewClusterDensity(transform.Class(class), udm.DensityOptions{ErrorAdjust: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := est.Sample(transform.ClassCount(class), r.Split(fmt.Sprintf("sample-%d", class)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
+			if err := synthetic.Append(row, nil, class); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("synthetic table: %d rows sampled from the transform\n\n", synthetic.Len())
+
+	// Analyst trains on synthetic; compare with training on real.
+	onSynthetic, err := udm.Train(synthetic, udm.TrainConfig{MicroClusters: 60, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	onReal, err := udm.Train(trainReal, udm.TrainConfig{MicroClusters: 60, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resSyn, err := udm.Evaluate(onSynthetic, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resReal, err := udm.Evaluate(onReal, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accuracy on real held-out cases:\n")
+	fmt.Printf("  trained on REAL private rows: %.3f\n", resReal.Accuracy())
+	fmt.Printf("  trained on SYNTHETIC rows:    %.3f\n", resSyn.Accuracy())
+
+	// How different is an individual synthetic row from its nearest real
+	// one? (The further, the less any single record leaks.)
+	var minGap, meanGap float64
+	minGap = 1e300
+	for i := 0; i < 200; i++ { // sample of synthetic rows
+		best := 1e300
+		for j := 0; j < trainReal.Len(); j++ {
+			var d2 float64
+			for k := range synthetic.X[i] {
+				diff := synthetic.X[i][k] - trainReal.X[j][k]
+				d2 += diff * diff
+			}
+			if d2 < best {
+				best = d2
+			}
+		}
+		if best < minGap {
+			minGap = best
+		}
+		meanGap += best
+	}
+	meanGap /= 200
+	fmt.Printf("\nnearest-real-record distance² over 200 synthetic rows: mean %.2f, min %.2f\n",
+		meanGap, minGap)
+	fmt.Println("(kernel smoothing keeps synthetic rows off the original records)")
+}

@@ -1,0 +1,3 @@
+module udm
+
+go 1.22

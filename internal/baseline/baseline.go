@@ -1,0 +1,149 @@
+// Package baseline implements the error-oblivious comparators used in
+// the paper's evaluation — chiefly the nearest-neighbor classifier — plus
+// kNN, majority and random classifiers for reference lines. None of them
+// look at the per-entry error matrix: that blindness is precisely what
+// the experiments measure.
+package baseline
+
+import (
+	"fmt"
+
+	"udm/internal/dataset"
+	"udm/internal/kdtree"
+	"udm/internal/rng"
+)
+
+// NearestNeighbor is the paper's comparator (2): it reports the class of
+// the Euclidean-nearest training record, ignoring all error information.
+// Queries run on a k-d tree, so classification costs O(log N) on
+// low-dimensional data instead of the brute-force O(N).
+type NearestNeighbor struct {
+	tree   *kdtree.Tree
+	labels []int
+}
+
+// NewNearestNeighbor builds the classifier over labeled training data.
+func NewNearestNeighbor(train *dataset.Dataset) (*NearestNeighbor, error) {
+	if err := validateTrain(train); err != nil {
+		return nil, err
+	}
+	tree, err := kdtree.Build(train.X)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &NearestNeighbor{tree: tree, labels: train.Labels}, nil
+}
+
+// Classify returns the label of the nearest training record.
+func (nn *NearestNeighbor) Classify(x []float64) (int, error) {
+	if len(x) != nn.tree.Dims() {
+		return 0, fmt.Errorf("baseline: test point has %d dims, want %d", len(x), nn.tree.Dims())
+	}
+	i, _ := nn.tree.Nearest(x)
+	return nn.labels[i], nil
+}
+
+// KNN is the k-nearest-neighbor majority classifier (Euclidean,
+// error-oblivious, k-d tree backed). Ties in the vote are broken toward
+// the nearer neighbors' class.
+type KNN struct {
+	tree   *kdtree.Tree
+	labels []int
+	k      int
+}
+
+// NewKNN builds a kNN classifier; k must be in [1, len(train)].
+func NewKNN(train *dataset.Dataset, k int) (*KNN, error) {
+	if err := validateTrain(train); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > train.Len() {
+		return nil, fmt.Errorf("baseline: k=%d for %d training rows", k, train.Len())
+	}
+	tree, err := kdtree.Build(train.X)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &KNN{tree: tree, labels: train.Labels, k: k}, nil
+}
+
+// Classify returns the majority label among the k nearest records.
+func (c *KNN) Classify(x []float64) (int, error) {
+	if len(x) != c.tree.Dims() {
+		return 0, fmt.Errorf("baseline: test point has %d dims, want %d", len(x), c.tree.Dims())
+	}
+	idx, _ := c.tree.KNearest(x, c.k)
+	votes := map[int]int{}
+	bestLabel, bestVotes := c.labels[idx[0]], 0
+	for _, i := range idx {
+		l := c.labels[i]
+		votes[l]++
+		if votes[l] > bestVotes {
+			bestLabel, bestVotes = l, votes[l]
+		}
+	}
+	return bestLabel, nil
+}
+
+// Majority always predicts the most frequent training class — the floor
+// any useful classifier must beat.
+type Majority struct {
+	label int
+}
+
+// NewMajority builds the majority-class classifier.
+func NewMajority(train *dataset.Dataset) (*Majority, error) {
+	if err := validateTrain(train); err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	for _, l := range train.Labels {
+		counts[l]++
+	}
+	best, bestN := 0, -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return &Majority{label: best}, nil
+}
+
+// Classify returns the majority training label regardless of x.
+func (m *Majority) Classify(x []float64) (int, error) { return m.label, nil }
+
+// Random predicts a uniformly random class — the paper's reference point
+// for "the classifier has been reduced to noise".
+type Random struct {
+	k int
+	r *rng.Source
+}
+
+// NewRandom builds a random classifier over k classes.
+func NewRandom(k int, r *rng.Source) (*Random, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: random classifier over %d classes", k)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("baseline: nil random source")
+	}
+	return &Random{k: k, r: r}, nil
+}
+
+// Classify returns a uniform random label.
+func (c *Random) Classify(x []float64) (int, error) { return c.r.Intn(c.k), nil }
+
+func validateTrain(train *dataset.Dataset) error {
+	if train.Len() == 0 {
+		return fmt.Errorf("baseline: empty training data")
+	}
+	if train.Labels == nil {
+		return fmt.Errorf("baseline: unlabeled training data")
+	}
+	for i, l := range train.Labels {
+		if l == dataset.Unlabeled {
+			return fmt.Errorf("baseline: row %d is unlabeled", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+func labeled(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New("x", "y")
+	rows := []struct {
+		x []float64
+		l int
+	}{
+		{[]float64{0, 0}, 0},
+		{[]float64{1, 0}, 0},
+		{[]float64{0, 1}, 0},
+		{[]float64{10, 10}, 1},
+		{[]float64{11, 10}, 1},
+	}
+	for _, r := range rows {
+		if err := d.Append(r.x, nil, r.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestNearestNeighbor(t *testing.T) {
+	nn, err := NewNearestNeighbor(labeled(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := nn.Classify([]float64{0.2, 0.2}); got != 0 {
+		t.Errorf("near origin = %d", got)
+	}
+	if got, _ := nn.Classify([]float64{10.4, 10}); got != 1 {
+		t.Errorf("near cluster 1 = %d", got)
+	}
+	if _, err := nn.Classify([]float64{1}); err == nil {
+		t.Error("short point accepted")
+	}
+}
+
+func TestNearestNeighborIgnoresErrors(t *testing.T) {
+	// Identical values with huge recorded errors: predictions unchanged,
+	// because NN is deliberately error-oblivious.
+	d := labeled(t)
+	withErr := d.Clone()
+	withErr.Err = make([][]float64, withErr.Len())
+	for i := range withErr.Err {
+		withErr.Err[i] = []float64{100, 100}
+	}
+	a, err := NewNearestNeighbor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNearestNeighbor(withErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{0, 0}, {5, 5}, {10, 10}} {
+		la, _ := a.Classify(x)
+		lb, _ := b.Classify(x)
+		if la != lb {
+			t.Fatal("NN depended on error matrix")
+		}
+	}
+}
+
+func TestKNN(t *testing.T) {
+	knn, err := NewKNN(labeled(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point nearer to cluster 1 but with only 2 class-1 rows among its 3
+	// nearest... construct: at (6,6) the three nearest are the two class-1
+	// rows (d²≈32) and one class-0 row (d²=61): majority class 1.
+	if got, _ := knn.Classify([]float64{6, 6}); got != 1 {
+		t.Errorf("kNN = %d, want 1", got)
+	}
+	if got, _ := knn.Classify([]float64{0.5, 0.5}); got != 0 {
+		t.Errorf("kNN = %d, want 0", got)
+	}
+	if _, err := NewKNN(labeled(t), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewKNN(labeled(t), 6); err == nil {
+		t.Error("k>N accepted")
+	}
+	if _, err := knn.Classify([]float64{1}); err == nil {
+		t.Error("short point accepted")
+	}
+}
+
+func TestKNNWithK1MatchesNN(t *testing.T) {
+	d := labeled(t)
+	nn, _ := NewNearestNeighbor(d)
+	knn, _ := NewKNN(d, 1)
+	r := rng.New(1)
+	for i := 0; i < 50; i++ {
+		x := []float64{r.Uniform(-2, 13), r.Uniform(-2, 13)}
+		a, _ := nn.Classify(x)
+		b, _ := knn.Classify(x)
+		if a != b {
+			t.Fatalf("NN %d vs 1NN %d at %v", a, b, x)
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	m, err := NewMajority(labeled(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Classify([]float64{999, 999}); got != 0 {
+		t.Errorf("majority = %d, want 0 (3 vs 2 rows)", got)
+	}
+}
+
+func TestRandomIsUniform(t *testing.T) {
+	c, err := NewRandom(4, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		l, _ := c.Classify(nil)
+		counts[l]++
+	}
+	for _, cnt := range counts {
+		if math.Abs(float64(cnt)/n-0.25) > 0.02 {
+			t.Fatalf("counts %v not uniform", counts)
+		}
+	}
+	if _, err := NewRandom(0, rng.New(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRandom(2, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestValidateTrain(t *testing.T) {
+	if _, err := NewNearestNeighbor(dataset.New("x")); err == nil {
+		t.Error("empty training accepted")
+	}
+	d := dataset.New("x")
+	_ = d.Append([]float64{1}, nil, dataset.Unlabeled)
+	if _, err := NewNearestNeighbor(d); err == nil {
+		t.Error("unlabeled training accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/dataset"
+	"udm/internal/num"
+)
+
+// NaiveBayes is a Gaussian naive-Bayes classifier: per class and
+// dimension it fits N(μ, σ²) to the observed values and predicts the
+// class with the highest log-posterior. Like the other baselines it is
+// error-oblivious — ψ never enters — which makes it the natural
+// parametric counterpart to the paper's nonparametric density method.
+type NaiveBayes struct {
+	mean   [][]float64 // [class][dim]
+	std    [][]float64
+	logPri []float64
+	dims   int
+}
+
+// NewNaiveBayes fits the classifier to labeled training data. Degenerate
+// (zero-variance) dimensions get a small σ floor so likelihoods stay
+// finite.
+func NewNaiveBayes(train *dataset.Dataset) (*NaiveBayes, error) {
+	if err := validateTrain(train); err != nil {
+		return nil, err
+	}
+	k := train.NumClasses()
+	if k < 2 {
+		return nil, fmt.Errorf("baseline: naive Bayes needs ≥ 2 classes, have %d", k)
+	}
+	nb := &NaiveBayes{dims: train.Dims()}
+	const sigmaFloor = 1e-6
+	for c := 0; c < k; c++ {
+		moms := make([]num.Moments, train.Dims())
+		n := 0
+		for i := 0; i < train.Len(); i++ {
+			if train.Labels[i] != c {
+				continue
+			}
+			n++
+			for j, v := range train.X[i] {
+				moms[j].Add(v)
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("baseline: class %d has no training rows", c)
+		}
+		mean := make([]float64, train.Dims())
+		std := make([]float64, train.Dims())
+		for j := range moms {
+			mean[j] = moms[j].Mean()
+			std[j] = moms[j].StdDev()
+			if std[j] < sigmaFloor {
+				std[j] = sigmaFloor
+			}
+		}
+		nb.mean = append(nb.mean, mean)
+		nb.std = append(nb.std, std)
+		nb.logPri = append(nb.logPri, math.Log(float64(n)/float64(train.Len())))
+	}
+	return nb, nil
+}
+
+// Classify returns the maximum-a-posteriori class for x.
+func (nb *NaiveBayes) Classify(x []float64) (int, error) {
+	if len(x) != nb.dims {
+		return 0, fmt.Errorf("baseline: test point has %d dims, want %d", len(x), nb.dims)
+	}
+	best, bestLL := 0, math.Inf(-1)
+	for c := range nb.mean {
+		ll := nb.logPri[c]
+		for j, v := range x {
+			z := (v - nb.mean[c][j]) / nb.std[c][j]
+			ll += -0.5*z*z - math.Log(nb.std[c][j])
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+func TestNaiveBayesSeparableBlobs(t *testing.T) {
+	train, err := datagen.TwoBlobs(3).Generate(500, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := NewNaiveBayes(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{-3, 0}, 0},
+		{[]float64{3, 0}, 1},
+		{[]float64{-2.5, 1.5}, 0},
+	}
+	for _, c := range cases {
+		got, err := nb.Classify(c.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Classify(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNaiveBayesUsesPriors(t *testing.T) {
+	// Heavy class imbalance: an ambiguous midpoint should lean to the
+	// prior-heavy class.
+	d := dataset.New("x")
+	r := rng.New(2)
+	for i := 0; i < 900; i++ {
+		_ = d.Append([]float64{r.Norm(-1, 2)}, nil, 0)
+	}
+	for i := 0; i < 100; i++ {
+		_ = d.Append([]float64{r.Norm(1, 2)}, nil, 1)
+	}
+	nb, err := NewNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Classify([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("midpoint classified %d, want prior-heavy class 0", got)
+	}
+}
+
+func TestNaiveBayesZeroVarianceDimension(t *testing.T) {
+	d := dataset.New("const", "x")
+	for i := 0; i < 20; i++ {
+		v := float64(i%2*10 - 5)
+		_ = d.Append([]float64{7, v}, nil, i%2)
+	}
+	nb, err := NewNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nb.Classify([]float64{7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	if _, err := NewNaiveBayes(dataset.New("x")); err == nil {
+		t.Error("empty training accepted")
+	}
+	one := dataset.New("x")
+	_ = one.Append([]float64{1}, nil, 0)
+	if _, err := NewNaiveBayes(one); err == nil {
+		t.Error("single-class training accepted")
+	}
+	d, _ := datagen.TwoBlobs(1).Generate(20, rng.New(3))
+	nb, err := NewNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Classify([]float64{1}); err == nil {
+		t.Error("short test point accepted")
+	}
+}
+
+func TestNaiveBayesIgnoresErrors(t *testing.T) {
+	d, _ := datagen.TwoBlobs(3).Generate(200, rng.New(4))
+	withErr := d.Clone()
+	withErr.Err = make([][]float64, withErr.Len())
+	for i := range withErr.Err {
+		withErr.Err[i] = []float64{50, 50}
+	}
+	a, err := NewNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNaiveBayes(withErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{-3, 0}, {0, 0.5}, {3, -1}} {
+		la, _ := a.Classify(x)
+		lb, _ := b.Classify(x)
+		if la != lb {
+			t.Fatal("naive Bayes depended on the error matrix")
+		}
+	}
+}

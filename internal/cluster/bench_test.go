@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+)
+
+func BenchmarkDBSCANPoints(b *testing.B) {
+	ds, err := datagen.TwoBlobs(5).Generate(400, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DBSCAN(ds, Options{Eps: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBSCANClusters(b *testing.B) {
+	ds, err := datagen.TwoBlobs(5).Generate(5000, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := microcluster.Build(ds, 100, rng.New(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DBSCANClusters(s, Options{Eps: 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	ds, err := datagen.TwoBlobs(5).Generate(1000, rng.New(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, adjust := range []bool{false, true} {
+		name := "euclidean"
+		if adjust {
+			name = "err-adjusted"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := KMeans(ds, KMeansOptions{K: 2, ErrorAdjust: adjust, Seed: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

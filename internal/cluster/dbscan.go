@@ -1,0 +1,201 @@
+// Package cluster implements the density-based clustering extension the
+// paper points at in §3: DBSCAN-style clustering driven by error-adjusted
+// densities instead of raw point counts (cf. Kriegel & Pfeifle, KDD 2005).
+// A point is a core point when the error-adjusted density at it clears a
+// threshold; clusters are the connected components of core points under
+// the error-adjusted distance of Eq. (5); remaining points are attached
+// to a neighboring cluster or labeled noise.
+//
+// A scalable variant clusters micro-cluster pseudo-points instead of raw
+// records, so the whole procedure runs on the density-based transform.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"udm/internal/dataset"
+	"udm/internal/kde"
+	"udm/internal/microcluster"
+)
+
+// Noise is the label assigned to points in no cluster.
+const Noise = -1
+
+// Options configure uncertain DBSCAN.
+type Options struct {
+	// Eps is the connectivity radius (in the data's units). Required.
+	Eps float64
+	// DensityThreshold ξ makes a point a core point when the
+	// error-adjusted density at it is ≥ ξ. When 0, the threshold is set
+	// automatically to the DensityQuantile-quantile of the densities at
+	// the data points.
+	DensityThreshold float64
+	// DensityQuantile picks the automatic threshold (default 0.25: the
+	// densest 75% of points are core candidates). Only used when
+	// DensityThreshold is 0.
+	DensityQuantile float64
+	// KDE configures the density estimator (error adjustment on by
+	// default in the constructors below when the data carries errors).
+	KDE kde.Options
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns each input row a cluster id in [0, NumClusters) or
+	// Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// Core marks the rows that were core points.
+	Core []bool
+	// Densities holds the error-adjusted density at each row.
+	Densities []float64
+	// Threshold is the core-point density threshold that was applied.
+	Threshold float64
+}
+
+// DBSCAN clusters the rows of ds with the exact point-kernel density.
+func DBSCAN(ds *dataset.Dataset, opt Options) (*Result, error) {
+	if err := checkOpts(&opt); err != nil {
+		return nil, err
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("cluster: empty dataset")
+	}
+	if opt.KDE.ErrorAdjust && !ds.HasErrors() {
+		// Harmless: adjustment with ψ=0 equals no adjustment.
+		opt.KDE.ErrorAdjust = false
+	}
+	est, err := kde.NewPoint(ds, opt.KDE)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	dens := make([]float64, ds.Len())
+	for i := range dens {
+		dens[i] = est.Density(ds.X[i])
+	}
+	errRow := func(i int) []float64 { return ds.ErrRow(i) }
+	return run(ds.X, errRow, dens, opt)
+}
+
+// DBSCANClusters clusters micro-cluster pseudo-points: centroids carry
+// their pseudo-point error Δ (Lemma 1) into the Eq. (5) connectivity
+// test, densities come from the weighted cluster kernel (Eq. 10), and the
+// returned labels index the summarizer's clusters. This is the scalable
+// path: it touches only the transform, never the original records.
+func DBSCANClusters(s *microcluster.Summarizer, opt Options) (*Result, error) {
+	if err := checkOpts(&opt); err != nil {
+		return nil, err
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("cluster: empty summarizer")
+	}
+	est, err := kde.NewCluster(s, opt.KDE)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	points := make([][]float64, s.Len())
+	deltas := make([][]float64, s.Len())
+	dens := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		points[i] = s.Centroid(i)
+		deltas[i] = s.Feature(i).Delta(nil)
+		dens[i] = est.Density(points[i])
+	}
+	errRow := func(i int) []float64 { return deltas[i] }
+	return run(points, errRow, dens, opt)
+}
+
+func checkOpts(opt *Options) error {
+	if opt.Eps <= 0 || math.IsNaN(opt.Eps) || math.IsInf(opt.Eps, 0) {
+		return fmt.Errorf("cluster: eps %v must be positive and finite", opt.Eps)
+	}
+	if opt.DensityThreshold < 0 {
+		return fmt.Errorf("cluster: negative density threshold %v", opt.DensityThreshold)
+	}
+	if opt.DensityQuantile == 0 {
+		opt.DensityQuantile = 0.25
+	}
+	if opt.DensityQuantile < 0 || opt.DensityQuantile >= 1 {
+		return fmt.Errorf("cluster: density quantile %v out of [0,1)", opt.DensityQuantile)
+	}
+	return nil
+}
+
+// run executes the shared DBSCAN body over points with per-point error
+// rows (nil allowed) and precomputed densities.
+func run(points [][]float64, errRow func(int) []float64, dens []float64, opt Options) (*Result, error) {
+	n := len(points)
+	threshold := opt.DensityThreshold
+	if threshold == 0 {
+		sorted := append([]float64(nil), dens...)
+		sort.Float64s(sorted)
+		threshold = sorted[int(opt.DensityQuantile*float64(n-1))]
+	}
+	core := make([]bool, n)
+	for i, d := range dens {
+		core[i] = d >= threshold
+	}
+	eps2 := opt.Eps * opt.Eps
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	// Connected components of core points via BFS; the error-adjusted
+	// distance is asymmetric in which point's error applies, so edge
+	// (i, j) exists when either direction is within eps.
+	within := func(i, j int) bool {
+		return microcluster.Dist2(points[i], points[j], errRow(i)) <= eps2 ||
+			microcluster.Dist2(points[j], points[i], errRow(j)) <= eps2
+	}
+	nextCluster := 0
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !core[i] || labels[i] != Noise {
+			continue
+		}
+		labels[i] = nextCluster
+		queue = append(queue[:0], i)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for v := 0; v < n; v++ {
+				if !core[v] || labels[v] != Noise || !within(u, v) {
+					continue
+				}
+				labels[v] = nextCluster
+				queue = append(queue, v)
+			}
+		}
+		nextCluster++
+	}
+	// Border points: attach to the cluster of the nearest core point
+	// within eps.
+	for i := 0; i < n; i++ {
+		if core[i] || labels[i] != Noise {
+			continue
+		}
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !core[j] {
+				continue
+			}
+			d := microcluster.Dist2(points[i], points[j], errRow(i))
+			if d <= eps2 && d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best >= 0 {
+			labels[i] = labels[best]
+		}
+	}
+	return &Result{
+		Labels:      labels,
+		NumClusters: nextCluster,
+		Core:        core,
+		Densities:   dens,
+		Threshold:   threshold,
+	}, nil
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+func TestDBSCANSeparatesBlobs(t *testing.T) {
+	ds, err := datagen.TwoBlobs(5).Generate(300, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DBSCAN(ds, Options{Eps: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	// Clusters must align with the generating labels (up to permutation):
+	// count the dominant true label per found cluster.
+	agreement := 0
+	for c := 0; c < res.NumClusters; c++ {
+		counts := map[int]int{}
+		for i, l := range res.Labels {
+			if l == c {
+				counts[ds.Labels[i]]++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		agreement += best
+	}
+	clustered := 0
+	for _, l := range res.Labels {
+		if l != Noise {
+			clustered++
+		}
+	}
+	if clustered < 200 {
+		t.Fatalf("only %d/300 points clustered", clustered)
+	}
+	if float64(agreement)/float64(clustered) < 0.95 {
+		t.Fatalf("cluster/label agreement %v too low", float64(agreement)/float64(clustered))
+	}
+}
+
+func TestDBSCANRingsNonConvex(t *testing.T) {
+	// Two concentric rings cannot be separated by centroid methods but
+	// density connectivity follows the rings.
+	ds, err := datagen.Rings(600, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DBSCAN(ds, Options{Eps: 1.0, DensityQuantile: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters on two rings", res.NumClusters)
+	}
+	// No found cluster may mix the two rings substantially.
+	for c := 0; c < res.NumClusters; c++ {
+		counts := map[int]int{}
+		total := 0
+		for i, l := range res.Labels {
+			if l == c {
+				counts[ds.Labels[i]]++
+				total++
+			}
+		}
+		for _, n := range counts {
+			if n != total && n > total/10 {
+				t.Fatalf("cluster %d mixes rings: %v", c, counts)
+			}
+		}
+	}
+}
+
+func TestDBSCANNoiseDetection(t *testing.T) {
+	// A tight blob plus one far outlier: the outlier must be Noise.
+	d := dataset.New("x", "y")
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		_ = d.Append([]float64{r.Norm(0, 0.3), r.Norm(0, 0.3)}, nil, dataset.Unlabeled)
+	}
+	_ = d.Append([]float64{50, 50}, nil, dataset.Unlabeled)
+	res, err := DBSCAN(d, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[100] != Noise {
+		t.Fatalf("outlier labeled %d, want Noise", res.Labels[100])
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	if !res.Core[0] && !res.Core[50] {
+		t.Error("blob interior should contain core points")
+	}
+}
+
+func TestDBSCANErrorAdjustedConnectivity(t *testing.T) {
+	// Two groups separated by a gap larger than eps. With large recorded
+	// errors the error-adjusted distance collapses the gap and the groups
+	// merge; without errors they stay separate.
+	build := func(withErr bool) *dataset.Dataset {
+		d := dataset.New("x")
+		r := rng.New(4)
+		for i := 0; i < 60; i++ {
+			center := 0.0
+			if i%2 == 1 {
+				center = 4.0
+			}
+			var er []float64
+			if withErr {
+				er = []float64{3.5}
+			}
+			_ = d.Append([]float64{center + r.Norm(0, 0.3)}, er, dataset.Unlabeled)
+		}
+		return d
+	}
+	plain, err := DBSCAN(build(false), Options{Eps: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := DBSCAN(build(true), Options{Eps: 1.2, KDE: kdeErrOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumClusters < 2 {
+		t.Fatalf("error-free run merged the groups: %d clusters", plain.NumClusters)
+	}
+	if adj.NumClusters != 1 {
+		t.Fatalf("error-adjusted run found %d clusters, want 1 (gap within error)", adj.NumClusters)
+	}
+}
+
+func TestDBSCANExplicitThreshold(t *testing.T) {
+	ds, err := datagen.TwoBlobs(5).Generate(100, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impossible threshold: nothing is core, everything is noise.
+	res, err := DBSCAN(ds, Options{Eps: 1, DensityThreshold: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Fatalf("clusters = %d with impossible threshold", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("point clustered despite impossible threshold")
+		}
+	}
+	if res.Threshold != 1e9 {
+		t.Fatal("explicit threshold not recorded")
+	}
+}
+
+func TestDBSCANClustersOnTransform(t *testing.T) {
+	ds, err := datagen.TwoBlobs(6).Generate(2000, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := uncertain.Perturb(ds, 0.3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := microcluster.Build(noisy, 40, rng.New(8))
+	res, err := DBSCANClusters(s, Options{Eps: 1.5, KDE: kdeErrOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != s.Len() {
+		t.Fatalf("labels for %d pseudo-points, want %d", len(res.Labels), s.Len())
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("micro-cluster DBSCAN found %d clusters, want 2", res.NumClusters)
+	}
+	// Pseudo-points on opposite blobs land in different clusters.
+	var leftLabel, rightLabel = -2, -2
+	for i := 0; i < s.Len(); i++ {
+		c := s.Centroid(i)[0]
+		if c < -3 && res.Labels[i] != Noise {
+			leftLabel = res.Labels[i]
+		}
+		if c > 3 && res.Labels[i] != Noise {
+			rightLabel = res.Labels[i]
+		}
+	}
+	if leftLabel == rightLabel || leftLabel < 0 || rightLabel < 0 {
+		t.Fatalf("blob pseudo-points not separated: %d vs %d", leftLabel, rightLabel)
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	ds, _ := datagen.TwoBlobs(1).Generate(10, rng.New(9))
+	if _, err := DBSCAN(ds, Options{Eps: 0}); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := DBSCAN(ds, Options{Eps: 1, DensityThreshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := DBSCAN(ds, Options{Eps: 1, DensityQuantile: 1.5}); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	if _, err := DBSCAN(dataset.New("x"), Options{Eps: 1}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := DBSCANClusters(microcluster.NewSummarizer(3, 1), Options{Eps: 1}); err == nil {
+		t.Error("empty summarizer accepted")
+	}
+}

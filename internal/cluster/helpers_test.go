@@ -1,0 +1,9 @@
+package cluster
+
+import "udm/internal/kde"
+
+// kdeErrOpts returns KDE options with error adjustment enabled, shared by
+// the tests.
+func kdeErrOpts() kde.Options {
+	return kde.Options{ErrorAdjust: true}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/dataset"
+	"udm/internal/microcluster"
+	"udm/internal/num"
+	"udm/internal/rng"
+)
+
+// KMeansOptions configure uncertain k-means.
+type KMeansOptions struct {
+	// K is the number of clusters (required ≥ 1).
+	K int
+	// MaxIter bounds Lloyd iterations (default 100).
+	MaxIter int
+	// Tol stops when the largest centroid movement (squared) drops below
+	// it (default 1e-6).
+	Tol float64
+	// ErrorAdjust uses the Eq. 5 error-adjusted distance for assignment —
+	// the paper's Figure-2 argument: a point whose error ellipse covers a
+	// centroid should be assignable to it even if another centroid is
+	// nominally closer. When false, plain squared Euclidean distance is
+	// used (standard k-means).
+	ErrorAdjust bool
+	// Seed drives k-means++ initialization.
+	Seed int64
+}
+
+// KMeansResult is the outcome of a k-means run.
+type KMeansResult struct {
+	// Labels assigns each row a cluster in [0, K).
+	Labels []int
+	// Centroids holds the final cluster centers.
+	Centroids [][]float64
+	// Iterations is the number of Lloyd rounds performed.
+	Iterations int
+	// Inertia is the final sum of assignment distances (error-adjusted
+	// when enabled).
+	Inertia float64
+}
+
+// KMeans clusters the rows of ds with k-means++ seeding and Lloyd
+// iterations, optionally using the error-adjusted assignment distance.
+func KMeans(ds *dataset.Dataset, opt KMeansOptions) (*KMeansResult, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("cluster: k=%d", opt.K)
+	}
+	if ds.Len() < opt.K {
+		return nil, fmt.Errorf("cluster: k=%d clusters for %d rows", opt.K, ds.Len())
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 100
+	}
+	if opt.MaxIter < 1 {
+		return nil, fmt.Errorf("cluster: MaxIter %d", opt.MaxIter)
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.Tol < 0 {
+		return nil, fmt.Errorf("cluster: negative tolerance %v", opt.Tol)
+	}
+	dist := func(i int, c []float64) float64 {
+		var er []float64
+		if opt.ErrorAdjust {
+			er = ds.ErrRow(i)
+		}
+		return microcluster.Dist2(ds.X[i], c, er)
+	}
+
+	// k-means++ seeding (distances for seeding use the same metric).
+	r := rng.New(opt.Seed).Split("kmeans++")
+	cents := make([][]float64, 0, opt.K)
+	cents = append(cents, num.Clone(ds.X[r.Intn(ds.Len())]))
+	d2 := make([]float64, ds.Len())
+	for len(cents) < opt.K {
+		var total float64
+		for i := range d2 {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := dist(i, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick int
+		if total <= 0 {
+			// All points coincide with existing centroids (e.g. huge
+			// errors zero every distance): fall back to uniform choice.
+			pick = r.Intn(ds.Len())
+		} else {
+			u := r.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		cents = append(cents, num.Clone(ds.X[pick]))
+	}
+
+	labels := make([]int, ds.Len())
+	counts := make([]int, opt.K)
+	sums := make([][]float64, opt.K)
+	for c := range sums {
+		sums[c] = make([]float64, ds.Dims())
+	}
+	res := &KMeansResult{}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Assignment.
+		res.Inertia = 0
+		for i := range labels {
+			best, bestD := 0, dist(i, cents[0])
+			for c := 1; c < opt.K; c++ {
+				if d := dist(i, cents[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+			res.Inertia += bestD
+		}
+		// Update.
+		for c := range sums {
+			num.Fill(sums[c], 0)
+			counts[c] = 0
+		}
+		for i, l := range labels {
+			num.AddTo(sums[l], sums[l], ds.X[i])
+			counts[l]++
+		}
+		moved := 0.0
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to avoid dead clusters.
+				far, farD := 0, -1.0
+				for i := range labels {
+					if d := dist(i, cents[labels[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cents[c], ds.X[far])
+				moved = math.Inf(1)
+				continue
+			}
+			prev := num.Clone(cents[c])
+			num.ScaleTo(cents[c], sums[c], 1/float64(counts[c]))
+			if d := num.Dist2(prev, cents[c]); d > moved {
+				moved = d
+			}
+		}
+		if moved < opt.Tol {
+			break
+		}
+	}
+	res.Labels = labels
+	res.Centroids = cents
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	ds, err := datagen.TwoBlobs(5).Generate(400, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KMeans(ds, KMeansOptions{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+	// One centroid near each blob center (±5 on dim 0).
+	xs := []float64{res.Centroids[0][0], res.Centroids[1][0]}
+	if xs[0] > xs[1] {
+		xs[0], xs[1] = xs[1], xs[0]
+	}
+	if math.Abs(xs[0]+5) > 0.5 || math.Abs(xs[1]-5) > 0.5 {
+		t.Fatalf("centroids at %v", xs)
+	}
+	// Labels align with the generating classes up to permutation.
+	agree := 0
+	for i := range res.Labels {
+		if res.Labels[i] == ds.Labels[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(res.Labels)); frac > 0.02 && frac < 0.98 {
+		t.Fatalf("label agreement %v, want ≈0 or ≈1", frac)
+	}
+	if res.Inertia <= 0 {
+		t.Fatal("inertia should be positive on spread data")
+	}
+}
+
+func TestKMeansDeterministicInSeed(t *testing.T) {
+	ds, _ := datagen.TwoBlobs(3).Generate(200, rng.New(3))
+	a, err := KMeans(ds, KMeansOptions{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(ds, KMeansOptions{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("k-means not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestKMeansErrorAdjustedAssignment(t *testing.T) {
+	// The paper's Figure-2 scenario: point nearer centroid B in Euclidean
+	// terms, but with an error ellipse stretched toward A. Build two
+	// fixed groups plus one ambiguous point and compare its assignment.
+	d := dataset.New("x", "y")
+	r := rng.New(4)
+	for i := 0; i < 50; i++ {
+		_ = d.Append([]float64{r.Norm(0, 0.2), r.Norm(0, 0.2)}, []float64{0.01, 0.01}, dataset.Unlabeled)
+		_ = d.Append([]float64{r.Norm(8, 0.2), r.Norm(1, 0.2)}, []float64{0.01, 0.01}, dataset.Unlabeled)
+	}
+	// The ambiguous point sits at (5, 0) with a huge x error. Euclidean:
+	// dist² to A(0,0) = 25, to B(8,1) = 10 → B. Error-adjusted: the x
+	// term vanishes for both (|Δx| < ψ_x), leaving the y terms: 0 to A,
+	// 1 to B → A. The two metrics must disagree on this point.
+	_ = d.Append([]float64{5, 0}, []float64{10, 0.01}, dataset.Unlabeled)
+	idx := d.Len() - 1
+
+	adj, err := KMeans(d, KMeansOptions{K: 2, Seed: 5, ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := KMeans(d, KMeansOptions{K: 2, Seed: 5, ErrorAdjust: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify which cluster is the x≈8 group in each run.
+	bOf := func(res *KMeansResult) int {
+		if res.Centroids[0][0] > res.Centroids[1][0] {
+			return 0
+		}
+		return 1
+	}
+	if plain.Labels[idx] != bOf(plain) {
+		t.Fatalf("Euclidean run should assign the ambiguous point to the nearer group")
+	}
+	if adj.Labels[idx] == bOf(adj) {
+		t.Fatalf("error-adjusted run should NOT follow raw Euclidean proximity")
+	}
+}
+
+func TestKMeansEmptyClusterReseeded(t *testing.T) {
+	// k equal to n with duplicate points forces potential empty clusters;
+	// the run must still return k centroids and valid labels.
+	d := dataset.New("x")
+	for _, v := range []float64{0, 0, 10, 10, 20} {
+		_ = d.Append([]float64{v}, nil, dataset.Unlabeled)
+	}
+	res, err := KMeans(d, KMeansOptions{K: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+	for _, l := range res.Labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	ds, _ := datagen.TwoBlobs(1).Generate(10, rng.New(7))
+	if _, err := KMeans(ds, KMeansOptions{K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(ds, KMeansOptions{K: 11}); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans(ds, KMeansOptions{K: 2, MaxIter: -1}); err == nil {
+		t.Error("negative MaxIter accepted")
+	}
+	if _, err := KMeans(ds, KMeansOptions{K: 2, Tol: -1}); err == nil {
+		t.Error("negative Tol accepted")
+	}
+}
+
+func TestKMeansConvergesQuickly(t *testing.T) {
+	ds, _ := datagen.TwoBlobs(6).Generate(300, rng.New(8))
+	res, err := KMeans(ds, KMeansOptions{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 100 {
+		t.Fatalf("no convergence in %d iterations on trivial data", res.Iterations)
+	}
+}

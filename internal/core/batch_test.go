@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestClassifyBatchMatchesSequential(t *testing.T) {
+	ds := blobData(t, 400, 21)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := blobData(t, 120, 22)
+	want := make([]int, probe.Len())
+	for i := range want {
+		want[i], err = c.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 16, 1000} {
+		got, err := c.ClassifyBatch(probe.X, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: row %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClassifyBatchEmptyAndErrors(t *testing.T) {
+	ds := blobData(t, 100, 23)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ClassifyBatch(nil, 4)
+	if err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+	// A malformed row surfaces as an error, not a panic or silent skip.
+	if _, err := c.ClassifyBatch([][]float64{{1, 2}, {1}}, 2); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+func trainBlobs(t *testing.T, n int, seed int64, q int, adjust bool) *Classifier {
+	t.Helper()
+	ds := blobData(t, n, seed)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: q, ErrorAdjust: adjust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassifierSeparableBlobs(t *testing.T) {
+	c := trainBlobs(t, 400, 1, 20, false)
+	cases := []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{-3, 0}, 0},
+		{[]float64{-2.5, 1}, 0},
+		{[]float64{3, 0}, 1},
+		{[]float64{2.5, -1}, 1},
+	}
+	for _, cse := range cases {
+		got, err := c.Classify(cse.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cse.want {
+			t.Errorf("Classify(%v) = %d, want %d", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestDecideTrace(t *testing.T) {
+	c := trainBlobs(t, 400, 2, 20, false)
+	d, err := c.Decide([]float64{-3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Candidates < 2 {
+		t.Fatalf("Candidates = %d, expected at least the two singles", d.Candidates)
+	}
+	if len(d.Chosen) == 0 {
+		t.Fatal("no subspace chosen for a point deep inside a blob")
+	}
+	// The discriminatory dimension is x (dim 0); the top choice must
+	// include it and favor class 0.
+	top := d.Chosen[0]
+	if !containsDim(top.Dims, 0) {
+		t.Errorf("top subspace %v does not include the discriminatory dimension", top.Dims)
+	}
+	if top.Class != 0 {
+		t.Errorf("top subspace class = %d, want 0", top.Class)
+	}
+	if top.Accuracy <= c.opt.Threshold {
+		t.Errorf("chosen accuracy %v below threshold", top.Accuracy)
+	}
+	// Chosen subspaces are non-overlapping.
+	used := map[int]bool{}
+	for _, s := range d.Chosen {
+		for _, j := range s.Dims {
+			if used[j] {
+				t.Fatal("chosen subspaces overlap")
+			}
+			used[j] = true
+		}
+	}
+}
+
+func TestFallbackFarFromData(t *testing.T) {
+	c := trainBlobs(t, 200, 3, 10, false)
+	d, err := c.Decide([]float64{1e7, 1e7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fallback {
+		t.Fatal("expected fallback far outside the data")
+	}
+	if d.Label < 0 || d.Label > 1 {
+		t.Fatalf("fallback label %d", d.Label)
+	}
+}
+
+func TestClassifyRejectsWrongDims(t *testing.T) {
+	c := trainBlobs(t, 100, 4, 10, false)
+	if _, err := c.Classify([]float64{1}); err == nil {
+		t.Fatal("short test point accepted")
+	}
+}
+
+func TestAccuracyIsPosteriorLike(t *testing.T) {
+	// Near a pure class-0 region A(x,S,0) ≈ 1 and A(x,S,1) ≈ 0; the two
+	// must sum to ≈1 because the global density is the mixture.
+	c := trainBlobs(t, 1000, 5, 25, false)
+	x := []float64{-3, 0}
+	a0 := c.Accuracy(x, []int{0}, 0)
+	a1 := c.Accuracy(x, []int{0}, 1)
+	if a0 < 0.9 {
+		t.Errorf("A(x,{0},0) = %v, want > 0.9", a0)
+	}
+	if a1 > 0.1 {
+		t.Errorf("A(x,{0},1) = %v, want < 0.1", a1)
+	}
+	if sum := a0 + a1; sum < 0.8 || sum > 1.2 {
+		t.Errorf("posterior shares sum to %v", sum)
+	}
+}
+
+func TestThresholdControlsSelectivity(t *testing.T) {
+	ds := blobData(t, 400, 6)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := NewClassifier(tr, ClassifierOptions{Threshold: 0.51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := NewClassifier(tr, ClassifierOptions{Threshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{-2, 0.5}
+	dl, err := loose.Decide(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsx, err := strict.Decide(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dsx.Chosen) > len(dl.Chosen) {
+		t.Fatalf("stricter threshold chose more subspaces (%d > %d)",
+			len(dsx.Chosen), len(dl.Chosen))
+	}
+}
+
+func TestMaxSubspacesCapsVoters(t *testing.T) {
+	ds := blobData(t, 400, 7)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{Threshold: 0.51, MaxSubspaces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Decide([]float64{-3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Chosen) > 1 {
+		t.Fatalf("MaxSubspaces=1 but %d chosen", len(d.Chosen))
+	}
+}
+
+func TestMaxSubspaceSizeLimitsLevels(t *testing.T) {
+	// 4-dimensional data where every dimension discriminates: unlimited
+	// depth should explore deeper than depth-1.
+	spec := &datagen.Spec{
+		Name:     "sep4",
+		DimNames: []string{"a", "b", "c", "d"},
+		Classes: []datagen.ClassSpec{
+			{Name: "lo", Prior: 0.5, Components: []datagen.Component{{
+				Weight: 1, Mean: []float64{-3, -3, -3, -3}, Std: []float64{1, 1, 1, 1}}}},
+			{Name: "hi", Prior: 0.5, Components: []datagen.Component{{
+				Weight: 1, Mean: []float64{3, 3, 3, 3}, Std: []float64{1, 1, 1, 1}}}},
+		},
+	}
+	ds, err := spec.Generate(400, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := NewClassifier(tr, ClassifierOptions{MaxSubspaceSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := NewClassifier(tr, ClassifierOptions{MaxSubspaceSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{-3, -3, -3, -3}
+	ds1, err := shallow.Decide(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsu, err := deep.Decide(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.Levels != 1 {
+		t.Fatalf("shallow Levels = %d", ds1.Levels)
+	}
+	if dsu.Levels <= 1 {
+		t.Fatalf("unlimited Levels = %d, want > 1", dsu.Levels)
+	}
+	if dsu.Candidates <= ds1.Candidates {
+		t.Fatal("deeper search should evaluate more candidates")
+	}
+	if dsu.Label != 0 || ds1.Label != 0 {
+		t.Fatal("both depths should classify the blob core correctly")
+	}
+}
+
+func TestExactClassifierAgreesOnEasyPoints(t *testing.T) {
+	ds := blobData(t, 300, 9)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewExactClassifier(ds, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{-3, 0}, {3, 0}, {-2, 1}, {2, -1}} {
+		a, err := mc.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := exact.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("micro-cluster %d vs exact %d at %v", a, b, x)
+		}
+	}
+}
+
+func TestFullSpaceClassifier(t *testing.T) {
+	c := trainBlobs(t, 400, 55, 20, false)
+	fs := c.FullSpace()
+	for _, cse := range []struct {
+		x    []float64
+		want int
+	}{
+		{[]float64{-3, 0}, 0},
+		{[]float64{3, 0}, 1},
+	} {
+		got, err := fs.Classify(cse.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cse.want {
+			t.Errorf("FullSpace(%v) = %d, want %d", cse.x, got, cse.want)
+		}
+	}
+	// Underflow far away: prior majority, no error.
+	if _, err := fs.Classify([]float64{1e154, 1e154}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Classify([]float64{1}); err == nil {
+		t.Fatal("short point accepted")
+	}
+}
+
+func TestExactClassifierValidation(t *testing.T) {
+	one := dataset.New("x")
+	_ = one.Append([]float64{1}, nil, 0)
+	if _, err := NewExactClassifier(one, ClassifierOptions{}); err == nil {
+		t.Error("single-class exact classifier accepted")
+	}
+}
+
+// TestErrorAdjustmentHelpsUnderNoise is the headline behavioural check:
+// at a high error level the error-adjusted classifier must beat the
+// unadjusted density classifier on perturbed test data.
+func TestErrorAdjustmentHelpsUnderNoise(t *testing.T) {
+	clean, err := datagen.TwoBlobs(2.5).Generate(1200, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := uncertain.Perturb(clean, 2.0, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := noisy.StratifiedSplit(0.7, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(adjust bool) float64 {
+		tr, err := NewTransform(train, TransformOptions{MicroClusters: 40, ErrorAdjust: adjust})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClassifier(tr, ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for i := 0; i < test.Len(); i++ {
+			got, err := c.Classify(test.X[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == test.Labels[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(test.Len())
+	}
+	withAdj, without := acc(true), acc(false)
+	t.Logf("error-adjusted %.3f vs unadjusted %.3f", withAdj, without)
+	if withAdj < without-0.02 {
+		t.Fatalf("error adjustment hurt: %.3f vs %.3f", withAdj, without)
+	}
+	if withAdj < 0.6 {
+		t.Fatalf("error-adjusted accuracy %.3f too low on 2-blob data", withAdj)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+// TestLabelPermutationEquivariance: relabeling the classes (0↔1) must
+// permute predictions identically — the algorithm cannot prefer a class
+// index.
+func TestLabelPermutationEquivariance(t *testing.T) {
+	ds := blobData(t, 400, 61)
+	noisy, err := uncertain.Perturb(ds, 1, rng.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := noisy.Clone()
+	for i, l := range swapped.Labels {
+		swapped.Labels[i] = 1 - l
+	}
+	build := func(d *dataset.Dataset) *Classifier {
+		tr, err := NewTransform(d, TransformOptions{MicroClusters: 20, ErrorAdjust: true, Seed: 63})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClassifier(tr, ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := build(noisy)
+	b := build(swapped)
+	probe := blobData(t, 100, 64)
+	for i := 0; i < probe.Len(); i++ {
+		la, err := a.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != 1-lb {
+			t.Fatalf("row %d: label %d under original, %d under swap (want complement)", i, la, lb)
+		}
+	}
+}
+
+// TestAffineScalingInvariance: multiplying one dimension of the training
+// AND test data (values and errors) by a constant must not change
+// predictions — bandwidths, errors and distances all scale together.
+func TestAffineScalingInvariance(t *testing.T) {
+	ds := blobData(t, 400, 65)
+	noisy, err := uncertain.Perturb(ds, 1.2, rng.New(66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 250.0
+	scaled := noisy.Clone()
+	for i := range scaled.X {
+		scaled.X[i][1] *= scale
+		scaled.Err[i][1] *= scale
+	}
+	build := func(d *dataset.Dataset) *Classifier {
+		tr, err := NewTransform(d, TransformOptions{MicroClusters: 20, ErrorAdjust: true, Seed: 67})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClassifier(tr, ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := build(noisy)
+	b := build(scaled)
+	probe := blobData(t, 150, 68)
+	agree := 0
+	for i := 0; i < probe.Len(); i++ {
+		la, err := a.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := []float64{probe.X[i][0], probe.X[i][1] * scale}
+		lb, err := b.Classify(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la == lb {
+			agree++
+		}
+	}
+	// Micro-cluster assignment under the error-adjusted distance is not
+	// exactly scale-equivariant (the max{0,·} clipping interacts with the
+	// scaled dimension), so allow a small disagreement band.
+	if frac := float64(agree) / float64(probe.Len()); frac < 0.95 {
+		t.Fatalf("scaling changed %d%% of predictions", 100-int(100*frac))
+	}
+}
+
+// TestDuplicatedTrainingDataStability: doubling the training set (same
+// rows twice) must not change the decision landscape materially.
+func TestDuplicatedTrainingDataStability(t *testing.T) {
+	ds := blobData(t, 300, 69)
+	doubled := ds.Clone()
+	for i := 0; i < ds.Len(); i++ {
+		if err := doubled.Append(ds.X[i], nil, ds.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	build := func(d *dataset.Dataset) *Classifier {
+		tr, err := NewTransform(d, TransformOptions{MicroClusters: 25, Seed: 70})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClassifier(tr, ClassifierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := build(ds)
+	b := build(doubled)
+	probe := blobData(t, 150, 71)
+	agree := 0
+	for i := 0; i < probe.Len(); i++ {
+		la, _ := a.Classify(probe.X[i])
+		lb, _ := b.Classify(probe.X[i])
+		if la == lb {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(probe.Len()); frac < 0.93 {
+		t.Fatalf("duplication changed %.0f%% of predictions", 100*(1-frac))
+	}
+}

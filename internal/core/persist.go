@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"udm/internal/microcluster"
+)
+
+// transformSnapshot is the gob wire form of a Transform. Summarizers
+// serialize through their own Save/Load to keep one source of truth for
+// the feature encoding.
+type transformSnapshot struct {
+	Global     []byte
+	Class      [][]byte
+	ClassCount []int
+	Dims       int
+	ErrAdjust  bool
+}
+
+// Save serializes the transform to w with encoding/gob. A saved
+// transform is the complete trained model: loading it and calling
+// NewClassifier reproduces the classifier without the training data.
+func (t *Transform) Save(w io.Writer) error {
+	snap := transformSnapshot{
+		ClassCount: t.classCount,
+		Dims:       t.dims,
+		ErrAdjust:  t.errAdjust,
+	}
+	var err error
+	if snap.Global, err = encodeSummarizer(t.global); err != nil {
+		return fmt.Errorf("core: encoding global summary: %w", err)
+	}
+	for l, s := range t.class {
+		b, err := encodeSummarizer(s)
+		if err != nil {
+			return fmt.Errorf("core: encoding class %d summary: %w", l, err)
+		}
+		snap.Class = append(snap.Class, b)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding transform: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the transform to the named file.
+func (t *Transform) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := t.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTransform restores a transform written by Save.
+func LoadTransform(r io.Reader) (*Transform, error) {
+	var snap transformSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding transform: %w", err)
+	}
+	if snap.Dims < 1 || len(snap.Class) < 2 || len(snap.ClassCount) != len(snap.Class) {
+		return nil, fmt.Errorf("core: corrupt transform snapshot (d=%d, %d classes, %d counts)",
+			snap.Dims, len(snap.Class), len(snap.ClassCount))
+	}
+	t := &Transform{
+		classCount: snap.ClassCount,
+		dims:       snap.Dims,
+		errAdjust:  snap.ErrAdjust,
+	}
+	var err error
+	if t.global, err = decodeSummarizer(snap.Global, snap.Dims); err != nil {
+		return nil, fmt.Errorf("core: global summary: %w", err)
+	}
+	total := 0
+	for l, b := range snap.Class {
+		s, err := decodeSummarizer(b, snap.Dims)
+		if err != nil {
+			return nil, fmt.Errorf("core: class %d summary: %w", l, err)
+		}
+		if snap.ClassCount[l] != s.Count() {
+			return nil, fmt.Errorf("core: class %d count %d disagrees with summary count %d",
+				l, snap.ClassCount[l], s.Count())
+		}
+		total += snap.ClassCount[l]
+		t.class = append(t.class, s)
+	}
+	if total != t.global.Count() {
+		return nil, fmt.Errorf("core: class counts sum to %d, global summary holds %d", total, t.global.Count())
+	}
+	return t, nil
+}
+
+// LoadTransformFile restores a transform from the named file.
+func LoadTransformFile(path string) (*Transform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadTransform(f)
+}
+
+func encodeSummarizer(s *microcluster.Summarizer) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSummarizer(b []byte, wantDims int) (*microcluster.Summarizer, error) {
+	s, err := microcluster.Load(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	if s.Dims() != wantDims {
+		return nil, fmt.Errorf("core: summary has %d dims, want %d", s.Dims(), wantDims)
+	}
+	return s, nil
+}

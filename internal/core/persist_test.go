@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+func TestTransformSaveLoadRoundTrip(t *testing.T) {
+	ds := blobData(t, 300, 31)
+	noisy, err := uncertain.Perturb(ds, 1, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransform(noisy, TransformOptions{MicroClusters: 15, ErrorAdjust: true, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTransform(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dims() != tr.Dims() || got.NumClasses() != tr.NumClasses() ||
+		got.Count() != tr.Count() || got.ErrorAdjusted() != tr.ErrorAdjusted() {
+		t.Fatalf("metadata changed: %d/%d/%d/%v", got.Dims(), got.NumClasses(), got.Count(), got.ErrorAdjusted())
+	}
+	// The loaded transform yields a classifier with identical predictions.
+	a, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClassifier(got, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := blobData(t, 60, 34)
+	for i := 0; i < probe.Len(); i++ {
+		la, err := a.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Classify(probe.X[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != lb {
+			t.Fatalf("row %d: original %d vs loaded %d", i, la, lb)
+		}
+	}
+}
+
+func TestTransformFileRoundTrip(t *testing.T) {
+	ds := blobData(t, 100, 35)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.udm")
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTransformFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 100 {
+		t.Fatalf("Count = %d", got.Count())
+	}
+	if _, err := LoadTransformFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadTransformRejectsCorruption(t *testing.T) {
+	if _, err := LoadTransform(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A structurally valid gob with inconsistent counts must be rejected:
+	// craft one by saving a real transform and tampering with counts via
+	// re-encode of a snapshot built by hand is overkill; instead check
+	// truncation.
+	ds := blobData(t, 50, 36)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadTransform(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

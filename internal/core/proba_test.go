@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	c := trainBlobs(t, 400, 51, 20, false)
+	for _, x := range [][]float64{{-3, 0}, {0, 0}, {3, 1}, {1e7, 1e7}} {
+		p, err := c.Probabilities(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("probability %v at %v", v, x)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("probabilities sum to %v at %v", sum, x)
+		}
+	}
+}
+
+func TestProbabilitiesAgreeWithDecide(t *testing.T) {
+	c := trainBlobs(t, 400, 52, 20, false)
+	for _, x := range [][]float64{{-3, 0}, {3, 0}, {-2, 1}} {
+		p, err := c.Probabilities(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label, err := c.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		if p[1] > p[0] {
+			best = 1
+		}
+		if best != label {
+			t.Fatalf("argmax %d vs label %d at %v (p=%v)", best, label, x, p)
+		}
+		// Deep inside a blob the winner should be confident.
+		if p[label] < 0.8 {
+			t.Fatalf("confidence %v too low deep inside a blob", p[label])
+		}
+	}
+}
+
+func TestProbabilitiesFallbackUsesPriorsWhenUnderflow(t *testing.T) {
+	c := trainBlobs(t, 300, 53, 10, false)
+	// Absurdly far: every density underflows; priors (≈0.5/0.5) returned.
+	p, err := c.Probabilities([]float64{1e154, 1e154})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.5) > 0.1 || math.Abs(p[1]-0.5) > 0.1 {
+		t.Fatalf("fallback priors %v, want ≈[0.5 0.5]", p)
+	}
+}
+
+func TestProbabilitiesBadInput(t *testing.T) {
+	c := trainBlobs(t, 100, 54, 10, false)
+	if _, err := c.Probabilities([]float64{1}); err == nil {
+		t.Fatal("short point accepted")
+	}
+}

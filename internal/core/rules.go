@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Rule is a human-readable classification rule distilled from the
+// density transform: a conjunction of per-dimension intervals over a
+// subspace implying a class. The paper casts its classifier as "a
+// density based adaptation of rule-based classifiers" whose rules are
+// instance-specific; ExtractRules materializes the global rule set by
+// running the subspace hunt at every class micro-cluster's pseudo-point,
+// where the class's density mass concentrates.
+type Rule struct {
+	// Dims is the subspace, ascending.
+	Dims []int
+	// Lo and Hi bound the rule's interval per subspace dimension
+	// (aligned with Dims).
+	Lo, Hi []float64
+	// Class is the implied class.
+	Class int
+	// Accuracy is the local accuracy A(prototype, Dims, Class) at the
+	// generating pseudo-point (Eq. 11) — the rule's confidence.
+	Accuracy float64
+	// Support is the number of training records in the generating
+	// micro-cluster.
+	Support int
+}
+
+// Covers reports whether x satisfies every interval of the rule.
+func (r Rule) Covers(x []float64) bool {
+	for i, j := range r.Dims {
+		if x[j] < r.Lo[i] || x[j] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the rule with dimension and class names; either slice
+// may be nil to fall back to indices.
+func (r Rule) Format(dimNames, classNames []string) string {
+	var conds []string
+	for i, j := range r.Dims {
+		name := fmt.Sprintf("x%d", j)
+		if j < len(dimNames) {
+			name = dimNames[j]
+		}
+		conds = append(conds, fmt.Sprintf("%s ∈ [%.4g, %.4g]", name, r.Lo[i], r.Hi[i]))
+	}
+	class := fmt.Sprint(r.Class)
+	if r.Class < len(classNames) {
+		class = classNames[r.Class]
+	}
+	return fmt.Sprintf("IF %s THEN %s (accuracy %.2f, support %d)",
+		strings.Join(conds, " AND "), class, r.Accuracy, r.Support)
+}
+
+// RuleOptions configure rule extraction.
+type RuleOptions struct {
+	// WidthFactor scales each interval's half-width around the
+	// pseudo-point: half-width_j = WidthFactor · (σ_cluster_j + Δ_j).
+	// Default 1.5.
+	WidthFactor float64
+	// MinSupport skips micro-clusters with fewer records (default 1).
+	MinSupport int
+	// MaxPerClass caps the rules kept per class, best-accuracy first
+	// (0 = keep all).
+	MaxPerClass int
+}
+
+// ExtractRules distills the classifier into an explicit rule set: for
+// each class c and each micro-cluster of D_c, run the Figure-3 subspace
+// hunt at the cluster's centroid; when the winning subspace's dominant
+// class is c, emit a rule over that subspace whose intervals span the
+// pseudo-point ± WidthFactor·(cluster σ + Δ). Rules are deduplicated
+// (identical class and subspace with a centroid already covered) and
+// returned sorted by accuracy.
+func (c *Classifier) ExtractRules(t *Transform, opt RuleOptions) ([]Rule, error) {
+	if t.Dims() != c.dims || t.NumClasses() != len(c.class) {
+		return nil, fmt.Errorf("core: transform shape %d/%d does not match classifier %d/%d",
+			t.Dims(), t.NumClasses(), c.dims, len(c.class))
+	}
+	if opt.WidthFactor == 0 {
+		opt.WidthFactor = 1.5
+	}
+	if opt.WidthFactor <= 0 {
+		return nil, fmt.Errorf("core: width factor %v", opt.WidthFactor)
+	}
+	if opt.MinSupport < 1 {
+		opt.MinSupport = 1
+	}
+	var rules []Rule
+	for class := 0; class < t.NumClasses(); class++ {
+		s := t.Class(class)
+		var classRules []Rule
+		for i := 0; i < s.Len(); i++ {
+			f := s.Feature(i)
+			if f.N < opt.MinSupport {
+				continue
+			}
+			proto := s.Centroid(i)
+			dec, err := c.Decide(proto)
+			if err != nil {
+				return nil, fmt.Errorf("core: deciding prototype %d of class %d: %w", i, class, err)
+			}
+			if dec.Fallback || len(dec.Chosen) == 0 {
+				continue
+			}
+			best := dec.Chosen[0]
+			if best.Class != class {
+				continue // the cluster sits in contested territory
+			}
+			// Skip when an existing rule for this (class, subspace)
+			// already covers the prototype.
+			dup := false
+			for _, r := range classRules {
+				if r.Class == class && sameDims(r.Dims, best.Dims) && r.Covers(proto) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			rule := Rule{
+				Dims:     append([]int(nil), best.Dims...),
+				Class:    class,
+				Accuracy: best.Accuracy,
+				Support:  f.N,
+			}
+			for _, j := range best.Dims {
+				half := opt.WidthFactor * (sqrtNonNeg(f.Variance(j)) + sqrtNonNeg(f.Delta2(j)))
+				if half == 0 {
+					half = opt.WidthFactor * 1e-6
+				}
+				rule.Lo = append(rule.Lo, proto[j]-half)
+				rule.Hi = append(rule.Hi, proto[j]+half)
+			}
+			classRules = append(classRules, rule)
+		}
+		sort.SliceStable(classRules, func(a, b int) bool {
+			return classRules[a].Accuracy > classRules[b].Accuracy
+		})
+		if opt.MaxPerClass > 0 && len(classRules) > opt.MaxPerClass {
+			classRules = classRules[:opt.MaxPerClass]
+		}
+		rules = append(rules, classRules...)
+	}
+	sort.SliceStable(rules, func(a, b int) bool { return rules[a].Accuracy > rules[b].Accuracy })
+	return rules, nil
+}
+
+// RuleSet is an interpretable stand-in classifier built from extracted
+// rules: covering rules vote with their accuracy; uncovered points fall
+// back to the majority class.
+type RuleSet struct {
+	// Rules holds the voting rules.
+	Rules []Rule
+	// Fallback is the class predicted when no rule covers a point.
+	Fallback int
+	numClass int
+}
+
+// NewRuleSet bundles rules with a fallback class.
+func NewRuleSet(rules []Rule, fallback, numClasses int) (*RuleSet, error) {
+	if numClasses < 2 {
+		return nil, fmt.Errorf("core: rule set over %d classes", numClasses)
+	}
+	if fallback < 0 || fallback >= numClasses {
+		return nil, fmt.Errorf("core: fallback class %d out of range", fallback)
+	}
+	for i, r := range rules {
+		if len(r.Dims) == 0 || len(r.Lo) != len(r.Dims) || len(r.Hi) != len(r.Dims) {
+			return nil, fmt.Errorf("core: malformed rule %d", i)
+		}
+		if r.Class < 0 || r.Class >= numClasses {
+			return nil, fmt.Errorf("core: rule %d implies out-of-range class %d", i, r.Class)
+		}
+	}
+	return &RuleSet{Rules: rules, Fallback: fallback, numClass: numClasses}, nil
+}
+
+// Classify implements the eval.Classifier contract over the rule set.
+func (rs *RuleSet) Classify(x []float64) (int, error) {
+	weight := make([]float64, rs.numClass)
+	covered := false
+	for _, r := range rs.Rules {
+		if r.Covers(x) {
+			weight[r.Class] += r.Accuracy
+			covered = true
+		}
+	}
+	if !covered {
+		return rs.Fallback, nil
+	}
+	best := 0
+	for c := 1; c < len(weight); c++ {
+		if weight[c] > weight[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+func sameDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sqrtNonNeg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"udm/internal/eval"
+)
+
+func rulesFixture(t *testing.T) (*Classifier, *Transform) {
+	t.Helper()
+	ds := blobData(t, 600, 41)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+func TestExtractRulesRecoverStructure(t *testing.T) {
+	c, tr := rulesFixture(t)
+	rules, err := c.ExtractRules(tr, RuleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules extracted from separable data")
+	}
+	// Both classes represented; every rule includes the discriminatory
+	// dimension 0 and sits on the correct side.
+	seenClass := map[int]bool{}
+	for _, r := range rules {
+		seenClass[r.Class] = true
+		if r.Accuracy <= c.opt.Threshold {
+			t.Fatalf("rule below threshold: %+v", r)
+		}
+		if r.Support < 1 {
+			t.Fatalf("rule without support: %+v", r)
+		}
+		hasDim0 := false
+		for i, j := range r.Dims {
+			if r.Lo[i] >= r.Hi[i] {
+				t.Fatalf("empty interval in rule %+v", r)
+			}
+			if j == 0 {
+				hasDim0 = true
+				center := (r.Lo[i] + r.Hi[i]) / 2
+				if r.Class == 0 && center > 0 {
+					t.Fatalf("class-0 rule centered at %v on dim 0", center)
+				}
+				if r.Class == 1 && center < 0 {
+					t.Fatalf("class-1 rule centered at %v on dim 0", center)
+				}
+			}
+		}
+		if !hasDim0 {
+			t.Fatalf("rule misses the discriminatory dimension: %+v", r)
+		}
+	}
+	if !seenClass[0] || !seenClass[1] {
+		t.Fatalf("classes covered: %v", seenClass)
+	}
+	// Sorted by accuracy.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Accuracy > rules[i-1].Accuracy {
+			t.Fatal("rules not sorted by accuracy")
+		}
+	}
+}
+
+func TestExtractRulesMaxPerClass(t *testing.T) {
+	c, tr := rulesFixture(t)
+	rules, err := c.ExtractRules(tr, RuleOptions{MaxPerClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range rules {
+		counts[r.Class]++
+	}
+	for class, n := range counts {
+		if n > 2 {
+			t.Fatalf("class %d has %d rules, cap 2", class, n)
+		}
+	}
+}
+
+func TestExtractRulesValidation(t *testing.T) {
+	c, tr := rulesFixture(t)
+	if _, err := c.ExtractRules(tr, RuleOptions{WidthFactor: -1}); err == nil {
+		t.Error("negative width factor accepted")
+	}
+	// Mismatched transform.
+	other := blobData(t, 50, 43)
+	p, err := other.Project([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := NewTransform(p, TransformOptions{MicroClusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExtractRules(tr1, RuleOptions{}); err == nil {
+		t.Error("mismatched transform accepted")
+	}
+}
+
+func TestRuleCoversAndFormat(t *testing.T) {
+	r := Rule{Dims: []int{0, 2}, Lo: []float64{-1, 5}, Hi: []float64{1, 7}, Class: 1, Accuracy: 0.9, Support: 12}
+	if !r.Covers([]float64{0, 99, 6}) {
+		t.Error("point inside intervals not covered")
+	}
+	if r.Covers([]float64{2, 0, 6}) || r.Covers([]float64{0, 0, 8}) {
+		t.Error("point outside intervals covered")
+	}
+	s := r.Format([]string{"age", "x", "hours"}, []string{"no", "yes"})
+	for _, want := range []string{"age", "hours", "yes", "0.90", "support 12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted rule missing %q: %s", want, s)
+		}
+	}
+	// Nil names fall back to indices.
+	s2 := r.Format(nil, nil)
+	if !strings.Contains(s2, "x0") || !strings.Contains(s2, "THEN 1") {
+		t.Errorf("fallback formatting wrong: %s", s2)
+	}
+}
+
+func TestRuleSetApproximatesClassifier(t *testing.T) {
+	c, tr := rulesFixture(t)
+	rules, err := c.ExtractRules(tr, RuleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRuleSet(rules, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := blobData(t, 300, 44)
+	res, err := eval.Evaluate(rs, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() < 0.9 {
+		t.Fatalf("rule-set accuracy %.3f too low on separable blobs", res.Accuracy())
+	}
+}
+
+func TestNewRuleSetValidation(t *testing.T) {
+	good := Rule{Dims: []int{0}, Lo: []float64{0}, Hi: []float64{1}, Class: 0}
+	if _, err := NewRuleSet([]Rule{good}, 0, 1); err == nil {
+		t.Error("1 class accepted")
+	}
+	if _, err := NewRuleSet([]Rule{good}, 5, 2); err == nil {
+		t.Error("out-of-range fallback accepted")
+	}
+	bad := Rule{Dims: []int{0}, Lo: []float64{0, 1}, Hi: []float64{1}, Class: 0}
+	if _, err := NewRuleSet([]Rule{bad}, 0, 2); err == nil {
+		t.Error("malformed rule accepted")
+	}
+	badClass := Rule{Dims: []int{0}, Lo: []float64{0}, Hi: []float64{1}, Class: 7}
+	if _, err := NewRuleSet([]Rule{badClass}, 0, 2); err == nil {
+		t.Error("out-of-range rule class accepted")
+	}
+}
+
+func TestRuleSetFallback(t *testing.T) {
+	rs, err := NewRuleSet(nil, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Classify([]float64{0, 0})
+	if err != nil || got != 1 {
+		t.Fatalf("fallback = %d, %v", got, err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the
+// density-based transform of an uncertain data set — per-class and global
+// error-based micro-cluster summaries used as an intermediate
+// representation — and the density-based subspace classifier of Figure 3
+// built on top of it (Aggarwal, ICDE 2007, §2–3).
+package core
+
+import (
+	"fmt"
+
+	"udm/internal/dataset"
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+)
+
+// TransformOptions configure how a data set is condensed into its
+// density-based transform.
+type TransformOptions struct {
+	// MicroClusters is the number q of micro-clusters maintained for the
+	// global summary and for each per-class summary. The paper's
+	// experiments use up to 140. Defaults to DefaultMicroClusters when 0.
+	MicroClusters int
+	// ErrorAdjust selects the error-adjusted assignment distance of
+	// Eq. (5) and retains the per-entry error statistics. When false the
+	// transform behaves as if every entry had zero error — the paper's
+	// "No Error Adjustment" comparator.
+	ErrorAdjust bool
+	// Seed drives the random streaming order that realizes the paper's
+	// random centroid seeding. The same seed gives the same transform.
+	Seed int64
+}
+
+// DefaultMicroClusters is the q used when TransformOptions leaves
+// MicroClusters at zero, matching the paper's headline configuration.
+const DefaultMicroClusters = 140
+
+// Transform is the density-based transform of a labeled data set:
+// micro-cluster summaries of each class subset D_1..D_k and of the full
+// data set D. It is the compressed intermediate representation from which
+// subspace densities are computed during classification; once built, the
+// original records are no longer needed.
+type Transform struct {
+	global     *microcluster.Summarizer
+	class      []*microcluster.Summarizer
+	classCount []int
+	dims       int
+	errAdjust  bool
+}
+
+// NewTransform condenses train into its density-based transform. Every
+// row must be labeled and every class in [0, NumClasses) must have at
+// least one row.
+func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, error) {
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid training data: %w", err)
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training data")
+	}
+	k := train.NumClasses()
+	if k < 2 {
+		return nil, fmt.Errorf("core: training data has %d classes, need at least 2", k)
+	}
+	for i := 0; i < train.Len(); i++ {
+		if train.Label(i) == dataset.Unlabeled {
+			return nil, fmt.Errorf("core: row %d is unlabeled", i)
+		}
+	}
+	q := opt.MicroClusters
+	if q == 0 {
+		q = DefaultMicroClusters
+	}
+	if q < 1 {
+		return nil, fmt.Errorf("core: %d micro-clusters", q)
+	}
+	b, err := NewBuilder(q, train.Dims(), k, opt.ErrorAdjust)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(opt.Seed).Split("transform-order")
+	order := r.Perm(train.Len())
+	for _, i := range order {
+		if err := b.Add(train.X[i], train.ErrRow(i), train.Labels[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Transform()
+}
+
+// Builder constructs a Transform incrementally from a stream of labeled,
+// error-bearing records — the single-pass construction of §2.1. Records
+// are folded into both the global summary and their class's summary.
+type Builder struct {
+	global     *microcluster.Summarizer
+	class      []*microcluster.Summarizer
+	classCount []int
+	dims       int
+	errAdjust  bool
+}
+
+// NewBuilder returns a Builder for d-dimensional records over numClasses
+// classes, maintaining q micro-clusters per summary.
+func NewBuilder(q, d, numClasses int, errAdjust bool) (*Builder, error) {
+	if q < 1 || d < 1 {
+		return nil, fmt.Errorf("core: builder with q=%d, d=%d", q, d)
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("core: builder with %d classes", numClasses)
+	}
+	b := &Builder{
+		global:     microcluster.NewSummarizer(q, d),
+		classCount: make([]int, numClasses),
+		dims:       d,
+		errAdjust:  errAdjust,
+	}
+	for c := 0; c < numClasses; c++ {
+		b.class = append(b.class, microcluster.NewSummarizer(q, d))
+	}
+	return b, nil
+}
+
+// Add folds one labeled record into the summaries. err may be nil (zero
+// errors); it is ignored entirely when the builder was created with
+// errAdjust == false.
+func (b *Builder) Add(x, err []float64, label int) error {
+	if len(x) != b.dims {
+		return fmt.Errorf("core: record has %d dims, builder has %d", len(x), b.dims)
+	}
+	if label < 0 || label >= len(b.class) {
+		return fmt.Errorf("core: label %d out of range [0,%d)", label, len(b.class))
+	}
+	if !b.errAdjust {
+		err = nil
+	}
+	b.global.Add(x, err)
+	b.class[label].Add(x, err)
+	b.classCount[label]++
+	return nil
+}
+
+// Transform finalizes the builder. Every class must have received at
+// least one record.
+func (b *Builder) Transform() (*Transform, error) {
+	for c, n := range b.classCount {
+		if n == 0 {
+			return nil, fmt.Errorf("core: class %d has no training rows", c)
+		}
+	}
+	return &Transform{
+		global:     b.global,
+		class:      b.class,
+		classCount: b.classCount,
+		dims:       b.dims,
+		errAdjust:  b.errAdjust,
+	}, nil
+}
+
+// Dims returns the record dimensionality.
+func (t *Transform) Dims() int { return t.dims }
+
+// NumClasses returns the number of classes.
+func (t *Transform) NumClasses() int { return len(t.class) }
+
+// Count returns the total number of summarized records.
+func (t *Transform) Count() int {
+	n := 0
+	for _, c := range t.classCount {
+		n += c
+	}
+	return n
+}
+
+// ClassCount returns the number of training rows of class c.
+func (t *Transform) ClassCount(c int) int { return t.classCount[c] }
+
+// Global returns the micro-cluster summary of the full data set D.
+func (t *Transform) Global() *microcluster.Summarizer { return t.global }
+
+// Class returns the micro-cluster summary of class subset D_c.
+func (t *Transform) Class(c int) *microcluster.Summarizer { return t.class[c] }
+
+// ErrorAdjusted reports whether the transform retained error statistics.
+func (t *Transform) ErrorAdjusted() bool { return t.errAdjust }

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+func blobData(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := datagen.TwoBlobs(3).Generate(n, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewTransformBasics(t *testing.T) {
+	ds := blobData(t, 200, 1)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 10, ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dims() != 2 || tr.NumClasses() != 2 {
+		t.Fatalf("shape %d/%d", tr.Dims(), tr.NumClasses())
+	}
+	if tr.Count() != 200 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	if tr.ClassCount(0)+tr.ClassCount(1) != 200 {
+		t.Fatal("class counts don't sum")
+	}
+	if tr.Global().Count() != 200 {
+		t.Fatal("global summary lost rows")
+	}
+	if tr.Class(0).Count() != tr.ClassCount(0) {
+		t.Fatal("class summary count mismatch")
+	}
+	if !tr.ErrorAdjusted() {
+		t.Fatal("ErrorAdjusted flag lost")
+	}
+}
+
+func TestNewTransformDefaultQ(t *testing.T) {
+	ds := blobData(t, 300, 2)
+	tr, err := NewTransform(ds, TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Global().MaxClusters(); got != DefaultMicroClusters {
+		t.Fatalf("default q = %d, want %d", got, DefaultMicroClusters)
+	}
+}
+
+func TestNewTransformDeterministicInSeed(t *testing.T) {
+	ds := blobData(t, 150, 3)
+	a, err := NewTransform(ds, TransformOptions{MicroClusters: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTransform(ds, TransformOptions{MicroClusters: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Global().Len(); i++ {
+		if a.Global().Feature(i).N != b.Global().Feature(i).N {
+			t.Fatal("transform not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestNewTransformRejectsBadData(t *testing.T) {
+	// Unlabeled row.
+	ds := blobData(t, 20, 4)
+	ds.Labels[3] = dataset.Unlabeled
+	if _, err := NewTransform(ds, TransformOptions{MicroClusters: 4}); err == nil {
+		t.Error("unlabeled row accepted")
+	}
+	// Single class.
+	one := dataset.New("x")
+	_ = one.Append([]float64{1}, nil, 0)
+	if _, err := NewTransform(one, TransformOptions{MicroClusters: 2}); err == nil {
+		t.Error("single-class data accepted")
+	}
+	// Empty.
+	if _, err := NewTransform(dataset.New("x"), TransformOptions{}); err == nil {
+		t.Error("empty data accepted")
+	}
+	// Negative q.
+	ds2 := blobData(t, 20, 5)
+	if _, err := NewTransform(ds2, TransformOptions{MicroClusters: -1}); err == nil {
+		t.Error("negative q accepted")
+	}
+}
+
+func TestBuilderStreamEqualsBatchCounts(t *testing.T) {
+	ds := blobData(t, 100, 6)
+	b, err := NewBuilder(5, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if err := b.Add(ds.X[i], ds.ErrRow(i), ds.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := b.Transform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 100 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(0, 2, 2, false); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewBuilder(2, 0, 2, false); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewBuilder(2, 2, 1, false); err == nil {
+		t.Error("1 class accepted")
+	}
+	b, _ := NewBuilder(2, 2, 2, false)
+	if err := b.Add([]float64{1}, nil, 0); err == nil {
+		t.Error("short record accepted")
+	}
+	if err := b.Add([]float64{1, 2}, nil, 5); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	// Missing class fails finalize.
+	_ = b.Add([]float64{1, 2}, nil, 0)
+	if _, err := b.Transform(); err == nil {
+		t.Error("builder with empty class finalized")
+	}
+}
+
+func TestNoAdjustTransformDropsErrors(t *testing.T) {
+	ds := blobData(t, 100, 7)
+	noisy, err := uncertain.Perturb(ds, 2, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTransform(noisy, TransformOptions{MicroClusters: 5, ErrorAdjust: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EF2 must be all zero despite the dataset carrying errors.
+	for i := 0; i < tr.Global().Len(); i++ {
+		f := tr.Global().Feature(i)
+		for j := 0; j < f.Dims(); j++ {
+			if f.EF2[j] != 0 {
+				t.Fatal("No-adjust transform retained error statistics")
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := TwoBlobs(3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no dims", func(s *Spec) { s.DimNames = nil }},
+		{"no classes", func(s *Spec) { s.Classes = nil }},
+		{"zero prior", func(s *Spec) { s.Classes[0].Prior = 0 }},
+		{"no components", func(s *Spec) { s.Classes[0].Components = nil }},
+		{"zero weight", func(s *Spec) { s.Classes[0].Components[0].Weight = 0 }},
+		{"short mean", func(s *Spec) { s.Classes[0].Components[0].Mean = []float64{0} }},
+		{"zero std", func(s *Spec) { s.Classes[0].Components[0].Std[1] = 0 }},
+	}
+	for _, c := range cases {
+		s := TwoBlobs(3)
+		c.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", c.name)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	s := TwoBlobs(3)
+	ds, err := s.Generate(1000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1000 || ds.Dims() != 2 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dims())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.HasErrors() {
+		t.Fatal("clean data should carry no errors")
+	}
+	if len(ds.ClassNames) != 2 || ds.ClassNames[0] != "left" {
+		t.Fatalf("class names %v", ds.ClassNames)
+	}
+	// Priors ≈ 50/50 and the blobs actually separate.
+	var n0 int
+	var sum0, sum1 float64
+	var c0, c1 int
+	for i, l := range ds.Labels {
+		if l == 0 {
+			n0++
+			sum0 += ds.X[i][0]
+			c0++
+		} else {
+			sum1 += ds.X[i][0]
+			c1++
+		}
+	}
+	if math.Abs(float64(n0)/1000-0.5) > 0.05 {
+		t.Errorf("class balance %v", float64(n0)/1000)
+	}
+	if !(sum0/float64(c0) < -2 && sum1/float64(c1) > 2) {
+		t.Errorf("blob means %v / %v", sum0/float64(c0), sum1/float64(c1))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Adult()
+	a, err := s.Generate(50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(50, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	s := TwoBlobs(1)
+	if _, err := s.Generate(0, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := s.Generate(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	s.Classes[0].Prior = -1
+	if _, err := s.Generate(10, rng.New(1)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestProfilesMatchPaperShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    int
+		classes int
+	}{
+		{"adult", 6, 2},
+		{"ionosphere", 34, 2},
+		{"breast-cancer", 9, 2},
+		{"forest-cover", 10, 7},
+	}
+	for _, c := range cases {
+		s, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dims() != c.dims {
+			t.Errorf("%s: %d dims, want %d", c.name, s.Dims(), c.dims)
+		}
+		if len(s.Classes) != c.classes {
+			t.Errorf("%s: %d classes, want %d", c.name, len(s.Classes), c.classes)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfilesAreReproducible(t *testing.T) {
+	// Ionosphere and ForestCover build parameters from internal streams;
+	// two calls must agree exactly.
+	a, b := Ionosphere(), Ionosphere()
+	for j := range a.Classes[0].Components[0].Mean {
+		if a.Classes[0].Components[0].Mean[j] != b.Classes[0].Components[0].Mean[j] {
+			t.Fatal("Ionosphere spec not reproducible")
+		}
+	}
+	fa, fb := ForestCover(), ForestCover()
+	if fa.Classes[3].Components[0].Mean[1] != fb.Classes[3].Components[0].Mean[1] {
+		t.Fatal("ForestCover spec not reproducible")
+	}
+}
+
+func TestForestCoverPriorsSkewed(t *testing.T) {
+	s := ForestCover()
+	ds, err := s.Generate(5000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 7)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	// Lodgepole pine (class 1) is the plurality class at ≈49%.
+	if frac := float64(counts[1]) / 5000; math.Abs(frac-0.488) > 0.03 {
+		t.Errorf("lodgepole share %v, want ≈0.488", frac)
+	}
+	// All seven classes appear.
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("class %d absent in 5000 rows", c)
+		}
+	}
+}
+
+func TestBreastCancerSeparation(t *testing.T) {
+	ds, err := BreastCancer().Generate(2000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malignant rows should have larger average feature values.
+	var mB, mM float64
+	var nB, nM int
+	for i, l := range ds.Labels {
+		var s float64
+		for _, v := range ds.X[i] {
+			s += v
+		}
+		if l == 0 {
+			mB += s
+			nB++
+		} else {
+			mM += s
+			nM++
+		}
+	}
+	if !(mM/float64(nM) > mB/float64(nB)+10) {
+		t.Errorf("malignant mean %v vs benign %v: classes not separated",
+			mM/float64(nM), mB/float64(nB))
+	}
+}
+
+func TestXOR(t *testing.T) {
+	ds, err := XOR(2000, 2, 2, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dims() != 4 || ds.Len() != 2000 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dims())
+	}
+	// Labels follow the sign rule and classes are balanced-ish.
+	ones := 0
+	for i, l := range ds.Labels {
+		same := (ds.X[i][0] > 0) == (ds.X[i][1] > 0)
+		// Noise can flip points across zero; only check clear corners
+		// (beyond the blob centers, where a flip would need a >4σ draw).
+		if math.Abs(ds.X[i][0]) > 2 && math.Abs(ds.X[i][1]) > 2 {
+			if same && l != 0 || !same && l != 1 {
+				t.Fatalf("row %d: signs (%v, %v) labeled %d",
+					i, ds.X[i][0], ds.X[i][1], l)
+			}
+		}
+		ones += l
+	}
+	if frac := float64(ones) / 2000; math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("class balance %v", frac)
+	}
+	// Single-dimension means carry no signal: per-class means of x0
+	// are both ≈ 0.
+	var sum0, sum1 float64
+	var n0, n1 int
+	for i, l := range ds.Labels {
+		if l == 0 {
+			sum0 += ds.X[i][0]
+			n0++
+		} else {
+			sum1 += ds.X[i][0]
+			n1++
+		}
+	}
+	if math.Abs(sum0/float64(n0)) > 0.3 || math.Abs(sum1/float64(n1)) > 0.3 {
+		t.Fatalf("x0 class means %v / %v should both be ≈0",
+			sum0/float64(n0), sum1/float64(n1))
+	}
+	// Validation.
+	if _, err := XOR(2, 1, 0, rng.New(1)); err == nil {
+		t.Error("n<4 accepted")
+	}
+	if _, err := XOR(10, 0, 0, rng.New(1)); err == nil {
+		t.Error("sep=0 accepted")
+	}
+	if _, err := XOR(10, 1, -1, rng.New(1)); err == nil {
+		t.Error("negative noise dims accepted")
+	}
+	if _, err := XOR(10, 1, 0, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRings(t *testing.T) {
+	ds, err := Rings(500, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	// Inner ring points have radius ≈1, outer ≈4.
+	for i := 0; i < ds.Len(); i++ {
+		r := math.Hypot(ds.X[i][0], ds.X[i][1])
+		if ds.Labels[i] == 0 && (r < 0.3 || r > 2) {
+			t.Fatalf("inner point radius %v", r)
+		}
+		if ds.Labels[i] == 1 && (r < 3 || r > 5) {
+			t.Fatalf("outer point radius %v", r)
+		}
+	}
+	if _, err := Rings(1, rng.New(1)); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Rings(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

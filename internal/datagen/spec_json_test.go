@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig := Adult()
+	var buf bytes.Buffer
+	if err := orig.SaveSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Dims() != orig.Dims() || len(got.Classes) != len(orig.Classes) {
+		t.Fatalf("shape changed: %q %d %d", got.Name, got.Dims(), len(got.Classes))
+	}
+	for ci := range orig.Classes {
+		if got.Classes[ci].Prior != orig.Classes[ci].Prior {
+			t.Fatalf("class %d prior changed", ci)
+		}
+		for ki := range orig.Classes[ci].Components {
+			a := orig.Classes[ci].Components[ki]
+			b := got.Classes[ci].Components[ki]
+			for j := range a.Mean {
+				if a.Mean[j] != b.Mean[j] || a.Std[j] != b.Std[j] {
+					t.Fatalf("class %d component %d params changed", ci, ki)
+				}
+			}
+		}
+	}
+	// Generation from the round-tripped spec is identical.
+	d1, err := orig.Generate(50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := got.Generate(50, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.X {
+		for j := range d1.X[i] {
+			if d1.X[i][j] != d2.X[i][j] {
+				t.Fatal("generation differs after round trip")
+			}
+		}
+	}
+}
+
+func TestLoadSpecHandWritten(t *testing.T) {
+	in := `{
+	  "name": "demo",
+	  "dims": ["x", "y"],
+	  "classes": [
+	    {"name": "a", "prior": 0.5,
+	     "components": [{"weight": 1, "mean": [0, 0], "std": [1, 1]}]},
+	    {"name": "b", "prior": 0.5,
+	     "components": [{"weight": 1, "mean": [4, 0], "std": [1, 1]}]}
+	  ]
+	}`
+	s, err := LoadSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Generate(100, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dims() != 2 || ds.NumClasses() != 2 {
+		t.Fatalf("shape %d/%d", ds.Dims(), ds.NumClasses())
+	}
+}
+
+func TestLoadSpecRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{{{`,
+		"unknown field": `{"name":"x","dims":["a"],"classes":[],"bogus":1}`,
+		"no classes":    `{"name":"x","dims":["a"],"classes":[]}`,
+		"bad std": `{"name":"x","dims":["a"],"classes":[
+			{"name":"c","prior":1,"components":[{"weight":1,"mean":[0],"std":[0]}]}]}`,
+		"dim mismatch": `{"name":"x","dims":["a","b"],"classes":[
+			{"name":"c","prior":1,"components":[{"weight":1,"mean":[0],"std":[1]}]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveSpecRejectsInvalid(t *testing.T) {
+	s := TwoBlobs(1)
+	s.Classes[0].Prior = -1
+	var buf bytes.Buffer
+	if err := s.SaveSpec(&buf); err == nil {
+		t.Fatal("invalid spec serialized")
+	}
+}

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func benchDataset(n, d int) *Dataset {
+	names := make([]string, d)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	ds := New(names...)
+	r := rng.New(1)
+	row := make([]float64, d)
+	er := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = r.Norm(0, 1)
+			er[j] = 0.1
+		}
+		if err := ds.Append(row, er, i%3); err != nil {
+			panic(err)
+		}
+	}
+	return ds
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadCSV(b *testing.B) {
+	ds := benchDataset(1000, 10)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStratifiedSplit(b *testing.B) {
+	ds := benchDataset(5000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.StratifiedSplit(0.7, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStandardize(b *testing.B) {
+	ds := benchDataset(5000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.Clone().Standardize()
+	}
+}

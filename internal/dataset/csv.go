@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSV layout: one column per dimension plus, when the dataset carries
+// error information, one "<name>±" column per dimension holding the
+// per-entry standard error, plus an optional trailing "class" column.
+//
+// The "±" suffix (and the errSuffix constant) was chosen over "_err" so
+// value columns whose real-world names end in "_err" cannot collide.
+
+const (
+	errSuffix   = "±"
+	labelColumn = "class"
+)
+
+// WriteCSV writes the dataset to w.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string(nil), d.Names...)
+	if d.Err != nil {
+		for _, n := range d.Names {
+			header = append(header, n+errSuffix)
+		}
+	}
+	if d.Labels != nil {
+		header = append(header, labelColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i, row := range d.X {
+		rec = rec[:0]
+		for _, x := range row {
+			rec = append(rec, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		if d.Err != nil {
+			for _, e := range d.Err[i] {
+				rec = append(rec, strconv.FormatFloat(e, 'g', -1, 64))
+			}
+		}
+		if d.Labels != nil {
+			rec = append(rec, strconv.Itoa(d.Labels[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the dataset to the named file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a dataset from r using the layout produced by WriteCSV:
+// value columns, then optional "<name>±" error columns, then an optional
+// "class" label column.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no header")
+	}
+	header := records[0]
+
+	// Identify column roles. Empty and duplicate names are rejected: an
+	// empty name cannot survive a write/read cycle (encoding/csv emits a
+	// blank line the reader then skips) and duplicates make the error-
+	// column pairing ambiguous.
+	labelCol := -1
+	var valueCols []int
+	errCols := map[string]int{} // value name -> error column
+	seen := map[string]bool{}
+	for j, name := range header {
+		if name == "" || name == errSuffix {
+			return nil, fmt.Errorf("dataset: column %d has an empty name", j)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", name)
+		}
+		seen[name] = true
+		switch {
+		case name == labelColumn:
+			labelCol = j
+		case strings.HasSuffix(name, errSuffix):
+			errCols[strings.TrimSuffix(name, errSuffix)] = j
+		default:
+			valueCols = append(valueCols, j)
+		}
+	}
+	if len(valueCols) == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no value columns")
+	}
+	hasErr := len(errCols) > 0
+	if hasErr && len(errCols) != len(valueCols) {
+		return nil, fmt.Errorf("dataset: %d error columns for %d value columns", len(errCols), len(valueCols))
+	}
+
+	d := &Dataset{}
+	errIdx := make([]int, len(valueCols))
+	for i, j := range valueCols {
+		name := header[j]
+		d.Names = append(d.Names, name)
+		if hasErr {
+			k, ok := errCols[name]
+			if !ok {
+				return nil, fmt.Errorf("dataset: no error column for %q", name)
+			}
+			errIdx[i] = k
+		}
+	}
+	if labelCol != -1 {
+		d.Labels = []int{}
+	}
+	for rowNum, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rowNum+1, len(rec), len(header))
+		}
+		row := make([]float64, len(valueCols))
+		for i, j := range valueCols {
+			row[i], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum+1, header[j], err)
+			}
+		}
+		d.X = append(d.X, row)
+		if hasErr {
+			er := make([]float64, len(valueCols))
+			for i, j := range errIdx {
+				er[i], err = strconv.ParseFloat(rec[j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum+1, header[j], err)
+				}
+			}
+			d.Err = append(d.Err, er)
+		}
+		if labelCol != -1 {
+			l, err := strconv.Atoi(rec[labelCol])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d label: %w", rowNum+1, err)
+			}
+			d.Labels = append(d.Labels, l)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadCSV reads a dataset from the named file.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := small(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.Dims() != d.Dims() {
+		t.Fatalf("shape changed: %dx%d -> %dx%d", d.Len(), d.Dims(), got.Len(), got.Dims())
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] || got.Err[i][j] != d.Err[i][j] {
+				t.Fatalf("row %d col %d changed", i, j)
+			}
+		}
+		if got.Labels[i] != d.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+	}
+}
+
+func TestCSVRoundTripNoErrorsNoLabels(t *testing.T) {
+	d := New("v")
+	_ = d.Append([]float64{1.5}, nil, Unlabeled)
+	_ = d.Append([]float64{-2.5}, nil, Unlabeled)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasErrors() || got.Labels != nil {
+		t.Fatal("phantom errors or labels appeared")
+	}
+	if got.X[1][0] != -2.5 {
+		t.Fatalf("value changed: %v", got.X[1][0])
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := small(t)
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatal("file round trip lost rows")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no value columns", "class\n1\n"},
+		{"mismatched error columns", "a,b,a±\n1,2,0.1\n"},
+		{"orphan error column", "a,z±\n1,0.1\n"},
+		{"bad float", "a\nxyz\n"},
+		{"bad label", "a,class\n1,zz\n"},
+		{"negative error", "a,a±\n1,-0.5\n"},
+		{"ragged row", "a,b\n1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,362 @@
+// Package dataset provides the tabular data model used throughout the
+// library: numeric records with an optional per-entry error matrix
+// ψ_j(X_i) (one standard error per row and dimension, following the
+// paper's most general error assumption), class labels, CSV persistence,
+// splitting, projection and summary statistics.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"udm/internal/num"
+	"udm/internal/rng"
+)
+
+// Unlabeled is the label value for rows without a class.
+const Unlabeled = -1
+
+// Dataset is an N×d table of float64 values with optional per-entry
+// standard errors and optional integer class labels.
+//
+// Invariants (checked by Validate):
+//   - every row of X has len(Names) entries;
+//   - Err is nil (no error information: all ψ = 0) or has the same shape
+//     as X with non-negative, finite entries;
+//   - Labels is nil (unlabeled data) or has one entry per row, each either
+//     Unlabeled or in [0, NumClasses).
+type Dataset struct {
+	// Names holds one name per dimension.
+	Names []string
+	// X holds the record values, one row per record.
+	X [][]float64
+	// Err holds the per-entry standard errors ψ_j(X_i); nil means all-zero.
+	Err [][]float64
+	// Labels holds one class label per row; nil means unlabeled data.
+	Labels []int
+	// ClassNames optionally names the classes; may be nil.
+	ClassNames []string
+}
+
+// New returns a dataset over the given dimension names with no rows.
+func New(names ...string) *Dataset {
+	return &Dataset{Names: append([]string(nil), names...)}
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dims returns the number of dimensions.
+func (d *Dataset) Dims() int { return len(d.Names) }
+
+// NumClasses returns one more than the largest label present, or
+// len(ClassNames) if that is larger. Unlabeled rows are ignored.
+func (d *Dataset) NumClasses() int {
+	k := len(d.ClassNames)
+	for _, l := range d.Labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	return k
+}
+
+// HasErrors reports whether the dataset carries a non-nil error matrix.
+func (d *Dataset) HasErrors() bool { return d.Err != nil }
+
+// ErrRow returns the error row for record i, or nil when the dataset has
+// no error information (meaning all ψ are zero).
+func (d *Dataset) ErrRow(i int) []float64 {
+	if d.Err == nil {
+		return nil
+	}
+	return d.Err[i]
+}
+
+// Label returns the label of row i, or Unlabeled when the dataset has no
+// labels.
+func (d *Dataset) Label(i int) int {
+	if d.Labels == nil {
+		return Unlabeled
+	}
+	return d.Labels[i]
+}
+
+// Append adds one record. err may be nil only if the dataset has no error
+// matrix yet or the call site is building an error-free dataset; mixing
+// nil and non-nil error rows is rejected.
+func (d *Dataset) Append(x []float64, err []float64, label int) error {
+	if len(x) != d.Dims() {
+		return fmt.Errorf("dataset: record has %d values, want %d", len(x), d.Dims())
+	}
+	if err != nil && len(err) != d.Dims() {
+		return fmt.Errorf("dataset: error row has %d values, want %d", len(err), d.Dims())
+	}
+	if err == nil && d.Err != nil {
+		return fmt.Errorf("dataset: nil error row appended to dataset with errors")
+	}
+	if err != nil && d.Err == nil && len(d.X) > 0 {
+		return fmt.Errorf("dataset: error row appended to dataset without errors")
+	}
+	d.X = append(d.X, num.Clone(x))
+	if err != nil {
+		d.Err = append(d.Err, num.Clone(err))
+	}
+	if d.Labels != nil || label != Unlabeled {
+		for len(d.Labels) < len(d.X)-1 {
+			d.Labels = append(d.Labels, Unlabeled)
+		}
+		d.Labels = append(d.Labels, label)
+	}
+	return nil
+}
+
+// Validate checks the structural invariants and value sanity (finite
+// values, non-negative finite errors, labels in range).
+func (d *Dataset) Validate() error {
+	dd := d.Dims()
+	if d.Err != nil && len(d.Err) != len(d.X) {
+		return fmt.Errorf("dataset: %d error rows for %d records", len(d.Err), len(d.X))
+	}
+	if d.Labels != nil && len(d.Labels) != len(d.X) {
+		return fmt.Errorf("dataset: %d labels for %d records", len(d.Labels), len(d.X))
+	}
+	for i, row := range d.X {
+		if len(row) != dd {
+			return fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), dd)
+		}
+		if !num.AllFinite(row) {
+			return fmt.Errorf("dataset: row %d contains NaN or Inf", i)
+		}
+		if d.Err != nil {
+			er := d.Err[i]
+			if len(er) != dd {
+				return fmt.Errorf("dataset: error row %d has %d values, want %d", i, len(er), dd)
+			}
+			for j, e := range er {
+				if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+					return fmt.Errorf("dataset: error[%d][%d] = %v is not a valid standard error", i, j, e)
+				}
+			}
+		}
+	}
+	k := d.NumClasses()
+	for i, l := range d.Labels {
+		if l != Unlabeled && (l < 0 || l >= k) {
+			return fmt.Errorf("dataset: label[%d] = %d out of range", i, l)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Names:      append([]string(nil), d.Names...),
+		ClassNames: append([]string(nil), d.ClassNames...),
+	}
+	if d.X != nil {
+		out.X = make([][]float64, len(d.X))
+		for i, r := range d.X {
+			out.X[i] = num.Clone(r)
+		}
+	}
+	if d.Err != nil {
+		out.Err = make([][]float64, len(d.Err))
+		for i, r := range d.Err {
+			out.Err[i] = num.Clone(r)
+		}
+	}
+	if d.Labels != nil {
+		out.Labels = append([]int(nil), d.Labels...)
+	}
+	return out
+}
+
+// WithZeroError returns a copy of d whose error matrix is dropped, i.e.
+// the same records under the "assume all entries are exact" view used by
+// the paper's non-error-adjusted comparator.
+func (d *Dataset) WithZeroError() *Dataset {
+	out := d.Clone()
+	out.Err = nil
+	return out
+}
+
+// Subset returns a new dataset holding the rows at idx (deep-copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		Names:      append([]string(nil), d.Names...),
+		ClassNames: append([]string(nil), d.ClassNames...),
+	}
+	out.X = make([][]float64, len(idx))
+	for i, j := range idx {
+		out.X[i] = num.Clone(d.X[j])
+	}
+	if d.Err != nil {
+		out.Err = make([][]float64, len(idx))
+		for i, j := range idx {
+			out.Err[i] = num.Clone(d.Err[j])
+		}
+	}
+	if d.Labels != nil {
+		out.Labels = make([]int, len(idx))
+		for i, j := range idx {
+			out.Labels[i] = d.Labels[j]
+		}
+	}
+	return out
+}
+
+// Project returns a new dataset restricted to the dimensions in dims
+// (deep-copied, in the given order).
+func (d *Dataset) Project(dims []int) (*Dataset, error) {
+	for _, j := range dims {
+		if j < 0 || j >= d.Dims() {
+			return nil, fmt.Errorf("dataset: projection dimension %d out of range [0,%d)", j, d.Dims())
+		}
+	}
+	out := &Dataset{
+		ClassNames: append([]string(nil), d.ClassNames...),
+	}
+	out.Names = make([]string, len(dims))
+	for i, j := range dims {
+		out.Names[i] = d.Names[j]
+	}
+	out.X = make([][]float64, len(d.X))
+	for i, r := range d.X {
+		out.X[i] = num.Gather(r, dims)
+	}
+	if d.Err != nil {
+		out.Err = make([][]float64, len(d.Err))
+		for i, r := range d.Err {
+			out.Err[i] = num.Gather(r, dims)
+		}
+	}
+	if d.Labels != nil {
+		out.Labels = append([]int(nil), d.Labels...)
+	}
+	return out, nil
+}
+
+// ByClass partitions the labeled rows into one dataset per class
+// (index = label). Unlabeled rows are dropped.
+func (d *Dataset) ByClass() []*Dataset {
+	k := d.NumClasses()
+	buckets := make([][]int, k)
+	for i, l := range d.Labels {
+		if l >= 0 {
+			buckets[l] = append(buckets[l], i)
+		}
+	}
+	out := make([]*Dataset, k)
+	for c, idx := range buckets {
+		out[c] = d.Subset(idx)
+	}
+	return out
+}
+
+// ColumnStats returns per-dimension mean and population standard
+// deviation of the values in X.
+func (d *Dataset) ColumnStats() (means, stds []float64) {
+	ms := num.ColumnMoments(d.X)
+	means = make([]float64, len(ms))
+	stds = make([]float64, len(ms))
+	for j := range ms {
+		means[j] = ms[j].Mean()
+		stds[j] = ms[j].StdDev()
+	}
+	return means, stds
+}
+
+// Standardize z-scores every column in place (subtract mean, divide by
+// std) and scales error entries by the same per-column factor, preserving
+// the error-to-value relationship. Columns with zero variance are left
+// centered but unscaled. It returns the means and stds that were applied.
+func (d *Dataset) Standardize() (means, stds []float64) {
+	means, stds = d.ColumnStats()
+	for i, row := range d.X {
+		for j := range row {
+			row[j] -= means[j]
+			if stds[j] > 0 {
+				row[j] /= stds[j]
+			}
+		}
+		if d.Err != nil {
+			for j := range d.Err[i] {
+				if stds[j] > 0 {
+					d.Err[i][j] /= stds[j]
+				}
+			}
+		}
+	}
+	return means, stds
+}
+
+// Split shuffles the row indices with r and returns train/test subsets
+// with ceil(trainFrac*N) training rows. trainFrac must be in (0, 1).
+func (d *Dataset) Split(trainFrac float64, r *rng.Source) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	idx := r.Perm(d.Len())
+	n := int(math.Ceil(trainFrac * float64(d.Len())))
+	return d.Subset(idx[:n]), d.Subset(idx[n:]), nil
+}
+
+// StratifiedSplit splits preserving per-class proportions. Unlabeled rows
+// are distributed like a class of their own.
+func (d *Dataset) StratifiedSplit(trainFrac float64, r *rng.Source) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	groups := map[int][]int{}
+	for i := 0; i < d.Len(); i++ {
+		l := d.Label(i)
+		groups[l] = append(groups[l], i)
+	}
+	// Iterate classes in sorted order: map order would make the split
+	// nondeterministic even under a fixed random source.
+	keys := make([]int, 0, len(groups))
+	for l := range groups {
+		keys = append(keys, l)
+	}
+	sort.Ints(keys)
+	var trainIdx, testIdx []int
+	for _, l := range keys {
+		idx := groups[l]
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		n := int(math.Ceil(trainFrac * float64(len(idx))))
+		trainIdx = append(trainIdx, idx[:n]...)
+		testIdx = append(testIdx, idx[n:]...)
+	}
+	// Shuffle the merged splits so class blocks don't stay contiguous.
+	r.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+	r.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}
+
+// Fold is one train/test division of a k-fold split.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// KFold returns k folds with shuffled rows. k must be in [2, N].
+func (d *Dataset) KFold(k int, r *rng.Source) ([]Fold, error) {
+	if k < 2 || k > d.Len() {
+		return nil, fmt.Errorf("dataset: k=%d folds for %d rows", k, d.Len())
+	}
+	idx := r.Perm(d.Len())
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * d.Len() / k
+		hi := (f + 1) * d.Len() / k
+		test := idx[lo:hi]
+		train := make([]int, 0, d.Len()-len(test))
+		train = append(train, idx[:lo]...)
+		train = append(train, idx[hi:]...)
+		folds[f] = Fold{Train: d.Subset(train), Test: d.Subset(test)}
+	}
+	return folds, nil
+}

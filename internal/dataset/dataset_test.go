@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+// small returns a labeled 6-row, 2-dim dataset with errors.
+func small(t *testing.T) *Dataset {
+	t.Helper()
+	d := New("a", "b")
+	rows := []struct {
+		x, e  []float64
+		label int
+	}{
+		{[]float64{0, 0}, []float64{0.1, 0.2}, 0},
+		{[]float64{1, 0}, []float64{0.1, 0.1}, 0},
+		{[]float64{0, 1}, []float64{0.3, 0.1}, 0},
+		{[]float64{5, 5}, []float64{0.2, 0.2}, 1},
+		{[]float64{6, 5}, []float64{0.1, 0.4}, 1},
+		{[]float64{5, 6}, []float64{0.2, 0.3}, 1},
+	}
+	for _, r := range rows {
+		if err := d.Append(r.x, r.e, r.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAppendShapeChecks(t *testing.T) {
+	d := New("a", "b")
+	if err := d.Append([]float64{1}, nil, 0); err == nil {
+		t.Error("short record accepted")
+	}
+	if err := d.Append([]float64{1, 2}, []float64{0.1}, 0); err == nil {
+		t.Error("short error row accepted")
+	}
+	if err := d.Append([]float64{1, 2}, []float64{0.1, 0.1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]float64{1, 2}, nil, 0); err == nil {
+		t.Error("nil error row accepted into dataset with errors")
+	}
+	d2 := New("a")
+	if err := d2.Append([]float64{1}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Append([]float64{2}, []float64{0.5}, 0); err == nil {
+		t.Error("error row accepted into dataset without errors")
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	d := small(t)
+	d.X[0][0] = math.NaN()
+	if d.Validate() == nil {
+		t.Error("NaN value passed validation")
+	}
+	d = small(t)
+	d.Err[2][1] = -0.5
+	if d.Validate() == nil {
+		t.Error("negative error passed validation")
+	}
+	d = small(t)
+	d.Err[2][1] = math.Inf(1)
+	if d.Validate() == nil {
+		t.Error("infinite error passed validation")
+	}
+	d = small(t)
+	d.Labels[0] = 99
+	// 99 < NumClasses would be needed to fail; NumClasses grows with label,
+	// so instead break the labels length.
+	d.Labels = d.Labels[:3]
+	if d.Validate() == nil {
+		t.Error("short label slice passed validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := small(t)
+	c := d.Clone()
+	c.X[0][0] = 42
+	c.Err[0][0] = 42
+	c.Labels[0] = 1
+	if d.X[0][0] == 42 || d.Err[0][0] == 42 || d.Labels[0] == 1 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestWithZeroError(t *testing.T) {
+	d := small(t)
+	z := d.WithZeroError()
+	if z.HasErrors() {
+		t.Fatal("WithZeroError kept errors")
+	}
+	if z.Len() != d.Len() || z.Label(0) != d.Label(0) {
+		t.Fatal("WithZeroError lost rows or labels")
+	}
+	if z.ErrRow(0) != nil {
+		t.Fatal("ErrRow should be nil")
+	}
+}
+
+func TestSubsetAndProject(t *testing.T) {
+	d := small(t)
+	s := d.Subset([]int{3, 0})
+	if s.Len() != 2 || s.X[0][0] != 5 || s.Labels[1] != 0 {
+		t.Fatalf("Subset wrong: %+v", s)
+	}
+	p, err := d.Project([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dims() != 1 || p.Names[0] != "b" || p.X[2][0] != 1 || p.Err[4][0] != 0.4 {
+		t.Fatalf("Project wrong: %+v", p)
+	}
+	if _, err := d.Project([]int{2}); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+	// Projection order is respected.
+	p2, _ := d.Project([]int{1, 0})
+	if p2.Names[0] != "b" || p2.X[1][1] != 1 {
+		t.Fatalf("ordered projection wrong: %+v", p2)
+	}
+}
+
+func TestByClass(t *testing.T) {
+	d := small(t)
+	parts := d.ByClass()
+	if len(parts) != 2 {
+		t.Fatalf("got %d classes", len(parts))
+	}
+	if parts[0].Len() != 3 || parts[1].Len() != 3 {
+		t.Fatalf("class sizes %d,%d", parts[0].Len(), parts[1].Len())
+	}
+	for _, l := range parts[1].Labels {
+		if l != 1 {
+			t.Fatal("class partition mixed labels")
+		}
+	}
+}
+
+func TestColumnStatsAndStandardize(t *testing.T) {
+	d := New("a")
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		if err := d.Append([]float64{v}, []float64{1}, Unlabeled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	means, stds := d.ColumnStats()
+	if means[0] != 5 || stds[0] != 2 {
+		t.Fatalf("stats = %v, %v", means, stds)
+	}
+	d.Standardize()
+	m2, s2 := d.ColumnStats()
+	if math.Abs(m2[0]) > 1e-12 || math.Abs(s2[0]-1) > 1e-12 {
+		t.Fatalf("standardized stats = %v, %v", m2, s2)
+	}
+	// Errors scaled by the same factor.
+	if math.Abs(d.Err[0][0]-0.5) > 1e-12 {
+		t.Fatalf("error not rescaled: %v", d.Err[0][0])
+	}
+}
+
+func TestStandardizeZeroVariance(t *testing.T) {
+	d := New("a")
+	for i := 0; i < 3; i++ {
+		if err := d.Append([]float64{7}, nil, Unlabeled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Standardize()
+	for _, r := range d.X {
+		if r[0] != 0 {
+			t.Fatalf("zero-variance column not centered: %v", r[0])
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := small(t)
+	train, test, err := d.Split(0.5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatal("split lost rows")
+	}
+	if train.Len() != 3 {
+		t.Fatalf("train size %d, want 3", train.Len())
+	}
+	if _, _, err := d.Split(0, rng.New(1)); err == nil {
+		t.Error("trainFrac 0 accepted")
+	}
+	if _, _, err := d.Split(1, rng.New(1)); err == nil {
+		t.Error("trainFrac 1 accepted")
+	}
+}
+
+func TestStratifiedSplitKeepsProportions(t *testing.T) {
+	d := New("x")
+	for i := 0; i < 80; i++ {
+		_ = d.Append([]float64{float64(i)}, nil, 0)
+	}
+	for i := 0; i < 20; i++ {
+		_ = d.Append([]float64{float64(i)}, nil, 1)
+	}
+	train, test, err := d.StratifiedSplit(0.75, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(ds *Dataset, c int) int {
+		n := 0
+		for _, l := range ds.Labels {
+			if l == c {
+				n++
+			}
+		}
+		return n
+	}
+	if count(train, 0) != 60 || count(train, 1) != 15 {
+		t.Fatalf("train class counts %d/%d, want 60/15", count(train, 0), count(train, 1))
+	}
+	if count(test, 0) != 20 || count(test, 1) != 5 {
+		t.Fatalf("test class counts %d/%d, want 20/5", count(test, 0), count(test, 1))
+	}
+}
+
+func TestKFold(t *testing.T) {
+	d := small(t)
+	folds, err := d.KFold(3, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	total := 0
+	for _, f := range folds {
+		total += f.Test.Len()
+		if f.Train.Len()+f.Test.Len() != d.Len() {
+			t.Fatal("fold sizes inconsistent")
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("test folds cover %d rows, want %d", total, d.Len())
+	}
+	if _, err := d.KFold(1, rng.New(1)); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := d.KFold(7, rng.New(1)); err == nil {
+		t.Error("k>N accepted")
+	}
+}
+
+func TestNumClassesAndLabel(t *testing.T) {
+	d := New("x")
+	_ = d.Append([]float64{1}, nil, Unlabeled)
+	if d.NumClasses() != 0 {
+		t.Fatalf("NumClasses = %d, want 0", d.NumClasses())
+	}
+	if d.Label(0) != Unlabeled {
+		t.Fatal("Label should be Unlabeled")
+	}
+	d.ClassNames = []string{"yes", "no", "maybe"}
+	if d.NumClasses() != 3 {
+		t.Fatalf("NumClasses with names = %d", d.NumClasses())
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"udm/internal/num"
+)
+
+// Describe writes a per-dimension summary table (count, mean, std, min,
+// quartiles, max, mean recorded error) plus the class distribution —
+// the first thing to look at when picking error models and thresholds.
+func (d *Dataset) Describe(w io.Writer) error {
+	if d.Len() == 0 {
+		_, err := fmt.Fprintln(w, "empty dataset")
+		return err
+	}
+	header := fmt.Sprintf("%-18s %7s %10s %10s %10s %10s %10s %10s %10s",
+		"dimension", "count", "mean", "std", "min", "p25", "p50", "p75", "max")
+	if d.HasErrors() {
+		header += fmt.Sprintf(" %10s", "mean ψ")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	col := make([]float64, d.Len())
+	for j := 0; j < d.Dims(); j++ {
+		for i := range d.X {
+			col[i] = d.X[i][j]
+		}
+		q := num.Quantiles(col, 0, 0.25, 0.5, 0.75, 1)
+		var m num.Moments
+		for _, v := range col {
+			m.Add(v)
+		}
+		line := fmt.Sprintf("%-18s %7d %10.4g %10.4g %10.4g %10.4g %10.4g %10.4g %10.4g",
+			truncateName(d.Names[j], 18), d.Len(), m.Mean(), m.StdDev(),
+			q[0], q[1], q[2], q[3], q[4])
+		if d.HasErrors() {
+			var e num.Moments
+			for i := range d.Err {
+				e.Add(d.Err[i][j])
+			}
+			line += fmt.Sprintf(" %10.4g", e.Mean())
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if d.Labels != nil {
+		counts := map[int]int{}
+		for _, l := range d.Labels {
+			counts[l]++
+		}
+		if _, err := fmt.Fprintln(w, "\nclass distribution:"); err != nil {
+			return err
+		}
+		for c := 0; c < d.NumClasses(); c++ {
+			if counts[c] == 0 && c >= len(d.ClassNames) {
+				continue
+			}
+			name := fmt.Sprint(c)
+			if c < len(d.ClassNames) {
+				name = d.ClassNames[c]
+			}
+			if _, err := fmt.Fprintf(w, "  %-20s %6d (%.1f%%)\n",
+				truncateName(name, 20), counts[c],
+				100*float64(counts[c])/float64(d.Len())); err != nil {
+				return err
+			}
+		}
+		if counts[Unlabeled] > 0 {
+			if _, err := fmt.Fprintf(w, "  %-20s %6d (%.1f%%)\n",
+				"(unlabeled)", counts[Unlabeled],
+				100*float64(counts[Unlabeled])/float64(d.Len())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func truncateName(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

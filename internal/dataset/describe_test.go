@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	d := small(t)
+	d.ClassNames = []string{"low", "high"}
+	var buf bytes.Buffer
+	if err := d.Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dimension", "mean ψ", "a", "b", "low", "high", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeEmptyAndUnlabeled(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New("x").Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty dataset not reported")
+	}
+	d := New("x")
+	_ = d.Append([]float64{1}, nil, Unlabeled)
+	_ = d.Append([]float64{2}, nil, 0)
+	buf.Reset()
+	if err := d.Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(unlabeled)") {
+		t.Errorf("unlabeled rows not reported:\n%s", buf.String())
+	}
+	// No error column when the dataset has no errors.
+	if strings.Contains(buf.String(), "mean ψ") {
+		t.Error("phantom error column")
+	}
+}
+
+func TestDescribeTruncatesLongNames(t *testing.T) {
+	d := New("this_is_a_very_long_dimension_name_indeed")
+	_ = d.Append([]float64{1}, nil, Unlabeled)
+	var buf bytes.Buffer
+	if err := d.Describe(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "…") {
+		t.Error("long name not truncated")
+	}
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"fmt"
+
+	"udm/internal/num"
+)
+
+// Concat appends all rows of other to a copy of d. The datasets must
+// agree on dimension names and on whether they carry error matrices;
+// class names are merged by index (d's take precedence).
+func (d *Dataset) Concat(other *Dataset) (*Dataset, error) {
+	if d.Dims() != other.Dims() {
+		return nil, fmt.Errorf("dataset: concat %d-dim with %d-dim", d.Dims(), other.Dims())
+	}
+	for j := range d.Names {
+		if d.Names[j] != other.Names[j] {
+			return nil, fmt.Errorf("dataset: concat dimension %d named %q vs %q", j, d.Names[j], other.Names[j])
+		}
+	}
+	if d.Len() > 0 && other.Len() > 0 && d.HasErrors() != other.HasErrors() {
+		return nil, fmt.Errorf("dataset: concat mixes error-bearing and error-free data")
+	}
+	out := d.Clone()
+	if len(other.ClassNames) > len(out.ClassNames) {
+		merged := append([]string(nil), other.ClassNames...)
+		copy(merged, out.ClassNames)
+		out.ClassNames = merged
+	}
+	for i := 0; i < other.Len(); i++ {
+		if err := out.Append(other.X[i], other.ErrRow(i), other.Label(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Filter returns the rows for which keep returns true (deep-copied).
+func (d *Dataset) Filter(keep func(i int) bool) *Dataset {
+	var idx []int
+	for i := 0; i < d.Len(); i++ {
+		if keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// DropColumns returns a copy without the named dimensions.
+func (d *Dataset) DropColumns(names ...string) (*Dataset, error) {
+	drop := map[string]bool{}
+	for _, n := range names {
+		found := false
+		for _, have := range d.Names {
+			if have == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dataset: no column named %q", n)
+		}
+		drop[n] = true
+	}
+	var keep []int
+	for j, n := range d.Names {
+		if !drop[n] {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("dataset: dropping every column")
+	}
+	return d.Project(keep)
+}
+
+// AddColumn returns a copy with one more dimension holding the given
+// values (and errors; errs may be nil only when the dataset has no error
+// matrix). Lengths must match the row count.
+func (d *Dataset) AddColumn(name string, values, errs []float64) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset: empty column name")
+	}
+	for _, have := range d.Names {
+		if have == name {
+			return nil, fmt.Errorf("dataset: column %q already exists", name)
+		}
+	}
+	if len(values) != d.Len() {
+		return nil, fmt.Errorf("dataset: %d values for %d rows", len(values), d.Len())
+	}
+	if d.HasErrors() && errs == nil {
+		return nil, fmt.Errorf("dataset: error-bearing dataset needs errors for the new column")
+	}
+	if !d.HasErrors() && errs != nil && d.Len() > 0 {
+		return nil, fmt.Errorf("dataset: error column added to error-free dataset")
+	}
+	if errs != nil && len(errs) != d.Len() {
+		return nil, fmt.Errorf("dataset: %d errors for %d rows", len(errs), d.Len())
+	}
+	out := d.Clone()
+	out.Names = append(out.Names, name)
+	for i := range out.X {
+		out.X[i] = append(out.X[i], values[i])
+		if errs != nil {
+			out.Err[i] = append(out.Err[i], errs[i])
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ColumnIndex returns the index of the named dimension, or an error.
+func (d *Dataset) ColumnIndex(name string) (int, error) {
+	for j, have := range d.Names {
+		if have == name {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: no column named %q", name)
+}
+
+// Column returns a copy of one dimension's values.
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, d.Len())
+	for i := range d.X {
+		out[i] = d.X[i][j]
+	}
+	return out
+}
+
+// MinMax returns the per-dimension value ranges.
+func (d *Dataset) MinMax() (lo, hi []float64) {
+	lo = make([]float64, d.Dims())
+	hi = make([]float64, d.Dims())
+	for j := 0; j < d.Dims(); j++ {
+		lo[j], hi[j] = num.MinMax(d.Column(j))
+	}
+	return lo, hi
+}

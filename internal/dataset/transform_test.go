@@ -1,0 +1,147 @@
+package dataset
+
+import "testing"
+
+func TestConcat(t *testing.T) {
+	a := small(t)
+	b := small(t)
+	out, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 12 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+	// Deep copy: mutating output leaves inputs alone.
+	out.X[0][0] = 99
+	if a.X[0][0] == 99 {
+		t.Fatal("Concat aliases inputs")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	a := small(t)
+	other := New("z", "b")
+	_ = other.Append([]float64{1, 2}, []float64{0, 0}, 0)
+	if _, err := a.Concat(other); err == nil {
+		t.Error("mismatched names accepted")
+	}
+	one := New("a")
+	_ = one.Append([]float64{1}, nil, 0)
+	if _, err := a.Concat(one); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	noErr := New("a", "b")
+	_ = noErr.Append([]float64{1, 2}, nil, 0)
+	if _, err := a.Concat(noErr); err == nil {
+		t.Error("error/error-free mix accepted")
+	}
+}
+
+func TestConcatMergesClassNames(t *testing.T) {
+	a := small(t)
+	a.ClassNames = []string{"x"}
+	b := small(t)
+	b.ClassNames = []string{"p", "q"}
+	out, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ClassNames) != 2 || out.ClassNames[0] != "x" || out.ClassNames[1] != "q" {
+		t.Fatalf("merged class names %v", out.ClassNames)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	d := small(t)
+	out := d.Filter(func(i int) bool { return d.Labels[i] == 1 })
+	if out.Len() != 3 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+	for _, l := range out.Labels {
+		if l != 1 {
+			t.Fatal("filter kept wrong rows")
+		}
+	}
+	empty := d.Filter(func(i int) bool { return false })
+	if empty.Len() != 0 {
+		t.Fatal("empty filter kept rows")
+	}
+}
+
+func TestDropColumns(t *testing.T) {
+	d := small(t)
+	out, err := d.DropColumns("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dims() != 1 || out.Names[0] != "b" {
+		t.Fatalf("names %v", out.Names)
+	}
+	if out.X[2][0] != d.X[2][1] {
+		t.Fatal("wrong column kept")
+	}
+	if _, err := d.DropColumns("nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := d.DropColumns("a", "b"); err == nil {
+		t.Error("dropping all columns accepted")
+	}
+}
+
+func TestAddColumn(t *testing.T) {
+	d := small(t)
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	errs := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	out, err := d.AddColumn("c", vals, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dims() != 3 || out.X[4][2] != 5 || out.Err[4][2] != 0.1 {
+		t.Fatalf("added column wrong: %v", out.X[4])
+	}
+	// Original untouched.
+	if d.Dims() != 2 {
+		t.Fatal("AddColumn mutated input")
+	}
+	// Validation paths.
+	if _, err := d.AddColumn("", vals, errs); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := d.AddColumn("a", vals, errs); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := d.AddColumn("c", vals[:2], errs); err == nil {
+		t.Error("short values accepted")
+	}
+	if _, err := d.AddColumn("c", vals, nil); err == nil {
+		t.Error("missing errors accepted on error-bearing dataset")
+	}
+	noErr := New("x")
+	_ = noErr.Append([]float64{1}, nil, Unlabeled)
+	if _, err := noErr.AddColumn("y", []float64{2}, []float64{0.5}); err == nil {
+		t.Error("errors accepted on error-free dataset")
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	d := small(t)
+	j, err := d.ColumnIndex("b")
+	if err != nil || j != 1 {
+		t.Fatalf("ColumnIndex = %d, %v", j, err)
+	}
+	if _, err := d.ColumnIndex("zz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	col := d.Column(0)
+	if len(col) != 6 || col[3] != 5 {
+		t.Fatalf("Column = %v", col)
+	}
+	lo, hi := d.MinMax()
+	if lo[0] != 0 || hi[0] != 6 || lo[1] != 0 || hi[1] != 6 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}

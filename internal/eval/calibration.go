@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+
+	"udm/internal/dataset"
+)
+
+// ProbClassifier is a classifier that reports class probabilities; the
+// core density classifier satisfies it.
+type ProbClassifier interface {
+	Probabilities(x []float64) ([]float64, error)
+}
+
+// CalibrationBin is one reliability-diagram bucket.
+type CalibrationBin struct {
+	// Lo and Hi bound the predicted-confidence interval [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of predictions whose top-class confidence fell
+	// in the bin.
+	Count int
+	// MeanConfidence is the average top-class confidence in the bin.
+	MeanConfidence float64
+	// Accuracy is the fraction of those predictions that were correct.
+	Accuracy float64
+}
+
+// CalibrationResult summarizes probability quality on a labeled test
+// set.
+type CalibrationResult struct {
+	// Bins is the reliability diagram (equal-width confidence bins).
+	Bins []CalibrationBin
+	// ECE is the expected calibration error: the count-weighted mean
+	// |confidence − accuracy| over bins.
+	ECE float64
+	// Brier is the multi-class Brier score: mean squared distance of the
+	// probability vector from the one-hot truth (lower is better; 0 is
+	// perfect, 2 is maximally wrong).
+	Brier float64
+	// N is the number of evaluated rows.
+	N int
+}
+
+// Calibrate scores a probabilistic classifier's confidence quality on a
+// labeled test set using the given number of equal-width bins (default
+// 10 when ≤ 0).
+func Calibrate(c ProbClassifier, test *dataset.Dataset, bins int) (*CalibrationResult, error) {
+	if test.Len() == 0 {
+		return nil, fmt.Errorf("eval: empty test set")
+	}
+	k := test.NumClasses()
+	if k == 0 {
+		return nil, fmt.Errorf("eval: unlabeled test set")
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	type acc struct {
+		n       int
+		conf    float64
+		correct int
+	}
+	buckets := make([]acc, bins)
+	res := &CalibrationResult{N: test.Len()}
+	for i := 0; i < test.Len(); i++ {
+		actual := test.Label(i)
+		if actual == dataset.Unlabeled {
+			return nil, fmt.Errorf("eval: test row %d is unlabeled", i)
+		}
+		p, err := c.Probabilities(test.X[i])
+		if err != nil {
+			return nil, fmt.Errorf("eval: row %d: %w", i, err)
+		}
+		if len(p) < k {
+			return nil, fmt.Errorf("eval: row %d returned %d probabilities for %d classes", i, len(p), k)
+		}
+		// Brier: Σ (p_c − 1{c==actual})².
+		for c2, v := range p {
+			target := 0.0
+			if c2 == actual {
+				target = 1.0
+			}
+			d := v - target
+			res.Brier += d * d
+		}
+		// Reliability: bin by top-class confidence.
+		best := 0
+		for c2 := 1; c2 < len(p); c2++ {
+			if p[c2] > p[best] {
+				best = c2
+			}
+		}
+		b := int(p[best] * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		buckets[b].n++
+		buckets[b].conf += p[best]
+		if best == actual {
+			buckets[b].correct++
+		}
+	}
+	res.Brier /= float64(test.Len())
+	for b, a := range buckets {
+		bin := CalibrationBin{
+			Lo: float64(b) / float64(bins),
+			Hi: float64(b+1) / float64(bins),
+		}
+		if a.n > 0 {
+			bin.Count = a.n
+			bin.MeanConfidence = a.conf / float64(a.n)
+			bin.Accuracy = float64(a.correct) / float64(a.n)
+			gap := bin.MeanConfidence - bin.Accuracy
+			if gap < 0 {
+				gap = -gap
+			}
+			res.ECE += float64(a.n) / float64(test.Len()) * gap
+		}
+		res.Bins = append(res.Bins, bin)
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"udm/internal/dataset"
+)
+
+// perfectProb returns probability 1 for the x[0]>0 rule's class.
+type perfectProb struct{}
+
+func (perfectProb) Probabilities(x []float64) ([]float64, error) {
+	if x[0] > 0 {
+		return []float64{0, 1}, nil
+	}
+	return []float64{1, 0}, nil
+}
+
+// halfProb always answers 50/50.
+type halfProb struct{}
+
+func (halfProb) Probabilities(x []float64) ([]float64, error) {
+	return []float64{0.5, 0.5}, nil
+}
+
+// overconfident answers 0.9 for the wrong class half the time.
+type overconfident struct{ n int }
+
+func (o *overconfident) Probabilities(x []float64) ([]float64, error) {
+	o.n++
+	if o.n%2 == 0 {
+		return []float64{0.9, 0.1}, nil // class 0, regardless of truth
+	}
+	return []float64{0.1, 0.9}, nil
+}
+
+// failingProb errors out.
+type failingProb struct{}
+
+func (failingProb) Probabilities(x []float64) ([]float64, error) {
+	return nil, errors.New("boom")
+}
+
+func TestCalibratePerfect(t *testing.T) {
+	d := testSet(t)
+	res, err := Calibrate(perfectProb{}, d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Brier != 0 {
+		t.Fatalf("Brier = %v, want 0", res.Brier)
+	}
+	if res.ECE > 1e-12 {
+		t.Fatalf("ECE = %v, want 0", res.ECE)
+	}
+	// All mass in the top bin.
+	top := res.Bins[len(res.Bins)-1]
+	if top.Count != d.Len() || top.Accuracy != 1 {
+		t.Fatalf("top bin %+v", top)
+	}
+}
+
+func TestCalibrateUninformative(t *testing.T) {
+	d := testSet(t) // balanced two-class
+	res, err := Calibrate(halfProb{}, d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brier for (0.5, 0.5) vs one-hot: 0.25 + 0.25 = 0.5.
+	if math.Abs(res.Brier-0.5) > 1e-12 {
+		t.Fatalf("Brier = %v, want 0.5", res.Brier)
+	}
+	// Confidence 0.5 with 50% accuracy ⇒ well calibrated: ECE ≈ 0.
+	if res.ECE > 1e-9 {
+		t.Fatalf("ECE = %v, want 0 (uninformative but calibrated)", res.ECE)
+	}
+}
+
+func TestCalibrateOverconfident(t *testing.T) {
+	d := testSet(t)
+	res, err := Calibrate(&overconfident{}, d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ECE < 0.2 {
+		t.Fatalf("ECE = %v, want large for an overconfident model", res.ECE)
+	}
+	if res.Brier < 0.4 {
+		t.Fatalf("Brier = %v, want large", res.Brier)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(halfProb{}, dataset.New("x"), 10); err == nil {
+		t.Error("empty test accepted")
+	}
+	d := testSet(t)
+	if _, err := Calibrate(failingProb{}, d, 10); err == nil {
+		t.Error("classifier error swallowed")
+	}
+	un := dataset.New("x")
+	_ = un.Append([]float64{1}, nil, dataset.Unlabeled)
+	if _, err := Calibrate(halfProb{}, un, 10); err == nil {
+		t.Error("unlabeled test accepted")
+	}
+}
+
+func TestCalibrateDefaultBins(t *testing.T) {
+	d := testSet(t)
+	res, err := Calibrate(perfectProb{}, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 10 {
+		t.Fatalf("%d bins, want default 10", len(res.Bins))
+	}
+	// Bin boundaries tile [0, 1].
+	if res.Bins[0].Lo != 0 || res.Bins[9].Hi != 1 {
+		t.Fatalf("bin range [%v, %v]", res.Bins[0].Lo, res.Bins[9].Hi)
+	}
+}

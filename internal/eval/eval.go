@@ -1,0 +1,205 @@
+// Package eval provides the measurement layer of the experiment harness:
+// classifier evaluation (accuracy, confusion matrices, per-class
+// precision/recall/F1), cross-validation, per-example timing, and the
+// table/plot emitters that print paper-style series.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"udm/internal/dataset"
+)
+
+// Classifier is anything that predicts a class label for a test point.
+// Both the core density classifiers and the baselines satisfy it.
+type Classifier interface {
+	Classify(x []float64) (int, error)
+}
+
+// Result summarizes a classifier's performance on one labeled test set.
+type Result struct {
+	// Confusion counts predictions: Confusion[actual][predicted].
+	Confusion [][]int
+	// N is the number of test rows evaluated.
+	N int
+	// Correct is the number of exact matches.
+	Correct int
+	// TestTime is the total wall-clock time spent in Classify calls.
+	TestTime time.Duration
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (r *Result) Accuracy() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.N)
+}
+
+// PerExample returns the average classification time per test row.
+func (r *Result) PerExample() time.Duration {
+	if r.N == 0 {
+		return 0
+	}
+	return r.TestTime / time.Duration(r.N)
+}
+
+// Precision returns TP/(TP+FP) for class c (0 when the class was never
+// predicted).
+func (r *Result) Precision(c int) float64 {
+	var tp, predicted int
+	for actual := range r.Confusion {
+		predicted += r.Confusion[actual][c]
+	}
+	tp = r.Confusion[c][c]
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for class c (0 when the class never occurs).
+func (r *Result) Recall(c int) float64 {
+	var actual int
+	for _, n := range r.Confusion[c] {
+		actual += n
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(r.Confusion[c][c]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for class c.
+func (r *Result) F1(c int) float64 {
+	p, rec := r.Precision(c), r.Recall(c)
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// MacroF1 returns the unweighted mean F1 over classes that occur in the
+// test set.
+func (r *Result) MacroF1() float64 {
+	var sum float64
+	var k int
+	for c := range r.Confusion {
+		var actual int
+		for _, n := range r.Confusion[c] {
+			actual += n
+		}
+		if actual > 0 {
+			sum += r.F1(c)
+			k++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return sum / float64(k)
+}
+
+// Evaluate classifies every row of test and tallies the results. All test
+// rows must be labeled.
+func Evaluate(c Classifier, test *dataset.Dataset) (*Result, error) {
+	if test.Len() == 0 {
+		return nil, fmt.Errorf("eval: empty test set")
+	}
+	k := test.NumClasses()
+	if k == 0 {
+		return nil, fmt.Errorf("eval: unlabeled test set")
+	}
+	r := &Result{N: test.Len()}
+	for i := 0; i < k; i++ {
+		r.Confusion = append(r.Confusion, make([]int, k))
+	}
+	for i := 0; i < test.Len(); i++ {
+		actual := test.Label(i)
+		if actual == dataset.Unlabeled {
+			return nil, fmt.Errorf("eval: test row %d is unlabeled", i)
+		}
+		start := time.Now()
+		got, err := c.Classify(test.X[i])
+		r.TestTime += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("eval: classifying row %d: %w", i, err)
+		}
+		if got < 0 || got >= k {
+			return nil, fmt.Errorf("eval: row %d predicted out-of-range class %d", i, got)
+		}
+		if got == actual {
+			r.Correct++
+		}
+		r.Confusion[actual][got]++
+	}
+	return r, nil
+}
+
+// Trainer builds a classifier from training data; used by CrossValidate.
+type Trainer func(train *dataset.Dataset) (Classifier, error)
+
+// CVResult aggregates per-fold accuracies.
+type CVResult struct {
+	// FoldAccuracy holds one accuracy per fold.
+	FoldAccuracy []float64
+}
+
+// Mean returns the mean fold accuracy.
+func (r *CVResult) Mean() float64 {
+	var s float64
+	for _, a := range r.FoldAccuracy {
+		s += a
+	}
+	if len(r.FoldAccuracy) == 0 {
+		return 0
+	}
+	return s / float64(len(r.FoldAccuracy))
+}
+
+// Std returns the population standard deviation of fold accuracies.
+func (r *CVResult) Std() float64 {
+	m := r.Mean()
+	var s float64
+	for _, a := range r.FoldAccuracy {
+		d := a - m
+		s += d * d
+	}
+	if len(r.FoldAccuracy) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(r.FoldAccuracy)))
+}
+
+// CrossValidate trains and evaluates over the given folds.
+func CrossValidate(folds []dataset.Fold, train Trainer) (*CVResult, error) {
+	if len(folds) == 0 {
+		return nil, fmt.Errorf("eval: no folds")
+	}
+	out := &CVResult{}
+	for i, f := range folds {
+		c, err := train(f.Train)
+		if err != nil {
+			return nil, fmt.Errorf("eval: training fold %d: %w", i, err)
+		}
+		res, err := Evaluate(c, f.Test)
+		if err != nil {
+			return nil, fmt.Errorf("eval: evaluating fold %d: %w", i, err)
+		}
+		out.FoldAccuracy = append(out.FoldAccuracy, res.Accuracy())
+	}
+	return out, nil
+}
+
+// TimePerExample runs fn once and returns the elapsed time divided by n —
+// the "seconds per example" metric the paper's efficiency figures report.
+func TimePerExample(n int, fn func()) time.Duration {
+	if n <= 0 {
+		panic(fmt.Sprintf("eval: TimePerExample with n=%d", n))
+	}
+	start := time.Now()
+	fn()
+	return time.Since(start) / time.Duration(n)
+}

@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+// fixed always predicts the same label.
+type fixed int
+
+func (f fixed) Classify(x []float64) (int, error) { return int(f), nil }
+
+// byThreshold predicts class 1 when x[0] > 0.
+type byThreshold struct{}
+
+func (byThreshold) Classify(x []float64) (int, error) {
+	if x[0] > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// failing returns an error.
+type failing struct{}
+
+func (failing) Classify(x []float64) (int, error) { return 0, errors.New("boom") }
+
+// outOfRange predicts a label outside the test set's class range.
+type outOfRange struct{}
+
+func (outOfRange) Classify(x []float64) (int, error) { return 99, nil }
+
+func testSet(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New("x")
+	for i := 0; i < 10; i++ {
+		v := float64(i) - 4.5 // 5 negative, 5 positive
+		label := 0
+		if v > 0 {
+			label = 1
+		}
+		if err := d.Append([]float64{v}, nil, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestEvaluatePerfectClassifier(t *testing.T) {
+	r, err := Evaluate(byThreshold{}, testSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy() != 1 || r.Correct != 10 || r.N != 10 {
+		t.Fatalf("accuracy %v correct %d", r.Accuracy(), r.Correct)
+	}
+	if r.Confusion[0][0] != 5 || r.Confusion[1][1] != 5 {
+		t.Fatalf("confusion %v", r.Confusion)
+	}
+	if r.Precision(0) != 1 || r.Recall(1) != 1 || r.F1(0) != 1 || r.MacroF1() != 1 {
+		t.Fatal("perfect metrics should all be 1")
+	}
+}
+
+func TestEvaluateConstantClassifier(t *testing.T) {
+	r, err := Evaluate(fixed(0), testSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy() != 0.5 {
+		t.Fatalf("accuracy %v", r.Accuracy())
+	}
+	// Class 1 never predicted: precision 0, recall 0.
+	if r.Precision(1) != 0 || r.Recall(1) != 0 || r.F1(1) != 0 {
+		t.Fatal("never-predicted class should have zero metrics")
+	}
+	// Class 0: precision 0.5 (predicted 10, correct 5), recall 1.
+	if r.Precision(0) != 0.5 || r.Recall(0) != 1 {
+		t.Fatalf("P=%v R=%v", r.Precision(0), r.Recall(0))
+	}
+	if math.Abs(r.MacroF1()-(2.0/3.0)/2) > 1e-12 {
+		t.Fatalf("MacroF1 = %v", r.MacroF1())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(fixed(0), dataset.New("x")); err == nil {
+		t.Error("empty test set accepted")
+	}
+	un := dataset.New("x")
+	_ = un.Append([]float64{1}, nil, dataset.Unlabeled)
+	if _, err := Evaluate(fixed(0), un); err == nil {
+		t.Error("unlabeled test set accepted")
+	}
+	if _, err := Evaluate(failing{}, testSet(t)); err == nil {
+		t.Error("classifier error swallowed")
+	}
+	if _, err := Evaluate(outOfRange{}, testSet(t)); err == nil {
+		t.Error("out-of-range prediction accepted")
+	}
+}
+
+func TestEvaluateTracksTime(t *testing.T) {
+	r, err := Evaluate(fixed(0), testSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TestTime < 0 || r.PerExample() < 0 {
+		t.Fatal("negative timing")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := testSet(t)
+	folds, err := d.KFold(5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := CrossValidate(folds, func(train *dataset.Dataset) (Classifier, error) {
+		return byThreshold{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.FoldAccuracy) != 5 || cv.Mean() != 1 || cv.Std() != 0 {
+		t.Fatalf("cv = %+v", cv)
+	}
+	// Trainer errors propagate.
+	_, err = CrossValidate(folds, func(train *dataset.Dataset) (Classifier, error) {
+		return nil, errors.New("no")
+	})
+	if err == nil {
+		t.Error("trainer error swallowed")
+	}
+	if _, err := CrossValidate(nil, nil); err == nil {
+		t.Error("no folds accepted")
+	}
+}
+
+func TestTimePerExample(t *testing.T) {
+	d := TimePerExample(10, func() { time.Sleep(20 * time.Millisecond) })
+	if d < time.Millisecond || d > 20*time.Millisecond {
+		t.Fatalf("per-example = %v, want ≈2ms", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 did not panic")
+		}
+	}()
+	TimePerExample(0, func() {})
+}

@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve of an experiment figure: paired X/Y values.
+type Series struct {
+	// Name labels the curve (e.g. "ErrAdj", "NN").
+	Name string
+	// X holds the sweep parameter values.
+	X []float64
+	// Y holds the measured values.
+	Y []float64
+}
+
+// Table is the tabular form of one experiment figure: a shared X column
+// and one Y column per series.
+type Table struct {
+	// Title heads the printed output.
+	Title string
+	// XLabel names the sweep parameter.
+	XLabel string
+	// Series holds the curves; all must share the same X values.
+	Series []Series
+}
+
+// NewTable builds a table after checking the series are aligned.
+func NewTable(title, xlabel string, series ...Series) (*Table, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("eval: table %q has no series", title)
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return nil, fmt.Errorf("eval: series %q has %d X for %d Y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) != len(series[0].X) {
+			return nil, fmt.Errorf("eval: series %q length %d != %d", s.Name, len(s.X), len(series[0].X))
+		}
+		for i := range s.X {
+			if s.X[i] != series[0].X[i] {
+				return nil, fmt.Errorf("eval: series %q X[%d]=%v differs from %v", s.Name, i, s.X[i], series[0].X[i])
+			}
+		}
+	}
+	return &Table{Title: title, XLabel: xlabel, Series: series}, nil
+}
+
+// WriteText prints the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	cols := make([][]string, len(t.Series)+1)
+	cols[0] = append(cols[0], t.XLabel)
+	for _, x := range t.Series[0].X {
+		cols[0] = append(cols[0], formatFloat(x))
+	}
+	for si, s := range t.Series {
+		cols[si+1] = append(cols[si+1], s.Name)
+		for _, y := range s.Y {
+			cols[si+1] = append(cols[si+1], formatFloat(y))
+		}
+	}
+	widths := make([]int, len(cols))
+	for ci, col := range cols {
+		for _, cell := range col {
+			if len(cell) > widths[ci] {
+				widths[ci] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	for row := 0; row < len(cols[0]); row++ {
+		var b strings.Builder
+		for ci := range cols {
+			if ci > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[ci], cols[ci][row])
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+		if row == 0 {
+			total := 0
+			for ci, wd := range widths {
+				if ci > 0 {
+					total += 2
+				}
+				total += wd
+			}
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown emits the table as a GitHub-flavored Markdown table with
+// the title as a heading — ready to paste into EXPERIMENTS-style reports.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+		return err
+	}
+	header := "| " + t.XLabel + " |"
+	rule := "|---|"
+	for _, s := range t.Series {
+		header += " " + s.Name + " |"
+		rule += "---|"
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", header, rule); err != nil {
+		return err
+	}
+	for i := range t.Series[0].X {
+		row := "| " + formatFloat(t.Series[0].X[i]) + " |"
+		for _, s := range t.Series {
+			row += " " + formatFloat(s.Y[i]) + " |"
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: writing CSV header: %w", err)
+	}
+	for i := range t.Series[0].X {
+		rec := []string{strconv.FormatFloat(t.Series[0].X[i], 'g', -1, 64)}
+		for _, s := range t.Series {
+			rec = append(rec, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eval: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// markers are the per-series glyphs used by PlotASCII, cycled in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// PlotASCII renders the table as a crude multi-series terminal line
+// chart: one glyph per series, Y axis labeled with min/max, legend below.
+// width and height are the plot-area cell counts (sensible defaults are
+// applied when ≤ 0).
+func (t *Table) PlotASCII(w io.Writer, width, height int) error {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var loX, hiX, loY, hiY float64
+	first := true
+	for _, s := range t.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if first {
+				loX, hiX, loY, hiY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			loX = math.Min(loX, s.X[i])
+			hiX = math.Max(hiX, s.X[i])
+			loY = math.Min(loY, s.Y[i])
+			hiY = math.Max(hiY, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("eval: nothing to plot in %q", t.Title)
+	}
+	if hiX == loX {
+		hiX = loX + 1
+	}
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range t.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - loX) / (hiX - loX) * float64(width-1))
+			cy := height - 1 - int((s.Y[i]-loY)/(hiY-loY)*float64(height-1))
+			grid[cy][cx] = m
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	yLo, yHi := formatFloat(loY), formatFloat(hiY)
+	margin := len(yLo)
+	if len(yHi) > margin {
+		margin = len(yHi)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin), axis); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%*s\n", strings.Repeat(" ", margin),
+		formatFloat(loX), width-len(formatFloat(loX)), formatFloat(hiX)); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "%s (x: %s)\n", strings.Join(legend, "   "), t.XLabel); err != nil {
+		return err
+	}
+	return nil
+}
+
+func formatFloat(x float64) string {
+	a := math.Abs(x)
+	switch {
+	case x == math.Trunc(x) && a < 1e7:
+		return strconv.FormatFloat(x, 'f', 0, 64)
+	case a >= 0.01 && a < 1e6:
+		return strconv.FormatFloat(x, 'f', 4, 64)
+	default:
+		return strconv.FormatFloat(x, 'e', 3, 64)
+	}
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable("Figure X", "f",
+		Series{Name: "ErrAdj", X: []float64{0, 1, 2}, Y: []float64{0.8, 0.75, 0.7}},
+		Series{Name: "NN", X: []float64{0, 1, 2}, Y: []float64{0.82, 0.6, 0.4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t", "x"); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := NewTable("t", "x",
+		Series{Name: "a", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := NewTable("t", "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		Series{Name: "b", X: []float64{1}, Y: []float64{1}}); err == nil {
+		t.Error("mismatched series lengths accepted")
+	}
+	if _, err := NewTable("t", "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		Series{Name: "b", X: []float64{1, 3}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched X values accepted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "f", "ErrAdj", "NN", "0.8000", "0.4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// One header + separator + 3 data rows.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 5 {
+		t.Errorf("unexpected line count %d:\n%s", lines, out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines %d: %v", len(lines), lines)
+	}
+	if lines[0] != "f,ErrAdj,NN" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "0,0.8,0.82" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### Figure X", "| f | ErrAdj | NN |", "|---|---|---|", "| 0 | 0.8000 | 0.8200 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable(t).PlotASCII(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Both markers appear, legend present.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* ErrAdj") || !strings.Contains(out, "o NN") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Figure X") {
+		t.Error("title missing")
+	}
+}
+
+func TestPlotASCIIDegenerateRanges(t *testing.T) {
+	tab, err := NewTable("flat", "x",
+		Series{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.PlotASCII(&buf, 0, 0); err != nil {
+		t.Fatal(err) // defaults applied, flat ranges widened, no panic
+	}
+}

@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a receiver operating characteristic
+// curve.
+type ROCPoint struct {
+	// Threshold is the score cut: instances with score >= Threshold are
+	// predicted positive.
+	Threshold float64
+	// FPR is the false-positive rate at this cut.
+	FPR float64
+	// TPR is the true-positive rate (recall) at this cut.
+	TPR float64
+}
+
+// ROC returns the ROC curve of a scoring function where higher scores
+// mean "more positive" (e.g. outlier scores with anomalies as
+// positives). The curve runs from (0,0) to (1,1) with one point per
+// distinct score. Both classes must be non-empty.
+func ROC(scores []float64, positive []bool) ([]ROCPoint, error) {
+	if len(scores) != len(positive) {
+		return nil, fmt.Errorf("eval: %d scores for %d labels", len(scores), len(positive))
+	}
+	var pos, neg int
+	for _, p := range positive {
+		if p {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes (have %d positive, %d negative)", pos, neg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	curve := []ROCPoint{{Threshold: math.Inf(1), FPR: 0, TPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		// Consume all instances tied at this score together so the curve
+		// is threshold-consistent.
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if positive[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: s,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return curve, nil
+}
+
+// AUC returns the area under the ROC curve via the rank-sum
+// (Mann–Whitney) statistic, with the standard half-credit for ties:
+// AUC = P(score(pos) > score(neg)) + ½·P(score(pos) = score(neg)).
+func AUC(scores []float64, positive []bool) (float64, error) {
+	if len(scores) != len(positive) {
+		return 0, fmt.Errorf("eval: %d scores for %d labels", len(scores), len(positive))
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks with ties sharing the mean rank.
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mean := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j
+	}
+	var pos, neg int
+	var rankSum float64
+	for i, p := range positive {
+		if p {
+			pos++
+			rankSum += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("eval: AUC needs both classes (have %d positive, %d negative)", pos, neg)
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}

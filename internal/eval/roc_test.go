@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	positive := []bool{true, true, false, false}
+	auc, err := AUC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %v, want 1", auc)
+	}
+	// Inverted scores give AUC 0.
+	inv := []float64{0.1, 0.2, 0.8, 0.9}
+	auc, err = AUC(inv, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	r := rng.New(1)
+	n := 4000
+	scores := make([]float64, n)
+	positive := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		positive[i] = r.Bool(0.3)
+	}
+	auc, err := AUC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestAUCTiesGetHalfCredit(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5.
+	scores := []float64{1, 1, 1, 1}
+	positive := []bool{true, false, true, false}
+	auc, err := AUC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// pos scores {3, 1}, neg scores {2, 0}: pairs (3>2, 3>0, 1<2, 1>0)
+	// → 3/4.
+	scores := []float64{3, 1, 2, 0}
+	positive := []bool{true, true, false, false}
+	auc, err := AUC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.75 {
+		t.Fatalf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCValidation(t *testing.T) {
+	if _, err := AUC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := AUC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class labels accepted")
+	}
+}
+
+func TestROCCurveShape(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2}
+	positive := []bool{true, false, true, false}
+	curve, err := ROC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at (0,0), ends at (1,1), monotone in both axes.
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Fatalf("curve starts at (%v,%v)", first.FPR, first.TPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve ends at (%v,%v)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatal("curve not monotone")
+		}
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatal("thresholds not descending")
+		}
+	}
+	// Known intermediate point: at threshold 0.9, TPR = 0.5, FPR = 0.
+	if curve[1].TPR != 0.5 || curve[1].FPR != 0 {
+		t.Fatalf("first cut = (%v,%v)", curve[1].FPR, curve[1].TPR)
+	}
+}
+
+func TestROCTiesGrouped(t *testing.T) {
+	// Tied scores must move the curve diagonally in one step, never
+	// produce two points at the same threshold.
+	scores := []float64{1, 1, 0}
+	positive := []bool{true, false, false}
+	curve, err := ROC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, p := range curve[1:] {
+		if seen[p.Threshold] {
+			t.Fatalf("duplicate threshold %v", p.Threshold)
+		}
+		seen[p.Threshold] = true
+	}
+	// The tie point carries both one TP and one FP.
+	if curve[1].TPR != 1 || curve[1].FPR != 0.5 {
+		t.Fatalf("tie point = (%v,%v)", curve[1].FPR, curve[1].TPR)
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true}); err == nil {
+		t.Error("single-class accepted")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestAUCMatchesROCTrapezoid(t *testing.T) {
+	// The rank-based AUC equals the trapezoid area under the ROC curve.
+	r := rng.New(2)
+	n := 500
+	scores := make([]float64, n)
+	positive := make([]bool, n)
+	for i := range scores {
+		positive[i] = r.Bool(0.4)
+		if positive[i] {
+			scores[i] = r.Norm(1, 1)
+		} else {
+			scores[i] = r.Norm(0, 1)
+		}
+	}
+	auc, err := AUC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := ROC(scores, positive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		area += (curve[i].FPR - curve[i-1].FPR) * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	if math.Abs(auc-area) > 1e-9 {
+		t.Fatalf("rank AUC %v vs trapezoid %v", auc, area)
+	}
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"udm/internal/core"
+	"udm/internal/eval"
+	"udm/internal/kde"
+	"udm/internal/kernel"
+	"udm/internal/microcluster"
+)
+
+// AblationAssign isolates the contribution of the error-adjusted
+// assignment distance (Eq. 5): both variants keep error-adjusted kernels,
+// but one routes points to micro-clusters with plain Euclidean distance
+// by building its transform on error-stripped rows and re-attaching the
+// error statistics through the kernel stage. Concretely we compare the
+// full method against a transform whose assignment ignored errors
+// (ErrorAdjust=false) evaluated with error-adjusted test kernels — the
+// residual gap is the assignment rule's share of the win.
+func AblationAssign(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := cfg.FSweep
+	full := make([]float64, len(xs))
+	euclid := make([]float64, len(xs))
+	for i, f := range xs {
+		b, err := makePerturbed("adult", f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Full method: Eq. 5 assignment + error statistics.
+		ca, err := densityClassifier(b.train, cfg.MicroClusters, true, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if full[i], err = accuracyOf(ca, b.test); err != nil {
+			return nil, err
+		}
+		// Euclidean assignment: build the summaries on the same rows but
+		// with plain distance; error statistics still accumulate because
+		// we add rows manually with their errors.
+		ce, err := euclideanAssignClassifier(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if euclid[i], err = accuracyOf(ce, b.test); err != nil {
+			return nil, err
+		}
+	}
+	return eval.NewTable(
+		"Ablation — Eq. 5 error-adjusted assignment vs Euclidean assignment (Adult)",
+		"avg error (std devs, f)",
+		eval.Series{Name: "Error-adjusted assignment", X: xs, Y: full},
+		eval.Series{Name: "Euclidean assignment", X: xs, Y: euclid},
+	)
+}
+
+// euclideanAssignClassifier builds per-class summaries that keep the EF2
+// error statistics but assign points with the plain Euclidean distance
+// (error row withheld from the assignment step only).
+func euclideanAssignClassifier(b bundle, cfg Config) (*core.Classifier, error) {
+	train := b.train
+	k := train.NumClasses()
+	// The core Builder always honors the error row during assignment, so
+	// reproduce its structure manually with two summarizer sets.
+	global := microcluster.NewSummarizer(cfg.MicroClusters, train.Dims())
+	class := make([]*microcluster.Summarizer, k)
+	counts := make([]int, k)
+	for c := range class {
+		class[c] = microcluster.NewSummarizer(cfg.MicroClusters, train.Dims())
+	}
+	addEuclid := func(s *microcluster.Summarizer, x, er []float64) {
+		if s.Len() < s.MaxClusters() {
+			s.Add(x, er)
+			return
+		}
+		// Route with nil error (Euclidean), then fold the true error in.
+		i := s.Nearest(x, nil)
+		s.Feature(i).Add(x, er, 0)
+		s.Feature(i).Centroid(s.Centroid(i))
+	}
+	for i := 0; i < train.Len(); i++ {
+		l := train.Labels[i]
+		addEuclid(global, train.X[i], train.ErrRow(i))
+		addEuclid(class[l], train.X[i], train.ErrRow(i))
+		counts[l]++
+	}
+	return core.NewClassifierFromSummaries(global, class, counts, core.ClassifierOptions{
+		KDE: kde.Options{ErrorAdjust: true},
+	})
+}
+
+// AblationBandwidth compares bandwidth rules at a fixed error level on
+// the Adult profile.
+func AblationBandwidth(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	rules := []struct {
+		name string
+		rule kernel.BandwidthRule
+	}{
+		{"Silverman (paper)", kernel.Silverman},
+		{"Silverman robust", kernel.SilvermanRobust},
+		{"Scott", kernel.Scott},
+	}
+	xs := cfg.FSweep
+	series := make([]eval.Series, len(rules))
+	for ri := range rules {
+		series[ri] = eval.Series{Name: rules[ri].name, X: xs, Y: make([]float64, len(xs))}
+	}
+	for i, f := range xs {
+		b, err := makePerturbed("adult", f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.NewTransform(b.train, core.TransformOptions{
+			MicroClusters: cfg.MicroClusters, ErrorAdjust: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ri, r := range rules {
+			c, err := core.NewClassifier(tr, core.ClassifierOptions{
+				KDE: kde.Options{Bandwidth: kernel.Bandwidth{Rule: r.rule}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if series[ri].Y[i], err = accuracyOf(c, b.test); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return eval.NewTable("Ablation — bandwidth rules (Adult)",
+		"avg error (std devs, f)", series...)
+}
+
+// AblationExact compares the micro-cluster classifier against the exact
+// point-density classifier (no compression) across q, at f = 1.2 on the
+// Adult profile: the summarization gap the paper argues is small.
+func AblationExact(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	b, err := makePerturbed("adult", cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := core.NewExactClassifier(b.train, core.ClassifierOptions{
+		KDE: kde.Options{ErrorAdjust: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	exactAcc, err := accuracyOf(exact, b.test)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(cfg.QSweep))
+	mc := make([]float64, len(cfg.QSweep))
+	ex := make([]float64, len(cfg.QSweep))
+	for i, q := range cfg.QSweep {
+		xs[i] = float64(q)
+		c, err := densityClassifier(b.train, q, true, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if mc[i], err = accuracyOf(c, b.test); err != nil {
+			return nil, err
+		}
+		ex[i] = exactAcc
+	}
+	return eval.NewTable("Ablation — micro-cluster vs exact densities (Adult, f=1.2)",
+		"number of micro-clusters",
+		eval.Series{Name: "Micro-cluster densities", X: xs, Y: mc},
+		eval.Series{Name: "Exact densities (no compression)", X: xs, Y: ex},
+	)
+}
+
+// AblationMaxSubspaces sweeps the paper's p cap — "it is possible to
+// terminate the process after finding at most p non-overlapping subsets
+// of dimensions" — on the Forest Cover profile at f = 1.2. p = 0 means
+// unlimited (the base algorithm).
+func AblationMaxSubspaces(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	b, err := makePerturbed("forest-cover", cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTransform(b.train, core.TransformOptions{
+		MicroClusters: cfg.MicroClusters, ErrorAdjust: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps := []float64{1, 2, 3, 5, 0}
+	ys := make([]float64, len(ps))
+	for i, p := range ps {
+		c, err := core.NewClassifier(tr, core.ClassifierOptions{MaxSubspaces: int(p)})
+		if err != nil {
+			return nil, err
+		}
+		if ys[i], err = accuracyOf(c, b.test); err != nil {
+			return nil, err
+		}
+	}
+	return eval.NewTable(
+		"Ablation — voting-subspace cap p (Forest Cover, f=1.2; 0 = unlimited)",
+		"max non-overlapping subspaces p",
+		eval.Series{Name: "Density (With Error Adjustment)", X: ps, Y: ys},
+	)
+}
+
+// AblationKernelForm compares the normalized error-adjusted kernel (unit
+// mass for every ψ) against the kernel exactly as printed in the paper's
+// Eq. 3, whose mass dips below 1 as ψ grows. Because the classifier
+// consumes density *ratios*, the normalization largely cancels; this
+// ablation quantifies the residual difference.
+func AblationKernelForm(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := cfg.FSweep
+	normalized := make([]float64, len(xs))
+	paper := make([]float64, len(xs))
+	for i, f := range xs {
+		b, err := makePerturbed("forest-cover", f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.NewTransform(b.train, core.TransformOptions{
+			MicroClusters: cfg.MicroClusters, ErrorAdjust: true, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, form := range []bool{false, true} {
+			c, err := core.NewClassifier(tr, core.ClassifierOptions{
+				KDE: kde.Options{PaperKernel: form},
+			})
+			if err != nil {
+				return nil, err
+			}
+			acc, err := accuracyOf(c, b.test)
+			if err != nil {
+				return nil, err
+			}
+			if form {
+				paper[i] = acc
+			} else {
+				normalized[i] = acc
+			}
+		}
+	}
+	return eval.NewTable(
+		"Ablation — normalized vs literal Eq. 3 kernel (Forest Cover)",
+		"avg error (std devs, f)",
+		eval.Series{Name: "Normalized kernel", X: xs, Y: normalized},
+		eval.Series{Name: "Literal Eq. 3 kernel", X: xs, Y: paper},
+	)
+}
+
+// AblationSubspace isolates the Fig. 3 subspace machinery: the full
+// classifier (roll-up + non-overlap voting) against the same densities
+// used as a plain full-dimensional Bayes rule, across error levels on
+// the Forest Cover profile (where subspace selection has dimensions to
+// choose among).
+func AblationSubspace(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := cfg.FSweep
+	sub := make([]float64, len(xs))
+	full := make([]float64, len(xs))
+	for i, f := range xs {
+		b, err := makePerturbed("forest-cover", f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c, err := densityClassifier(b.train, cfg.MicroClusters, true, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if sub[i], err = accuracyOf(c, b.test); err != nil {
+			return nil, err
+		}
+		if full[i], err = accuracyOf(c.FullSpace(), b.test); err != nil {
+			return nil, err
+		}
+	}
+	return eval.NewTable(
+		"Ablation — subspace roll-up vs full-space density Bayes (Forest Cover)",
+		"avg error (std devs, f)",
+		eval.Series{Name: "Subspace voting (Fig. 3)", X: xs, Y: sub},
+		eval.Series{Name: "Full-space density Bayes", X: xs, Y: full},
+	)
+}
+
+// AblationThreshold sweeps the accuracy threshold a of Fig. 3 on the
+// Adult profile at f = 1.2, exposing the selectivity/coverage trade-off.
+func AblationThreshold(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	b, err := makePerturbed("adult", cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTransform(b.train, core.TransformOptions{
+		MicroClusters: cfg.MicroClusters, ErrorAdjust: true, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	thresholds := []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9}
+	ys := make([]float64, len(thresholds))
+	for i, a := range thresholds {
+		c, err := core.NewClassifier(tr, core.ClassifierOptions{Threshold: a})
+		if err != nil {
+			return nil, err
+		}
+		if ys[i], err = accuracyOf(c, b.test); err != nil {
+			return nil, err
+		}
+	}
+	return eval.NewTable("Ablation — accuracy threshold a (Adult, f=1.2)",
+		"threshold a",
+		eval.Series{Name: "Density (With Error Adjustment)", X: thresholds, Y: ys},
+	)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"udm/internal/baseline"
+	"udm/internal/eval"
+)
+
+// accuracyVsF reproduces the Figure-4/6 protocol on one profile:
+// accuracy of the three comparators as the error level f grows, with the
+// number of micro-clusters fixed (the paper uses 140).
+func accuracyVsF(profile, title string, cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := cfg.FSweep
+	adj := make([]float64, len(xs))
+	noAdj := make([]float64, len(xs))
+	nn := make([]float64, len(xs))
+	for i, f := range xs {
+		b, err := makePerturbed(profile, f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		adj[i], noAdj[i], nn[i], err = comparatorAccuracies(b, cfg.MicroClusters, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return eval.NewTable(title, "avg error (std devs, f)",
+		eval.Series{Name: "Density (With Error Adjustment)", X: xs, Y: adj},
+		eval.Series{Name: "Density (No Error Adjustment)", X: xs, Y: noAdj},
+		eval.Series{Name: "NN Classifier", X: xs, Y: nn},
+	)
+}
+
+// accuracyVsQ reproduces the Figure-5/7 protocol on one profile:
+// accuracy as the number of micro-clusters grows, at f fixed to 1.2. The
+// NN baseline is independent of q and appears as a horizontal line, as in
+// the paper.
+func accuracyVsQ(profile, title string, cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	b, err := makePerturbed(profile, cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nnc, err := baseline.NewNearestNeighbor(b.train)
+	if err != nil {
+		return nil, err
+	}
+	nnAcc, err := accuracyOf(nnc, b.test)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(cfg.QSweep))
+	adj := make([]float64, len(cfg.QSweep))
+	noAdj := make([]float64, len(cfg.QSweep))
+	nn := make([]float64, len(cfg.QSweep))
+	for i, q := range cfg.QSweep {
+		xs[i] = float64(q)
+		ca, err := densityClassifier(b.train, q, true, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if adj[i], err = accuracyOf(ca, b.test); err != nil {
+			return nil, err
+		}
+		cn, err := densityClassifier(b.train, q, false, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if noAdj[i], err = accuracyOf(cn, b.test); err != nil {
+			return nil, err
+		}
+		nn[i] = nnAcc
+	}
+	return eval.NewTable(title, "number of micro-clusters",
+		eval.Series{Name: "Density (With Error Adjustment)", X: xs, Y: adj},
+		eval.Series{Name: "Density (No Error Adjustment)", X: xs, Y: noAdj},
+		eval.Series{Name: "NN Classifier", X: xs, Y: nn},
+	)
+}
+
+// Fig4 reproduces Figure 4: classification accuracy vs error level on the
+// Adult profile, 140 micro-clusters.
+func Fig4(cfg Config) (*eval.Table, error) {
+	return accuracyVsF("adult",
+		"Fig. 4 — Error Based Classification for Different Error Levels (Adult)", cfg)
+}
+
+// Fig5 reproduces Figure 5: accuracy vs number of micro-clusters on the
+// Adult profile, f = 1.2.
+func Fig5(cfg Config) (*eval.Table, error) {
+	return accuracyVsQ("adult",
+		"Fig. 5 — Error Based Classification for Different Number of Micro-clusters (Adult)", cfg)
+}
+
+// Fig6 reproduces Figure 6: accuracy vs error level on the Forest Cover
+// profile, 140 micro-clusters.
+func Fig6(cfg Config) (*eval.Table, error) {
+	return accuracyVsF("forest-cover",
+		"Fig. 6 — Error Based Classification for Different Error Levels (Forest Cover)", cfg)
+}
+
+// Fig7 reproduces Figure 7: accuracy vs number of micro-clusters on the
+// Forest Cover profile, f = 1.2.
+func Fig7(cfg Config) (*eval.Table, error) {
+	return accuracyVsQ("forest-cover",
+		"Fig. 7 — Error Based Classification for Different Number of Micro-clusters (Forest Cover)", cfg)
+}

@@ -1,0 +1,235 @@
+// Package experiments reproduces the paper's evaluation (Aggarwal, ICDE
+// 2007, §4): one runner per figure (4–11) plus the ablations called out
+// in DESIGN.md. Each runner returns an eval.Table holding the same series
+// the paper plots, regenerable via cmd/udmbench or the root benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"udm/internal/baseline"
+	"udm/internal/core"
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/eval"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+// Config scales the experiment suite. The zero value means "paper-shaped
+// defaults at laptop-friendly sizes"; raise Rows for tighter curves.
+type Config struct {
+	// Seed drives all data generation, perturbation and splits.
+	Seed int64
+	// Rows is the total number of rows generated per data set
+	// (train + test). Default 2400.
+	Rows int
+	// TestFrac is the held-out fraction. Default 1/3.
+	TestFrac float64
+	// MicroClusters is the q used by the accuracy-vs-f figures (the
+	// paper fixes 140). Default 140.
+	MicroClusters int
+	// FSweep is the error-level sweep of Figures 4 and 6.
+	// Default {0, 0.5, 1, 1.5, 2, 2.5, 3}.
+	FSweep []float64
+	// QSweep is the micro-cluster sweep of Figures 5, 7, 8 and 9.
+	// Default {20, 40, 60, 80, 100, 120, 140}.
+	QSweep []int
+	// FFixed is the error level used where the paper fixes f = 1.2.
+	FFixed float64
+	// DimSweep is the dimensionality sweep of Figure 10.
+	// Default {5, 10, 15, 20, 25, 30, 34}.
+	DimSweep []int
+	// SizeSweep is the data-size sweep of Figure 11.
+	// Default {200, 400, ..., 2000}.
+	SizeSweep []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Rows == 0 {
+		c.Rows = 2400
+	}
+	if c.TestFrac == 0 {
+		c.TestFrac = 1.0 / 3.0
+	}
+	if c.MicroClusters == 0 {
+		c.MicroClusters = 140
+	}
+	if len(c.FSweep) == 0 {
+		c.FSweep = []float64{0, 0.5, 1, 1.5, 2, 2.5, 3}
+	}
+	if len(c.QSweep) == 0 {
+		c.QSweep = []int{20, 40, 60, 80, 100, 120, 140}
+	}
+	if c.FFixed == 0 {
+		c.FFixed = 1.2
+	}
+	if len(c.DimSweep) == 0 {
+		c.DimSweep = []int{5, 10, 15, 20, 25, 30, 34}
+	}
+	if len(c.SizeSweep) == 0 {
+		c.SizeSweep = []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+	}
+	return c
+}
+
+// Figure is one regenerable experiment.
+type Figure struct {
+	// ID is the short handle ("fig4" … "fig11", "ablation-…").
+	ID string
+	// Title describes the figure as in the paper.
+	Title string
+	// Run executes the experiment and returns its series.
+	Run func(cfg Config) (*eval.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Figure {
+	return []Figure{
+		{ID: "fig4", Title: "Fig. 4: Error Based Classification for Different Error Levels (Adult)", Run: Fig4},
+		{ID: "fig5", Title: "Fig. 5: Classification for Different Number of Micro-clusters (Adult)", Run: Fig5},
+		{ID: "fig6", Title: "Fig. 6: Error Based Classification for Different Error Levels (Forest Cover)", Run: Fig6},
+		{ID: "fig7", Title: "Fig. 7: Classification for Different Number of Micro-clusters (Forest Cover)", Run: Fig7},
+		{ID: "fig8", Title: "Fig. 8: Training Time with Increasing Number of Micro-clusters", Run: Fig8},
+		{ID: "fig9", Title: "Fig. 9: Testing Time with Increasing Number of Micro-clusters", Run: Fig9},
+		{ID: "fig10", Title: "Fig. 10: Testing Time with Increasing Data Dimensionality (Ionosphere)", Run: Fig10},
+		{ID: "fig11", Title: "Fig. 11: Training Rate with Increasing Number of Data Points (Forest Cover)", Run: Fig11},
+		{ID: "ablation-assign", Title: "Ablation: error-adjusted vs Euclidean micro-cluster assignment", Run: AblationAssign},
+		{ID: "ablation-bandwidth", Title: "Ablation: bandwidth rules (Silverman / robust / Scott)", Run: AblationBandwidth},
+		{ID: "ablation-exact", Title: "Ablation: micro-cluster vs exact density classification", Run: AblationExact},
+		{ID: "ablation-threshold", Title: "Ablation: accuracy threshold a sweep", Run: AblationThreshold},
+		{ID: "ablation-subspace", Title: "Ablation: subspace roll-up vs full-space density Bayes", Run: AblationSubspace},
+		{ID: "ablation-p", Title: "Ablation: voting-subspace cap p", Run: AblationMaxSubspaces},
+		{ID: "ablation-kernel", Title: "Ablation: normalized vs literal Eq. 3 kernel", Run: AblationKernelForm},
+		{ID: "ext-outlier", Title: "Extension: error-aware outlier AUC vs degraded-sensor error", Run: ExtOutlierAUC},
+		{ID: "ext-calibration", Title: "Extension: probability calibration vs error level", Run: ExtCalibration},
+		{ID: "ext-drift", Title: "Extension: stream drift score vs regime shift", Run: ExtDrift},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Figure, error) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	var ids []string
+	for _, f := range All() {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q (valid: %v)", id, ids)
+}
+
+// bundle is one perturbed train/test division.
+type bundle struct {
+	train, test *dataset.Dataset
+}
+
+// makePerturbed generates cfg.Rows clean rows from the named profile,
+// applies the paper's f-perturbation, and splits stratified. The clean
+// data depends only on (profile, cfg.Seed, cfg.Rows), so sweeps over f or
+// q perturb the same underlying table.
+func makePerturbed(profile string, f float64, cfg Config) (bundle, error) {
+	cfg = cfg.withDefaults()
+	spec, err := datagen.ByName(profile)
+	if err != nil {
+		return bundle{}, err
+	}
+	r := rng.New(cfg.Seed).Split("data-" + profile)
+	clean, err := spec.Generate(cfg.Rows, r)
+	if err != nil {
+		return bundle{}, err
+	}
+	noisy, err := uncertain.Perturb(clean, f, r.Split(fmt.Sprintf("perturb-%g", f)))
+	if err != nil {
+		return bundle{}, err
+	}
+	// Small runs can miss the rarest classes entirely (forest cover's
+	// smallest prior is 0.5%); renumber so every class slot is populated.
+	noisy = compactClasses(noisy)
+	train, test, err := noisy.StratifiedSplit(1-cfg.TestFrac, r.Split("split"))
+	if err != nil {
+		return bundle{}, err
+	}
+	return bundle{train: train, test: test}, nil
+}
+
+// densityClassifier trains the transform-based classifier.
+func densityClassifier(train *dataset.Dataset, q int, adjust bool, seed int64) (*core.Classifier, error) {
+	tr, err := core.NewTransform(train, core.TransformOptions{
+		MicroClusters: q,
+		ErrorAdjust:   adjust,
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewClassifier(tr, core.ClassifierOptions{})
+}
+
+// accuracyOf evaluates a classifier and returns its accuracy.
+func accuracyOf(c eval.Classifier, test *dataset.Dataset) (float64, error) {
+	res, err := eval.Evaluate(c, test)
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy(), nil
+}
+
+// comparatorAccuracies runs the paper's three comparators on one bundle:
+// error-adjusted density, non-adjusted density, nearest neighbor.
+func comparatorAccuracies(b bundle, q int, seed int64) (adj, noAdj, nn float64, err error) {
+	ca, err := densityClassifier(b.train, q, true, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if adj, err = accuracyOf(ca, b.test); err != nil {
+		return 0, 0, 0, err
+	}
+	cn, err := densityClassifier(b.train, q, false, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if noAdj, err = accuracyOf(cn, b.test); err != nil {
+		return 0, 0, 0, err
+	}
+	nnc, err := baseline.NewNearestNeighbor(b.train)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if nn, err = accuracyOf(nnc, b.test); err != nil {
+		return 0, 0, 0, err
+	}
+	return adj, noAdj, nn, nil
+}
+
+// trainSeconds measures transform construction per training example.
+func trainSeconds(train *dataset.Dataset, q int, seed int64) (float64, error) {
+	var buildErr error
+	per := eval.TimePerExample(train.Len(), func() {
+		_, buildErr = core.NewTransform(train, core.TransformOptions{
+			MicroClusters: q,
+			ErrorAdjust:   true,
+			Seed:          seed,
+		})
+	})
+	if buildErr != nil {
+		return 0, buildErr
+	}
+	return per.Seconds(), nil
+}
+
+// testSeconds measures classification time per test example.
+func testSeconds(c *core.Classifier, test *dataset.Dataset) (float64, error) {
+	res, err := eval.Evaluate(c, test)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerExample().Seconds(), nil
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a scaled-down config that keeps every experiment fast while
+// preserving its structure.
+func tiny() Config {
+	return Config{
+		Seed:          5,
+		Rows:          360,
+		MicroClusters: 25,
+		FSweep:        []float64{0, 2},
+		QSweep:        []int{10, 25},
+		DimSweep:      []int{3, 6},
+		SizeSweep:     []int{100, 200},
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	figs := All()
+	if len(figs) < 12 {
+		t.Fatalf("only %d experiments registered", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.Run == nil {
+			t.Fatalf("incomplete figure %+v", f)
+		}
+		if ids[f.ID] {
+			t.Fatalf("duplicate ID %q", f.ID)
+		}
+		ids[f.ID] = true
+	}
+	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if _, err := ByID("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Rows != 2400 || c.MicroClusters != 140 || c.FFixed != 1.2 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if len(c.FSweep) != 7 || len(c.QSweep) != 7 {
+		t.Fatalf("sweep defaults wrong: %+v", c)
+	}
+}
+
+func TestMakePerturbedDeterministic(t *testing.T) {
+	a, err := makePerturbed("adult", 1, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := makePerturbed("adult", 1, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.train.Len() != b.train.Len() {
+		t.Fatal("split sizes differ")
+	}
+	for i := range a.train.X {
+		for j := range a.train.X[i] {
+			if a.train.X[i][j] != b.train.X[i][j] {
+				t.Fatal("perturbed data not deterministic")
+			}
+		}
+	}
+	// Different f keeps the same clean base (first rows differ only by
+	// noise, train size identical).
+	c, err := makePerturbed("adult", 2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.train.Len() != a.train.Len() {
+		t.Fatal("different f changed the split size")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 3 {
+		t.Fatalf("%d series, want 3", len(tab.Series))
+	}
+	names := []string{
+		"Density (With Error Adjustment)",
+		"Density (No Error Adjustment)",
+		"NN Classifier",
+	}
+	for i, s := range tab.Series {
+		if s.Name != names[i] {
+			t.Errorf("series %d = %q", i, s.Name)
+		}
+		if len(s.X) != 2 {
+			t.Errorf("series %d has %d points", i, len(s.X))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("accuracy %v out of [0,1]", y)
+			}
+		}
+	}
+	// At f = 0 the two density classifiers coincide (same algorithm,
+	// zero errors everywhere).
+	adj0, noAdj0 := tab.Series[0].Y[0], tab.Series[1].Y[0]
+	if adj0 != noAdj0 {
+		t.Errorf("f=0: adjusted %v != unadjusted %v", adj0, noAdj0)
+	}
+	// At high f the error-adjusted classifier is at least competitive
+	// with the unadjusted one (small-sample tolerance).
+	if tab.Series[0].Y[1] < tab.Series[1].Y[1]-0.08 {
+		t.Errorf("f=2: adjusted %v well below unadjusted %v",
+			tab.Series[0].Y[1], tab.Series[1].Y[1])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tab, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 3 {
+		t.Fatalf("%d series", len(tab.Series))
+	}
+	// NN is a horizontal baseline.
+	nn := tab.Series[2]
+	for _, y := range nn.Y {
+		if y != nn.Y[0] {
+			t.Fatal("NN series should be constant across q")
+		}
+	}
+}
+
+func TestFig6And7Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forest-cover figures are slower; skipped in -short")
+	}
+	t6, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t6.Title, "Forest Cover") {
+		t.Error("Fig6 title wrong")
+	}
+	t7, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Series) != 3 {
+		t.Error("Fig7 series count wrong")
+	}
+}
+
+func TestFig8And9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing figures skipped in -short")
+	}
+	t8, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Series) != 4 {
+		t.Fatalf("Fig8 has %d series, want 4 data sets", len(t8.Series))
+	}
+	for _, s := range t8.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("non-positive training time %v in %s", y, s.Name)
+			}
+		}
+	}
+	t9, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Series) != 4 {
+		t.Fatalf("Fig9 has %d series", len(t9.Series))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dimensionality figure skipped in -short")
+	}
+	tab, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 2 {
+		t.Fatalf("Fig10 has %d series, want 2 (two q values)", len(tab.Series))
+	}
+	if len(tab.Series[0].X) != 2 {
+		t.Fatalf("Fig10 dims sweep length %d", len(tab.Series[0].X))
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size figure skipped in -short")
+	}
+	tab, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 1 || len(tab.Series[0].X) != 2 {
+		t.Fatalf("Fig11 shape wrong: %+v", tab.Series)
+	}
+	if tab.Series[0].X[0] != 100 || tab.Series[0].X[1] != 200 {
+		t.Fatalf("Fig11 sizes %v", tab.Series[0].X)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short")
+	}
+	cfg := tiny()
+	for _, id := range []string{"ablation-assign", "ablation-bandwidth", "ablation-exact", "ablation-threshold"} {
+		fig, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := fig.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Series) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		for _, s := range tab.Series {
+			for _, y := range s.Y {
+				if y < 0 || y > 1 {
+					t.Fatalf("%s: accuracy %v out of range", id, y)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactClasses(t *testing.T) {
+	b, err := makePerturbed("adult", 0, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop all class-1 rows and compact: one class remains.
+	var idx []int
+	for i, l := range b.train.Labels {
+		if l == 0 {
+			idx = append(idx, i)
+		}
+	}
+	sub := compactClasses(b.train.Subset(idx))
+	if sub.NumClasses() != 1 {
+		t.Fatalf("NumClasses = %d after compacting single class", sub.NumClasses())
+	}
+	if len(sub.ClassNames) != 1 || sub.ClassNames[0] != "<=50K" {
+		t.Fatalf("class names %v", sub.ClassNames)
+	}
+}

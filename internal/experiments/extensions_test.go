@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+func TestExtOutlierAUCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments skipped in -short")
+	}
+	tab, err := ExtOutlierAUC(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, oblivious := tab.Series[0], tab.Series[1]
+	for i := range aware.Y {
+		if aware.Y[i] < 0 || aware.Y[i] > 1 || oblivious.Y[i] < 0 || oblivious.Y[i] > 1 {
+			t.Fatalf("AUC out of range at %v", aware.X[i])
+		}
+	}
+	// At the largest degraded-sensor error the aware detector must be
+	// clearly ahead.
+	last := len(aware.Y) - 1
+	if !(aware.Y[last] > oblivious.Y[last]+0.2) {
+		t.Fatalf("aware AUC %v not clearly ahead of oblivious %v at max error",
+			aware.Y[last], oblivious.Y[last])
+	}
+	// Aware detector discriminates well in absolute terms; oblivious is
+	// near coin-flip on the extremes.
+	if aware.Y[last] < 0.75 {
+		t.Fatalf("aware AUC %v too low", aware.Y[last])
+	}
+	if oblivious.Y[last] > 0.7 {
+		t.Fatalf("oblivious AUC %v suspiciously high", oblivious.Y[last])
+	}
+}
+
+func TestExtCalibrationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments skipped in -short")
+	}
+	tab, err := ExtCalibration(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 2 {
+				t.Fatalf("%s[%d] = %v out of range", s.Name, i, y)
+			}
+		}
+	}
+}
+
+func TestExtDriftShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments skipped in -short")
+	}
+	tab, err := ExtDrift(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, control := tab.Series[0], tab.Series[1]
+	// Monotone-ish growth in the shifted dimension; flat control.
+	if !(shifted.Y[len(shifted.Y)-1] > 0.8) {
+		t.Fatalf("large shift drift %v, want near 1", shifted.Y[len(shifted.Y)-1])
+	}
+	if shifted.Y[0] > 0.3 {
+		t.Fatalf("zero-shift drift %v, want near 0", shifted.Y[0])
+	}
+	for i, y := range control.Y {
+		if y > 0.3 {
+			t.Fatalf("control drift %v at shift %v", y, control.X[i])
+		}
+	}
+}

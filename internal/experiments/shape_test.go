@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestPaperHeadlineShapes asserts, at reduced scale, the qualitative
+// claims EXPERIMENTS.md records for the paper's headline figure (Fig. 6,
+// forest cover): exact coincidence of the density classifiers at f = 0,
+// an error-adjustment advantage at high f, and NN collapsing below both.
+func TestPaperHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short")
+	}
+	cfg := Config{
+		Seed:          1,
+		Rows:          1200,
+		MicroClusters: 60,
+		FSweep:        []float64{0, 1.5},
+	}
+	tab, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, noAdj, nn := tab.Series[0], tab.Series[1], tab.Series[2]
+
+	// f = 0: the two density classifiers are the same algorithm.
+	if adj.Y[0] != noAdj.Y[0] {
+		t.Fatalf("f=0: adjusted %v != unadjusted %v", adj.Y[0], noAdj.Y[0])
+	}
+	// f = 1.5: adjusted ahead of unadjusted by a visible margin.
+	if !(adj.Y[1] > noAdj.Y[1]+0.01) {
+		t.Fatalf("f=1.5: adjusted %v not ahead of unadjusted %v", adj.Y[1], noAdj.Y[1])
+	}
+	// NN collapses below both density classifiers under noise.
+	if !(nn.Y[1] < adj.Y[1] && nn.Y[1] < noAdj.Y[1]) {
+		t.Fatalf("f=1.5: NN %v not below density classifiers (%v, %v)",
+			nn.Y[1], adj.Y[1], noAdj.Y[1])
+	}
+	// All classifiers degrade with f.
+	if !(adj.Y[1] < adj.Y[0] && nn.Y[1] < nn.Y[0]) {
+		t.Fatal("accuracy did not degrade with f")
+	}
+	// Error-adjusted stays above the 7-class random floor by a wide
+	// margin.
+	if adj.Y[1] < 0.3 {
+		t.Fatalf("adjusted accuracy %v too close to random", adj.Y[1])
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sort"
+	"udm/internal/core"
+	"udm/internal/datagen"
+
+	"udm/internal/dataset"
+	"udm/internal/eval"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+// timingProfiles are the four data sets of the paper's efficiency
+// figures, ordered as in its legends.
+var timingProfiles = []string{"forest-cover", "breast-cancer", "adult", "ionosphere"}
+
+// Fig8 reproduces Figure 8: training time per example (seconds) as the
+// number of micro-clusters grows, one series per data set. Training time
+// is linear in q and ordered by dimensionality, exactly the shape of the
+// paper's chart.
+func Fig8(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := make([]float64, len(cfg.QSweep))
+	for i, q := range cfg.QSweep {
+		xs[i] = float64(q)
+	}
+	var series []eval.Series
+	for _, profile := range timingProfiles {
+		b, err := makePerturbed(profile, cfg.FFixed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ys := make([]float64, len(cfg.QSweep))
+		for i, q := range cfg.QSweep {
+			if ys[i], err = trainSeconds(b.train, q, cfg.Seed); err != nil {
+				return nil, err
+			}
+		}
+		series = append(series, eval.Series{Name: profile, X: xs, Y: ys})
+	}
+	return eval.NewTable(
+		"Fig. 8 — Training Time (s/example) with Increasing Number of Micro-clusters",
+		"number of micro-clusters", series...)
+}
+
+// Fig9 reproduces Figure 9: testing time per example (seconds) as the
+// number of micro-clusters grows, one series per data set. Testing time
+// is far more dimension-sensitive than training time.
+func Fig9(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	xs := make([]float64, len(cfg.QSweep))
+	for i, q := range cfg.QSweep {
+		xs[i] = float64(q)
+	}
+	var series []eval.Series
+	for _, profile := range timingProfiles {
+		b, err := makePerturbed(profile, cfg.FFixed, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ys := make([]float64, len(cfg.QSweep))
+		for i, q := range cfg.QSweep {
+			c, err := densityClassifier(b.train, q, true, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if ys[i], err = testSeconds(c, b.test); err != nil {
+				return nil, err
+			}
+		}
+		series = append(series, eval.Series{Name: profile, X: xs, Y: ys})
+	}
+	return eval.NewTable(
+		"Fig. 9 — Testing Time (s/example) with Increasing Number of Micro-clusters",
+		"number of micro-clusters", series...)
+}
+
+// Fig10 reproduces Figure 10: testing time per example vs data
+// dimensionality, using projections of the Ionosphere profile at 80 and
+// 140 micro-clusters. The roll-up explores more subspaces as d grows, so
+// the curve bends upward.
+func Fig10(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	dims := cfg.DimSweep
+	qs := []int{80, 140}
+	if cfg.MicroClusters != 140 {
+		// Scaled-down runs keep the two-series structure around the
+		// configured q.
+		qs = []int{(cfg.MicroClusters + 1) / 2, cfg.MicroClusters}
+	}
+	b, err := makePerturbed("ionosphere", cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(dims))
+	ys := map[int][]float64{}
+	for _, q := range qs {
+		ys[q] = make([]float64, len(dims))
+	}
+	for i, d := range dims {
+		xs[i] = float64(d)
+		proj := make([]int, d)
+		for j := range proj {
+			proj[j] = j
+		}
+		train, err := b.train.Project(proj)
+		if err != nil {
+			return nil, err
+		}
+		test, err := b.test.Project(proj)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range qs {
+			c, err := densityClassifier(train, q, true, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if ys[q][i], err = testSeconds(c, test); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var series []eval.Series
+	for _, q := range qs {
+		series = append(series, eval.Series{
+			Name: fmt.Sprintf("%d micro-clusters", q), X: xs, Y: ys[q],
+		})
+	}
+	return eval.NewTable(
+		"Fig. 10 — Testing Time (s/example) with Increasing Data Dimensionality (Ionosphere)",
+		"data dimensionality", series...)
+}
+
+// Fig11 reproduces Figure 11: training time per example vs the number of
+// data points, Forest Cover profile at 140 micro-clusters. Small samples
+// are cheaper per example (the summarizer is still filling its q slots);
+// the rate stabilizes once all q clusters exist.
+func Fig11(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	sizes := cfg.SizeSweep
+	spec, err := datagen.ByName("forest-cover")
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed).Split("fig11")
+	clean, err := spec.Generate(sizes[len(sizes)-1], r)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := uncertain.Perturb(clean, cfg.FFixed, r.Split("perturb"))
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, n := range sizes {
+		xs[i] = float64(n)
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = j
+		}
+		// Small prefixes can miss the rarest cover types entirely;
+		// renumber labels so the transform sees only populated classes
+		// (timing is unaffected).
+		sample := compactClasses(noisy.Subset(idx))
+		var buildErr error
+		per := eval.TimePerExample(n, func() {
+			_, buildErr = core.NewTransform(sample, core.TransformOptions{
+				MicroClusters: cfg.MicroClusters,
+				ErrorAdjust:   true,
+				Seed:          cfg.Seed,
+			})
+		})
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		ys[i] = per.Seconds()
+	}
+	return eval.NewTable(
+		"Fig. 11 — Training Rate (s/example) with Increasing Number of Data Points (Forest Cover)",
+		"total number of data points",
+		eval.Series{Name: fmt.Sprintf("%d micro-clusters", cfg.MicroClusters), X: xs, Y: ys})
+}
+
+// compactClasses renumbers labels so that only classes present in the
+// data remain, dropping empty class slots that would otherwise make the
+// transform reject small samples. Relative label order is preserved, so
+// the mapping is the identity when every class is populated.
+func compactClasses(ds *dataset.Dataset) *dataset.Dataset {
+	present := map[int]bool{}
+	for _, l := range ds.Labels {
+		present[l] = true
+	}
+	var keys []int
+	for l := range present {
+		keys = append(keys, l)
+	}
+	sort.Ints(keys)
+	remap := map[int]int{}
+	var names []string
+	for nl, l := range keys {
+		remap[l] = nl
+		if l >= 0 && l < len(ds.ClassNames) {
+			names = append(names, ds.ClassNames[l])
+		} else {
+			names = append(names, fmt.Sprintf("class-%d", l))
+		}
+	}
+	out := ds.Clone()
+	for i, l := range out.Labels {
+		out.Labels[i] = remap[l]
+	}
+	out.ClassNames = names
+	return out
+}

@@ -1,0 +1,72 @@
+package kde
+
+import (
+	"fmt"
+	"testing"
+
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+)
+
+func BenchmarkPointDensity(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		d := gauss2(n, 0.5, 1)
+		est, err := NewPoint(d, Options{ErrorAdjust: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := []float64{0.5, -0.2}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = est.Density(q)
+			}
+		})
+	}
+}
+
+func BenchmarkClusterDensity(b *testing.B) {
+	d := gauss2(2000, 0.5, 2)
+	for _, q := range []int{20, 140} {
+		s := microcluster.Build(d, q, rng.New(3))
+		est, err := NewCluster(s, Options{ErrorAdjust: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := []float64{0.5, -0.2}
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = est.Density(x)
+			}
+		})
+	}
+}
+
+func BenchmarkClusterDensitySub1D(b *testing.B) {
+	d := gauss2(2000, 0.5, 4)
+	s := microcluster.Build(d, 140, rng.New(5))
+	est, err := NewCluster(s, Options{ErrorAdjust: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.5, -0.2}
+	dims := []int{0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.DensitySub(x, dims)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := gauss2(500, 0.5, 6)
+	est, err := NewPoint(d, Options{ErrorAdjust: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Sample(100, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

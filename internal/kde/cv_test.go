@@ -1,0 +1,133 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/kernel"
+	"udm/internal/rng"
+)
+
+func TestCVBandwidthsBeatsSilvermanOnBimodal(t *testing.T) {
+	// Silverman's normal-reference rule oversmooths bimodal data (σ spans
+	// both modes); CV should pick a smaller bandwidth and a higher LOO
+	// likelihood.
+	d := dataset.New("x")
+	r := rng.New(1)
+	for i := 0; i < 300; i++ {
+		c := -4.0
+		if i%2 == 1 {
+			c = 4.0
+		}
+		_ = d.Append([]float64{r.Norm(c, 0.5)}, nil, dataset.Unlabeled)
+	}
+	cv, err := CVBandwidths(d, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float64, d.Len())
+	for i := range d.X {
+		col[i] = d.X[i][0]
+	}
+	silverman := kernel.Bandwidth{Rule: kernel.Silverman}.FromValues(col, 1)
+	if !(cv[0] < silverman) {
+		t.Fatalf("CV bandwidth %v should be below Silverman %v on bimodal data", cv[0], silverman)
+	}
+	llCV, err := CVLogLikelihood(d, false, cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llSil, err := CVLogLikelihood(d, false, []float64{silverman})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(llCV > llSil) {
+		t.Fatalf("CV likelihood %v not above Silverman's %v", llCV, llSil)
+	}
+}
+
+func TestCVBandwidthsNearSilvermanOnGaussian(t *testing.T) {
+	// On genuinely Gaussian data the CV choice should stay within the
+	// grid's neighborhood of Silverman (factor ≤ 2 either way).
+	d := dataset.New("x")
+	r := rng.New(2)
+	for i := 0; i < 400; i++ {
+		_ = d.Append([]float64{r.Norm(0, 1)}, nil, dataset.Unlabeled)
+	}
+	cv, err := CVBandwidths(d, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float64, d.Len())
+	for i := range d.X {
+		col[i] = d.X[i][0]
+	}
+	silverman := kernel.Bandwidth{Rule: kernel.Silverman}.FromValues(col, 1)
+	ratio := cv[0] / silverman
+	if ratio < 0.45 || ratio > 2.2 {
+		t.Fatalf("CV/Silverman ratio %v suspicious on Gaussian data", ratio)
+	}
+}
+
+func TestCVBandwidthsPerDimension(t *testing.T) {
+	// Dim 0 bimodal (wants small h), dim 1 unimodal: chosen bandwidths
+	// must differ and be positive.
+	d := dataset.New("a", "b")
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		c := -5.0
+		if i%2 == 1 {
+			c = 5.0
+		}
+		_ = d.Append([]float64{r.Norm(c, 0.3), r.Norm(0, 1)}, nil, dataset.Unlabeled)
+	}
+	cv, err := CVBandwidths(d, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv) != 2 || cv[0] <= 0 || cv[1] <= 0 {
+		t.Fatalf("bandwidths %v", cv)
+	}
+}
+
+func TestCVBandwidthsValidation(t *testing.T) {
+	d := dataset.New("x")
+	_ = d.Append([]float64{1}, nil, dataset.Unlabeled)
+	_ = d.Append([]float64{2}, nil, dataset.Unlabeled)
+	if _, err := CVBandwidths(d, false, nil); err == nil {
+		t.Error("2 rows accepted")
+	}
+	_ = d.Append([]float64{3}, nil, dataset.Unlabeled)
+	if _, err := CVBandwidths(d, false, []float64{0}); err == nil {
+		t.Error("zero grid multiplier accepted")
+	}
+	if _, err := CVBandwidths(d, false, []float64{math.NaN()}); err == nil {
+		t.Error("NaN grid multiplier accepted")
+	}
+}
+
+func TestExplicitBandwidthsInOptions(t *testing.T) {
+	d := gauss2(50, 0, 20)
+	est, err := NewPoint(d, Options{Bandwidths: []float64{0.5, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BandwidthFor(0) != 0.5 || est.BandwidthFor(1) != 0.7 {
+		t.Fatalf("explicit bandwidths not applied: %v, %v",
+			est.BandwidthFor(0), est.BandwidthFor(1))
+	}
+	if _, err := NewPoint(d, Options{Bandwidths: []float64{1}}); err == nil {
+		t.Error("wrong bandwidth count accepted")
+	}
+	if _, err := NewPoint(d, Options{Bandwidths: []float64{1, -1}}); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestCVLogLikelihoodValidation(t *testing.T) {
+	d := gauss2(20, 0, 21)
+	if _, err := CVLogLikelihood(d, false, []float64{1}); err == nil {
+		t.Error("wrong bandwidth count accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+// TestTranslationInvariance: shifting every value of a dimension by a
+// constant shifts the density surface with it — densities at
+// correspondingly shifted query points are identical (bandwidths depend
+// only on spread).
+func TestTranslationInvariance(t *testing.T) {
+	d := gauss2(200, 0.5, 50)
+	const shift = 1234.5
+	shifted := d.Clone()
+	for i := range shifted.X {
+		shifted.X[i][0] += shift
+	}
+	a, err := NewPoint(d, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoint(shifted, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(51)
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{r.Norm(0, 3), r.Norm(0, 2)}
+		qs := []float64{q[0] + shift, q[1]}
+		fa, fb := a.Density(q), b.Density(qs)
+		if math.Abs(fa-fb) > 1e-12*(1+fa) {
+			t.Fatalf("translation broke invariance: %v vs %v", fa, fb)
+		}
+	}
+}
+
+// TestScaleEquivariance: scaling a dimension by s scales its marginal
+// density by 1/s (total mass preserved).
+func TestScaleEquivariance(t *testing.T) {
+	d := gauss2(200, 0.3, 52)
+	const s = 40.0
+	scaled := d.Clone()
+	for i := range scaled.X {
+		scaled.X[i][0] *= s
+		scaled.Err[i][0] *= s
+	}
+	a, err := NewPoint(d, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoint(scaled, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(53)
+	for trial := 0; trial < 50; trial++ {
+		x := r.Norm(0, 3)
+		fa := a.DensitySub([]float64{x, 0}, []int{0})
+		fb := b.DensitySub([]float64{x * s, 0}, []int{0})
+		if math.Abs(fa-fb*s) > 1e-9*(1+fa) {
+			t.Fatalf("scaling broke equivariance: %v vs %v·%v", fa, fb, s)
+		}
+	}
+}
+
+// TestDensityIndependentOfRowOrder: the point estimator is a plain sum,
+// so permuting rows cannot change any density.
+func TestDensityIndependentOfRowOrder(t *testing.T) {
+	d := gauss2(150, 0.4, 54)
+	perm := rng.New(55).Perm(d.Len())
+	shuffled := d.Subset(perm)
+	a, err := NewPoint(d, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoint(shuffled, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float64{{-2, 0}, {0, 1}, {2, -1}} {
+		fa, fb := a.Density(q), b.Density(q)
+		if math.Abs(fa-fb) > 1e-12*(1+fa) {
+			t.Fatalf("row order changed density: %v vs %v", fa, fb)
+		}
+	}
+}

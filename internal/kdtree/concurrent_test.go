@@ -1,0 +1,42 @@
+package kdtree
+
+import (
+	"sync"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+// TestConcurrentQueries exercises the immutability guarantee: many
+// goroutines querying one tree must agree with brute force (run with
+// -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	pts := randomPoints(1000, 3, 60)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(int64(100 + w))
+			for i := 0; i < 200; i++ {
+				q := []float64{r.Norm(0, 1), r.Norm(0, 1), r.Norm(0, 1)}
+				_, d2 := tree.Nearest(q)
+				_, want := bruteKNN(pts, q, 1)
+				if d2 != want[0] {
+					errs <- "tree/brute mismatch under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,205 @@
+// Package kdtree implements a static k-d tree over []float64 points for
+// exact nearest-neighbor and k-nearest-neighbor queries under squared
+// Euclidean distance. It backs the error-oblivious neighbor baselines:
+// brute force is O(N) per query, the tree is O(log N) on low-dimensional
+// data and never worse than brute force asymptotically.
+//
+// The tree is immutable after Build and safe for concurrent queries.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"udm/internal/num"
+)
+
+// Tree is an immutable k-d tree.
+type Tree struct {
+	pts   [][]float64 // referenced, not copied
+	nodes []node
+	root  int
+	dims  int
+}
+
+// node is one tree vertex over pts[idx].
+type node struct {
+	idx         int // point index
+	axis        int
+	left, right int // node indices, -1 = none
+}
+
+// Build constructs a tree over the given points (referenced, not
+// copied; callers must not mutate them afterwards). All points must
+// share a positive dimensionality.
+func Build(points [][]float64) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kdtree: no points")
+	}
+	d := len(points[0])
+	if d == 0 {
+		return nil, fmt.Errorf("kdtree: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("kdtree: point %d has %d dims, want %d", i, len(p), d)
+		}
+		if !num.AllFinite(p) {
+			return nil, fmt.Errorf("kdtree: point %d contains NaN or Inf", i)
+		}
+	}
+	t := &Tree{pts: points, dims: d, nodes: make([]node, 0, len(points))}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t, nil
+}
+
+// build recursively splits idx at the median of the current axis and
+// returns the created node's index (-1 for an empty set).
+func (t *Tree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := depth % t.dims
+	sort.Slice(idx, func(a, b int) bool {
+		return t.pts[idx[a]][axis] < t.pts[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	// Ensure the split point is the first of any ties so the left
+	// subtree holds strictly-smaller-or-equal values consistently.
+	for mid > 0 && t.pts[idx[mid-1]][axis] == t.pts[idx[mid]][axis] {
+		mid--
+	}
+	n := node{idx: idx[mid], axis: axis, left: -1, right: -1}
+	pos := len(t.nodes)
+	t.nodes = append(t.nodes, n)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[pos].left = left
+	t.nodes[pos].right = right
+	return pos
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Dims returns the point dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Nearest returns the index of the point closest to q and the squared
+// distance to it.
+func (t *Tree) Nearest(q []float64) (int, float64) {
+	idx, d2 := t.KNearest(q, 1)
+	return idx[0], d2[0]
+}
+
+// KNearest returns the indices of the k points closest to q, nearest
+// first, with their squared distances. It panics when q has the wrong
+// dimensionality or k is out of [1, Len()].
+func (t *Tree) KNearest(q []float64, k int) ([]int, []float64) {
+	if len(q) != t.dims {
+		panic(fmt.Sprintf("kdtree: query has %d dims, tree has %d", len(q), t.dims))
+	}
+	if k < 1 || k > len(t.pts) {
+		panic(fmt.Sprintf("kdtree: k=%d for %d points", k, len(t.pts)))
+	}
+	h := &maxHeap{}
+	t.search(t.root, q, k, h)
+	// Drain the max-heap into ascending order.
+	idx := make([]int, h.len())
+	d2 := make([]float64, h.len())
+	for i := h.len() - 1; i >= 0; i-- {
+		e := h.pop()
+		idx[i], d2[i] = e.idx, e.d2
+	}
+	return idx, d2
+}
+
+func (t *Tree) search(ni int, q []float64, k int, h *maxHeap) {
+	if ni < 0 {
+		return
+	}
+	n := t.nodes[ni]
+	p := t.pts[n.idx]
+	h.push(entry{idx: n.idx, d2: num.Dist2(q, p)}, k)
+
+	diff := q[n.axis] - p[n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, k, h)
+	// Visit the far side only if the splitting plane could hide a closer
+	// point than the current k-th best.
+	if h.len() < k || diff*diff < h.top().d2 {
+		t.search(far, q, k, h)
+	}
+}
+
+// entry is a candidate neighbor.
+type entry struct {
+	idx int
+	d2  float64
+}
+
+// maxHeap is a bounded max-heap of candidate neighbors: the root is the
+// worst of the best-k seen so far.
+type maxHeap struct{ e []entry }
+
+func (h *maxHeap) len() int   { return len(h.e) }
+func (h *maxHeap) top() entry { return h.e[0] }
+func (h *maxHeap) push(x entry, k int) {
+	if len(h.e) < k {
+		h.e = append(h.e, x)
+		h.up(len(h.e) - 1)
+		return
+	}
+	if x.d2 >= h.e[0].d2 {
+		return
+	}
+	h.e[0] = x
+	h.down(0)
+}
+
+func (h *maxHeap) pop() entry {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *maxHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.e[i].d2 <= h.e[parent].d2 {
+			return
+		}
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
+		i = parent
+	}
+}
+
+func (h *maxHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.e) && h.e[l].d2 > h.e[big].d2 {
+			big = l
+		}
+		if r < len(h.e) && h.e[r].d2 > h.e[big].d2 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.e[i], h.e[big] = h.e[big], h.e[i]
+		i = big
+	}
+}

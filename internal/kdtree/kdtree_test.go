@@ -1,0 +1,195 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"udm/internal/num"
+	"udm/internal/rng"
+)
+
+func randomPoints(n, d int, seed int64) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Norm(0, 1)
+		}
+	}
+	return pts
+}
+
+// bruteKNN is the reference implementation.
+func bruteKNN(pts [][]float64, q []float64, k int) ([]int, []float64) {
+	type nd struct {
+		i  int
+		d2 float64
+	}
+	all := make([]nd, len(pts))
+	for i, p := range pts {
+		all[i] = nd{i: i, d2: num.Dist2(q, p)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d2 != all[b].d2 {
+			return all[a].d2 < all[b].d2
+		}
+		return all[a].i < all[b].i
+	})
+	idx := make([]int, k)
+	d2 := make([]float64, k)
+	for i := 0; i < k; i++ {
+		idx[i], d2[i] = all[i].i, all[i].d2
+	}
+	return idx, d2
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 10} {
+		pts := randomPoints(300, d, int64(d))
+		tree, err := Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(100 + int64(d))
+		for trial := 0; trial < 200; trial++ {
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = r.Norm(0, 1.5)
+			}
+			gotIdx, gotD2 := tree.Nearest(q)
+			_, wantD2 := bruteKNN(pts, q, 1)
+			// Distances must agree exactly (ties may differ in index).
+			if gotD2 != wantD2[0] {
+				t.Fatalf("d=%d trial %d: tree d2 %v vs brute %v", d, trial, gotD2, wantD2[0])
+			}
+			if num.Dist2(q, pts[gotIdx]) != gotD2 {
+				t.Fatal("returned distance inconsistent with returned index")
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 4, 7)
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	for trial := 0; trial < 100; trial++ {
+		q := make([]float64, 4)
+		for j := range q {
+			q[j] = r.Norm(0, 2)
+		}
+		k := 1 + r.Intn(20)
+		gotIdx, gotD2 := tree.KNearest(q, k)
+		_, wantD2 := bruteKNN(pts, q, k)
+		if len(gotIdx) != k {
+			t.Fatalf("returned %d neighbors, want %d", len(gotIdx), k)
+		}
+		for i := 0; i < k; i++ {
+			if gotD2[i] != wantD2[i] {
+				t.Fatalf("k=%d position %d: %v vs %v", k, i, gotD2[i], wantD2[i])
+			}
+			if i > 0 && gotD2[i] < gotD2[i-1] {
+				t.Fatal("results not ascending")
+			}
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, d2 := tree.KNearest([]float64{1, 1}, 3)
+	for i := 0; i < 3; i++ {
+		if d2[i] != 0 {
+			t.Fatalf("duplicate distances %v", d2)
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatal("duplicate index returned twice")
+		}
+		seen[i] = true
+	}
+}
+
+func TestSinglePointAndFullK(t *testing.T) {
+	tree, err := Build([][]float64{{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, d2 := tree.Nearest([]float64{5})
+	if i != 0 || d2 != 4 {
+		t.Fatalf("got %d, %v", i, d2)
+	}
+	pts := randomPoints(50, 2, 9)
+	tr, _ := Build(pts)
+	idx, _ := tr.KNearest([]float64{0, 0}, 50)
+	seen := map[int]bool{}
+	for _, j := range idx {
+		seen[j] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("full-k query returned %d distinct points", len(seen))
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Build([][]float64{{}}); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := Build([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged accepted")
+	}
+	if _, err := Build([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestQueryPanics(t *testing.T) {
+	tree, _ := Build(randomPoints(10, 2, 10))
+	for name, fn := range map[string]func(){
+		"wrong dims": func() { tree.Nearest([]float64{1}) },
+		"k=0":        func() { tree.KNearest([]float64{1, 2}, 0) },
+		"k>n":        func() { tree.KNearest([]float64{1, 2}, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkTreeVsBrute(b *testing.B) {
+	pts := randomPoints(10000, 6, 11)
+	tree, err := Build(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.1, -0.2, 0.3, 0, 0.5, -0.1}
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Nearest(q)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bruteKNN(pts, q, 1)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/num"
+)
+
+// BandwidthRule selects how per-dimension smoothing parameters h_j are
+// derived from the data.
+type BandwidthRule int
+
+const (
+	// Silverman is the paper's rule: h = 1.06 · σ · N^(−1/5).
+	Silverman BandwidthRule = iota
+	// SilvermanRobust uses h = 0.9 · min(σ, IQR/1.34) · N^(−1/5), the
+	// robust variant recommended by Silverman for non-Gaussian data.
+	SilvermanRobust
+	// Scott uses h = σ · N^(−1/(d+4)), which widens bandwidths as the
+	// total dimensionality d grows.
+	Scott
+	// Fixed uses a caller-supplied constant bandwidth.
+	Fixed
+)
+
+// String returns the rule name.
+func (r BandwidthRule) String() string {
+	switch r {
+	case Silverman:
+		return "silverman"
+	case SilvermanRobust:
+		return "silverman-robust"
+	case Scott:
+		return "scott"
+	case Fixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("kernel.BandwidthRule(%d)", int(r))
+	}
+}
+
+// Bandwidth bundles a rule with its parameters.
+type Bandwidth struct {
+	Rule BandwidthRule
+	// Value is the constant bandwidth when Rule == Fixed; ignored otherwise.
+	Value float64
+	// MinH floors the resulting bandwidth; it defaults to DefaultMinH
+	// when zero so degenerate (constant) dimensions still yield a usable
+	// kernel.
+	MinH float64
+}
+
+// DefaultMinH is the floor applied to computed bandwidths so a dimension
+// with zero sample variance does not produce a degenerate kernel.
+const DefaultMinH = 1e-6
+
+// FromSigma computes the bandwidth from a dimension's standard deviation
+// sigma, the number of points n, and the total data dimensionality d.
+// It is the summary-statistics form used when raw values are unavailable
+// (e.g. computing kernels from micro-cluster statistics).
+func (b Bandwidth) FromSigma(sigma float64, n, d int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("kernel: bandwidth for n=%d points", n))
+	}
+	var h float64
+	switch b.Rule {
+	case Silverman:
+		h = 1.06 * sigma * math.Pow(float64(n), -0.2)
+	case SilvermanRobust:
+		// Without raw values the IQR is unknown; fall back to σ.
+		h = 0.9 * sigma * math.Pow(float64(n), -0.2)
+	case Scott:
+		if d < 1 {
+			d = 1
+		}
+		h = sigma * math.Pow(float64(n), -1/float64(d+4))
+	case Fixed:
+		h = b.Value
+	default:
+		panic(fmt.Sprintf("kernel: unknown bandwidth rule %d", int(b.Rule)))
+	}
+	return b.floor(h)
+}
+
+// FromValues computes the bandwidth from one dimension's raw values given
+// the total data dimensionality d.
+func (b Bandwidth) FromValues(values []float64, d int) float64 {
+	if len(values) == 0 {
+		panic("kernel: bandwidth from no values")
+	}
+	if b.Rule == Fixed {
+		return b.floor(b.Value)
+	}
+	sigma := math.Sqrt(num.Variance(values))
+	if b.Rule == SilvermanRobust {
+		spread := sigma
+		if len(values) >= 4 {
+			if r := num.IQR(values) / 1.34; r < spread {
+				spread = r
+			}
+		}
+		return b.floor(0.9 * spread * math.Pow(float64(len(values)), -0.2))
+	}
+	return b.FromSigma(sigma, len(values), d)
+}
+
+func (b Bandwidth) floor(h float64) float64 {
+	minH := b.MinH
+	if minH <= 0 {
+		minH = DefaultMinH
+	}
+	if h < minH {
+		return minH
+	}
+	return h
+}

@@ -1,0 +1,101 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSilvermanFromSigma(t *testing.T) {
+	// h = 1.06 σ N^{-1/5}; paper's rule.
+	b := Bandwidth{Rule: Silverman}
+	got := b.FromSigma(2, 1000, 1)
+	want := 1.06 * 2 * math.Pow(1000, -0.2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Silverman = %v, want %v", got, want)
+	}
+}
+
+func TestBandwidthShrinksWithN(t *testing.T) {
+	b := Bandwidth{Rule: Silverman}
+	if !(b.FromSigma(1, 10, 1) > b.FromSigma(1, 1000, 1)) {
+		t.Error("bandwidth should shrink with N")
+	}
+}
+
+func TestScottDependsOnDimensionality(t *testing.T) {
+	b := Bandwidth{Rule: Scott}
+	if !(b.FromSigma(1, 1000, 10) > b.FromSigma(1, 1000, 1)) {
+		t.Error("Scott bandwidth should grow with d")
+	}
+}
+
+func TestFixedRule(t *testing.T) {
+	b := Bandwidth{Rule: Fixed, Value: 0.37}
+	if got := b.FromSigma(99, 5, 3); got != 0.37 {
+		t.Fatalf("Fixed = %v", got)
+	}
+	if got := b.FromValues([]float64{1, 2, 3}, 1); got != 0.37 {
+		t.Fatalf("Fixed from values = %v", got)
+	}
+}
+
+func TestMinHFloor(t *testing.T) {
+	b := Bandwidth{Rule: Silverman}
+	if got := b.FromSigma(0, 100, 1); got != DefaultMinH {
+		t.Fatalf("zero-sigma bandwidth = %v, want floor %v", got, DefaultMinH)
+	}
+	b.MinH = 0.5
+	if got := b.FromSigma(0.001, 100, 1); got != 0.5 {
+		t.Fatalf("custom floor = %v", got)
+	}
+}
+
+func TestFromValuesMatchesFromSigma(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9} // σ = 2
+	b := Bandwidth{Rule: Silverman}
+	if got, want := b.FromValues(v, 1), b.FromSigma(2, len(v), 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FromValues = %v, FromSigma = %v", got, want)
+	}
+}
+
+func TestSilvermanRobustUsesIQRWhenSmaller(t *testing.T) {
+	// Heavy outlier inflates σ but not the IQR; robust rule should be
+	// smaller than the plain rule.
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 1000}
+	plain := Bandwidth{Rule: Silverman}.FromValues(v, 1)
+	robust := Bandwidth{Rule: SilvermanRobust}.FromValues(v, 1)
+	if robust >= plain {
+		t.Fatalf("robust %v should be < plain %v under outliers", robust, plain)
+	}
+}
+
+func TestBandwidthPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n=0 did not panic")
+			}
+		}()
+		Bandwidth{Rule: Silverman}.FromSigma(1, 0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty values did not panic")
+			}
+		}()
+		Bandwidth{Rule: Silverman}.FromValues(nil, 1)
+	}()
+}
+
+func TestRuleString(t *testing.T) {
+	names := map[BandwidthRule]string{
+		Silverman: "silverman", SilvermanRobust: "silverman-robust",
+		Scott: "scott", Fixed: "fixed",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package microcluster
+
+import (
+	"fmt"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func benchPoints(n, d int) (xs, es [][]float64) {
+	r := rng.New(1)
+	xs = make([][]float64, n)
+	es = make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, d)
+		es[i] = make([]float64, d)
+		for j := range xs[i] {
+			xs[i][j] = r.Norm(0, 1)
+			es[i][j] = 0.3
+		}
+	}
+	return xs, es
+}
+
+func BenchmarkSummarizerAdd(b *testing.B) {
+	for _, cfg := range []struct{ q, d int }{{20, 6}, {140, 6}, {140, 34}} {
+		b.Run(fmt.Sprintf("q=%d/d=%d", cfg.q, cfg.d), func(b *testing.B) {
+			xs, es := benchPoints(4096, cfg.d)
+			s := NewSummarizer(cfg.q, cfg.d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(xs)
+				s.Add(xs[k], es[k])
+			}
+		})
+	}
+}
+
+func BenchmarkDist2(b *testing.B) {
+	xs, es := benchPoints(2, 34)
+	b.Run("with-errors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Dist2(xs[0], xs[1], es[0])
+		}
+	})
+	b.Run("euclidean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Dist2(xs[0], xs[1], nil)
+		}
+	})
+}
+
+func BenchmarkFeatureMerge(b *testing.B) {
+	xs, es := benchPoints(128, 10)
+	fa, fb := NewFeature(10), NewFeature(10)
+	for i, x := range xs {
+		if i%2 == 0 {
+			fa.Add(x, es[i], int64(i))
+		} else {
+			fb.Add(x, es[i], int64(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fa.Clone().Merge(fb)
+	}
+}
+
+func BenchmarkDelta(b *testing.B) {
+	xs, es := benchPoints(256, 10)
+	f := NewFeature(10)
+	for i, x := range xs {
+		f.Add(x, es[i], int64(i))
+	}
+	dst := make([]float64, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Delta(dst)
+	}
+}

@@ -1,0 +1,51 @@
+package microcluster
+
+import "fmt"
+
+// Dist2 returns the error-adjusted squared distance of Eq. (5):
+//
+//	dist(Y, c) = Σ_j max{0, (Y_j − c_j)² − ψ_j(Y)²}
+//
+// Dimensions whose displacement is within the point's own error
+// contribute nothing, so high-error dimensions cannot dominate the
+// assignment — the "best-case" distance the paper argues is more robust
+// for noisy high-dimensional data. err may be nil (all ψ_j = 0), which
+// reduces Dist2 to the ordinary squared Euclidean distance.
+func Dist2(y, c, err []float64) float64 {
+	if len(y) != len(c) {
+		panic(fmt.Sprintf("microcluster: Dist2 with %d-dim point and %d-dim centroid", len(y), len(c)))
+	}
+	if err != nil && len(err) != len(y) {
+		panic(fmt.Sprintf("microcluster: Dist2 with %d-dim error for %d-dim point", len(err), len(y)))
+	}
+	var s float64
+	for j := range y {
+		d := y[j] - c[j]
+		d2 := d * d
+		if err != nil {
+			d2 -= err[j] * err[j]
+		}
+		if d2 > 0 {
+			s += d2
+		}
+	}
+	return s
+}
+
+// Dist2Sub is Dist2 restricted to the dimension subset dims: y and err
+// are full-dimensional rows, c is indexed by the same full-dimensional
+// coordinates.
+func Dist2Sub(y, c, err []float64, dims []int) float64 {
+	var s float64
+	for _, j := range dims {
+		d := y[j] - c[j]
+		d2 := d * d
+		if err != nil {
+			d2 -= err[j] * err[j]
+		}
+		if d2 > 0 {
+			s += d2
+		}
+	}
+	return s
+}

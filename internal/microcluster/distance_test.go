@@ -1,0 +1,114 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"udm/internal/num"
+)
+
+func TestDist2ReducesToEuclidean(t *testing.T) {
+	y := []float64{1, 2, 3}
+	c := []float64{4, 6, 3}
+	if got, want := Dist2(y, c, nil), num.Dist2(y, c); got != want {
+		t.Fatalf("Dist2 without errors = %v, want %v", got, want)
+	}
+	zero := []float64{0, 0, 0}
+	if got, want := Dist2(y, c, zero), num.Dist2(y, c); got != want {
+		t.Fatalf("Dist2 with zero errors = %v, want %v", got, want)
+	}
+}
+
+func TestDist2ZeroWithinError(t *testing.T) {
+	// Paper: if the displacement along a dimension is within the error,
+	// that dimension contributes zero.
+	y := []float64{1, 10}
+	c := []float64{2, 10}
+	err := []float64{1.5, 0} // |1-2| = 1 < 1.5
+	if got := Dist2(y, c, err); got != 0 {
+		t.Fatalf("Dist2 = %v, want 0 (within error)", got)
+	}
+}
+
+func TestDist2PartialAdjustment(t *testing.T) {
+	y := []float64{0, 0}
+	c := []float64{3, 4}
+	err := []float64{1, 0}
+	// dim0: 9 - 1 = 8; dim1: 16.
+	if got := Dist2(y, c, err); got != 24 {
+		t.Fatalf("Dist2 = %v, want 24", got)
+	}
+}
+
+func TestDist2Properties(t *testing.T) {
+	f := func(a, b, e [3]float64) bool {
+		y, c := a[:], b[:]
+		err := make([]float64, 3)
+		for j := range err {
+			y[j] = clean(y[j])
+			c[j] = clean(c[j])
+			err[j] = math.Abs(clean(e[j]))
+		}
+		d := Dist2(y, c, err)
+		// Non-negative and never exceeds the unadjusted distance.
+		return d >= 0 && d <= num.Dist2(y, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2MonotoneInError(t *testing.T) {
+	// Growing any error can only shrink the distance.
+	y := []float64{0, 0}
+	c := []float64{3, 4}
+	prev := Dist2(y, c, []float64{0, 0})
+	for _, e := range []float64{1, 2, 3, 5} {
+		cur := Dist2(y, c, []float64{e, e})
+		if cur > prev {
+			t.Fatalf("distance grew with error: %v -> %v at e=%v", prev, cur, e)
+		}
+		prev = cur
+	}
+	if prev != 0 {
+		t.Fatalf("distance with huge errors = %v, want 0", prev)
+	}
+}
+
+func TestDist2Sub(t *testing.T) {
+	y := []float64{1, 2, 3}
+	c := []float64{1, 5, 10}
+	err := []float64{0, 1, 0}
+	// Subspace {1}: (2-5)² - 1 = 8.
+	if got := Dist2Sub(y, c, err, []int{1}); got != 8 {
+		t.Fatalf("Dist2Sub = %v, want 8", got)
+	}
+	// Full set matches Dist2.
+	if got, want := Dist2Sub(y, c, err, []int{0, 1, 2}), Dist2(y, c, err); got != want {
+		t.Fatalf("Dist2Sub full = %v, want %v", got, want)
+	}
+	// Empty subspace is zero.
+	if got := Dist2Sub(y, c, err, nil); got != 0 {
+		t.Fatalf("empty subspace distance = %v", got)
+	}
+}
+
+func TestDist2Panics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched point/centroid did not panic")
+			}
+		}()
+		Dist2([]float64{1}, []float64{1, 2}, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched error row did not panic")
+			}
+		}()
+		Dist2([]float64{1, 2}, []float64{1, 2}, []float64{0.1})
+	}()
+}

@@ -1,0 +1,205 @@
+// Package microcluster implements the error-based micro-clusters of
+// Aggarwal (ICDE 2007), §2.1: additive cluster-feature summaries that
+// extend CluStream/BIRCH-style features with per-dimension error
+// statistics (Definition 1), the error-adjusted assignment distance
+// (Eq. 5), and the pseudo-point error of Lemma 1 that lets a whole
+// cluster stand in for its points during kernel density estimation.
+package microcluster
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/num"
+)
+
+// Feature is the error-based micro-cluster summary CFT(C) of
+// Definition 1: the (3d+1)-tuple (CF2x, EF2x, CF1x, n) over the points
+// assigned to the cluster, plus first/last timestamps for stream
+// bookkeeping. All statistics are additive over points, so features can
+// be built in one pass and merged freely.
+type Feature struct {
+	// CF2 holds the per-dimension sums of squared values Σ (x_j)².
+	CF2 []float64
+	// EF2 holds the per-dimension sums of squared errors Σ ψ_j(X)².
+	EF2 []float64
+	// CF1 holds the per-dimension sums of values Σ x_j.
+	CF1 []float64
+	// N is the number of points summarized.
+	N int
+	// FirstT and LastT are the earliest and latest timestamps folded in;
+	// both are 0 until the first Add.
+	FirstT, LastT int64
+}
+
+// NewFeature returns an empty d-dimensional feature.
+func NewFeature(d int) *Feature {
+	return &Feature{
+		CF2: make([]float64, d),
+		EF2: make([]float64, d),
+		CF1: make([]float64, d),
+	}
+}
+
+// Dims returns the dimensionality of the feature.
+func (f *Feature) Dims() int { return len(f.CF1) }
+
+// Add folds one record with per-dimension errors into the summary.
+// err may be nil, meaning all ψ_j = 0. ts is the record's timestamp.
+func (f *Feature) Add(x, err []float64, ts int64) {
+	if len(x) != f.Dims() {
+		panic(fmt.Sprintf("microcluster: record has %d dims, feature has %d", len(x), f.Dims()))
+	}
+	if err != nil && len(err) != f.Dims() {
+		panic(fmt.Sprintf("microcluster: error row has %d dims, feature has %d", len(err), f.Dims()))
+	}
+	for j, v := range x {
+		f.CF1[j] += v
+		f.CF2[j] += v * v
+		if err != nil {
+			f.EF2[j] += err[j] * err[j]
+		}
+	}
+	if f.N == 0 || ts < f.FirstT {
+		f.FirstT = ts
+	}
+	if f.N == 0 || ts > f.LastT {
+		f.LastT = ts
+	}
+	f.N++
+}
+
+// Merge folds another feature into f. Both must have the same
+// dimensionality.
+func (f *Feature) Merge(o *Feature) {
+	if o.Dims() != f.Dims() {
+		panic(fmt.Sprintf("microcluster: merging %d-dim feature into %d-dim", o.Dims(), f.Dims()))
+	}
+	if o.N == 0 {
+		return
+	}
+	num.AddTo(f.CF1, f.CF1, o.CF1)
+	num.AddTo(f.CF2, f.CF2, o.CF2)
+	num.AddTo(f.EF2, f.EF2, o.EF2)
+	if f.N == 0 {
+		f.FirstT, f.LastT = o.FirstT, o.LastT
+	} else {
+		if o.FirstT < f.FirstT {
+			f.FirstT = o.FirstT
+		}
+		if o.LastT > f.LastT {
+			f.LastT = o.LastT
+		}
+	}
+	f.N += o.N
+}
+
+// Sub returns f − o: the summary of exactly the points present in f but
+// not in o. It is only meaningful when o is an earlier snapshot of the
+// same cluster (the additive statistics then subtract cleanly — the
+// CluStream-style subtractive property, valid here because clusters are
+// never discarded or reassigned). It returns an error when o is not a
+// plausible prefix of f (more points, or a different dimensionality).
+// Timestamps of the difference are approximated as (o.LastT, f.LastT].
+func (f *Feature) Sub(o *Feature) (*Feature, error) {
+	if o.Dims() != f.Dims() {
+		return nil, fmt.Errorf("microcluster: subtracting %d-dim feature from %d-dim", o.Dims(), f.Dims())
+	}
+	if o.N > f.N {
+		return nil, fmt.Errorf("microcluster: subtracting %d points from %d", o.N, f.N)
+	}
+	out := NewFeature(f.Dims())
+	num.SubTo(out.CF1, f.CF1, o.CF1)
+	num.SubTo(out.CF2, f.CF2, o.CF2)
+	num.SubTo(out.EF2, f.EF2, o.EF2)
+	out.N = f.N - o.N
+	if out.N > 0 {
+		out.FirstT = o.LastT + 1
+		out.LastT = f.LastT
+		if o.N == 0 {
+			out.FirstT = f.FirstT
+		}
+	}
+	// Guard against floating-point residue driving sums negative where
+	// they must be non-negative.
+	for j := range out.CF2 {
+		if out.CF2[j] < 0 {
+			out.CF2[j] = 0
+		}
+		if out.EF2[j] < 0 {
+			out.EF2[j] = 0
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the feature.
+func (f *Feature) Clone() *Feature {
+	return &Feature{
+		CF2:    num.Clone(f.CF2),
+		EF2:    num.Clone(f.EF2),
+		CF1:    num.Clone(f.CF1),
+		N:      f.N,
+		FirstT: f.FirstT,
+		LastT:  f.LastT,
+	}
+}
+
+// Centroid writes the cluster centroid CF1/n into dst (allocated when
+// nil) and returns it. It panics on an empty feature.
+func (f *Feature) Centroid(dst []float64) []float64 {
+	if f.N == 0 {
+		panic("microcluster: centroid of empty feature")
+	}
+	if dst == nil {
+		dst = make([]float64, f.Dims())
+	}
+	return num.ScaleTo(dst, f.CF1, 1/float64(f.N))
+}
+
+// Variance returns the per-dimension population variance of the points in
+// the cluster along dimension j: CF2_j/n − (CF1_j/n)². Tiny negative
+// values from floating-point cancellation are clamped to 0.
+func (f *Feature) Variance(j int) float64 {
+	if f.N == 0 {
+		panic("microcluster: variance of empty feature")
+	}
+	n := float64(f.N)
+	m := f.CF1[j] / n
+	v := f.CF2[j]/n - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MeanErr2 returns the mean squared error EF2_j/n along dimension j.
+func (f *Feature) MeanErr2(j int) float64 {
+	if f.N == 0 {
+		panic("microcluster: error of empty feature")
+	}
+	return f.EF2[j] / float64(f.N)
+}
+
+// Delta2 returns the squared pseudo-point error Δ_j(C)² of Lemma 1 along
+// dimension j:
+//
+//	Δ_j(C)² = CF2_j/n − (CF1_j/n)² + EF2_j/n  (cluster variance + mean squared error)
+//
+// This is the error used when the whole cluster is treated as a single
+// pseudo-observation in the error-based kernel (Eq. 9).
+func (f *Feature) Delta2(j int) float64 {
+	return f.Variance(j) + f.MeanErr2(j)
+}
+
+// Delta writes the per-dimension pseudo-point errors Δ_j(C) into dst
+// (allocated when nil) and returns it.
+func (f *Feature) Delta(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, f.Dims())
+	}
+	for j := range dst {
+		dst[j] = math.Sqrt(f.Delta2(j))
+	}
+	return dst
+}

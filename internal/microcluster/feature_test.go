@@ -1,0 +1,214 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"udm/internal/rng"
+)
+
+func TestFeatureAddAccumulates(t *testing.T) {
+	f := NewFeature(2)
+	f.Add([]float64{1, 2}, []float64{0.5, 0}, 10)
+	f.Add([]float64{3, 4}, []float64{0, 1}, 5)
+	if f.N != 2 {
+		t.Fatalf("N = %d", f.N)
+	}
+	if f.CF1[0] != 4 || f.CF1[1] != 6 {
+		t.Fatalf("CF1 = %v", f.CF1)
+	}
+	if f.CF2[0] != 10 || f.CF2[1] != 20 {
+		t.Fatalf("CF2 = %v", f.CF2)
+	}
+	if f.EF2[0] != 0.25 || f.EF2[1] != 1 {
+		t.Fatalf("EF2 = %v", f.EF2)
+	}
+	if f.FirstT != 5 || f.LastT != 10 {
+		t.Fatalf("timestamps %d..%d", f.FirstT, f.LastT)
+	}
+}
+
+func TestFeatureNilErrorRow(t *testing.T) {
+	f := NewFeature(1)
+	f.Add([]float64{3}, nil, 0)
+	if f.EF2[0] != 0 {
+		t.Fatal("nil error row should contribute zero EF2")
+	}
+}
+
+func TestCentroidAndVariance(t *testing.T) {
+	f := NewFeature(1)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		f.Add([]float64{v}, nil, 0)
+	}
+	if c := f.Centroid(nil); c[0] != 5 {
+		t.Fatalf("centroid = %v", c)
+	}
+	if v := f.Variance(0); v != 4 {
+		t.Fatalf("variance = %v", v)
+	}
+}
+
+// TestLemma1MatchesDirectComputation is the central correctness check for
+// the micro-cluster pseudo-point error: Δ_j(C)² computed from the summary
+// statistics must equal the direct average of bias² + ψ² over the points
+// (Lemma 1 / Eq. 6-8).
+func TestLemma1MatchesDirectComputation(t *testing.T) {
+	r := rng.New(11)
+	const n, d = 50, 3
+	xs := make([][]float64, n)
+	es := make([][]float64, n)
+	f := NewFeature(d)
+	for i := range xs {
+		xs[i] = make([]float64, d)
+		es[i] = make([]float64, d)
+		for j := range xs[i] {
+			xs[i][j] = r.Norm(0, 5)
+			es[i][j] = math.Abs(r.Norm(0, 2))
+		}
+		f.Add(xs[i], es[i], int64(i))
+	}
+	cent := f.Centroid(nil)
+	for j := 0; j < d; j++ {
+		// Direct: (1/n) Σ_i [ (x_ij − c_j)² + ψ_j(X_i)² ]
+		var direct float64
+		for i := range xs {
+			b := xs[i][j] - cent[j]
+			direct += b*b + es[i][j]*es[i][j]
+		}
+		direct /= n
+		if got := f.Delta2(j); math.Abs(got-direct) > 1e-9*(1+direct) {
+			t.Fatalf("dim %d: Delta2 = %v, direct = %v", j, got, direct)
+		}
+	}
+}
+
+func TestMergeEqualsBulkAdd(t *testing.T) {
+	f := func(a, b [4][2]float64) bool {
+		fa, fb, all := NewFeature(2), NewFeature(2), NewFeature(2)
+		ts := int64(0)
+		for _, row := range a {
+			x := []float64{clean(row[0]), clean(row[1])}
+			fa.Add(x, nil, ts)
+			all.Add(x, nil, ts)
+			ts++
+		}
+		for _, row := range b {
+			x := []float64{clean(row[0]), clean(row[1])}
+			fb.Add(x, nil, ts)
+			all.Add(x, nil, ts)
+			ts++
+		}
+		fa.Merge(fb)
+		if fa.N != all.N || fa.FirstT != all.FirstT || fa.LastT != all.LastT {
+			return false
+		}
+		for j := 0; j < 2; j++ {
+			if !close(fa.CF1[j], all.CF1[j]) || !close(fa.CF2[j], all.CF2[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEmptyAndTimestamps(t *testing.T) {
+	a, b := NewFeature(1), NewFeature(1)
+	a.Add([]float64{1}, nil, 100)
+	a.Merge(b) // empty merge is no-op
+	if a.N != 1 || a.FirstT != 100 {
+		t.Fatal("empty merge changed feature")
+	}
+	b.Merge(a) // merge into empty adopts timestamps
+	if b.FirstT != 100 || b.LastT != 100 {
+		t.Fatalf("timestamps after merge into empty: %d..%d", b.FirstT, b.LastT)
+	}
+}
+
+func TestVarianceClampsNegativeRoundoff(t *testing.T) {
+	f := NewFeature(1)
+	// Identical large values: CF2/n - mean² cancels catastrophically.
+	for i := 0; i < 10; i++ {
+		f.Add([]float64{1e8 + 0.1}, nil, 0)
+	}
+	if v := f.Variance(0); v < 0 {
+		t.Fatalf("variance = %v, want clamped ≥ 0", v)
+	}
+}
+
+func TestDeltaVector(t *testing.T) {
+	f := NewFeature(2)
+	f.Add([]float64{0, 0}, []float64{3, 0}, 0)
+	f.Add([]float64{0, 2}, []float64{3, 0}, 0)
+	d := f.Delta(nil)
+	// Dim 0: variance 0, mean err² 9 ⇒ Δ = 3.
+	if math.Abs(d[0]-3) > 1e-12 {
+		t.Errorf("Δ_0 = %v, want 3", d[0])
+	}
+	// Dim 1: variance 1, err 0 ⇒ Δ = 1.
+	if math.Abs(d[1]-1) > 1e-12 {
+		t.Errorf("Δ_1 = %v, want 1", d[1])
+	}
+}
+
+func TestEmptyFeaturePanics(t *testing.T) {
+	f := NewFeature(1)
+	for name, fn := range map[string]func(){
+		"centroid": func() { f.Centroid(nil) },
+		"variance": func() { f.Variance(0) },
+		"meanerr":  func() { f.MeanErr2(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty feature did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	f := NewFeature(2)
+	for name, fn := range map[string]func(){
+		"add":       func() { f.Add([]float64{1}, nil, 0) },
+		"add-error": func() { f.Add([]float64{1, 2}, []float64{0.1}, 0) },
+		"merge":     func() { f.Merge(NewFeature(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := NewFeature(1)
+	f.Add([]float64{1}, []float64{0.5}, 1)
+	c := f.Clone()
+	c.CF1[0] = 99
+	c.EF2[0] = 99
+	if f.CF1[0] == 99 || f.EF2[0] == 99 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func clean(x float64) float64 {
+	if x != x || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

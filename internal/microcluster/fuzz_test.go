@@ -1,0 +1,68 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDist2 checks the Eq. 5 metric's invariants on arbitrary inputs:
+// non-negative, never above the unadjusted distance, zero when every
+// displacement is within the error.
+func FuzzDist2(f *testing.F) {
+	f.Add(1.0, 2.0, 0.5, 3.0, 4.0, 0.0)
+	f.Add(0.0, 0.0, 10.0, 5.0, 5.0, 10.0)
+	f.Add(-1e9, 1e9, 1e10, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, y0, y1, e0, c0, c1, e1 float64) {
+		for _, v := range []float64{y0, y1, e0, c0, c1, e1} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		y := []float64{y0, y1}
+		c := []float64{c0, c1}
+		e := []float64{math.Abs(e0), math.Abs(e1)}
+		d := Dist2(y, c, e)
+		if math.IsNaN(d) || d < 0 {
+			t.Fatalf("Dist2 = %v", d)
+		}
+		plain := Dist2(y, c, nil)
+		if d > plain && !math.IsInf(plain, 1) {
+			t.Fatalf("adjusted %v exceeds unadjusted %v", d, plain)
+		}
+		if math.Abs(y0-c0) <= e[0] && math.Abs(y1-c1) <= e[1] && d != 0 {
+			t.Fatalf("within-error distance = %v, want 0", d)
+		}
+	})
+}
+
+// FuzzFeatureAdd checks that the additive statistics stay consistent
+// under arbitrary finite inputs: Lemma 1's Δ² is non-negative and the
+// centroid stays within the value envelope.
+func FuzzFeatureAdd(f *testing.F) {
+	f.Add(1.0, 0.5, 2.0, 0.25, 3.0, 0.0)
+	f.Add(-1e6, 10.0, 1e6, 10.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, x1, e1, x2, e2, x3, e3 float64) {
+		vals := []float64{x1, x2, x3}
+		errs := []float64{e1, e2, e3}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		ft := NewFeature(1)
+		for i := range vals {
+			if math.IsNaN(vals[i]) || math.Abs(vals[i]) > 1e12 ||
+				math.IsNaN(errs[i]) || math.IsInf(errs[i], 0) {
+				return
+			}
+			ft.Add([]float64{vals[i]}, []float64{math.Abs(errs[i])}, int64(i))
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		if d2 := ft.Delta2(0); d2 < 0 || math.IsNaN(d2) {
+			t.Fatalf("Delta2 = %v", d2)
+		}
+		c := ft.Centroid(nil)[0]
+		// Allow for floating-point slack proportional to magnitude.
+		slack := 1e-9 * (1 + math.Abs(lo) + math.Abs(hi))
+		if c < lo-slack || c > hi+slack {
+			t.Fatalf("centroid %v outside [%v, %v]", c, lo, hi)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFeatureSubRecoversIncrement(t *testing.T) {
+	base := NewFeature(2)
+	base.Add([]float64{1, 2}, []float64{0.1, 0.2}, 0)
+	base.Add([]float64{3, 4}, []float64{0.3, 0.4}, 1)
+	snapshot := base.Clone()
+	base.Add([]float64{5, 6}, []float64{0.5, 0.6}, 2)
+	base.Add([]float64{7, 8}, []float64{0.7, 0.8}, 3)
+
+	diff, err := base.Sub(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.N != 2 {
+		t.Fatalf("diff N = %d", diff.N)
+	}
+	// Must equal the stats of exactly the two later points.
+	direct := NewFeature(2)
+	direct.Add([]float64{5, 6}, []float64{0.5, 0.6}, 2)
+	direct.Add([]float64{7, 8}, []float64{0.7, 0.8}, 3)
+	for j := 0; j < 2; j++ {
+		if math.Abs(diff.CF1[j]-direct.CF1[j]) > 1e-12 ||
+			math.Abs(diff.CF2[j]-direct.CF2[j]) > 1e-12 ||
+			math.Abs(diff.EF2[j]-direct.EF2[j]) > 1e-12 {
+			t.Fatalf("dim %d stats differ: %+v vs %+v", j, diff, direct)
+		}
+	}
+	// Timestamps approximate the increment interval.
+	if diff.FirstT != snapshot.LastT+1 || diff.LastT != base.LastT {
+		t.Fatalf("timestamps %d..%d", diff.FirstT, diff.LastT)
+	}
+}
+
+func TestFeatureSubEmptyBaseline(t *testing.T) {
+	f := NewFeature(1)
+	f.Add([]float64{3}, nil, 5)
+	diff, err := f.Sub(NewFeature(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.N != 1 || diff.CF1[0] != 3 || diff.FirstT != 5 {
+		t.Fatalf("diff %+v", diff)
+	}
+}
+
+func TestFeatureSubSelf(t *testing.T) {
+	f := NewFeature(1)
+	f.Add([]float64{2}, []float64{0.5}, 0)
+	diff, err := f.Sub(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.N != 0 || diff.CF1[0] != 0 || diff.CF2[0] != 0 || diff.EF2[0] != 0 {
+		t.Fatalf("self-sub %+v", diff)
+	}
+}
+
+func TestFromFeatures(t *testing.T) {
+	a, b, empty := NewFeature(2), NewFeature(2), NewFeature(2)
+	a.Add([]float64{1, 1}, nil, 0)
+	b.Add([]float64{5, 5}, []float64{0.5, 0.5}, 1)
+	s, err := FromFeatures([]*Feature{a, empty, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 { // empty dropped
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Count() != 2 || s.Dims() != 2 {
+		t.Fatalf("Count/Dims = %d/%d", s.Count(), s.Dims())
+	}
+	// Deep copy: mutating the source doesn't touch the view.
+	a.Add([]float64{100, 100}, nil, 2)
+	if s.Feature(0).N != 1 {
+		t.Fatal("FromFeatures aliases its inputs")
+	}
+	// Centroids rebuilt.
+	if s.Centroid(1)[0] != 5 {
+		t.Fatalf("centroid %v", s.Centroid(1))
+	}
+}
+
+func TestFromFeaturesErrors(t *testing.T) {
+	if _, err := FromFeatures(nil); err == nil {
+		t.Error("no features accepted")
+	}
+	if _, err := FromFeatures([]*Feature{NewFeature(1)}); err == nil {
+		t.Error("all-empty accepted")
+	}
+	if _, err := FromFeatures([]*Feature{nil}); err == nil {
+		t.Error("nil feature accepted")
+	}
+	a, b := NewFeature(1), NewFeature(2)
+	a.Add([]float64{1}, nil, 0)
+	b.Add([]float64{1, 2}, nil, 0)
+	if _, err := FromFeatures([]*Feature{a, b}); err == nil {
+		t.Error("mixed dims accepted")
+	}
+}
+
+func TestSummarizerAccessors(t *testing.T) {
+	s := NewSummarizer(7, 3)
+	if s.MaxClusters() != 7 {
+		t.Fatalf("MaxClusters = %d", s.MaxClusters())
+	}
+	s.Add([]float64{1, 2, 3}, nil)
+	feats := s.Features()
+	if len(feats) != 1 || feats[0].N != 1 {
+		t.Fatalf("Features() = %v", feats)
+	}
+}

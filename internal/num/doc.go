@@ -1,0 +1,8 @@
+// Package num provides the small dense-vector and numerically careful
+// scalar routines that the rest of the library is built on: compensated
+// and pairwise summation, running moments, quantiles, normal-distribution
+// special functions, and log-sum-exp.
+//
+// Everything operates on plain []float64 with no hidden allocation unless
+// documented; destination-slice variants are provided for hot paths.
+package num

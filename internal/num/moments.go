@@ -1,0 +1,84 @@
+package num
+
+import "math"
+
+// Moments accumulates count, mean and variance of a stream of values using
+// Welford's algorithm. The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddN folds x into the accumulator with integer weight w >= 0.
+func (m *Moments) AddN(x float64, w int) {
+	for i := 0; i < w; i++ {
+		m.Add(x)
+	}
+}
+
+// Merge combines the other accumulator into m (Chan et al. parallel
+// variance update).
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n1, n2 := float64(m.n), float64(o.n)
+	d := o.mean - m.mean
+	tot := n1 + n2
+	m.mean += d * n2 / tot
+	m.m2 += o.m2 + d*d*n1*n2/tot
+	m.n += o.n
+}
+
+// N returns the number of values folded in.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the running population variance (0 when n < 1).
+func (m *Moments) Variance() float64 {
+	if m.n < 1 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// SampleVariance returns the running unbiased variance (0 when n < 2).
+func (m *Moments) SampleVariance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the running population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// ColumnMoments returns a Moments accumulator per column of rows.
+// All rows must have the same length.
+func ColumnMoments(rows [][]float64) []Moments {
+	if len(rows) == 0 {
+		return nil
+	}
+	ms := make([]Moments, len(rows[0]))
+	for _, r := range rows {
+		for j, x := range r {
+			ms[j].Add(x)
+		}
+	}
+	return ms
+}

@@ -1,0 +1,105 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := make([]float64, 1000)
+	var m Moments
+	for i := range v {
+		v[i] = rng.NormFloat64()*3 + 10
+		m.Add(v[i])
+	}
+	if m.N() != 1000 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almostEqual(m.Mean(), Mean(v), 1e-9) {
+		t.Errorf("Mean %v vs %v", m.Mean(), Mean(v))
+	}
+	if !almostEqual(m.Variance(), Variance(v), 1e-9) {
+		t.Errorf("Variance %v vs %v", m.Variance(), Variance(v))
+	}
+	if !almostEqual(m.SampleVariance(), SampleVariance(v), 1e-9) {
+		t.Errorf("SampleVariance %v vs %v", m.SampleVariance(), SampleVariance(v))
+	}
+}
+
+func TestMomentsMergeEquivalence(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		var m1, m2, all Moments
+		for _, x := range a {
+			x = sanitize(x)
+			m1.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			x = sanitize(x)
+			m2.Add(x)
+			all.Add(x)
+		}
+		m1.Merge(m2)
+		meanTol := 1e-9 * (1 + abs(all.Mean()))
+		varTol := 1e-9 * (1 + all.Variance())
+		return m1.N() == all.N() &&
+			almostEqual(m1.Mean(), all.Mean(), meanTol) &&
+			almostEqual(m1.Variance(), all.Variance(), varTol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge empty changed accumulator: %+v", a)
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Fatalf("merge into empty wrong: %+v", b)
+	}
+}
+
+func TestMomentsAddN(t *testing.T) {
+	var a, b Moments
+	a.AddN(3, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Fatalf("AddN mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestColumnMoments(t *testing.T) {
+	rows := [][]float64{{1, 10}, {3, 30}}
+	ms := ColumnMoments(rows)
+	if len(ms) != 2 {
+		t.Fatalf("got %d columns", len(ms))
+	}
+	if ms[0].Mean() != 2 || ms[1].Mean() != 20 {
+		t.Fatalf("column means wrong: %v %v", ms[0].Mean(), ms[1].Mean())
+	}
+	if ColumnMoments(nil) != nil {
+		t.Error("ColumnMoments(nil) should be nil")
+	}
+}
+
+func sanitize(x float64) float64 {
+	if x != x { // NaN
+		return 0
+	}
+	if x > 1e6 {
+		return 1e6
+	}
+	if x < -1e6 {
+		return -1e6
+	}
+	return x
+}

@@ -1,0 +1,60 @@
+package num
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile returns the p-quantile (0 <= p <= 1) of v using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// v is not modified. It panics if v is empty or p is out of range.
+func Quantile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		panic("num: Quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("num: quantile p=%v out of [0,1]", p))
+	}
+	s := Clone(v)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// Median returns the median of v. v is not modified.
+func Median(v []float64) float64 { return Quantile(v, 0.5) }
+
+// Quantiles returns the quantiles of v at each p in ps, sorting v once.
+func Quantiles(v []float64, ps ...float64) []float64 {
+	if len(v) == 0 {
+		panic("num: Quantiles of empty slice")
+	}
+	s := Clone(v)
+	sort.Float64s(s)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("num: quantile p=%v out of [0,1]", p))
+		}
+		out[i] = quantileSorted(s, p)
+	}
+	return out
+}
+
+// IQR returns the interquartile range of v.
+func IQR(v []float64) float64 {
+	q := Quantiles(v, 0.25, 0.75)
+	return q[1] - q[0]
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	if lo == len(s)-1 {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

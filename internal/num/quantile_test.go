@@ -1,0 +1,105 @@
+package num
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("input mutated: %v", v)
+	}
+}
+
+func TestMedianSingleton(t *testing.T) {
+	if Median([]float64{42}) != 42 {
+		t.Error("Median singleton wrong")
+	}
+}
+
+func TestQuantilesAndIQR(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	q := Quantiles(v, 0.25, 0.5, 0.75)
+	if q[0] != 2 || q[1] != 3 || q[2] != 4 {
+		t.Fatalf("Quantiles = %v", q)
+	}
+	if IQR(v) != 2 {
+		t.Fatalf("IQR = %v, want 2", IQR(v))
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	f := func(a [9]float64, p1, p2 float64) bool {
+		v := a[:]
+		for i := range v {
+			v[i] = sanitize(v[i])
+		}
+		p1, p2 = clamp01(p1), clamp01(p2)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Quantile(v, p1) <= Quantile(v, p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileBracketsData(t *testing.T) {
+	f := func(a [5]float64, p float64) bool {
+		v := a[:]
+		for i := range v {
+			v[i] = sanitize(v[i])
+		}
+		p = clamp01(p)
+		s := Clone(v)
+		sort.Float64s(s)
+		q := Quantile(v, p)
+		return q >= s[0] && q <= s[len(s)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(p float64) float64 {
+	if p != p || p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,76 @@
+package num
+
+import "math"
+
+// InvSqrt2Pi is 1/sqrt(2*pi), the Gaussian normalizing constant.
+const InvSqrt2Pi = 0.3989422804014326779399460599343818684759
+
+// NormPDF returns the density of N(mu, sigma^2) at x. sigma must be > 0.
+func NormPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return InvSqrt2Pi / sigma * math.Exp(-0.5*z*z)
+}
+
+// NormCDF returns P(X <= x) for X ~ N(mu, sigma^2).
+func NormCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormQuantile returns the p-quantile of the standard normal distribution
+// using the Acklam rational approximation (|error| < 1.15e-9). It panics
+// for p outside (0, 1).
+func NormQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("num: NormQuantile requires 0 < p < 1")
+	}
+	// Coefficients for the central and tail rational approximations.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// LogSumExp returns log(sum(exp(v))) computed stably. It returns -Inf for
+// an empty slice.
+func LogSumExp(v []float64) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	mx := math.Inf(-1)
+	for _, x := range v {
+		if x > mx {
+			mx = x
+		}
+	}
+	if math.IsInf(mx, -1) {
+		return mx
+	}
+	var s float64
+	for _, x := range v {
+		s += math.Exp(x - mx)
+	}
+	return mx + math.Log(s)
+}

@@ -1,0 +1,94 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormPDFKnown(t *testing.T) {
+	// Standard normal at 0 is 1/sqrt(2π).
+	if got := NormPDF(0, 0, 1); !almostEqual(got, InvSqrt2Pi, 1e-15) {
+		t.Errorf("NormPDF(0;0,1) = %v", got)
+	}
+	// Symmetry.
+	if NormPDF(1.3, 0, 1) != NormPDF(-1.3, 0, 1) {
+		t.Error("NormPDF not symmetric")
+	}
+	// Scaling: wider sigma has lower peak.
+	if NormPDF(0, 0, 2) >= NormPDF(0, 0, 1) {
+		t.Error("wider kernel should have lower peak")
+	}
+}
+
+func TestNormPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid over [-8, 8] with fine steps.
+	const n = 8000
+	lo, hi := -15.0, 15.0
+	h := (hi - lo) / n
+	var s float64
+	for i := 0; i <= n; i++ {
+		x := lo + float64(i)*h
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5
+		}
+		s += w * NormPDF(x, 0.3, 1.7)
+	}
+	s *= h
+	if !almostEqual(s, 1, 1e-6) {
+		t.Fatalf("NormPDF mass = %v, want 1", s)
+	}
+}
+
+func TestNormCDFKnown(t *testing.T) {
+	if got := NormCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-15) {
+		t.Errorf("Φ(0) = %v", got)
+	}
+	if got := NormCDF(1.96, 0, 1); !almostEqual(got, 0.9750021, 1e-6) {
+		t.Errorf("Φ(1.96) = %v", got)
+	}
+	// Complement symmetry.
+	if !almostEqual(NormCDF(-1.2, 0, 1)+NormCDF(1.2, 0, 1), 1, 1e-14) {
+		t.Error("CDF complement symmetry violated")
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999} {
+		z := NormQuantile(p)
+		if got := NormCDF(z, 0, 1); !almostEqual(got, p, 1e-8) {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+	// log(e^0 + e^0) = log 2.
+	if got := LogSumExp([]float64{0, 0}); !almostEqual(got, math.Log(2), 1e-14) {
+		t.Errorf("LogSumExp = %v", got)
+	}
+	// Stability for large inputs.
+	if got := LogSumExp([]float64{1000, 1000}); !almostEqual(got, 1000+math.Log(2), 1e-9) {
+		t.Errorf("LogSumExp large = %v", got)
+	}
+	// All -Inf stays -Inf without NaN.
+	if got := LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(-Inf...) = %v", got)
+	}
+}

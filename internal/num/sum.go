@@ -1,0 +1,78 @@
+package num
+
+// Sum returns the sum of v using Kahan–Babuška (Neumaier) compensated
+// summation, which keeps the error independent of len(v).
+func Sum(v []float64) float64 {
+	var sum, comp float64
+	for _, x := range v {
+		t := sum + x
+		if abs(sum) >= abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// PairwiseSum returns the sum of v using recursive pairwise summation.
+// It is slightly cheaper than Sum for very long slices and still has
+// O(log n) error growth.
+func PairwiseSum(v []float64) float64 {
+	const base = 128
+	if len(v) <= base {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	half := len(v) / 2
+	return PairwiseSum(v[:half]) + PairwiseSum(v[half:])
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Variance returns the population variance of v (dividing by n), or 0 for
+// slices with fewer than one element.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1),
+// or 0 for slices with fewer than two elements.
+func SampleVariance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v)-1)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,74 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumCompensated(t *testing.T) {
+	// Classic Neumaier stress case: naive summation loses the small terms.
+	v := []float64{1, 1e100, 1, -1e100}
+	if got := Sum(v); got != 2 {
+		t.Fatalf("Sum = %v, want 2", got)
+	}
+}
+
+func TestSumEmptyAndSingle(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+	if Sum([]float64{3.5}) != 3.5 {
+		t.Error("Sum single element wrong")
+	}
+}
+
+func TestPairwiseMatchesKahan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 10000)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	k, p := Sum(v), PairwiseSum(v)
+	if !almostEqual(k, p, 1e-9*math.Abs(k)+1e-12) {
+		t.Fatalf("Kahan %v vs pairwise %v differ", k, p)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(v); got != 4 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := SampleVariance(v); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance(nil) != 0 || SampleVariance([]float64{1}) != 0 {
+		t.Error("degenerate variance should be 0")
+	}
+}
+
+func TestVarianceNonNegative(t *testing.T) {
+	f := func(a [8]float64) bool {
+		v := a[:]
+		for i := range v {
+			// Keep magnitudes sane so the test exercises arithmetic,
+			// not float overflow.
+			v[i] = math.Mod(v[i], 1e6)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+		}
+		return Variance(v) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

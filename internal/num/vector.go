@@ -1,0 +1,165 @@
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clone returns a newly allocated copy of v.
+func Clone(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// AddTo stores a+b element-wise into dst and returns dst.
+// All three slices must have the same length; dst may alias a or b.
+func AddTo(dst, a, b []float64) []float64 {
+	checkLen3(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// SubTo stores a-b element-wise into dst and returns dst.
+func SubTo(dst, a, b []float64) []float64 {
+	checkLen3(len(dst), len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// ScaleTo stores s*a into dst and returns dst.
+func ScaleTo(dst, a []float64, s float64) []float64 {
+	checkLen2(len(dst), len(a))
+	for i := range dst {
+		dst[i] = s * a[i]
+	}
+	return dst
+}
+
+// AXPY performs dst += s*a in place and returns dst.
+func AXPY(dst []float64, s float64, a []float64) []float64 {
+	checkLen2(len(dst), len(a))
+	for i := range dst {
+		dst[i] += s * a[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen2(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dist2 returns the squared Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	checkLen2(len(a), len(b))
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
+
+// Norm2 returns the squared Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Norm2(v)) }
+
+// MinMax returns the smallest and largest elements of v.
+// It panics if v is empty. NaNs are ignored unless all elements are NaN,
+// in which case both results are NaN.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("num: MinMax of empty slice")
+	}
+	lo, hi = math.NaN(), math.NaN()
+	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		if math.IsNaN(lo) || x < lo {
+			lo = x
+		}
+		if math.IsNaN(hi) || x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward
+// the smallest index. It panics if v is empty.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		panic("num: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// AllFinite reports whether every element of v is finite (no NaN or ±Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element of v to x and returns v.
+func Fill(v []float64, x float64) []float64 {
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Gather copies v[idx[i]] into a new slice for each index in idx.
+func Gather(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+func checkLen2(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("num: length mismatch %d != %d", a, b))
+	}
+}
+
+func checkLen3(a, b, c int) {
+	if a != b || b != c {
+		panic(fmt.Sprintf("num: length mismatch %d, %d, %d", a, b, c))
+	}
+}

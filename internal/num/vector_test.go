@@ -1,0 +1,148 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := []float64{1, 2, 3}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases its input: v=%v", v)
+	}
+	if Clone(nil) != nil {
+		t.Fatalf("Clone(nil) should be nil")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	dst := make([]float64, 3)
+	AddTo(dst, a, b)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AddTo = %v, want %v", dst, want)
+		}
+	}
+	SubTo(dst, b, a)
+	for i := range dst {
+		if dst[i] != 3 {
+			t.Fatalf("SubTo = %v, want all 3", dst)
+		}
+	}
+	ScaleTo(dst, a, 2)
+	for i := range dst {
+		if dst[i] != 2*a[i] {
+			t.Fatalf("ScaleTo = %v", dst)
+		}
+	}
+	AXPY(dst, -2, a) // dst = 2a - 2a = 0
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("AXPY = %v, want zeros", dst)
+		}
+	}
+}
+
+func TestAddToAliasing(t *testing.T) {
+	a := []float64{1, 2}
+	AddTo(a, a, a)
+	if a[0] != 2 || a[1] != 4 {
+		t.Fatalf("aliased AddTo = %v, want [2 4]", a)
+	}
+}
+
+func TestDotDistNorm(t *testing.T) {
+	a := []float64{3, 4}
+	b := []float64{0, 0}
+	if got := Dot(a, a); got != 25 {
+		t.Errorf("Dot = %v, want 25", got)
+	}
+	if got := Dist2(a, b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := Dist(a, b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := Norm(a); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, math.NaN(), -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v want -1,7", lo, hi)
+	}
+	lo, hi = MinMax([]float64{math.NaN()})
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatalf("MinMax of all-NaN = %v,%v want NaN,NaN", lo, hi)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 5, 2}); got != 1 {
+		t.Fatalf("ArgMax tie-break = %d, want 1", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("NaN slice reported finite")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("Inf slice reported finite")
+	}
+}
+
+func TestGatherFill(t *testing.T) {
+	v := []float64{10, 20, 30}
+	g := Gather(v, []int{2, 0})
+	if g[0] != 30 || g[1] != 10 {
+		t.Fatalf("Gather = %v", g)
+	}
+	f := Fill(make([]float64, 3), 7)
+	for _, x := range f {
+		if x != 7 {
+			t.Fatalf("Fill = %v", f)
+		}
+	}
+}
+
+func TestDist2NonNegativeSymmetric(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := a[:], b[:]
+		if !AllFinite(x) || !AllFinite(y) {
+			return true
+		}
+		d1, d2 := Dist2(x, y), Dist2(y, x)
+		return d1 >= 0 && d1 == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

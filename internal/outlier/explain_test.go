@@ -1,0 +1,76 @@
+package outlier
+
+import (
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/kde"
+	"udm/internal/rng"
+)
+
+func TestExplainRanksGuiltyDimensionFirst(t *testing.T) {
+	// The planted point is normal in dims 0 and 2 but extreme in dim 1.
+	d := dataset.New("a", "b", "c")
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		_ = d.Append([]float64{r.Norm(0, 1), r.Norm(0, 1), r.Norm(0, 1)}, nil, dataset.Unlabeled)
+	}
+	_ = d.Append([]float64{0.1, 35, -0.2}, nil, dataset.Unlabeled)
+	contribs, err := Explain(d, 200, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != 3 {
+		t.Fatalf("%d contributions", len(contribs))
+	}
+	if contribs[0].Dim != 1 {
+		t.Fatalf("top contribution dim %d, want 1", contribs[0].Dim)
+	}
+	if contribs[0].Score <= contribs[1].Score {
+		t.Fatal("contributions not sorted descending")
+	}
+}
+
+func TestExplainRespectsDimsAndQueryError(t *testing.T) {
+	d := dataset.New("a", "b")
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		_ = d.Append([]float64{r.Norm(0, 1), r.Norm(0, 1)}, []float64{0.1, 0.1}, dataset.Unlabeled)
+	}
+	_ = d.Append([]float64{9, 9}, []float64{9, 0.1}, dataset.Unlabeled)
+	// Restricted to dim 0 only.
+	sub, err := Explain(d, 100, Options{Dims: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 1 || sub[0].Dim != 0 {
+		t.Fatalf("restricted contributions %v", sub)
+	}
+	// With query error: dim 0 (honest ±9) must look less anomalous than
+	// dim 1 (claims ±0.1) despite identical displacement.
+	qe, err := Explain(d, 100, Options{
+		UseQueryError: true,
+		KDE:           kde.Options{ErrorAdjust: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe[0].Dim != 1 {
+		t.Fatalf("query-error top dim %d, want 1 (the exact-claim dimension)", qe[0].Dim)
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	d := dataset.New("a")
+	_ = d.Append([]float64{1}, nil, dataset.Unlabeled)
+	if _, err := Explain(d, 0, Options{}); err == nil {
+		t.Error("single-record explain accepted")
+	}
+	_ = d.Append([]float64{2}, nil, dataset.Unlabeled)
+	if _, err := Explain(d, 5, Options{}); err == nil {
+		t.Error("out-of-range record accepted")
+	}
+	if _, err := Explain(d, 0, Options{UseQueryError: true}); err == nil {
+		t.Error("UseQueryError without ErrorAdjust accepted")
+	}
+}

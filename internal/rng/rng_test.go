@@ -1,0 +1,170 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	a := New(42)
+	a.Float64() // consume some of the parent
+	a.Float64()
+	childA := a.Split("noise")
+
+	b := New(42)
+	childB := b.Split("noise")
+
+	for i := 0; i < 50; i++ {
+		if childA.Float64() != childB.Float64() {
+			t.Fatal("Split depends on parent stream consumption")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	s := New(1)
+	c1, c2 := s.Split("a"), s.Split("b")
+	same := true
+	for i := 0; i < 20; i++ {
+		if c1.Float64() != c2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different labels produced the same stream")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", x)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := s.Norm(10, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ≈10", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("variance = %v, want ≈4", variance)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(5)
+	got := s.SampleWithoutReplacement(10, 6)
+	if len(got) != 6 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	// Full sample is a permutation.
+	full := s.SampleWithoutReplacement(5, 5)
+	seen = map[int]bool{}
+	for _, i := range full {
+		seen[i] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("full sample is not a permutation: %v", full)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestCategorical(t *testing.T) {
+	s := New(6)
+	counts := [3]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical([]float64{1, 2, 1})]++
+	}
+	// Expect roughly 25% / 50% / 25%.
+	if math.Abs(float64(counts[1])/n-0.5) > 0.02 {
+		t.Errorf("middle weight frequency = %v, want ≈0.5", float64(counts[1])/n)
+	}
+	// Zero-weight outcomes never drawn.
+	for i := 0; i < 1000; i++ {
+		if s.Categorical([]float64{0, 1, 0}) != 1 {
+			t.Fatal("zero-weight outcome drawn")
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(7)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(8)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ≈0.5", mean)
+	}
+}

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func BenchmarkEngineAdd(b *testing.B) {
+	e, err := NewEngine(Options{MicroClusters: 140, Dims: 10, SnapshotEvery: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	rows := make([][]float64, 1024)
+	errs := make([][]float64, 1024)
+	for i := range rows {
+		rows[i] = make([]float64, 10)
+		errs[i] = make([]float64, 10)
+		for j := range rows[i] {
+			rows[i][j] = r.Norm(0, 1)
+			errs[i][j] = 0.2
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(rows)
+		e.Add(rows[k], errs[k], int64(i))
+	}
+}
+
+func BenchmarkWindowExtraction(b *testing.B) {
+	e, err := NewEngine(Options{MicroClusters: 64, Dims: 4, SnapshotEvery: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 20000; i++ {
+		e.Add([]float64{r.Norm(0, 1), r.Norm(0, 1), r.Norm(0, 1), r.Norm(0, 1)}, nil, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Window(9999, 19999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDrift1D(b *testing.B) {
+	e, err := NewEngine(Options{MicroClusters: 64, Dims: 2, SnapshotEvery: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 4000; i++ {
+		c := 0.0
+		if i >= 2000 {
+			c = 3.0
+		}
+		e.Add([]float64{r.Norm(c, 1), r.Norm(0, 1)}, nil, int64(i))
+	}
+	w1, err := e.Window(-1, 1999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w2, err := e.Window(1999, 3999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Drift1D(w1, w2, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/microcluster"
+	"udm/internal/num"
+)
+
+// Drift1D returns the total-variation distance (in [0, 1]) between the
+// distributions of dimension dim in two window summaries: each window's
+// non-empty clusters form a Gaussian mixture — component j has the
+// cluster's centroid mean and variance (within-cluster variance + mean
+// squared error, i.e. Δ²) — and ½∫|f_a − f_b| is integrated on a shared
+// grid of gridN intervals (default 512 when ≤ 0). 0 means identical
+// distributions, 1 means disjoint support — the standard drift score for
+// monitoring a stream between windows.
+func Drift1D(a, b []*microcluster.Feature, dim, gridN int) (float64, error) {
+	if gridN <= 0 {
+		gridN = 512
+	}
+	ma, err := newMixture1D(a, dim)
+	if err != nil {
+		return 0, fmt.Errorf("stream: window a: %w", err)
+	}
+	mb, err := newMixture1D(b, dim)
+	if err != nil {
+		return 0, fmt.Errorf("stream: window b: %w", err)
+	}
+	lo := math.Min(ma.lo, mb.lo)
+	hi := math.Max(ma.hi, mb.hi)
+	if hi <= lo {
+		// Both windows degenerate at the same point: identical.
+		return 0, nil
+	}
+	step := (hi - lo) / float64(gridN)
+	var tv float64
+	for i := 0; i <= gridN; i++ {
+		x := lo + float64(i)*step
+		w := 1.0
+		if i == 0 || i == gridN {
+			w = 0.5
+		}
+		tv += w * math.Abs(ma.pdf(x)-mb.pdf(x))
+	}
+	tv *= step / 2
+	if tv > 1 {
+		tv = 1 // trapezoid overshoot on sharp mixtures
+	}
+	return tv, nil
+}
+
+// Drift returns the per-dimension drift scores between two window
+// summaries plus the index of the most-drifted dimension.
+func Drift(a, b []*microcluster.Feature, gridN int) (scores []float64, worst int, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, 0, fmt.Errorf("stream: empty window summaries")
+	}
+	d := a[0].Dims()
+	scores = make([]float64, d)
+	for j := 0; j < d; j++ {
+		scores[j], err = Drift1D(a, b, j, gridN)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return scores, num.ArgMax(scores), nil
+}
+
+// mixture1D is a one-dimensional Gaussian mixture view over cluster
+// features.
+type mixture1D struct {
+	means, sigmas, weights []float64
+	total                  float64
+	lo, hi                 float64
+}
+
+func newMixture1D(feats []*microcluster.Feature, dim int) (*mixture1D, error) {
+	m := &mixture1D{lo: math.Inf(1), hi: math.Inf(-1)}
+	for _, f := range feats {
+		if f == nil {
+			return nil, fmt.Errorf("nil feature")
+		}
+		if f.N == 0 {
+			continue
+		}
+		if dim < 0 || dim >= f.Dims() {
+			return nil, fmt.Errorf("dimension %d out of range [0,%d)", dim, f.Dims())
+		}
+		mean := f.CF1[dim] / float64(f.N)
+		sigma := math.Sqrt(f.Delta2(dim))
+		if sigma < 1e-9 {
+			sigma = 1e-9 // point mass: keep the pdf integrable on a grid
+		}
+		m.means = append(m.means, mean)
+		m.sigmas = append(m.sigmas, sigma)
+		m.weights = append(m.weights, float64(f.N))
+		m.total += float64(f.N)
+		m.lo = math.Min(m.lo, mean-5*sigma)
+		m.hi = math.Max(m.hi, mean+5*sigma)
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("window holds no records")
+	}
+	return m, nil
+}
+
+func (m *mixture1D) pdf(x float64) float64 {
+	var s float64
+	for i := range m.means {
+		s += m.weights[i] * num.NormPDF(x, m.means[i], m.sigmas[i])
+	}
+	return s / m.total
+}

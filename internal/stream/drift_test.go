@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"testing"
+
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+)
+
+// windowsFor streams two regimes through an engine and returns their
+// window summaries. Phase one: N(0,1) on both dims. Phase two: dim 0
+// shifts to N(shift, 1), dim 1 unchanged.
+func windowsFor(t *testing.T, shift float64) (a, b []*microcluster.Feature) {
+	t.Helper()
+	e, err := NewEngine(Options{MicroClusters: 16, Dims: 2, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const per = 600
+	for i := 0; i < 2*per; i++ {
+		c := 0.0
+		if i >= per {
+			c = shift
+		}
+		e.Add([]float64{r.Norm(c, 1), r.Norm(0, 1)}, []float64{0.1, 0.1}, int64(i))
+	}
+	a, err = e.Window(-1, per-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = e.Window(per-1, 2*per-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestDriftDetectsShift(t *testing.T) {
+	a, b := windowsFor(t, 6)
+	scores, worst, err := Drift(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != 0 {
+		t.Fatalf("worst dimension = %d, want 0 (the shifted one)", worst)
+	}
+	if scores[0] < 0.8 {
+		t.Fatalf("shifted dimension drift %v, want near 1", scores[0])
+	}
+	if scores[1] > 0.3 {
+		t.Fatalf("stable dimension drift %v, want near 0", scores[1])
+	}
+}
+
+func TestDriftSelfIsSmall(t *testing.T) {
+	a, _ := windowsFor(t, 6)
+	score, err := Drift1D(a, a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 1e-9 {
+		t.Fatalf("self-drift = %v, want ≈0", score)
+	}
+}
+
+func TestDriftGrowsWithShift(t *testing.T) {
+	prev := -1.0
+	for _, shift := range []float64{0.5, 2, 8} {
+		a, b := windowsFor(t, shift)
+		score, err := Drift1D(a, b, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score < prev {
+			t.Fatalf("drift not monotone in shift: %v after %v", score, prev)
+		}
+		if score < 0 || score > 1 {
+			t.Fatalf("drift %v out of [0,1]", score)
+		}
+		prev = score
+	}
+}
+
+func TestDriftErrors(t *testing.T) {
+	a, b := windowsFor(t, 1)
+	if _, _, err := Drift(nil, b, 0); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := Drift1D(a, b, 5, 0); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+	empty := []*microcluster.Feature{microcluster.NewFeature(2)}
+	if _, err := Drift1D(empty, b, 0, 0); err == nil {
+		t.Error("record-free window accepted")
+	}
+	if _, err := Drift1D([]*microcluster.Feature{nil}, b, 0, 0); err == nil {
+		t.Error("nil feature accepted")
+	}
+}
+
+func TestDriftDegeneratePointMasses(t *testing.T) {
+	// Two windows of identical constant values: zero drift without NaN.
+	fa := microcluster.NewFeature(1)
+	fb := microcluster.NewFeature(1)
+	for i := 0; i < 10; i++ {
+		fa.Add([]float64{3}, nil, int64(i))
+		fb.Add([]float64{3}, nil, int64(i))
+	}
+	score, err := Drift1D([]*microcluster.Feature{fa}, []*microcluster.Feature{fb}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 1e-6 {
+		t.Fatalf("identical point masses drift = %v", score)
+	}
+	// Disjoint point masses: drift ≈ 1.
+	fc := microcluster.NewFeature(1)
+	for i := 0; i < 10; i++ {
+		fc.Add([]float64{4000}, nil, int64(i))
+	}
+	score, err = Drift1D([]*microcluster.Feature{fa}, []*microcluster.Feature{fc}, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.9 {
+		t.Fatalf("disjoint point masses drift = %v, want ≈1", score)
+	}
+}

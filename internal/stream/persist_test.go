@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	e := engine(t, Options{MicroClusters: 8, Dims: 2, SnapshotEvery: 50})
+	r := rng.New(10)
+	for i := 0; i < 300; i++ {
+		e.Add([]float64{r.Norm(0, 1), r.Norm(2, 1)}, []float64{0.1, 0.1}, int64(i))
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != e.Count() {
+		t.Fatalf("Count %d vs %d", got.Count(), e.Count())
+	}
+	// Snapshots preserved.
+	a, b := e.Snapshots(), got.Snapshots()
+	if len(a) != len(b) {
+		t.Fatalf("snapshots %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Count != b[i].Count {
+			t.Fatalf("snapshot %d header differs", i)
+		}
+	}
+	// Window queries agree.
+	wa, err := e.Window(149, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := got.Window(149, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := 0, 0
+	for _, f := range wa {
+		na += f.N
+	}
+	for _, f := range wb {
+		nb += f.N
+	}
+	if na != nb {
+		t.Fatalf("window counts %d vs %d", na, nb)
+	}
+	// Restored engine keeps ingesting and snapshotting.
+	for i := 300; i < 400; i++ {
+		got.Add([]float64{0, 0}, nil, int64(i))
+	}
+	if got.Count() != 400 {
+		t.Fatalf("post-restore Count = %d", got.Count())
+	}
+	if len(got.Snapshots()) <= len(b) {
+		t.Fatal("no new snapshots after restore")
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated checkpoint.
+	e := engine(t, Options{MicroClusters: 2, Dims: 1, SnapshotEvery: 5})
+	for i := 0; i < 20; i++ {
+		e.Add([]float64{1}, nil, int64(i))
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadEngine(bytes.NewReader(raw[:len(raw)/3])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

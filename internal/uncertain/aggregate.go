@@ -1,0 +1,136 @@
+package uncertain
+
+import (
+	"fmt"
+	"sort"
+
+	"udm/internal/dataset"
+	"udm/internal/num"
+)
+
+// Microaggregate implements the paper's fourth motivating scenario —
+// "the data is available only on a partially aggregated basis", as in
+// k-anonymized or locality-aggregated publications. Rows are grouped
+// into cells of at least GroupSize similar records; every row's values
+// are replaced by its cell's per-dimension mean, and the cell's
+// per-dimension standard deviation is recorded as each entry's error —
+// the honest uncertainty of "this individual is somewhere inside this
+// aggregate".
+//
+// Grouping uses the MDAV-style heuristic standard in microaggregation:
+// repeatedly take the record farthest from the running centroid (in
+// z-scored Euclidean distance) and group it with its GroupSize−1 nearest
+// unassigned neighbors; leftovers (< GroupSize records) join the last
+// group. The input is not modified; labels are preserved (aggregation
+// masks quasi-identifier values, not the class).
+type MicroaggregateOptions struct {
+	// GroupSize is the minimum cell size k (required ≥ 2).
+	GroupSize int
+	// Dims restricts aggregation to a subset of (quasi-identifier)
+	// dimensions; nil aggregates every dimension. Non-aggregated
+	// dimensions keep their values with zero error.
+	Dims []int
+}
+
+// Microaggregate applies MicroaggregateOptions to ds.
+func Microaggregate(ds *dataset.Dataset, opt MicroaggregateOptions) (*dataset.Dataset, error) {
+	if opt.GroupSize < 2 {
+		return nil, fmt.Errorf("uncertain: group size %d, need ≥ 2", opt.GroupSize)
+	}
+	if ds.Len() < opt.GroupSize {
+		return nil, fmt.Errorf("uncertain: %d rows for group size %d", ds.Len(), opt.GroupSize)
+	}
+	dims := opt.Dims
+	if dims == nil {
+		dims = make([]int, ds.Dims())
+		for j := range dims {
+			dims[j] = j
+		}
+	}
+	for _, j := range dims {
+		if j < 0 || j >= ds.Dims() {
+			return nil, fmt.Errorf("uncertain: aggregation dimension %d out of range [0,%d)", j, ds.Dims())
+		}
+	}
+
+	// z-scoring for the distance metric only.
+	_, stds := ds.ColumnStats()
+	zdist := func(a, b int) float64 {
+		var s float64
+		for _, j := range dims {
+			sd := stds[j]
+			if sd == 0 {
+				sd = 1
+			}
+			d := (ds.X[a][j] - ds.X[b][j]) / sd
+			s += d * d
+		}
+		return s
+	}
+	unassigned := make([]int, ds.Len())
+	for i := range unassigned {
+		unassigned[i] = i
+	}
+	var groups [][]int
+	for len(unassigned) >= opt.GroupSize {
+		// Centroid of the unassigned records over the aggregated dims.
+		cent := make([]float64, ds.Dims())
+		for _, i := range unassigned {
+			for _, j := range dims {
+				cent[j] += ds.X[i][j]
+			}
+		}
+		for _, j := range dims {
+			cent[j] /= float64(len(unassigned))
+		}
+		// Farthest record from the centroid (z-scored).
+		far, farD := unassigned[0], -1.0
+		for _, i := range unassigned {
+			var s float64
+			for _, j := range dims {
+				sd := stds[j]
+				if sd == 0 {
+					sd = 1
+				}
+				d := (ds.X[i][j] - cent[j]) / sd
+				s += d * d
+			}
+			if s > farD {
+				far, farD = i, s
+			}
+		}
+		// Its GroupSize−1 nearest unassigned neighbors.
+		sort.Slice(unassigned, func(a, b int) bool {
+			return zdist(unassigned[a], far) < zdist(unassigned[b], far)
+		})
+		group := append([]int(nil), unassigned[:opt.GroupSize]...)
+		unassigned = unassigned[opt.GroupSize:]
+		groups = append(groups, group)
+	}
+	if len(unassigned) > 0 {
+		last := len(groups) - 1
+		groups[last] = append(groups[last], unassigned...)
+	}
+
+	out := ds.Clone()
+	if out.Err == nil {
+		out.Err = make([][]float64, out.Len())
+		for i := range out.Err {
+			out.Err[i] = make([]float64, out.Dims())
+		}
+	}
+	for _, group := range groups {
+		for _, j := range dims {
+			var m num.Moments
+			for _, i := range group {
+				m.Add(ds.X[i][j])
+			}
+			mean, sd := m.Mean(), m.StdDev()
+			for _, i := range group {
+				out.X[i][j] = mean
+				out.Err[i][j] = sd
+			}
+		}
+	}
+	return out, nil
+}

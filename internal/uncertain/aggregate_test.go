@@ -1,0 +1,130 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+func TestMicroaggregateBasics(t *testing.T) {
+	d := cleanData(100, 40)
+	out, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != d.Len() || !out.HasErrors() {
+		t.Fatal("shape or error matrix wrong")
+	}
+	// Labels preserved.
+	for i := range d.Labels {
+		if out.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	// Input not mutated.
+	if d.HasErrors() {
+		t.Fatal("input gained errors")
+	}
+}
+
+func TestMicroaggregateKAnonymity(t *testing.T) {
+	// Every distinct value row must be shared by at least GroupSize rows
+	// (the k-anonymity property over the aggregated columns).
+	d := cleanData(103, 41) // non-multiple of k exercises leftover merging
+	const k = 4
+	out, err := Microaggregate(d, MicroaggregateOptions{GroupSize: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[[2]float64]int{}
+	for i := 0; i < out.Len(); i++ {
+		counts[[2]float64{out.X[i][0], out.X[i][1]}]++
+	}
+	for key, n := range counts {
+		if n < k {
+			t.Fatalf("cell %v has %d rows, want ≥ %d", key, n, k)
+		}
+	}
+}
+
+func TestMicroaggregateErrorsAreCellStd(t *testing.T) {
+	// Hand-built data with two obvious cells.
+	d := dataset.New("x")
+	for _, v := range []float64{0, 2, 100, 102} {
+		_ = d.Append([]float64{v}, nil, dataset.Unlabeled)
+	}
+	out, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells must be {0,2} and {100,102}: means 1 and 101, std 1 each.
+	for i := 0; i < 4; i++ {
+		if out.X[i][0] != 1 && out.X[i][0] != 101 {
+			t.Fatalf("row %d aggregated to %v", i, out.X[i][0])
+		}
+		if math.Abs(out.Err[i][0]-1) > 1e-12 {
+			t.Fatalf("row %d error %v, want 1", i, out.Err[i][0])
+		}
+	}
+}
+
+func TestMicroaggregateSubsetDims(t *testing.T) {
+	d := cleanData(40, 42)
+	out, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 4, Dims: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		// Dim 1 untouched with zero error.
+		if out.X[i][1] != d.X[i][1] || out.Err[i][1] != 0 {
+			t.Fatal("non-aggregated dimension modified")
+		}
+	}
+}
+
+func TestMicroaggregateGroupsSimilarRows(t *testing.T) {
+	// Rows from two far-apart clusters must never share a cell.
+	d := dataset.New("x")
+	r := rng.New(43)
+	for i := 0; i < 30; i++ {
+		center := 0.0
+		if i%2 == 1 {
+			center = 1000.0
+		}
+		_ = d.Append([]float64{center + r.Norm(0, 1)}, nil, dataset.Unlabeled)
+	}
+	out, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		// Aggregated value stays near its own cluster's center.
+		near0 := math.Abs(out.X[i][0]) < 100
+		near1000 := math.Abs(out.X[i][0]-1000) < 100
+		if !near0 && !near1000 {
+			t.Fatalf("row %d aggregated across clusters: %v", i, out.X[i][0])
+		}
+		orig0 := math.Abs(d.X[i][0]) < 100
+		if near0 != orig0 {
+			t.Fatalf("row %d moved clusters under aggregation", i)
+		}
+	}
+}
+
+func TestMicroaggregateValidation(t *testing.T) {
+	d := cleanData(10, 44)
+	if _, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 1}); err == nil {
+		t.Error("group size 1 accepted")
+	}
+	if _, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 11}); err == nil {
+		t.Error("group size > N accepted")
+	}
+	if _, err := Microaggregate(d, MicroaggregateOptions{GroupSize: 2, Dims: []int{9}}); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+}

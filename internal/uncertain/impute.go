@@ -1,0 +1,294 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"udm/internal/dataset"
+	"udm/internal/num"
+	"udm/internal/rng"
+)
+
+// Mask marks missing entries: Mask[i][j] is true when value (i, j) is
+// unobserved. Masks always have the same shape as the dataset they
+// describe.
+type Mask [][]bool
+
+// NewMask returns an all-observed mask for an n×d table.
+func NewMask(n, d int) Mask {
+	m := make(Mask, n)
+	for i := range m {
+		m[i] = make([]bool, d)
+	}
+	return m
+}
+
+// MissingCount returns the number of masked entries.
+func (m Mask) MissingCount() int {
+	c := 0
+	for _, row := range m {
+		for _, b := range row {
+			if b {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// MaskCompletelyAtRandom marks each entry missing independently with
+// probability frac (missing-completely-at-random). It guarantees that no
+// dimension loses all of its values — a fully missing column would leave
+// imputers with nothing to estimate from — by un-masking one random entry
+// in any column that would otherwise be empty.
+func MaskCompletelyAtRandom(ds *dataset.Dataset, frac float64, r *rng.Source) (Mask, error) {
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("uncertain: missing fraction %v out of [0,1)", frac)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("uncertain: nil random source")
+	}
+	m := NewMask(ds.Len(), ds.Dims())
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = r.Bool(frac)
+		}
+	}
+	for j := 0; j < ds.Dims(); j++ {
+		allMissing := ds.Len() > 0
+		for i := 0; i < ds.Len(); i++ {
+			if !m[i][j] {
+				allMissing = false
+				break
+			}
+		}
+		if allMissing {
+			m[r.Intn(ds.Len())][j] = false
+		}
+	}
+	return m, nil
+}
+
+// Imputer fills masked entries of a dataset and reports a per-entry
+// standard error for each imputed value; observed entries keep error 0
+// (or their prior error when the input already carries one).
+type Imputer interface {
+	// Impute returns a copy of ds with masked entries replaced and the
+	// error matrix populated with imputation errors.
+	Impute(ds *dataset.Dataset, m Mask) (*dataset.Dataset, error)
+}
+
+func checkMask(ds *dataset.Dataset, m Mask) error {
+	if len(m) != ds.Len() {
+		return fmt.Errorf("uncertain: mask has %d rows for %d records", len(m), ds.Len())
+	}
+	for i, row := range m {
+		if len(row) != ds.Dims() {
+			return fmt.Errorf("uncertain: mask row %d has %d columns, want %d", i, len(row), ds.Dims())
+		}
+	}
+	return nil
+}
+
+// prepare clones ds and ensures it has an error matrix.
+func prepare(ds *dataset.Dataset) *dataset.Dataset {
+	out := ds.Clone()
+	if out.Err == nil {
+		out.Err = make([][]float64, out.Len())
+		for i := range out.Err {
+			out.Err[i] = make([]float64, out.Dims())
+		}
+	}
+	return out
+}
+
+// columnStatsObserved computes per-column mean and std over observed
+// entries only.
+func columnStatsObserved(ds *dataset.Dataset, m Mask) (means, stds []float64, err error) {
+	d := ds.Dims()
+	moms := make([]num.Moments, d)
+	for i := range ds.X {
+		for j := 0; j < d; j++ {
+			if !m[i][j] {
+				moms[j].Add(ds.X[i][j])
+			}
+		}
+	}
+	means = make([]float64, d)
+	stds = make([]float64, d)
+	for j := range moms {
+		if moms[j].N() == 0 {
+			return nil, nil, fmt.Errorf("uncertain: dimension %d has no observed values", j)
+		}
+		means[j] = moms[j].Mean()
+		stds[j] = moms[j].StdDev()
+	}
+	return means, stds, nil
+}
+
+// MeanImputer replaces each missing entry with its column mean over
+// observed values and records the column's observed standard deviation as
+// the imputation error — the textbook "error of mean imputation".
+type MeanImputer struct{}
+
+// Impute implements Imputer.
+func (MeanImputer) Impute(ds *dataset.Dataset, m Mask) (*dataset.Dataset, error) {
+	if err := checkMask(ds, m); err != nil {
+		return nil, err
+	}
+	means, stds, err := columnStatsObserved(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	out := prepare(ds)
+	for i := range out.X {
+		for j := range out.X[i] {
+			if m[i][j] {
+				out.X[i][j] = means[j]
+				out.Err[i][j] = stds[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// KNNImputer replaces each missing entry with the mean of that column
+// over the K rows nearest in the mutually observed dimensions, recording
+// the neighbors' standard deviation (plus a floor at a tenth of the
+// column std) as the imputation error.
+type KNNImputer struct {
+	// K is the neighborhood size; it defaults to 5 when zero.
+	K int
+}
+
+// Impute implements Imputer.
+func (imp KNNImputer) Impute(ds *dataset.Dataset, m Mask) (*dataset.Dataset, error) {
+	if err := checkMask(ds, m); err != nil {
+		return nil, err
+	}
+	k := imp.K
+	if k == 0 {
+		k = 5
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("uncertain: kNN imputer with k=%d", k)
+	}
+	means, stds, err := columnStatsObserved(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	out := prepare(ds)
+	type cand struct {
+		dist float64
+		row  int
+	}
+	for i := range ds.X {
+		hasMissing := false
+		for j := range m[i] {
+			if m[i][j] {
+				hasMissing = true
+				break
+			}
+		}
+		if !hasMissing {
+			continue
+		}
+		// Rank other rows by distance over dimensions observed in both,
+		// normalized by column std so no dimension dominates.
+		var cands []cand
+		for r := range ds.X {
+			if r == i {
+				continue
+			}
+			var d2 float64
+			shared := 0
+			for j := 0; j < ds.Dims(); j++ {
+				if m[i][j] || m[r][j] {
+					continue
+				}
+				s := stds[j]
+				if s == 0 {
+					s = 1
+				}
+				diff := (ds.X[i][j] - ds.X[r][j]) / s
+				d2 += diff * diff
+				shared++
+			}
+			if shared == 0 {
+				continue
+			}
+			cands = append(cands, cand{dist: d2 / float64(shared), row: r})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		for j := 0; j < ds.Dims(); j++ {
+			if !m[i][j] {
+				continue
+			}
+			var vals []float64
+			for _, c := range cands {
+				if len(vals) == k {
+					break
+				}
+				if !m[c.row][j] {
+					vals = append(vals, ds.X[c.row][j])
+				}
+			}
+			if len(vals) == 0 {
+				// No usable neighbor: fall back to mean imputation.
+				out.X[i][j] = means[j]
+				out.Err[i][j] = stds[j]
+				continue
+			}
+			out.X[i][j] = num.Mean(vals)
+			e := math.Sqrt(num.Variance(vals))
+			if floor := stds[j] / 10; e < floor {
+				e = floor
+			}
+			out.Err[i][j] = e
+		}
+	}
+	return out, nil
+}
+
+// HotDeckImputer replaces each missing entry with the observed value of a
+// random donor row in the same column, recording the column's observed
+// standard deviation as the imputation error.
+type HotDeckImputer struct {
+	// R supplies the donor draws; required.
+	R *rng.Source
+}
+
+// Impute implements Imputer.
+func (imp HotDeckImputer) Impute(ds *dataset.Dataset, m Mask) (*dataset.Dataset, error) {
+	if imp.R == nil {
+		return nil, fmt.Errorf("uncertain: hot-deck imputer needs a random source")
+	}
+	if err := checkMask(ds, m); err != nil {
+		return nil, err
+	}
+	_, stds, err := columnStatsObserved(ds, m)
+	if err != nil {
+		return nil, err
+	}
+	// Collect observed row indices per column for donor sampling.
+	donors := make([][]int, ds.Dims())
+	for j := 0; j < ds.Dims(); j++ {
+		for i := 0; i < ds.Len(); i++ {
+			if !m[i][j] {
+				donors[j] = append(donors[j], i)
+			}
+		}
+	}
+	out := prepare(ds)
+	for i := range out.X {
+		for j := range out.X[i] {
+			if m[i][j] {
+				d := donors[j][imp.R.Intn(len(donors[j]))]
+				out.X[i][j] = ds.X[d][j]
+				out.Err[i][j] = stds[j]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+// Package uncertain provides the error models that produce the per-entry
+// standard errors ψ_j(X_i) the rest of the library consumes: the paper's
+// experimental perturbation protocol, heteroscedastic field-noise models
+// (instrument error), privacy-preserving perturbation, and missing-value
+// imputation that emits honest imputation errors.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+// Perturb applies the paper's §4 experimental protocol to a clean
+// dataset: for every entry, a standard-deviation parameter is drawn from
+// U[0, 2f]·σ_j (σ_j = the dimension's population standard deviation in
+// the clean data), the entry is displaced by N(0, s²), and s is recorded
+// as the entry's known error ψ_j(X_i). With f = 3 the majority of entries
+// are distorted by as much as 3σ.
+//
+// The clean dataset is not modified; f must be ≥ 0 (f = 0 yields an exact
+// copy with an all-zero error matrix).
+func Perturb(ds *dataset.Dataset, f float64, r *rng.Source) (*dataset.Dataset, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("uncertain: negative error level f=%v", f)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("uncertain: nil random source")
+	}
+	out := ds.Clone()
+	_, sigma := ds.ColumnStats()
+	out.Err = make([][]float64, out.Len())
+	for i := range out.X {
+		er := make([]float64, out.Dims())
+		for j := range out.X[i] {
+			s := r.Uniform(0, 2*f) * sigma[j]
+			if s > 0 {
+				out.X[i][j] += r.Norm(0, s)
+			}
+			er[j] = s
+		}
+		out.Err[i] = er
+	}
+	return out, nil
+}
+
+// FieldNoise perturbs each dimension j by N(0, sigmas[j]²) and records
+// sigmas[j] as every entry's error in that dimension — the
+// "data-collection equipment with known statistical error" scenario from
+// the paper's introduction, where error is a function of the field only.
+func FieldNoise(ds *dataset.Dataset, sigmas []float64, r *rng.Source) (*dataset.Dataset, error) {
+	if len(sigmas) != ds.Dims() {
+		return nil, fmt.Errorf("uncertain: %d sigmas for %d dimensions", len(sigmas), ds.Dims())
+	}
+	if r == nil {
+		return nil, fmt.Errorf("uncertain: nil random source")
+	}
+	for j, s := range sigmas {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("uncertain: sigma[%d] = %v is not a valid standard error", j, s)
+		}
+	}
+	out := ds.Clone()
+	out.Err = make([][]float64, out.Len())
+	for i := range out.X {
+		er := make([]float64, out.Dims())
+		for j := range out.X[i] {
+			if sigmas[j] > 0 {
+				out.X[i][j] += r.Norm(0, sigmas[j])
+			}
+			er[j] = sigmas[j]
+		}
+		out.Err[i] = er
+	}
+	return out, nil
+}
+
+// RowLevelPerturb perturbs each row with its own noise level: row i
+// draws a multiplier from levels with probability proportional to
+// weights, then every entry (i, j) is displaced by N(0, (m_i·σ_j)²) with
+// m_i·σ_j recorded as the entry's error. This models heterogeneous
+// sources — e.g. personalized privacy levels, or instruments of varying
+// quality per observation — which is where error adjustment has the most
+// to exploit: uniform errors merely widen every kernel equally, while
+// per-row errors let reliable rows dominate the density.
+func RowLevelPerturb(ds *dataset.Dataset, levels, weights []float64, r *rng.Source) (*dataset.Dataset, error) {
+	if len(levels) == 0 || len(levels) != len(weights) {
+		return nil, fmt.Errorf("uncertain: %d levels for %d weights", len(levels), len(weights))
+	}
+	for i, l := range levels {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("uncertain: level[%d] = %v is not a valid noise multiplier", i, l)
+		}
+	}
+	if r == nil {
+		return nil, fmt.Errorf("uncertain: nil random source")
+	}
+	_, sigma := ds.ColumnStats()
+	out := ds.Clone()
+	out.Err = make([][]float64, out.Len())
+	for i := range out.X {
+		m := levels[r.Categorical(weights)]
+		er := make([]float64, out.Dims())
+		for j := range out.X[i] {
+			s := m * sigma[j]
+			if s > 0 {
+				out.X[i][j] += r.Norm(0, s)
+			}
+			er[j] = s
+		}
+		out.Err[i] = er
+	}
+	return out, nil
+}
+
+// MixedLevelPerturb perturbs each entry independently at one of two
+// noise levels: with probability pHi the entry is "heavily masked"
+// (σ = hi·σ_j), otherwise lightly (σ = lo·σ_j); the applied σ is recorded
+// as the entry's error. This is the per-entry heterogeneous regime —
+// e.g. users who blank out specific sensitive fields — where the
+// subspace machinery has reliable coordinates to fall back on.
+func MixedLevelPerturb(ds *dataset.Dataset, lo, hi, pHi float64, r *rng.Source) (*dataset.Dataset, error) {
+	if lo < 0 || hi < 0 || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("uncertain: invalid noise levels lo=%v hi=%v", lo, hi)
+	}
+	if pHi < 0 || pHi > 1 {
+		return nil, fmt.Errorf("uncertain: pHi %v out of [0,1]", pHi)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("uncertain: nil random source")
+	}
+	_, sigma := ds.ColumnStats()
+	out := ds.Clone()
+	out.Err = make([][]float64, out.Len())
+	for i := range out.X {
+		er := make([]float64, out.Dims())
+		for j := range out.X[i] {
+			m := lo
+			if r.Bool(pHi) {
+				m = hi
+			}
+			s := m * sigma[j]
+			if s > 0 {
+				out.X[i][j] += r.Norm(0, s)
+			}
+			er[j] = s
+		}
+		out.Err[i] = er
+	}
+	return out, nil
+}
+
+// PrivacyPerturb is the privacy-preserving publication model the paper
+// motivates (cf. Agrawal–Srikant): the publisher adds N(0, sigma_j²)
+// noise to mask sensitive values and publishes the noise scale alongside
+// the data. Mechanically identical to FieldNoise; kept separate so call
+// sites document intent, and because the privacy setting conventionally
+// scales noise relative to each dimension's spread.
+//
+// rel is the relative noise level: sigma_j = rel · σ_j(clean data).
+func PrivacyPerturb(ds *dataset.Dataset, rel float64, r *rng.Source) (*dataset.Dataset, error) {
+	if rel < 0 {
+		return nil, fmt.Errorf("uncertain: negative relative noise %v", rel)
+	}
+	_, sigma := ds.ColumnStats()
+	for j := range sigma {
+		sigma[j] *= rel
+	}
+	return FieldNoise(ds, sigma, r)
+}

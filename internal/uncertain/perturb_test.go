@@ -1,0 +1,286 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+func cleanData(n int, seed int64) *dataset.Dataset {
+	r := rng.New(seed)
+	d := dataset.New("a", "b")
+	for i := 0; i < n; i++ {
+		_ = d.Append([]float64{r.Norm(0, 1), r.Norm(10, 4)}, nil, i%2)
+	}
+	return d
+}
+
+func TestPerturbZeroFIsIdentity(t *testing.T) {
+	d := cleanData(50, 1)
+	p, err := Perturb(d, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if p.X[i][j] != d.X[i][j] {
+				t.Fatalf("f=0 changed value [%d][%d]", i, j)
+			}
+			if p.Err[i][j] != 0 {
+				t.Fatalf("f=0 produced nonzero error")
+			}
+		}
+	}
+	if !p.HasErrors() {
+		t.Fatal("perturbed dataset should carry an (all-zero) error matrix")
+	}
+}
+
+func TestPerturbDoesNotMutateInput(t *testing.T) {
+	d := cleanData(20, 3)
+	before := d.X[0][0]
+	if _, err := Perturb(d, 2, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if d.X[0][0] != before || d.HasErrors() {
+		t.Fatal("Perturb mutated its input")
+	}
+}
+
+func TestPerturbErrorScalesWithF(t *testing.T) {
+	d := cleanData(2000, 5)
+	_, sigma := d.ColumnStats()
+	meanErr := func(f float64) float64 {
+		p, err := Perturb(d, f, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range p.Err {
+			s += p.Err[i][0]
+		}
+		return s / float64(len(p.Err))
+	}
+	// E[s] = f·σ_0 because s ~ U[0, 2f]·σ.
+	for _, f := range []float64{0.5, 1, 2} {
+		got := meanErr(f)
+		want := f * sigma[0]
+		if math.Abs(got-want) > 0.1*want {
+			t.Errorf("f=%v: mean recorded error %v, want ≈%v", f, got, want)
+		}
+	}
+}
+
+func TestPerturbDisplacementMatchesRecordedError(t *testing.T) {
+	// The actual displacement x' − x should be unbiased and its magnitude
+	// statistically consistent with the recorded ψ: E[(x'-x)²/ψ²] = 1.
+	d := cleanData(3000, 7)
+	p, err := Perturb(d, 1.5, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratio, mean float64
+	n := 0
+	for i := range p.X {
+		if p.Err[i][1] == 0 {
+			continue
+		}
+		disp := p.X[i][1] - d.X[i][1]
+		ratio += disp * disp / (p.Err[i][1] * p.Err[i][1])
+		mean += disp
+		n++
+	}
+	ratio /= float64(n)
+	mean /= float64(n)
+	if math.Abs(ratio-1) > 0.1 {
+		t.Errorf("normalized squared displacement = %v, want ≈1", ratio)
+	}
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("mean displacement = %v, want ≈0", mean)
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	d := cleanData(5, 9)
+	if _, err := Perturb(d, -1, rng.New(1)); err == nil {
+		t.Error("negative f accepted")
+	}
+	if _, err := Perturb(d, 1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPerturbedDatasetValidates(t *testing.T) {
+	d := cleanData(100, 10)
+	p, err := Perturb(d, 3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("perturbed dataset invalid: %v", err)
+	}
+	// Labels preserved.
+	for i := range d.Labels {
+		if p.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+}
+
+func TestFieldNoise(t *testing.T) {
+	d := cleanData(500, 12)
+	p, err := FieldNoise(d, []float64{0, 2}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.X {
+		if p.X[i][0] != d.X[i][0] {
+			t.Fatal("zero-sigma dimension changed")
+		}
+		if p.Err[i][0] != 0 || p.Err[i][1] != 2 {
+			t.Fatalf("recorded errors wrong: %v", p.Err[i])
+		}
+	}
+	// Displacement variance ≈ 4 on dim 1.
+	var s2 float64
+	for i := range p.X {
+		dv := p.X[i][1] - d.X[i][1]
+		s2 += dv * dv
+	}
+	s2 /= float64(p.Len())
+	if math.Abs(s2-4) > 0.6 {
+		t.Errorf("displacement variance = %v, want ≈4", s2)
+	}
+}
+
+func TestFieldNoiseValidation(t *testing.T) {
+	d := cleanData(5, 14)
+	if _, err := FieldNoise(d, []float64{1}, rng.New(1)); err == nil {
+		t.Error("wrong sigma count accepted")
+	}
+	if _, err := FieldNoise(d, []float64{1, -1}, rng.New(1)); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := FieldNoise(d, []float64{1, math.NaN()}, rng.New(1)); err == nil {
+		t.Error("NaN sigma accepted")
+	}
+	if _, err := FieldNoise(d, []float64{1, 1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestRowLevelPerturb(t *testing.T) {
+	d := cleanData(2000, 30)
+	_, sigma := d.ColumnStats()
+	p, err := RowLevelPerturb(d, []float64{0.5, 2}, []float64{1, 1}, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row's errors are one of the two levels, consistent across the
+	// row's dimensions (same multiplier).
+	nLow := 0
+	for i := range p.Err {
+		m0 := p.Err[i][0] / sigma[0]
+		m1 := p.Err[i][1] / sigma[1]
+		if math.Abs(m0-m1) > 1e-9 {
+			t.Fatalf("row %d used different multipliers per dim: %v vs %v", i, m0, m1)
+		}
+		switch {
+		case math.Abs(m0-0.5) < 1e-9:
+			nLow++
+		case math.Abs(m0-2) < 1e-9:
+		default:
+			t.Fatalf("row %d multiplier %v not in {0.5, 2}", i, m0)
+		}
+	}
+	if frac := float64(nLow) / float64(p.Len()); math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("low-level fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestRowLevelPerturbValidation(t *testing.T) {
+	d := cleanData(5, 32)
+	if _, err := RowLevelPerturb(d, nil, nil, rng.New(1)); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := RowLevelPerturb(d, []float64{1}, []float64{1, 2}, rng.New(1)); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	if _, err := RowLevelPerturb(d, []float64{-1}, []float64{1}, rng.New(1)); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := RowLevelPerturb(d, []float64{1}, []float64{1}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestMixedLevelPerturb(t *testing.T) {
+	d := cleanData(3000, 33)
+	_, sigma := d.ColumnStats()
+	p, err := MixedLevelPerturb(d, 0.1, 3, 0.4, rng.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nHi, total := 0, 0
+	for i := range p.Err {
+		for j := range p.Err[i] {
+			m := p.Err[i][j] / sigma[j]
+			switch {
+			case math.Abs(m-0.1) < 1e-9:
+			case math.Abs(m-3) < 1e-9:
+				nHi++
+			default:
+				t.Fatalf("entry (%d,%d) multiplier %v not in {0.1, 3}", i, j, m)
+			}
+			total++
+		}
+	}
+	if frac := float64(nHi) / float64(total); math.Abs(frac-0.4) > 0.03 {
+		t.Errorf("heavy fraction %v, want ≈0.4", frac)
+	}
+	// Per-entry independence: some rows must mix both levels.
+	mixed := false
+	for i := range p.Err {
+		if p.Err[i][0] != p.Err[i][1] &&
+			math.Abs(p.Err[i][0]/sigma[0]-p.Err[i][1]/sigma[1]) > 1e-9 {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		t.Error("no row mixes the two levels; perturbation is not per-entry")
+	}
+}
+
+func TestMixedLevelPerturbValidation(t *testing.T) {
+	d := cleanData(5, 35)
+	if _, err := MixedLevelPerturb(d, -1, 2, 0.5, rng.New(1)); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := MixedLevelPerturb(d, 0, 2, 1.5, rng.New(1)); err == nil {
+		t.Error("pHi > 1 accepted")
+	}
+	if _, err := MixedLevelPerturb(d, 0, 2, 0.5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPrivacyPerturbScalesWithSpread(t *testing.T) {
+	d := cleanData(2000, 15)
+	_, sigma := d.ColumnStats()
+	p, err := PrivacyPerturb(d, 0.5, rng.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d.Dims(); j++ {
+		want := 0.5 * sigma[j]
+		if math.Abs(p.Err[0][j]-want) > 1e-9 {
+			t.Fatalf("dim %d error = %v, want %v", j, p.Err[0][j], want)
+		}
+	}
+	if _, err := PrivacyPerturb(d, -0.1, rng.New(1)); err == nil {
+		t.Error("negative rel accepted")
+	}
+}

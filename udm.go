@@ -1,0 +1,419 @@
+// Package udm is uncertain data mining via density-based transforms — a
+// Go implementation of Aggarwal, "On Density Based Transforms for
+// Uncertain Data Mining" (ICDE 2007).
+//
+// The library handles data whose entries carry quantified uncertainty:
+// per-entry standard errors ψ_j(X_i) arising from measurement equipment,
+// imputation of missing values, forecasting, or deliberate
+// privacy-preserving perturbation. Its central idea is to use an
+// error-adjusted kernel density estimate as the intermediate
+// representation for mining: each point's kernel is widened by that
+// point's own error, so unreliable entries smear out and reliable ones
+// stay sharp.
+//
+// Three layers:
+//
+//   - Error-adjusted kernel density estimation (NewPointDensity), exact
+//     over the data points.
+//   - Error-based micro-clusters (Summarize, NewTransform): additive
+//     (CF2x, EF2x, CF1x, n) summaries that compress a data set — or a
+//     stream — into q pseudo-points with honest errors (Lemma 1), from
+//     which densities over any dimension subset are computable in O(q)
+//     (NewClusterDensity).
+//   - Mining algorithms on top of densities: the density-based subspace
+//     classifier of the paper's Figure 3 (Train / Classifier) and an
+//     uncertain-DBSCAN clustering extension (DBSCAN).
+//
+// Quickstart:
+//
+//	noisy, _ := udm.Perturb(clean, 1.5, udm.NewRand(7)) // or real errors
+//	train, test, _ := noisy.StratifiedSplit(0.7, udm.NewRand(8))
+//	clf, _ := udm.Train(train, udm.TrainConfig{MicroClusters: 140})
+//	label, _ := clf.Classify(test.X[0])
+//
+// See examples/ for complete programs and DESIGN.md for the paper map.
+package udm
+
+import (
+	"udm/internal/baseline"
+	"udm/internal/cluster"
+	"udm/internal/core"
+	"udm/internal/datagen"
+	"udm/internal/dataset"
+	"udm/internal/eval"
+	"udm/internal/kde"
+	"udm/internal/kernel"
+	"udm/internal/microcluster"
+	"udm/internal/outlier"
+	"udm/internal/rng"
+	"udm/internal/stream"
+	"udm/internal/uncertain"
+)
+
+// Data model.
+type (
+	// Dataset is an N×d table with optional per-entry standard errors and
+	// class labels.
+	Dataset = dataset.Dataset
+	// Fold is one train/test division of a k-fold split.
+	Fold = dataset.Fold
+)
+
+// Unlabeled marks rows without a class label.
+const Unlabeled = dataset.Unlabeled
+
+// NewDataset returns an empty dataset over the given dimension names.
+func NewDataset(names ...string) *Dataset { return dataset.New(names...) }
+
+// LoadCSV reads a dataset (values, optional "name±" error columns,
+// optional "class" column) from a file.
+var LoadCSV = dataset.LoadCSV
+
+// ReadCSV reads a dataset from an io.Reader.
+var ReadCSV = dataset.ReadCSV
+
+// Randomness.
+type (
+	// Rand is a deterministic, splittable random stream.
+	Rand = rng.Source
+)
+
+// NewRand returns a seeded random stream.
+func NewRand(seed int64) *Rand { return rng.New(seed) }
+
+// Error models.
+var (
+	// Perturb applies the paper's §4 protocol: per-entry noise with a
+	// std drawn from U[0, 2f]·σ_j, recorded as the entry's error.
+	Perturb = uncertain.Perturb
+	// FieldNoise perturbs each dimension by a known per-field σ.
+	FieldNoise = uncertain.FieldNoise
+	// PrivacyPerturb adds publication noise scaled to each dimension's
+	// spread and records it.
+	PrivacyPerturb = uncertain.PrivacyPerturb
+	// RowLevelPerturb gives every row its own noise level drawn from a
+	// discrete mixture (heterogeneous sources).
+	RowLevelPerturb = uncertain.RowLevelPerturb
+	// MixedLevelPerturb masks each entry independently lightly or heavily
+	// and records the applied scale (per-entry heterogeneity).
+	MixedLevelPerturb = uncertain.MixedLevelPerturb
+	// MaskCompletelyAtRandom masks entries missing-completely-at-random.
+	MaskCompletelyAtRandom = uncertain.MaskCompletelyAtRandom
+	// Microaggregate publishes k-anonymous cell means with the cell
+	// spread as each entry's error (partially aggregated data).
+	Microaggregate = uncertain.Microaggregate
+)
+
+// MicroaggregateOptions configure Microaggregate.
+type MicroaggregateOptions = uncertain.MicroaggregateOptions
+
+type (
+	// Mask marks missing entries for the imputers.
+	Mask = uncertain.Mask
+	// Imputer fills missing entries and emits imputation errors.
+	Imputer = uncertain.Imputer
+	// MeanImputer imputes column means with the column σ as error.
+	MeanImputer = uncertain.MeanImputer
+	// KNNImputer imputes from nearest rows with the neighborhood σ as error.
+	KNNImputer = uncertain.KNNImputer
+	// HotDeckImputer imputes from random donors with the column σ as error.
+	HotDeckImputer = uncertain.HotDeckImputer
+)
+
+// Density estimation.
+type (
+	// DensityOptions configure kernels, bandwidths and error adjustment.
+	DensityOptions = kde.Options
+	// DensityEstimator evaluates joint densities over dimension subsets.
+	DensityEstimator = kde.Estimator
+	// PointDensity is the exact estimator (Eq. 1–4).
+	PointDensity = kde.PointKDE
+	// ClusterDensity is the micro-cluster estimator (Eq. 9–10).
+	ClusterDensity = kde.ClusterKDE
+	// Bandwidth selects the smoothing rule.
+	Bandwidth = kernel.Bandwidth
+	// KernelType selects the base kernel shape.
+	KernelType = kernel.Type
+	// BandwidthRule names a bandwidth selection rule.
+	BandwidthRule = kernel.BandwidthRule
+)
+
+// Kernel shapes.
+const (
+	Gaussian     = kernel.Gaussian
+	Epanechnikov = kernel.Epanechnikov
+	Laplace      = kernel.Laplace
+)
+
+// Bandwidth rules.
+const (
+	Silverman       = kernel.Silverman
+	SilvermanRobust = kernel.SilvermanRobust
+	Scott           = kernel.Scott
+	FixedBandwidth  = kernel.Fixed
+)
+
+// NewPointDensity builds the exact error-adjusted density estimate over a
+// dataset.
+func NewPointDensity(ds *Dataset, opt DensityOptions) (*PointDensity, error) {
+	return kde.NewPoint(ds, opt)
+}
+
+// NewClusterDensity builds the scalable density estimate over
+// micro-cluster summaries.
+func NewClusterDensity(s *Summarizer, opt DensityOptions) (*ClusterDensity, error) {
+	return kde.NewCluster(s, opt)
+}
+
+// Micro-clusters.
+type (
+	// Summarizer condenses a stream into at most q error-based
+	// micro-clusters (§2.1).
+	Summarizer = microcluster.Summarizer
+	// Feature is one micro-cluster's (CF2x, EF2x, CF1x, n) summary.
+	Feature = microcluster.Feature
+)
+
+// NewSummarizer returns an empty summarizer for q clusters over d dims.
+func NewSummarizer(q, d int) *Summarizer { return microcluster.NewSummarizer(q, d) }
+
+// Summarize condenses a dataset into at most q micro-clusters, streaming
+// rows in an order drawn from r (nil = dataset order).
+var Summarize = microcluster.Build
+
+// LoadSummarizer restores a summarizer written with (*Summarizer).Save.
+var LoadSummarizer = microcluster.Load
+
+// ErrAdjustedDist2 is the error-adjusted squared distance of Eq. (5).
+var ErrAdjustedDist2 = microcluster.Dist2
+
+// Classification.
+type (
+	// Transform is the density-based transform: per-class and global
+	// micro-cluster summaries.
+	Transform = core.Transform
+	// TransformOptions configure transform construction.
+	TransformOptions = core.TransformOptions
+	// TransformBuilder builds a transform incrementally from a stream.
+	TransformBuilder = core.Builder
+	// Classifier is the density-based subspace classifier (Fig. 3).
+	Classifier = core.Classifier
+	// ClassifierOptions configure the classifier.
+	ClassifierOptions = core.ClassifierOptions
+	// Decision is a full classification trace for one test point.
+	Decision = core.Decision
+	// SubspaceScore is one retained subspace with its dominant class.
+	SubspaceScore = core.SubspaceScore
+	// Rule is one extracted classification rule (interval conjunction →
+	// class).
+	Rule = core.Rule
+	// RuleOptions configure rule extraction.
+	RuleOptions = core.RuleOptions
+	// RuleSet is the interpretable classifier built from extracted rules.
+	RuleSet = core.RuleSet
+)
+
+// NewRuleSet bundles extracted rules into a standalone classifier.
+var NewRuleSet = core.NewRuleSet
+
+// LoadTransform / LoadTransformFile restore a model saved with
+// (*Transform).Save / SaveFile.
+var (
+	LoadTransform     = core.LoadTransform
+	LoadTransformFile = core.LoadTransformFile
+)
+
+// NewTransform condenses labeled training data into its density-based
+// transform.
+var NewTransform = core.NewTransform
+
+// NewTransformBuilder builds a transform incrementally (streams).
+var NewTransformBuilder = core.NewBuilder
+
+// NewClassifier builds the scalable classifier over a transform.
+var NewClassifier = core.NewClassifier
+
+// NewExactClassifier builds the uncompressed reference classifier.
+var NewExactClassifier = core.NewExactClassifier
+
+// TrainConfig bundles the options of the one-call training pipeline.
+type TrainConfig struct {
+	// MicroClusters is q (default core.DefaultMicroClusters = 140).
+	MicroClusters int
+	// ErrorAdjust enables error-adjusted assignment and kernels; set it
+	// false to get the paper's "No Error Adjustment" comparator.
+	// Defaults to true when the data carries errors.
+	ErrorAdjust *bool
+	// Threshold is the Fig. 3 accuracy threshold a (default 0.6).
+	Threshold float64
+	// MaxSubspaceSize caps roll-up depth (default 3; negative =
+	// unlimited).
+	MaxSubspaceSize int
+	// MaxSubspaces is the cap p on voting subspaces (0 = all).
+	MaxSubspaces int
+	// Seed drives transform seeding.
+	Seed int64
+}
+
+// Train is the one-call pipeline: transform the training data and build
+// the classifier.
+func Train(train *Dataset, cfg TrainConfig) (*Classifier, error) {
+	adjust := train.HasErrors()
+	if cfg.ErrorAdjust != nil {
+		adjust = *cfg.ErrorAdjust
+	}
+	t, err := NewTransform(train, TransformOptions{
+		MicroClusters: cfg.MicroClusters,
+		ErrorAdjust:   adjust,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewClassifier(t, ClassifierOptions{
+		Threshold:       cfg.Threshold,
+		MaxSubspaceSize: cfg.MaxSubspaceSize,
+		MaxSubspaces:    cfg.MaxSubspaces,
+	})
+}
+
+// Baselines.
+type (
+	// NearestNeighbor is the error-oblivious 1-NN comparator.
+	NearestNeighbor = baseline.NearestNeighbor
+	// KNN is the error-oblivious k-NN classifier.
+	KNN = baseline.KNN
+)
+
+// NewNearestNeighbor builds the 1-NN baseline.
+var NewNearestNeighbor = baseline.NewNearestNeighbor
+
+// NewKNN builds the k-NN baseline.
+var NewKNN = baseline.NewKNN
+
+// NewNaiveBayes builds the Gaussian naive-Bayes baseline.
+var NewNaiveBayes = baseline.NewNaiveBayes
+
+// NaiveBayes is the error-oblivious parametric baseline.
+type NaiveBayes = baseline.NaiveBayes
+
+// Clustering.
+type (
+	// DBSCANOptions configure uncertain DBSCAN.
+	DBSCANOptions = cluster.Options
+	// DBSCANResult is the clustering outcome.
+	DBSCANResult = cluster.Result
+	// KMeansOptions configure uncertain k-means.
+	KMeansOptions = cluster.KMeansOptions
+	// KMeansResult is the k-means outcome.
+	KMeansResult = cluster.KMeansResult
+)
+
+// KMeans clusters with k-means++ seeding and (optionally) the Eq. 5
+// error-adjusted assignment distance.
+var KMeans = cluster.KMeans
+
+// Noise is the DBSCAN label for unclustered points.
+const Noise = cluster.Noise
+
+// DBSCAN clusters a dataset with error-adjusted densities.
+var DBSCAN = cluster.DBSCAN
+
+// DBSCANClusters clusters micro-cluster pseudo-points (the scalable path).
+var DBSCANClusters = cluster.DBSCANClusters
+
+// Evaluation.
+type (
+	// EvalResult summarizes classifier performance on a test set.
+	EvalResult = eval.Result
+	// EvalClassifier is anything Evaluate can score: the density
+	// classifiers and the baselines all satisfy it.
+	EvalClassifier = eval.Classifier
+)
+
+// Evaluate classifies every labeled row of test and tallies accuracy,
+// confusion matrix and timing.
+var Evaluate = eval.Evaluate
+
+// AUC returns the area under the ROC curve of a score (higher = more
+// positive) against boolean labels.
+var AUC = eval.AUC
+
+// ROC returns the full ROC curve.
+var ROC = eval.ROC
+
+// ROCPoint is one ROC operating point.
+type ROCPoint = eval.ROCPoint
+
+// CVBandwidths selects per-dimension bandwidths by leave-one-out
+// likelihood; plug the result into DensityOptions.Bandwidths.
+var CVBandwidths = kde.CVBandwidths
+
+// Outlier detection.
+type (
+	// OutlierOptions configure density-based outlier detection.
+	OutlierOptions = outlier.Options
+	// OutlierResult holds per-record anomaly scores and flags.
+	OutlierResult = outlier.Result
+)
+
+// DetectOutliers flags the lowest-density records of a dataset using
+// leave-one-out error-adjusted densities.
+var DetectOutliers = outlier.Detect
+
+// DetectStreamOutliers scores query points against a micro-cluster
+// summary (online anomaly detection).
+var DetectStreamOutliers = outlier.DetectStream
+
+// ExplainOutlier ranks the dimensions of a record by how anomalous the
+// record is in each alone.
+var ExplainOutlier = outlier.Explain
+
+// OutlierContribution is one dimension's share of a record's anomaly.
+type OutlierContribution = outlier.Contribution
+
+// Streams.
+type (
+	// StreamEngine ingests an unbounded stream into micro-clusters with
+	// snapshot-based time-window analysis.
+	StreamEngine = stream.Engine
+	// StreamOptions configure a StreamEngine.
+	StreamOptions = stream.Options
+	// StreamSnapshot is one retained micro-cluster state.
+	StreamSnapshot = stream.Snapshot
+)
+
+// NewStreamEngine returns a concurrent-safe stream summarizer.
+var NewStreamEngine = stream.NewEngine
+
+// SummarizerFromFeatures wraps window/snapshot features for density
+// estimation or clustering.
+var SummarizerFromFeatures = microcluster.FromFeatures
+
+// Drift returns per-dimension total-variation drift scores between two
+// stream windows and the most-drifted dimension.
+var Drift = stream.Drift
+
+// Drift1D returns one dimension's drift score between two windows.
+var Drift1D = stream.Drift1D
+
+// Synthetic data.
+type (
+	// DataSpec is a class-conditional Gaussian-mixture generator.
+	DataSpec = datagen.Spec
+)
+
+// DataProfile returns one of the paper's data set stand-ins by name:
+// "adult", "ionosphere", "breast-cancer", "forest-cover".
+var DataProfile = datagen.ByName
+
+// TwoBlobs returns a trivially separable two-class spec for quickstarts.
+var TwoBlobs = datagen.TwoBlobs
+
+// XOR generates the interaction-only two-class layout (no single
+// dimension discriminates) plus optional noise dimensions.
+var XOR = datagen.XOR
+
+// LoadStreamEngine restores a stream engine checkpoint written with
+// (*StreamEngine).Save.
+var LoadStreamEngine = stream.LoadEngine

@@ -1,0 +1,185 @@
+package udm_test
+
+import (
+	"math"
+	"testing"
+
+	"udm"
+)
+
+// TestEndToEndPipeline drives the whole public API the way the README
+// quickstart does: generate, perturb, split, train, evaluate, and check
+// the error-adjusted classifier beats the blind baselines under noise.
+func TestEndToEndPipeline(t *testing.T) {
+	spec := udm.TwoBlobs(2.5)
+	clean, err := spec.Generate(1500, udm.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := udm.Perturb(clean, 1.8, udm.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := noisy.StratifiedSplit(0.7, udm.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clf, err := udm.Train(train, udm.TrainConfig{MicroClusters: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := udm.Evaluate(clf, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nn, err := udm.NewNearestNeighbor(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnRes, err := udm.Evaluate(nn, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("error-adjusted %.3f, NN %.3f", res.Accuracy(), nnRes.Accuracy())
+	if res.Accuracy() < 0.7 {
+		t.Fatalf("pipeline accuracy %.3f too low", res.Accuracy())
+	}
+	if res.Accuracy() < nnRes.Accuracy()-0.05 {
+		t.Fatalf("error-adjusted %.3f clearly below NN %.3f under noise",
+			res.Accuracy(), nnRes.Accuracy())
+	}
+}
+
+func TestTrainConfigErrorAdjustOverride(t *testing.T) {
+	clean, err := udm.TwoBlobs(3).Generate(400, udm.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := udm.Perturb(clean, 1, udm.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := false
+	a, err := udm.Train(noisy, udm.TrainConfig{MicroClusters: 20, ErrorAdjust: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := udm.Train(noisy, udm.TrainConfig{MicroClusters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classify; they are distinct objects built from distinct
+	// transforms. Spot-check they both answer.
+	if _, err := a.Classify(noisy.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Classify(noisy.X[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDensityAPI(t *testing.T) {
+	clean, err := udm.TwoBlobs(3).Generate(300, udm.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := udm.Perturb(clean, 1, udm.NewRand(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := udm.NewPointDensity(noisy, udm.DensityOptions{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := udm.Summarize(noisy, 40, udm.NewRand(9))
+	fast, err := udm.NewClusterDensity(s, udm.DensityOptions{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{-3, 0}
+	de, df := exact.Density(q), fast.Density(q)
+	if de <= 0 || df <= 0 {
+		t.Fatalf("densities %v / %v", de, df)
+	}
+	if math.Abs(de-df) > 0.5*(de+df) {
+		t.Fatalf("exact %v and cluster %v densities wildly apart", de, df)
+	}
+	// Subspace evaluation through the shared interface.
+	var est udm.DensityEstimator = fast
+	if est.DensitySub(q, []int{0}) <= 0 {
+		t.Fatal("subspace density non-positive")
+	}
+}
+
+func TestPublicDBSCAN(t *testing.T) {
+	clean, err := udm.TwoBlobs(6).Generate(300, udm.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := udm.DBSCAN(clean, udm.DBSCANOptions{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	if udm.Noise != -1 {
+		t.Fatal("Noise constant drifted")
+	}
+}
+
+func TestPublicStreamBuilder(t *testing.T) {
+	b, err := udm.NewTransformBuilder(10, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := udm.NewRand(11)
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		center := float64(label*6 - 3)
+		if err := b.Add([]float64{r.Norm(center, 1), r.Norm(0, 1)},
+			[]float64{0.2, 0.2}, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := b.Transform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := udm.NewClassifier(tr, udm.ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := clf.Classify([]float64{-3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("stream-built classifier predicted %d", got)
+	}
+}
+
+func TestPublicProfilesAndCSV(t *testing.T) {
+	spec, err := udm.DataProfile("breast-cancer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := spec.Generate(50, udm.NewRand(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/bc.csv"
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := udm.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 50 || back.Dims() != 9 {
+		t.Fatalf("round trip shape %dx%d", back.Len(), back.Dims())
+	}
+}
