@@ -1,0 +1,45 @@
+# Local mirror of .github/workflows/ci.yml — `make check` and `make
+# race` run exactly what CI runs, so a green local run means a green CI
+# run.
+
+GO ?= go
+
+.PHONY: check build vet fmt test race bench-smoke fuzz-smoke bench ci
+
+## check: everything the CI "check" job gates on (build+vet+fmt+test)
+check: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+## race: the CI race-detector job (correctness gate for the parallel engine)
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: every benchmark for exactly one iteration (rot check)
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## fuzz-smoke: 10s burn of each microcluster fuzz target
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzFeatureAdd -fuzztime=10s -run='^Fuzz' ./internal/microcluster
+	$(GO) test -fuzz=FuzzDist2 -fuzztime=10s -run='^Fuzz' ./internal/microcluster
+
+## bench: the real benchmark suite (slow; use for EXPERIMENTS.md numbers)
+bench:
+	$(GO) test -bench=. -benchtime=2s -run='^$$' .
+
+## ci: the full pipeline, serially
+ci: check race bench-smoke fuzz-smoke

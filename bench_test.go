@@ -8,6 +8,7 @@ package udm_test
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"udm"
@@ -22,12 +23,19 @@ import (
 	"udm/internal/uncertain"
 )
 
-// benchData caches one perturbed train/test split per profile.
-var benchCache = map[string]struct{ train, test *dataset.Dataset }{}
+// benchCache holds one perturbed train/test split per profile. It is
+// guarded by benchCacheMu so that parallel benchmarks (and the -race CI
+// job) can share it safely.
+var (
+	benchCacheMu sync.Mutex
+	benchCache   = map[string]struct{ train, test *dataset.Dataset }{}
+)
 
 func benchBundle(b *testing.B, profile string, rows int, f float64) (train, test *dataset.Dataset) {
 	b.Helper()
 	key := fmt.Sprintf("%s-%d-%g", profile, rows, f)
+	benchCacheMu.Lock()
+	defer benchCacheMu.Unlock()
 	if got, ok := benchCache[key]; ok {
 		return got.train, got.test
 	}
@@ -319,6 +327,77 @@ func BenchmarkClassifyBatchSpeedup(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := c.ClassifyBatch(test.X, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatchWorkers compares the serial decision loop with
+// the parallel PredictBatch engine at increasing worker counts — the
+// headline speedup of the parallel density-evaluation engine. On an
+// n-core runner workers=n should approach n× the workers=1 rate.
+func BenchmarkPredictBatchWorkers(b *testing.B) {
+	train, test := benchBundle(b, "forest-cover", 900, 1.2)
+	c := benchClassifier(b, train, 140, true)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range test.X {
+				if _, err := c.Decide(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.PredictBatch(test.X, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDensityBatchWorkers compares serial point-KDE evaluation of
+// a whole query set against DensityBatch at increasing worker counts —
+// the raw kernel-sum substrate the classifier sits on.
+func BenchmarkDensityBatchWorkers(b *testing.B) {
+	train, test := benchBundle(b, "adult", 900, 1.2)
+	est, err := kde.NewPoint(train, kde.Options{ErrorAdjust: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range test.X {
+				_ = est.Density(x)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.DensityBatch(test.X, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransformWorkers compares serial transform construction with
+// the parallel per-class assignment path.
+func BenchmarkTransformWorkers(b *testing.B) {
+	train, _ := benchBundle(b, "forest-cover", 900, 1.2)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewTransform(train, core.TransformOptions{
+					MicroClusters: 140, ErrorAdjust: true, Seed: 7, Workers: workers,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +36,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit GitHub-flavored Markdown tables instead of aligned text")
 		list     = flag.Bool("list", false, "list available figures and exit")
 		parallel = flag.Int("parallel", 1, "figures to run concurrently (timing figures get noisy above 1)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the ext-parallel sweep (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,15 @@ func main() {
 	}
 
 	cfg := experiments.Config{Seed: *seed, Rows: *rows, MicroClusters: *q}
+	if *workers != "" {
+		for _, part := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w < 1 {
+				fatal(fmt.Errorf("invalid -workers entry %q", part))
+			}
+			cfg.WorkerSweep = append(cfg.WorkerSweep, w)
+		}
+	}
 
 	var figs []experiments.Figure
 	if *figID == "all" {

@@ -193,3 +193,73 @@ func TestFacadeRulesEndToEnd(t *testing.T) {
 		t.Fatalf("rule set accuracy %.3f", res.Accuracy())
 	}
 }
+
+func TestFacadeParallelBatch(t *testing.T) {
+	clean, err := udm.TwoBlobs(3).Generate(300, udm.NewRand(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := udm.Perturb(clean, 1.0, udm.NewRand(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udm.BatchWorkers(7) != 7 || udm.BatchWorkers(0) < 1 {
+		t.Fatal("BatchWorkers resolution broken")
+	}
+
+	// Batch density through the facade: bit-identical to serial.
+	est, err := udm.NewPointDensity(noisy, udm.DensityOptions{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := udm.DensityBatch(est, noisy.X, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range noisy.X {
+		if batch[i] != est.Density(x) {
+			t.Fatalf("row %d: batch %v != serial %v", i, batch[i], est.Density(x))
+		}
+	}
+
+	// Train with explicit workers: same model as the serial build.
+	workers := udm.TrainConfig{MicroClusters: 20, Seed: 42, Workers: 8}
+	serial := workers
+	serial.Workers = 1
+	cw, err := udm.Train(noisy, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := udm.Train(noisy, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := cw.PredictBatch(noisy.X, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range noisy.X {
+		want, err := cs.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp[i].Label != want {
+			t.Fatalf("row %d: parallel-trained PredictBatch label %d, serial train+classify %d", i, dp[i].Label, want)
+		}
+	}
+
+	// Parallel CV bandwidths agree with the default path.
+	h1, err := udm.CVBandwidths(noisy, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h8, err := udm.CVBandwidthsWorkers(noisy, true, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range h1 {
+		if h1[j] != h8[j] {
+			t.Fatalf("CV bandwidth %d: %v vs %v", j, h1[j], h8[j])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -55,5 +58,99 @@ func TestClassifyBatchEmptyAndErrors(t *testing.T) {
 	// A malformed row surfaces as an error, not a panic or silent skip.
 	if _, err := c.ClassifyBatch([][]float64{{1, 2}, {1}}, 2); err == nil {
 		t.Fatal("malformed row accepted")
+	}
+}
+
+// TestPredictBatchMatchesDecide: the parallel decision traces are
+// identical to the serial Decide loop for every worker count.
+func TestPredictBatchMatchesDecide(t *testing.T) {
+	ds := blobData(t, 300, 24)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := blobData(t, 90, 25)
+	want := make([]*Decision, probe.Len())
+	for i := range want {
+		if want[i], err = c.Decide(probe.X[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{0, 1, 4, 16} {
+		got, err := c.PredictBatch(probe.X, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d: row %d decision %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if got, err := c.PredictBatch(nil, 4); err != nil || got != nil {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+	if _, err := c.PredictBatch([][]float64{{1}}, 2); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+}
+
+func TestProbabilitiesBatchMatchesSerial(t *testing.T) {
+	ds := blobData(t, 200, 26)
+	tr, err := NewTransform(ds, TransformOptions{MicroClusters: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(tr, ClassifierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := blobData(t, 60, 27)
+	want := make([][]float64, probe.Len())
+	for i := range want {
+		if want[i], err = c.Probabilities(probe.X[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.ProbabilitiesBatch(probe.X, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("row %d probabilities %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTransformParallelBitIdentical: building the transform with any
+// worker count yields byte-identical serialized state to the serial
+// build — the determinism gate for the parallel per-class assignment.
+func TestTransformParallelBitIdentical(t *testing.T) {
+	ds := blobData(t, 500, 28)
+	serialize := func(workers int) []byte {
+		tr, err := NewTransform(ds, TransformOptions{
+			MicroClusters: 30, ErrorAdjust: true, Seed: 9, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := serialize(1)
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			if got := serialize(workers); !bytes.Equal(got, want) {
+				t.Fatalf("transform built with %d workers differs from serial build", workers)
+			}
+		})
 	}
 }

@@ -1,15 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strconv"
-	"sync"
 
 	"udm/internal/dataset"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
+	"udm/internal/parallel"
 )
 
 // DefaultThreshold is the accuracy threshold a used when
@@ -315,41 +315,42 @@ func normalizeOrPriors(p []float64, counts []int) []float64 {
 // ClassifyBatch classifies every row of X in parallel using the given
 // number of worker goroutines (≤ 0 means GOMAXPROCS). The classifier is
 // read-only after construction, so workers share it safely. The first
-// error aborts the batch.
+// error aborts the batch. Labels are bit-for-bit identical to calling
+// Classify row by row, for every worker count.
 func (c *Classifier) ClassifyBatch(X [][]float64, workers int) ([]int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(X) {
-		workers = len(X)
-	}
 	if len(X) == 0 {
 		return nil, nil
 	}
-	out := make([]int, len(X))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(X); i += workers {
-				label, err := c.Classify(X[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = label
-			}
-		}(w)
+	return parallel.Map(context.Background(), len(X), workers, func(i int) (int, error) {
+		return c.Classify(X[i])
+	})
+}
+
+// PredictBatch runs the full Figure-3 decision procedure over every row
+// of X in parallel (workers ≤ 0 means GOMAXPROCS) and returns one
+// decision trace per row. Every row is decided by exactly the same
+// serial code as Decide and written to its own result slot, so the
+// output is identical to the serial loop for every worker count. The
+// first error, in row-chunk order, aborts the batch.
+func (c *Classifier) PredictBatch(X [][]float64, workers int) ([]*Decision, error) {
+	if len(X) == 0 {
+		return nil, nil
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	return parallel.Map(context.Background(), len(X), workers, func(i int) (*Decision, error) {
+		return c.Decide(X[i])
+	})
+}
+
+// ProbabilitiesBatch returns Probabilities for every row of X in
+// parallel (workers ≤ 0 means GOMAXPROCS), one normalized class-score
+// vector per row, identical to the serial loop for every worker count.
+func (c *Classifier) ProbabilitiesBatch(X [][]float64, workers int) ([][]float64, error) {
+	if len(X) == 0 {
+		return nil, nil
 	}
-	return out, nil
+	return parallel.Map(context.Background(), len(X), workers, func(i int) ([]float64, error) {
+		return c.Probabilities(X[i])
+	})
 }
 
 // Classify predicts the class of x.

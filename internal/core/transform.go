@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"udm/internal/dataset"
 	"udm/internal/microcluster"
+	"udm/internal/parallel"
 	"udm/internal/rng"
 )
 
@@ -28,6 +30,12 @@ type TransformOptions struct {
 	// Seed drives the random streaming order that realizes the paper's
 	// random centroid seeding. The same seed gives the same transform.
 	Seed int64
+	// Workers caps the goroutines used to feed the k+1 summaries (global
+	// plus one per class). Each summary consumes the full record stream
+	// in the same order as the serial path, so the transform is
+	// bit-for-bit identical for every worker count. ≤ 0 means
+	// GOMAXPROCS; 1 forces the serial path.
+	Workers int
 }
 
 // DefaultMicroClusters is the q used when TransformOptions leaves
@@ -79,10 +87,58 @@ func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, err
 	}
 	r := rng.New(opt.Seed).Split("transform-order")
 	order := r.Perm(train.Len())
+	if workers := parallel.Workers(opt.Workers); workers > 1 {
+		return b.addAllParallel(train, order, workers)
+	}
 	for _, i := range order {
 		if err := b.Add(train.X[i], train.ErrRow(i), train.Labels[i]); err != nil {
 			return nil, err
 		}
+	}
+	return b.Transform()
+}
+
+// addAllParallel feeds the builder's k+1 summarizers concurrently, one
+// record stream per summarizer: the global summary consumes every row
+// in order, each class summary consumes its class's rows in order. A
+// summarizer only ever sees the exact Add sequence the serial path
+// would give it, and the summarizers never share mutable state, so the
+// resulting transform is bit-for-bit identical to the serial build.
+func (b *Builder) addAllParallel(train *dataset.Dataset, order []int, workers int) (*Transform, error) {
+	// Validate labels and tally class counts serially before fan-out so
+	// workers cannot observe malformed rows.
+	for _, i := range order {
+		l := train.Labels[i]
+		if l < 0 || l >= len(b.class) {
+			return nil, fmt.Errorf("core: label %d out of range [0,%d)", l, len(b.class))
+		}
+		b.classCount[l]++
+	}
+	errRow := func(i int) []float64 {
+		if !b.errAdjust {
+			return nil
+		}
+		return train.ErrRow(i)
+	}
+	err := parallel.For(context.Background(), len(b.class)+1, workers, func(start, end int) error {
+		for t := start; t < end; t++ {
+			if t == 0 {
+				for _, i := range order {
+					b.global.Add(train.X[i], errRow(i))
+				}
+				continue
+			}
+			c := t - 1
+			for _, i := range order {
+				if train.Labels[i] == c {
+					b.class[c].Add(train.X[i], errRow(i))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return b.Transform()
 }

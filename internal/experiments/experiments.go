@@ -44,6 +44,9 @@ type Config struct {
 	// SizeSweep is the data-size sweep of Figure 11.
 	// Default {200, 400, ..., 2000}.
 	SizeSweep []int
+	// WorkerSweep is the worker-count sweep of the ext-parallel figure.
+	// Default {1, 2, 4, 8}. The first entry is the speedup baseline.
+	WorkerSweep []int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.SizeSweep) == 0 {
 		c.SizeSweep = []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+	}
+	if len(c.WorkerSweep) == 0 {
+		c.WorkerSweep = []int{1, 2, 4, 8}
 	}
 	return c
 }
@@ -108,6 +114,7 @@ func All() []Figure {
 		{ID: "ext-outlier", Title: "Extension: error-aware outlier AUC vs degraded-sensor error", Run: ExtOutlierAUC},
 		{ID: "ext-calibration", Title: "Extension: probability calibration vs error level", Run: ExtCalibration},
 		{ID: "ext-drift", Title: "Extension: stream drift score vs regime shift", Run: ExtDrift},
+		{ID: "ext-parallel", Title: "Extension: batch classification speedup vs worker count", Run: ExtParallel},
 	}
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"udm/internal/eval"
+)
+
+// ExtParallel measures the parallel density-evaluation engine: batch
+// classification time per example (PredictBatch over the whole test
+// set) as the worker count grows, plus the speedup relative to one
+// worker. It doubles as a runtime determinism check — every worker
+// count must reproduce the single-worker labels exactly, or the run
+// aborts.
+func ExtParallel(cfg Config) (*eval.Table, error) {
+	cfg = cfg.withDefaults()
+	b, err := makePerturbed("forest-cover", cfg.FFixed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := densityClassifier(b.train, cfg.MicroClusters, true, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sweep := cfg.WorkerSweep
+	xs := make([]float64, len(sweep))
+	perExample := make([]float64, len(sweep))
+	speedup := make([]float64, len(sweep))
+	var baseline []int
+	var baseSeconds float64
+	for i, w := range sweep {
+		xs[i] = float64(w)
+		var labels []int
+		var runErr error
+		per := eval.TimePerExample(b.test.Len(), func() {
+			labels, runErr = c.ClassifyBatch(b.test.X, w)
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		perExample[i] = per.Seconds()
+		if i == 0 {
+			baseline = labels
+			baseSeconds = per.Seconds()
+		} else {
+			for j := range labels {
+				if labels[j] != baseline[j] {
+					return nil, fmt.Errorf(
+						"experiments: %d workers changed label of test row %d (%d vs %d) — determinism violated",
+						w, j, labels[j], baseline[j])
+				}
+			}
+		}
+		if perExample[i] > 0 {
+			speedup[i] = baseSeconds / perExample[i]
+		}
+	}
+	return eval.NewTable(
+		"Extension — Batch classification vs worker count (Forest Cover)",
+		"workers",
+		eval.Series{Name: "s/example", X: xs, Y: perExample},
+		eval.Series{Name: fmt.Sprintf("speedup vs %d worker", sweep[0]), X: xs, Y: speedup},
+	)
+}

@@ -1,0 +1,133 @@
+package kde
+
+import (
+	"context"
+	"fmt"
+
+	"udm/internal/kernel"
+	"udm/internal/parallel"
+)
+
+// QEstimator is an Estimator that can also evaluate the expected
+// density at an uncertain query point (a query with its own per-
+// dimension standard errors). Both PointKDE and ClusterKDE satisfy it.
+type QEstimator interface {
+	Estimator
+	// DensityQ returns E[f(X)] for X ~ N(x, diag(qerr²)) over dims.
+	DensityQ(x, qerr []float64, dims []int) float64
+}
+
+// DensityBatch evaluates est at every row of X over the dimension
+// subset dims (nil means all dimensions), fanning the rows out over up
+// to parallel.Workers(workers) goroutines. Each query is evaluated by
+// exactly the same serial code as est.DensitySub, and every result is
+// written to its own slot, so the output is bit-for-bit identical for
+// every worker count. Estimators are read-only after construction and
+// therefore safe to share across the workers.
+//
+// Unlike the per-query methods, malformed input surfaces as an error,
+// not a panic: rows and dims are validated up front.
+func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int, workers int) ([]float64, error) {
+	dims, err := batchDims(est, X, dims)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
+		return est.DensitySub(X[i], dims), nil
+	})
+}
+
+// DensityQBatch is the uncertain-query variant of DensityBatch: row i
+// is evaluated with per-dimension query errors Qerr[i] folded into
+// every kernel. Qerr may be nil (all queries certain, reducing to
+// DensityBatch) and individual Qerr rows may be nil (that query is
+// certain). Results are bit-for-bit identical for every worker count.
+func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	dims, err := batchDims(est, X, dims)
+	if err != nil {
+		return nil, err
+	}
+	if Qerr != nil && len(Qerr) != len(X) {
+		return nil, fmt.Errorf("kde: %d query-error rows for %d queries", len(Qerr), len(X))
+	}
+	for i, er := range Qerr {
+		if er != nil && len(er) != est.Dims() {
+			return nil, fmt.Errorf("kde: query-error row %d has %d dims, estimator has %d", i, len(er), est.Dims())
+		}
+	}
+	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
+		if Qerr == nil {
+			return est.DensityQ(X[i], nil, dims), nil
+		}
+		return est.DensityQ(X[i], Qerr[i], dims), nil
+	})
+}
+
+// batchDims validates the query rows and the dimension subset for a
+// batch evaluation, resolving a nil dims to all dimensions.
+func batchDims(est Estimator, X [][]float64, dims []int) ([]int, error) {
+	d := est.Dims()
+	for i, x := range X {
+		if len(x) != d {
+			return nil, fmt.Errorf("kde: query row %d has %d dims, estimator has %d", i, len(x), d)
+		}
+	}
+	if dims == nil {
+		return allDims(d), nil
+	}
+	for _, j := range dims {
+		if j < 0 || j >= d {
+			return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d)", j, d)
+		}
+	}
+	return dims, nil
+}
+
+// DensityBatch evaluates the estimate at every row of X over dims (nil
+// = all dimensions) using up to parallel.Workers(workers) goroutines.
+// Results are bit-for-bit identical to calling DensitySub row by row.
+func (k *PointKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatch(context.Background(), k, X, dims, workers)
+}
+
+// DensityQBatch evaluates the expected density at every uncertain query
+// row of X (query errors Qerr, nil rows = certain) in parallel. It
+// requires the Gaussian kernel, like DensityQ.
+func (k *PointKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	if Qerr != nil && k.opt.Kernel != kernel.Gaussian {
+		return nil, fmt.Errorf("kde: DensityQBatch requires the Gaussian kernel, got %v", k.opt.Kernel)
+	}
+	return DensityQBatch(context.Background(), k, X, Qerr, dims, workers)
+}
+
+// DensityBatch evaluates the estimate at every row of X over dims (nil
+// = all dimensions) using up to parallel.Workers(workers) goroutines.
+// Results are bit-for-bit identical to calling DensitySub row by row.
+func (k *ClusterKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatch(context.Background(), k, X, dims, workers)
+}
+
+// DensityQBatch evaluates the expected density at every uncertain query
+// row of X (query errors Qerr, nil rows = certain) in parallel.
+func (k *ClusterKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityQBatch(context.Background(), k, X, Qerr, dims, workers)
+}
+
+// LeaveOneOutBatch returns LeaveOneOutDensity for every training index
+// in parallel — the hot inner loop of outlier detection and likelihood
+// cross-validation. Results are bit-for-bit identical to the serial
+// loop for every worker count.
+func (k *PointKDE) LeaveOneOutBatch(dims []int, workers int) ([]float64, error) {
+	if dims == nil {
+		dims = allDims(len(k.h))
+	} else {
+		for _, j := range dims {
+			if j < 0 || j >= len(k.h) {
+				return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d)", j, len(k.h))
+			}
+		}
+	}
+	return parallel.Map(context.Background(), len(k.x), workers, func(i int) (float64, error) {
+		return k.LeaveOneOutDensity(i, dims), nil
+	})
+}

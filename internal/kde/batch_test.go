@@ -1,0 +1,200 @@
+package kde
+
+import (
+	"context"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/kernel"
+	"udm/internal/microcluster"
+	"udm/internal/rng"
+)
+
+// batchFixture builds a perturbed dataset plus point and cluster
+// estimators with error adjustment on.
+func batchFixture(t *testing.T, n int) (*dataset.Dataset, *PointKDE, *ClusterKDE) {
+	t.Helper()
+	r := rng.New(41)
+	ds := dataset.New("a", "b", "c")
+	for i := 0; i < n; i++ {
+		x := []float64{r.Norm(0, 1), r.Norm(3, 2), r.Norm(-2, 0.7)}
+		e := []float64{0.2, 0.4, 0.1}
+		if err := ds.Append(x, e, dataset.Unlabeled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt, err := NewPoint(ds, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := microcluster.Build(ds, 20, r.Split("mc"))
+	cl, err := NewCluster(s, Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, pt, cl
+}
+
+// TestDensityBatchMatchesSerialExactly is the tentpole determinism
+// gate: DensityBatch at P=1 and P=8 must agree bit-for-bit with each
+// other and with the serial DensitySub loop, over full and subspace
+// dims, for both estimator kinds.
+func TestDensityBatchMatchesSerialExactly(t *testing.T) {
+	ds, pt, cl := batchFixture(t, 300)
+	for _, dims := range [][]int{nil, {0}, {1, 2}} {
+		for name, est := range map[string]Estimator{"point": pt, "cluster": cl} {
+			evalDims := dims
+			if evalDims == nil {
+				evalDims = allDims(est.Dims())
+			}
+			want := make([]float64, ds.Len())
+			for i, x := range ds.X {
+				want[i] = est.DensitySub(x, evalDims)
+			}
+			for _, workers := range []int{1, 8} {
+				got, err := DensityBatch(context.Background(), est, ds.X, dims, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s dims=%v workers=%d: row %d = %v, want %v (not bit-identical)",
+							name, dims, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDensityQBatchMatchesSerialExactly(t *testing.T) {
+	ds, pt, cl := batchFixture(t, 200)
+	qerr := make([][]float64, ds.Len())
+	for i := range qerr {
+		if i%3 == 0 {
+			qerr[i] = nil // mixed certain/uncertain queries
+		} else {
+			qerr[i] = []float64{0.3, 0.1, 0.2}
+		}
+	}
+	for name, est := range map[string]QEstimator{"point": pt, "cluster": cl} {
+		dims := allDims(est.Dims())
+		want := make([]float64, ds.Len())
+		for i, x := range ds.X {
+			want[i] = est.DensityQ(x, qerr[i], dims)
+		}
+		for _, workers := range []int{1, 8} {
+			got, err := DensityQBatch(context.Background(), est, ds.X, qerr, nil, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: row %d = %v, want %v", name, workers, i, got[i], want[i])
+				}
+			}
+		}
+		// nil Qerr reduces to DensityBatch.
+		plain, err := DensityQBatch(context.Background(), est, ds.X, nil, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := DensityBatch(context.Background(), est, ds.X, nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if plain[i] != batch[i] {
+				t.Fatalf("%s: nil-Qerr row %d = %v, want %v", name, i, plain[i], batch[i])
+			}
+		}
+	}
+}
+
+// TestDensityBatchValidation: batch APIs error instead of panicking on
+// malformed input.
+func TestDensityBatchValidation(t *testing.T) {
+	ds, pt, _ := batchFixture(t, 20)
+	if _, err := pt.DensityBatch([][]float64{{1, 2}}, nil, 2); err == nil {
+		t.Error("short query row accepted")
+	}
+	if _, err := pt.DensityBatch(ds.X, []int{7}, 2); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+	if _, err := pt.DensityQBatch(ds.X, [][]float64{{1, 2, 3}}, nil, 2); err == nil {
+		t.Error("mismatched Qerr length accepted")
+	}
+	if _, err := pt.DensityQBatch(ds.X, make([][]float64, ds.Len()-1), nil, 2); err == nil {
+		t.Error("wrong Qerr row count accepted")
+	}
+	// Non-Gaussian kernels cannot evaluate uncertain queries.
+	lap, err := NewPoint(ds, Options{Kernel: kernel.Laplace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qerr := make([][]float64, ds.Len())
+	for i := range qerr {
+		qerr[i] = []float64{0.1, 0.1, 0.1}
+	}
+	if _, err := lap.DensityQBatch(ds.X, qerr, nil, 2); err == nil {
+		t.Error("DensityQBatch with Laplace kernel accepted")
+	}
+	// Empty batch is fine.
+	out, err := pt.DensityBatch(nil, nil, 4)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestDensityBatchCancellation(t *testing.T) {
+	ds, pt, _ := batchFixture(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DensityBatch(ctx, pt, ds.X, nil, 4); err == nil {
+		t.Error("cancelled context did not abort the batch")
+	}
+}
+
+func TestLeaveOneOutBatchMatchesSerial(t *testing.T) {
+	ds, pt, _ := batchFixture(t, 150)
+	dims := []int{0, 2}
+	want := make([]float64, ds.Len())
+	for i := range want {
+		want[i] = pt.LeaveOneOutDensity(i, dims)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := pt.LeaveOneOutBatch(dims, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: row %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := pt.LeaveOneOutBatch([]int{9}, 2); err == nil {
+		t.Error("out-of-range dim accepted")
+	}
+}
+
+// TestCVBandwidthsWorkersDeterministic: the CV grid search picks the
+// same bandwidths for every worker count.
+func TestCVBandwidthsWorkersDeterministic(t *testing.T) {
+	ds, _, _ := batchFixture(t, 120)
+	want, err := CVBandwidthsWorkers(ds, true, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := CVBandwidthsWorkers(ds, true, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("workers=%d: h[%d] = %v, want %v", workers, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -56,6 +56,47 @@ func BenchmarkClusterDensitySub1D(b *testing.B) {
 	}
 }
 
+// BenchmarkDensityBatch pins the batch engine against the serial loop
+// at several worker counts; the serial/workers=1 pair exposes the
+// fan-out overhead, larger counts the multicore speedup.
+func BenchmarkDensityBatch(b *testing.B) {
+	d := gauss2(1000, 0.5, 8)
+	est, err := NewPoint(d, Options{ErrorAdjust: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range d.X {
+				_ = est.Density(x)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.DensityBatch(d.X, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCVBandwidthsWorkers times the parallel LOO bandwidth search.
+func BenchmarkCVBandwidthsWorkers(b *testing.B) {
+	d := gauss2(400, 0.5, 9)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := CVBandwidthsWorkers(d, true, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSample(b *testing.B) {
 	d := gauss2(500, 0.5, 6)
 	est, err := NewPoint(d, Options{ErrorAdjust: true})

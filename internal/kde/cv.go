@@ -1,11 +1,13 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"udm/internal/dataset"
 	"udm/internal/kernel"
+	"udm/internal/parallel"
 )
 
 // DefaultCVGrid is the multiplier grid used by CVBandwidths when none is
@@ -23,9 +25,21 @@ var DefaultCVGrid = []float64{0.25, 0.35, 0.5, 0.7, 1.0, 1.4, 2.0, 2.8, 4.0}
 // result.
 //
 // Cost is O(grid · N² · d); intended for moderate N (it is a training-
-// time, not query-time, computation). The returned slice plugs into
-// Options.Bandwidths.
+// time, not query-time, computation). The O(N²) likelihood evaluations
+// are independent per (dimension, multiplier) pair and are fanned out
+// over GOMAXPROCS workers; use CVBandwidthsWorkers to pick the worker
+// count explicitly. The returned slice plugs into Options.Bandwidths.
 func CVBandwidths(ds *dataset.Dataset, errorAdjust bool, grid []float64) ([]float64, error) {
+	return CVBandwidthsWorkers(ds, errorAdjust, grid, 0)
+}
+
+// CVBandwidthsWorkers is CVBandwidths with an explicit worker count
+// (≤ 0 means GOMAXPROCS). Every (dimension, multiplier) cell of the
+// selection grid is an independent leave-one-out likelihood computed by
+// the same serial code regardless of the worker count, and the per-
+// dimension argmax scans the grid in fixed order, so the selected
+// bandwidths are bit-for-bit identical for every worker count.
+func CVBandwidthsWorkers(ds *dataset.Dataset, errorAdjust bool, grid []float64, workers int) ([]float64, error) {
 	if ds.Len() < 3 {
 		return nil, fmt.Errorf("kde: CV bandwidth selection needs ≥ 3 rows, have %d", ds.Len())
 	}
@@ -38,26 +52,38 @@ func CVBandwidths(ds *dataset.Dataset, errorAdjust bool, grid []float64) ([]floa
 		}
 	}
 	d := ds.Dims()
-	out := make([]float64, d)
-	col := make([]float64, ds.Len())
-	errs := make([]float64, ds.Len())
+	// Materialize the per-dimension columns and error columns once, up
+	// front: they are shared read-only by all grid-cell workers.
+	cols := make([][]float64, d)
+	errCols := make([][]float64, d)
+	base := make([]float64, d)
 	rule := kernel.Bandwidth{Rule: kernel.Silverman}
 	for j := 0; j < d; j++ {
+		col := make([]float64, ds.Len())
+		errs := make([]float64, ds.Len())
 		for i := range ds.X {
 			col[i] = ds.X[i][j]
 			if errorAdjust && ds.Err != nil {
 				errs[i] = ds.Err[i][j]
-			} else {
-				errs[i] = 0
 			}
 		}
-		base := rule.FromValues(col, d)
-		bestH, bestLL := base, math.Inf(-1)
-		for _, m := range grid {
-			h := m * base
-			ll := looLogLikelihood1D(col, errs, h)
-			if ll > bestLL {
-				bestH, bestLL = h, ll
+		cols[j], errCols[j] = col, errs
+		base[j] = rule.FromValues(col, d)
+	}
+	// One task per (dimension, multiplier) grid cell.
+	lls, err := parallel.Map(context.Background(), d*len(grid), workers, func(t int) (float64, error) {
+		j, m := t/len(grid), t%len(grid)
+		return looLogLikelihood1D(cols[j], errCols[j], grid[m]*base[j]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, d)
+	for j := 0; j < d; j++ {
+		bestH, bestLL := base[j], math.Inf(-1)
+		for m, mult := range grid {
+			if ll := lls[j*len(grid)+m]; ll > bestLL {
+				bestH, bestLL = mult*base[j], ll
 			}
 		}
 		out[j] = bestH
@@ -95,6 +121,11 @@ func looLogLikelihood1D(x, errs []float64, h float64) float64 {
 // full product-kernel estimate under explicit per-dimension bandwidths —
 // the model-selection score CVBandwidths optimizes, exposed for
 // diagnostics and tests.
+//
+// The per-point LOO densities are evaluated in parallel; the total is a
+// compensated sum of the per-point log terms taken in row order
+// (parallel.Sum), so the score is bit-for-bit reproducible regardless
+// of GOMAXPROCS.
 func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64) (float64, error) {
 	if len(bandwidths) != ds.Dims() {
 		return 0, fmt.Errorf("kde: %d bandwidths for %d dimensions", len(bandwidths), ds.Dims())
@@ -105,14 +136,14 @@ func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64
 		return 0, err
 	}
 	dims := allDims(ds.Dims())
-	var ll float64
-	for i := 0; i < ds.Len(); i++ {
-		f := est.LeaveOneOutDensity(i, dims)
-		if f > 0 {
-			ll += math.Log(f)
-		} else {
-			ll += -700
+	ll, err := parallel.Sum(context.Background(), ds.Len(), 0, func(i int) float64 {
+		if f := est.LeaveOneOutDensity(i, dims); f > 0 {
+			return math.Log(f)
 		}
+		return -700
+	})
+	if err != nil {
+		return 0, err
 	}
 	if math.IsNaN(ll) {
 		return 0, fmt.Errorf("kde: log-likelihood is NaN")

@@ -1,0 +1,65 @@
+package microcluster
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"udm/internal/dataset"
+	"udm/internal/rng"
+)
+
+// TestConcurrentReadsAreRaceFree pins the documented concurrency
+// contract: after construction, all read-only Summarizer methods may
+// run concurrently. The parallel density engine shares one frozen
+// summarizer across every worker, so this test (run under -race in CI)
+// is the gate for that design.
+func TestConcurrentReadsAreRaceFree(t *testing.T) {
+	r := rng.New(11)
+	ds := dataset.New("a", "b", "c")
+	for i := 0; i < 400; i++ {
+		x := []float64{r.Norm(0, 1), r.Norm(2, 1), r.Norm(-1, 0.5)}
+		e := []float64{0.1, 0.2, 0.05}
+		if err := ds.Append(x, e, dataset.Unlabeled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := Build(ds, 25, r.Split("build"))
+
+	query := []float64{0.5, 1.5, -0.8}
+	qerr := []float64{0.2, 0.1, 0.1}
+	wantNearest := s.Nearest(query, qerr)
+	wantSigmas := s.Sigmas()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				if got := s.Nearest(query, qerr); got != wantNearest {
+					t.Errorf("Nearest = %d, want %d", got, wantNearest)
+					return
+				}
+				for i := 0; i < s.Len(); i++ {
+					f := s.Feature(i)
+					_ = f.Centroid(nil)
+					_ = f.Variance(0)
+					_ = s.Centroid(i)
+				}
+				for j, sig := range s.Sigmas() {
+					if sig != wantSigmas[j] {
+						t.Errorf("Sigmas[%d] = %v, want %v", j, sig, wantSigmas[j])
+						return
+					}
+				}
+				var buf bytes.Buffer
+				if err := s.Save(&buf); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -17,7 +17,13 @@ import (
 // Eq. (5), and clusters are never created beyond q nor discarded, so
 // every record is reflected in the statistics.
 //
-// A Summarizer is not safe for concurrent use.
+// A Summarizer is not safe for concurrent mutation: Add/AddAt must be
+// serialized by the caller. Once construction is finished, the
+// read-only methods (Nearest, Feature, Centroid, Sigmas, Density
+// consumers, Save) are safe to call from any number of goroutines
+// concurrently — this is the contract the parallel batch-evaluation
+// engine (internal/parallel, kde.DensityBatch) relies on, and it is
+// exercised under the race detector in race_test.go.
 type Summarizer struct {
 	q     int
 	d     int

@@ -1,0 +1,141 @@
+// Package parallel is the shared worker-pool substrate behind every
+// batch API in the repository: chunked fan-out over an index range with
+// a configurable worker count P (≤ 0 means runtime.GOMAXPROCS(0)),
+// deterministic result ordering, first-error-wins propagation in chunk
+// order, and context cancellation.
+//
+// Determinism contract: every helper here assigns work to fixed index
+// ranges and writes results into fixed slots, so the output of a batch
+// computation is bit-for-bit identical for every worker count — the
+// goroutine schedule can only change *when* a slot is written, never
+// *what* is written. Reductions that would otherwise depend on
+// summation order (Sum) collect per-index terms first and combine them
+// in index order with compensated summation (internal/num.Sum).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"udm/internal/num"
+)
+
+// Workers resolves a caller-supplied worker count the way every batch
+// API in this module does: values ≤ 0 mean runtime.GOMAXPROCS(0).
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// oversubscribe is the number of chunks handed to each worker. Chunks
+// are smaller than one worker's equal share so that cheap chunks
+// finishing early leave their worker free to steal remaining ones —
+// load balance without per-index dispatch overhead. Chunk boundaries
+// depend only on (n, workers), never on the schedule.
+const oversubscribe = 4
+
+// For runs fn over the index range [0, n), split into contiguous chunks
+// executed by min(Workers(p), n) worker goroutines. fn receives the
+// half-open range [start, end) it owns; ranges never overlap and
+// together cover [0, n) exactly, so workers may write to disjoint slots
+// of a shared output slice without synchronization.
+//
+// The first error, in chunk order (not completion order), aborts the
+// batch: chunks not yet started are skipped and the error is returned.
+// Cancelling ctx likewise stops new chunks from starting and returns
+// ctx.Err() (a nil ctx means context.Background()). Chunks already
+// running always run to completion.
+func For(ctx context.Context, n, p int, fn func(start, end int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := Workers(p)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(0, n)
+	}
+	chunks := workers * oversubscribe
+	if chunks > n {
+		chunks = n
+	}
+	errs := make([]error, chunks)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				start, end := c*n/chunks, (c+1)*n/chunks
+				if err := fn(start, end); err != nil {
+					errs[c] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Map evaluates fn for every index in [0, n) using up to Workers(p)
+// goroutines and returns the results in index order. The output is
+// identical for every worker count. On error (or cancellation) the
+// partial results are discarded and the first error in chunk order is
+// returned.
+func Map[T any](ctx context.Context, n, p int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(ctx, n, p, func(start, end int) error {
+		for i := start; i < end; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sum evaluates term(i) for every index in [0, n) in parallel and
+// returns the compensated sum (internal/num.Sum) of all terms taken in
+// index order. Because the reduction order is fixed — terms are
+// collected into their index slots first, then folded left to right —
+// the result is bit-for-bit identical for every worker count, unlike a
+// naive per-goroutine accumulation.
+func Sum(ctx context.Context, n, p int, term func(i int) float64) (float64, error) {
+	terms, err := Map(ctx, n, p, func(i int) (float64, error) {
+		return term(i), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return num.Sum(terms), nil
+}

@@ -1,0 +1,188 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"udm/internal/num"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+// TestForCoversRangeExactly checks, for sizes around every chunking
+// boundary and several worker counts, that the chunks partition [0, n):
+// every index is visited exactly once.
+func TestForCoversRangeExactly(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		sizes := []int{0, 1, p - 1, p, p + 1, 4 * p, 4*p - 1, 4*p + 1, 1000}
+		for _, n := range sizes {
+			if n < 0 {
+				continue
+			}
+			t.Run(fmt.Sprintf("p=%d/n=%d", p, n), func(t *testing.T) {
+				visits := make([]int, n)
+				err := For(context.Background(), n, p, func(start, end int) error {
+					if start < 0 || end > n || start > end {
+						return fmt.Errorf("bad chunk [%d,%d) for n=%d", start, end, n)
+					}
+					for i := start; i < end; i++ {
+						visits[i]++ // disjoint chunks: no lock needed
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("index %d visited %d times", i, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkers asserts the core determinism
+// contract: Map output is identical (==, not approximately) for P=1 and
+// larger worker counts.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	const n = 777
+	fn := func(i int) (float64, error) {
+		return 1.0 / float64(i+1), nil
+	}
+	want, err := Map(context.Background(), n, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 8, 64} {
+		got, err := Map(context.Background(), n, p, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: index %d = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		err := For(context.Background(), 100, p, func(start, end int) error {
+			for i := start; i < end; i++ {
+				if i == 37 {
+					return fmt.Errorf("index %d: %w", i, boom)
+				}
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("p=%d: error %v, want wrapped boom", p, err)
+		}
+	}
+	// Map discards partial results on error.
+	out, err := Map(context.Background(), 10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("Map after error: out=%v err=%v", out, err)
+	}
+}
+
+func TestForContextCancellation(t *testing.T) {
+	// Already-cancelled context: no work runs at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := For(ctx, 8, 1, func(start, end int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: error %v", err)
+	}
+	if ran {
+		t.Fatal("pre-cancelled context still ran a chunk")
+	}
+
+	// Cancellation mid-run: the first chunk cancels the rest; later
+	// chunks must be skipped and ctx.Err() reported.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var mu sync.Mutex
+	started := 0
+	err = For(ctx2, 1000, 2, func(start, end int) error {
+		mu.Lock()
+		started++
+		mu.Unlock()
+		cancel2()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: error %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if started > 3 { // ≤ one in-flight chunk per worker after the cancel
+		t.Fatalf("%d chunks started after cancellation", started)
+	}
+}
+
+func TestForZeroAndNilContext(t *testing.T) {
+	if err := For(context.Background(), 0, 4, func(int, int) error { return errors.New("no") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := For(nil, 5, 2, func(int, int) error { return nil }); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+// TestSumMatchesCompensatedSerial asserts Sum's fixed reduction order:
+// for every worker count the result equals num.Sum over the terms in
+// index order, bit for bit.
+func TestSumMatchesCompensatedSerial(t *testing.T) {
+	const n = 1234
+	term := func(i int) float64 {
+		// Alternating, wide-magnitude terms make summation-order
+		// differences visible if the reduction were per-goroutine.
+		s := 1.0
+		if i%2 == 1 {
+			s = -1.0
+		}
+		return s * (1e10 / float64(i+1))
+	}
+	serial := make([]float64, n)
+	for i := range serial {
+		serial[i] = term(i)
+	}
+	want := num.Sum(serial)
+	for _, p := range []int{1, 2, 8, 32} {
+		got, err := Sum(context.Background(), n, p, term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("p=%d: Sum = %v, want %v", p, got, want)
+		}
+	}
+}

@@ -35,6 +35,8 @@
 package udm
 
 import (
+	"context"
+
 	"udm/internal/baseline"
 	"udm/internal/cluster"
 	"udm/internal/core"
@@ -45,6 +47,7 @@ import (
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
 	"udm/internal/outlier"
+	"udm/internal/parallel"
 	"udm/internal/rng"
 	"udm/internal/stream"
 	"udm/internal/uncertain"
@@ -159,6 +162,20 @@ func NewPointDensity(ds *Dataset, opt DensityOptions) (*PointDensity, error) {
 	return kde.NewPoint(ds, opt)
 }
 
+// DensityBatch evaluates any density estimator at every row of X over
+// the dimension subset dims (nil = all dimensions), fanned out over up
+// to BatchWorkers(workers) goroutines. Results are bit-for-bit
+// identical to the serial row-by-row loop for every worker count; see
+// also the DensityBatch/DensityQBatch methods on PointDensity and
+// ClusterDensity.
+func DensityBatch(est DensityEstimator, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return kde.DensityBatch(context.Background(), est, X, dims, workers)
+}
+
+// BatchWorkers resolves a workers argument the way every *Batch API in
+// this module does: values ≤ 0 mean runtime.GOMAXPROCS(0).
+func BatchWorkers(workers int) int { return parallel.Workers(workers) }
+
 // NewClusterDensity builds the scalable density estimate over
 // micro-cluster summaries.
 func NewClusterDensity(s *Summarizer, opt DensityOptions) (*ClusterDensity, error) {
@@ -253,6 +270,10 @@ type TrainConfig struct {
 	MaxSubspaces int
 	// Seed drives transform seeding.
 	Seed int64
+	// Workers caps the goroutines used while building the transform
+	// (≤ 0 = GOMAXPROCS, 1 = serial). The result is bit-for-bit
+	// identical for every worker count.
+	Workers int
 }
 
 // Train is the one-call pipeline: transform the training data and build
@@ -266,6 +287,7 @@ func Train(train *Dataset, cfg TrainConfig) (*Classifier, error) {
 		MicroClusters: cfg.MicroClusters,
 		ErrorAdjust:   adjust,
 		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -346,8 +368,14 @@ var ROC = eval.ROC
 type ROCPoint = eval.ROCPoint
 
 // CVBandwidths selects per-dimension bandwidths by leave-one-out
-// likelihood; plug the result into DensityOptions.Bandwidths.
-var CVBandwidths = kde.CVBandwidths
+// likelihood; plug the result into DensityOptions.Bandwidths. The grid
+// search runs on GOMAXPROCS workers; CVBandwidthsWorkers picks the
+// worker count explicitly. Both are deterministic for every worker
+// count.
+var (
+	CVBandwidths        = kde.CVBandwidths
+	CVBandwidthsWorkers = kde.CVBandwidthsWorkers
+)
 
 // Outlier detection.
 type (
