@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench-smoke fuzz-smoke bench ci
+.PHONY: check build vet fmt test race bench-smoke fuzz-smoke serve-smoke bench ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -37,9 +37,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzFeatureAdd -fuzztime=10s -run='^Fuzz' ./internal/microcluster
 	$(GO) test -fuzz=FuzzDist2 -fuzztime=10s -run='^Fuzz' ./internal/microcluster
 
+## serve-smoke: end-to-end udmserve check (train, serve, curl, shut down)
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 ## bench: the real benchmark suite (slow; use for EXPERIMENTS.md numbers)
 bench:
 	$(GO) test -bench=. -benchtime=2s -run='^$$' .
 
 ## ci: the full pipeline, serially
-ci: check race bench-smoke fuzz-smoke
+ci: check race bench-smoke fuzz-smoke serve-smoke

@@ -1,0 +1,202 @@
+// Command udmserve serves saved density-transform artifacts over an
+// HTTP JSON API: classification, density evaluation, outlier scoring
+// and stream ingestion against a named model registry, with request
+// micro-batching, a density LRU cache, load shedding and graceful
+// shutdown (stream engines are checkpointed on SIGINT/SIGTERM).
+//
+// Usage:
+//
+//	udmserve -addr :8080 -model iris=transform:iris.gob
+//	udmserve -model live=stream:engine.gob -model sum=summarizer:clusters.gob
+//
+// Each -model flag is name=kind:path where kind is transform (saved
+// with udmclassify -save), summarizer (microcluster.Summarizer.Save)
+// or stream (udmstream -checkpoint). Stream models are checkpointed
+// back to their source path on shutdown unless -no-checkpoint is set.
+//
+// Endpoints: GET /healthz /readyz /metrics /v1/models and POST
+// /v1/models/{name}/{classify,density,outliers,ingest}. See the
+// "Serving" section of README.md for request shapes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"udm/internal/core"
+	"udm/internal/kde"
+	"udm/internal/microcluster"
+	"udm/internal/server"
+	"udm/internal/stream"
+)
+
+// modelSpec is one parsed -model flag.
+type modelSpec struct {
+	name, kind, path string
+}
+
+// modelFlags collects repeated -model flags.
+type modelFlags []modelSpec
+
+func (m *modelFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = fmt.Sprintf("%s=%s:%s", s.name, s.kind, s.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *modelFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=kind:path, got %q", v)
+	}
+	kind, path, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want name=kind:path, got %q", v)
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("empty name or path in %q", v)
+	}
+	switch kind {
+	case "transform", "summarizer", "stream":
+	default:
+		return fmt.Errorf("unknown kind %q (want transform, summarizer or stream)", kind)
+	}
+	*m = append(*m, modelSpec{name: name, kind: kind, path: path})
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	flag.Var(&models, "model", "model to serve, name=kind:path (repeatable; kinds: transform, summarizer, stream)")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		threshold    = flag.Float64("a", 0, "classifier accuracy threshold for transform models (0 = default)")
+		errorAdjust  = flag.Bool("error-adjust", true, "use the error-adjusted kernel for density and outliers")
+		maxBatch     = flag.Int("max-batch", 0, "max coalesced requests per batched call (0 = default 64)")
+		batchDelay   = flag.Duration("batch-delay", 0, "micro-batching window (0 = default 2ms; -1ns disables)")
+		timeout      = flag.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently admitted requests before 429 shedding (0 = default 256)")
+		cacheSize    = flag.Int("cache-size", 0, "density cache entries (0 = default 4096; negative disables)")
+		cacheQuantum = flag.Float64("cache-quantum", 0, "density cache coordinate quantum (0 = exact keys)")
+		workers      = flag.Int("workers", 0, "worker pool size for batched evaluation (0 = all cores)")
+		noCheckpoint = flag.Bool("no-checkpoint", false, "do not checkpoint stream models on shutdown")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "udmserve: at least one -model name=kind:path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kdeOpt := kde.Options{ErrorAdjust: *errorAdjust}
+	reg := server.NewRegistry()
+	for _, spec := range models {
+		m, err := loadModel(spec, *threshold, kdeOpt, *noCheckpoint)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Add(m); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "udmserve: loaded %s model %q (%d dims) from %s\n",
+			spec.kind, spec.name, m.Dims(), spec.path)
+	}
+
+	srv := server.New(reg, server.Options{
+		MaxBatch:       *maxBatch,
+		BatchDelay:     *batchDelay,
+		RequestTimeout: *timeout,
+		MaxInflight:    *maxInflight,
+		CacheSize:      *cacheSize,
+		CacheQuantum:   *cacheQuantum,
+		Workers:        *workers,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "udmserve: listening on %s (models: %s)\n",
+		l.Addr(), strings.Join(reg.Names(), ", "))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "udmserve: %s — draining (max %s) and checkpointing\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "udmserve: clean shutdown")
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+// loadModel reads one artifact from disk and wraps it for serving.
+func loadModel(spec modelSpec, threshold float64, kdeOpt kde.Options, noCheckpoint bool) (*server.Model, error) {
+	switch spec.kind {
+	case "transform":
+		t, err := core.LoadTransformFile(spec.path)
+		if err != nil {
+			return nil, err
+		}
+		return server.NewTransformModel(spec.name, t, core.ClassifierOptions{
+			Threshold: threshold,
+			KDE:       kdeOpt,
+		})
+	case "summarizer":
+		f, err := os.Open(spec.path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := microcluster.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("udmserve: %s: %w", spec.path, err)
+		}
+		return server.NewSummarizerModel(spec.name, s, kdeOpt)
+	case "stream":
+		f, err := os.Open(spec.path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		eng, err := stream.LoadEngine(f)
+		if err != nil {
+			return nil, fmt.Errorf("udmserve: %s: %w", spec.path, err)
+		}
+		checkpoint := spec.path
+		if noCheckpoint {
+			checkpoint = ""
+		}
+		return server.NewStreamModel(spec.name, eng, kdeOpt, checkpoint)
+	}
+	return nil, fmt.Errorf("udmserve: unknown kind %q", spec.kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "udmserve: %v\n", err)
+	os.Exit(1)
+}

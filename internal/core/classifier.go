@@ -10,6 +10,7 @@ import (
 	"udm/internal/kde"
 	"udm/internal/microcluster"
 	"udm/internal/parallel"
+	"udm/internal/udmerr"
 )
 
 // DefaultThreshold is the accuracy threshold a used when
@@ -123,7 +124,7 @@ func NewClassifierFromSummaries(global *microcluster.Summarizer, class []*microc
 	}
 	for l, s := range class {
 		if s.Dims() != global.Dims() {
-			return nil, fmt.Errorf("core: class %d summary has %d dims, global has %d", l, s.Dims(), global.Dims())
+			return nil, fmt.Errorf("core: class %d summary has %d dims, global has %d: %w", l, s.Dims(), global.Dims(), udmerr.ErrDimensionMismatch)
 		}
 		est, err := kde.NewCluster(s, opt.KDE)
 		if err != nil {
@@ -149,7 +150,7 @@ func NewExactClassifier(train *dataset.Dataset, opt ClassifierOptions) (*Classif
 	}
 	k := train.NumClasses()
 	if k < 2 {
-		return nil, fmt.Errorf("core: training data has %d classes, need at least 2", k)
+		return nil, fmt.Errorf("core: training data has %d classes, need at least 2: %w", k, udmerr.ErrUntrained)
 	}
 	global, err := kde.NewPoint(train, opt.KDE)
 	if err != nil {
@@ -163,7 +164,7 @@ func NewExactClassifier(train *dataset.Dataset, opt ClassifierOptions) (*Classif
 	}
 	for l, part := range train.ByClass() {
 		if part.Len() == 0 {
-			return nil, fmt.Errorf("core: class %d has no training rows", l)
+			return nil, fmt.Errorf("core: class %d has no training rows: %w", l, udmerr.ErrUntrained)
 		}
 		est, err := kde.NewPoint(part, opt.KDE)
 		if err != nil {
@@ -255,7 +256,7 @@ type FullSpaceClassifier struct {
 // accuracy, falling back to the training prior when densities underflow.
 func (f *FullSpaceClassifier) Classify(x []float64) (int, error) {
 	if len(x) != f.c.dims {
-		return 0, fmt.Errorf("core: test point has %d dims, classifier has %d", len(x), f.c.dims)
+		return 0, fmt.Errorf("core: test point has %d dims, classifier has %d: %w", len(x), f.c.dims, udmerr.ErrDimensionMismatch)
 	}
 	if best, _, ok := f.c.accuracyAll(x, allDims(f.c.dims)); ok {
 		return best, nil
@@ -312,45 +313,66 @@ func normalizeOrPriors(p []float64, counts []int) []float64 {
 	return p
 }
 
-// ClassifyBatch classifies every row of X in parallel using the given
-// number of worker goroutines (≤ 0 means GOMAXPROCS). The classifier is
-// read-only after construction, so workers share it safely. The first
-// error aborts the batch. Labels are bit-for-bit identical to calling
-// Classify row by row, for every worker count.
-func (c *Classifier) ClassifyBatch(X [][]float64, workers int) ([]int, error) {
+// ClassifyBatchContext classifies every row of X in parallel using the
+// given number of worker goroutines (≤ 0 means GOMAXPROCS) under a
+// caller-supplied context: cancelling ctx aborts row chunks that have
+// not started and returns ctx.Err(). The classifier is read-only after
+// construction, so workers share it safely. The first error aborts the
+// batch. Labels are bit-for-bit identical to calling Classify row by
+// row, for every worker count.
+func (c *Classifier) ClassifyBatchContext(ctx context.Context, X [][]float64, workers int) ([]int, error) {
 	if len(X) == 0 {
 		return nil, nil
 	}
-	return parallel.Map(context.Background(), len(X), workers, func(i int) (int, error) {
+	return parallel.Map(ctx, len(X), workers, func(i int) (int, error) {
 		return c.Classify(X[i])
 	})
 }
 
-// PredictBatch runs the full Figure-3 decision procedure over every row
-// of X in parallel (workers ≤ 0 means GOMAXPROCS) and returns one
-// decision trace per row. Every row is decided by exactly the same
-// serial code as Decide and written to its own result slot, so the
-// output is identical to the serial loop for every worker count. The
-// first error, in row-chunk order, aborts the batch.
-func (c *Classifier) PredictBatch(X [][]float64, workers int) ([]*Decision, error) {
+// ClassifyBatch is ClassifyBatchContext under context.Background();
+// prefer the context form in code that must honor cancellation.
+func (c *Classifier) ClassifyBatch(X [][]float64, workers int) ([]int, error) {
+	return c.ClassifyBatchContext(context.Background(), X, workers)
+}
+
+// PredictBatchContext runs the full Figure-3 decision procedure over
+// every row of X in parallel (workers ≤ 0 means GOMAXPROCS) under a
+// caller-supplied context and returns one decision trace per row. Every
+// row is decided by exactly the same serial code as Decide and written
+// to its own result slot, so the output is identical to the serial loop
+// for every worker count. The first error, in row-chunk order, aborts
+// the batch; so does cancelling ctx.
+func (c *Classifier) PredictBatchContext(ctx context.Context, X [][]float64, workers int) ([]*Decision, error) {
 	if len(X) == 0 {
 		return nil, nil
 	}
-	return parallel.Map(context.Background(), len(X), workers, func(i int) (*Decision, error) {
+	return parallel.Map(ctx, len(X), workers, func(i int) (*Decision, error) {
 		return c.Decide(X[i])
 	})
 }
 
-// ProbabilitiesBatch returns Probabilities for every row of X in
-// parallel (workers ≤ 0 means GOMAXPROCS), one normalized class-score
-// vector per row, identical to the serial loop for every worker count.
-func (c *Classifier) ProbabilitiesBatch(X [][]float64, workers int) ([][]float64, error) {
+// PredictBatch is PredictBatchContext under context.Background().
+func (c *Classifier) PredictBatch(X [][]float64, workers int) ([]*Decision, error) {
+	return c.PredictBatchContext(context.Background(), X, workers)
+}
+
+// ProbabilitiesBatchContext returns Probabilities for every row of X in
+// parallel (workers ≤ 0 means GOMAXPROCS) under a caller-supplied
+// context, one normalized class-score vector per row, identical to the
+// serial loop for every worker count.
+func (c *Classifier) ProbabilitiesBatchContext(ctx context.Context, X [][]float64, workers int) ([][]float64, error) {
 	if len(X) == 0 {
 		return nil, nil
 	}
-	return parallel.Map(context.Background(), len(X), workers, func(i int) ([]float64, error) {
+	return parallel.Map(ctx, len(X), workers, func(i int) ([]float64, error) {
 		return c.Probabilities(X[i])
 	})
+}
+
+// ProbabilitiesBatch is ProbabilitiesBatchContext under
+// context.Background().
+func (c *Classifier) ProbabilitiesBatch(X [][]float64, workers int) ([][]float64, error) {
+	return c.ProbabilitiesBatchContext(context.Background(), X, workers)
 }
 
 // Classify predicts the class of x.
@@ -366,7 +388,7 @@ func (c *Classifier) Classify(x []float64) (int, error) {
 // full decision trace.
 func (c *Classifier) Decide(x []float64) (*Decision, error) {
 	if len(x) != c.dims {
-		return nil, fmt.Errorf("core: test point has %d dims, classifier has %d", len(x), c.dims)
+		return nil, fmt.Errorf("core: test point has %d dims, classifier has %d: %w", len(x), c.dims, udmerr.ErrDimensionMismatch)
 	}
 	dec := &Decision{}
 

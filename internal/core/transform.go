@@ -13,6 +13,7 @@ import (
 	"udm/internal/microcluster"
 	"udm/internal/parallel"
 	"udm/internal/rng"
+	"udm/internal/udmerr"
 )
 
 // TransformOptions configure how a data set is condensed into its
@@ -57,17 +58,28 @@ type Transform struct {
 
 // NewTransform condenses train into its density-based transform. Every
 // row must be labeled and every class in [0, NumClasses) must have at
-// least one row.
+// least one row. It is NewTransformContext under context.Background().
 func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, error) {
+	return NewTransformContext(context.Background(), train, opt)
+}
+
+// NewTransformContext is NewTransform under a caller-supplied context:
+// cancelling ctx aborts summary streams that have not started and
+// returns ctx.Err(). The serial path (Workers == 1) checks ctx between
+// records.
+func NewTransformContext(ctx context.Context, train *dataset.Dataset, opt TransformOptions) (*Transform, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := train.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid training data: %w", err)
 	}
 	if train.Len() == 0 {
-		return nil, fmt.Errorf("core: empty training data")
+		return nil, fmt.Errorf("core: empty training data: %w", udmerr.ErrUntrained)
 	}
 	k := train.NumClasses()
 	if k < 2 {
-		return nil, fmt.Errorf("core: training data has %d classes, need at least 2", k)
+		return nil, fmt.Errorf("core: training data has %d classes, need at least 2: %w", k, udmerr.ErrUntrained)
 	}
 	for i := 0; i < train.Len(); i++ {
 		if train.Label(i) == dataset.Unlabeled {
@@ -79,7 +91,7 @@ func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, err
 		q = DefaultMicroClusters
 	}
 	if q < 1 {
-		return nil, fmt.Errorf("core: %d micro-clusters", q)
+		return nil, fmt.Errorf("core: %d micro-clusters: %w", q, udmerr.ErrBadOption)
 	}
 	b, err := NewBuilder(q, train.Dims(), k, opt.ErrorAdjust)
 	if err != nil {
@@ -88,9 +100,12 @@ func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, err
 	r := rng.New(opt.Seed).Split("transform-order")
 	order := r.Perm(train.Len())
 	if workers := parallel.Workers(opt.Workers); workers > 1 {
-		return b.addAllParallel(train, order, workers)
+		return b.addAllParallel(ctx, train, order, workers)
 	}
 	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := b.Add(train.X[i], train.ErrRow(i), train.Labels[i]); err != nil {
 			return nil, err
 		}
@@ -104,7 +119,7 @@ func NewTransform(train *dataset.Dataset, opt TransformOptions) (*Transform, err
 // summarizer only ever sees the exact Add sequence the serial path
 // would give it, and the summarizers never share mutable state, so the
 // resulting transform is bit-for-bit identical to the serial build.
-func (b *Builder) addAllParallel(train *dataset.Dataset, order []int, workers int) (*Transform, error) {
+func (b *Builder) addAllParallel(ctx context.Context, train *dataset.Dataset, order []int, workers int) (*Transform, error) {
 	// Validate labels and tally class counts serially before fan-out so
 	// workers cannot observe malformed rows.
 	for _, i := range order {
@@ -120,7 +135,7 @@ func (b *Builder) addAllParallel(train *dataset.Dataset, order []int, workers in
 		}
 		return train.ErrRow(i)
 	}
-	err := parallel.For(context.Background(), len(b.class)+1, workers, func(start, end int) error {
+	err := parallel.For(ctx, len(b.class)+1, workers, func(start, end int) error {
 		for t := start; t < end; t++ {
 			if t == 0 {
 				for _, i := range order {
@@ -158,10 +173,10 @@ type Builder struct {
 // classes, maintaining q micro-clusters per summary.
 func NewBuilder(q, d, numClasses int, errAdjust bool) (*Builder, error) {
 	if q < 1 || d < 1 {
-		return nil, fmt.Errorf("core: builder with q=%d, d=%d", q, d)
+		return nil, fmt.Errorf("core: builder with q=%d, d=%d: %w", q, d, udmerr.ErrBadOption)
 	}
 	if numClasses < 2 {
-		return nil, fmt.Errorf("core: builder with %d classes", numClasses)
+		return nil, fmt.Errorf("core: builder with %d classes: %w", numClasses, udmerr.ErrBadOption)
 	}
 	b := &Builder{
 		global:     microcluster.NewSummarizer(q, d),
@@ -180,7 +195,7 @@ func NewBuilder(q, d, numClasses int, errAdjust bool) (*Builder, error) {
 // errAdjust == false.
 func (b *Builder) Add(x, err []float64, label int) error {
 	if len(x) != b.dims {
-		return fmt.Errorf("core: record has %d dims, builder has %d", len(x), b.dims)
+		return fmt.Errorf("core: record has %d dims, builder has %d: %w", len(x), b.dims, udmerr.ErrDimensionMismatch)
 	}
 	if label < 0 || label >= len(b.class) {
 		return fmt.Errorf("core: label %d out of range [0,%d)", label, len(b.class))
@@ -199,7 +214,7 @@ func (b *Builder) Add(x, err []float64, label int) error {
 func (b *Builder) Transform() (*Transform, error) {
 	for c, n := range b.classCount {
 		if n == 0 {
-			return nil, fmt.Errorf("core: class %d has no training rows", c)
+			return nil, fmt.Errorf("core: class %d has no training rows: %w", c, udmerr.ErrUntrained)
 		}
 	}
 	return &Transform{

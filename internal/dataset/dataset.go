@@ -12,6 +12,7 @@ import (
 
 	"udm/internal/num"
 	"udm/internal/rng"
+	"udm/internal/udmerr"
 )
 
 // Unlabeled is the label value for rows without a class.
@@ -88,16 +89,16 @@ func (d *Dataset) Label(i int) int {
 // nil and non-nil error rows is rejected.
 func (d *Dataset) Append(x []float64, err []float64, label int) error {
 	if len(x) != d.Dims() {
-		return fmt.Errorf("dataset: record has %d values, want %d", len(x), d.Dims())
+		return fmt.Errorf("dataset: record has %d values, want %d: %w", len(x), d.Dims(), udmerr.ErrDimensionMismatch)
 	}
 	if err != nil && len(err) != d.Dims() {
-		return fmt.Errorf("dataset: error row has %d values, want %d", len(err), d.Dims())
+		return fmt.Errorf("dataset: error row has %d values, want %d: %w", len(err), d.Dims(), udmerr.ErrDimensionMismatch)
 	}
 	if err == nil && d.Err != nil {
-		return fmt.Errorf("dataset: nil error row appended to dataset with errors")
+		return fmt.Errorf("dataset: nil error row appended to dataset with errors: %w", udmerr.ErrNoErrors)
 	}
 	if err != nil && d.Err == nil && len(d.X) > 0 {
-		return fmt.Errorf("dataset: error row appended to dataset without errors")
+		return fmt.Errorf("dataset: error row appended to dataset without errors: %w", udmerr.ErrNoErrors)
 	}
 	d.X = append(d.X, num.Clone(x))
 	if err != nil {
@@ -117,14 +118,14 @@ func (d *Dataset) Append(x []float64, err []float64, label int) error {
 func (d *Dataset) Validate() error {
 	dd := d.Dims()
 	if d.Err != nil && len(d.Err) != len(d.X) {
-		return fmt.Errorf("dataset: %d error rows for %d records", len(d.Err), len(d.X))
+		return fmt.Errorf("dataset: %d error rows for %d records: %w", len(d.Err), len(d.X), udmerr.ErrDimensionMismatch)
 	}
 	if d.Labels != nil && len(d.Labels) != len(d.X) {
-		return fmt.Errorf("dataset: %d labels for %d records", len(d.Labels), len(d.X))
+		return fmt.Errorf("dataset: %d labels for %d records: %w", len(d.Labels), len(d.X), udmerr.ErrDimensionMismatch)
 	}
 	for i, row := range d.X {
 		if len(row) != dd {
-			return fmt.Errorf("dataset: row %d has %d values, want %d", i, len(row), dd)
+			return fmt.Errorf("dataset: row %d has %d values, want %d: %w", i, len(row), dd, udmerr.ErrDimensionMismatch)
 		}
 		if !num.AllFinite(row) {
 			return fmt.Errorf("dataset: row %d contains NaN or Inf", i)
@@ -132,7 +133,7 @@ func (d *Dataset) Validate() error {
 		if d.Err != nil {
 			er := d.Err[i]
 			if len(er) != dd {
-				return fmt.Errorf("dataset: error row %d has %d values, want %d", i, len(er), dd)
+				return fmt.Errorf("dataset: error row %d has %d values, want %d: %w", i, len(er), dd, udmerr.ErrDimensionMismatch)
 			}
 			for j, e := range er {
 				if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
@@ -213,7 +214,7 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 func (d *Dataset) Project(dims []int) (*Dataset, error) {
 	for _, j := range dims {
 		if j < 0 || j >= d.Dims() {
-			return nil, fmt.Errorf("dataset: projection dimension %d out of range [0,%d)", j, d.Dims())
+			return nil, fmt.Errorf("dataset: projection dimension %d out of range [0,%d): %w", j, d.Dims(), udmerr.ErrDimensionMismatch)
 		}
 	}
 	out := &Dataset{

@@ -6,6 +6,7 @@ import (
 
 	"udm/internal/kernel"
 	"udm/internal/parallel"
+	"udm/internal/udmerr"
 )
 
 // QEstimator is an Estimator that can also evaluate the expected
@@ -23,7 +24,8 @@ type QEstimator interface {
 // exactly the same serial code as est.DensitySub, and every result is
 // written to its own slot, so the output is bit-for-bit identical for
 // every worker count. Estimators are read-only after construction and
-// therefore safe to share across the workers.
+// therefore safe to share across the workers. Cancelling ctx (nil =
+// context.Background()) aborts the batch and returns ctx.Err().
 //
 // Unlike the per-query methods, malformed input surfaces as an error,
 // not a panic: rows and dims are validated up front.
@@ -48,11 +50,11 @@ func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dim
 		return nil, err
 	}
 	if Qerr != nil && len(Qerr) != len(X) {
-		return nil, fmt.Errorf("kde: %d query-error rows for %d queries", len(Qerr), len(X))
+		return nil, fmt.Errorf("kde: %d query-error rows for %d queries: %w", len(Qerr), len(X), udmerr.ErrDimensionMismatch)
 	}
 	for i, er := range Qerr {
 		if er != nil && len(er) != est.Dims() {
-			return nil, fmt.Errorf("kde: query-error row %d has %d dims, estimator has %d", i, len(er), est.Dims())
+			return nil, fmt.Errorf("kde: query-error row %d has %d dims, estimator has %d: %w", i, len(er), est.Dims(), udmerr.ErrDimensionMismatch)
 		}
 	}
 	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
@@ -69,7 +71,7 @@ func batchDims(est Estimator, X [][]float64, dims []int) ([]int, error) {
 	d := est.Dims()
 	for i, x := range X {
 		if len(x) != d {
-			return nil, fmt.Errorf("kde: query row %d has %d dims, estimator has %d", i, len(x), d)
+			return nil, fmt.Errorf("kde: query row %d has %d dims, estimator has %d: %w", i, len(x), d, udmerr.ErrDimensionMismatch)
 		}
 	}
 	if dims == nil {
@@ -77,57 +79,96 @@ func batchDims(est Estimator, X [][]float64, dims []int) ([]int, error) {
 	}
 	for _, j := range dims {
 		if j < 0 || j >= d {
-			return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d)", j, d)
+			return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d): %w", j, d, udmerr.ErrDimensionMismatch)
 		}
 	}
 	return dims, nil
 }
 
+// DensityBatchContext is DensityBatch under a caller-supplied context:
+// cancelling ctx aborts chunks that have not started and returns
+// ctx.Err(). Results are bit-for-bit identical to the serial loop for
+// every worker count.
+func (k *PointKDE) DensityBatchContext(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatch(ctx, k, X, dims, workers)
+}
+
 // DensityBatch evaluates the estimate at every row of X over dims (nil
 // = all dimensions) using up to parallel.Workers(workers) goroutines.
 // Results are bit-for-bit identical to calling DensitySub row by row.
+// It is DensityBatchContext under context.Background(); prefer the
+// context form in code that must honor cancellation.
 func (k *PointKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityBatch(context.Background(), k, X, dims, workers)
+	return k.DensityBatchContext(context.Background(), X, dims, workers)
+}
+
+// DensityQBatchContext is DensityQBatch under a caller-supplied
+// context. It requires the Gaussian kernel when Qerr is non-nil, like
+// DensityQ.
+func (k *PointKDE) DensityQBatchContext(ctx context.Context, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	if Qerr != nil && k.opt.Kernel != kernel.Gaussian {
+		return nil, fmt.Errorf("kde: DensityQBatch requires the Gaussian kernel, got %v: %w", k.opt.Kernel, udmerr.ErrBadOption)
+	}
+	return DensityQBatch(ctx, k, X, Qerr, dims, workers)
 }
 
 // DensityQBatch evaluates the expected density at every uncertain query
 // row of X (query errors Qerr, nil rows = certain) in parallel. It
-// requires the Gaussian kernel, like DensityQ.
+// requires the Gaussian kernel, like DensityQ. It is
+// DensityQBatchContext under context.Background().
 func (k *PointKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	if Qerr != nil && k.opt.Kernel != kernel.Gaussian {
-		return nil, fmt.Errorf("kde: DensityQBatch requires the Gaussian kernel, got %v", k.opt.Kernel)
-	}
-	return DensityQBatch(context.Background(), k, X, Qerr, dims, workers)
+	return k.DensityQBatchContext(context.Background(), X, Qerr, dims, workers)
+}
+
+// DensityBatchContext is DensityBatch under a caller-supplied context:
+// cancelling ctx aborts chunks that have not started and returns
+// ctx.Err().
+func (k *ClusterKDE) DensityBatchContext(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatch(ctx, k, X, dims, workers)
 }
 
 // DensityBatch evaluates the estimate at every row of X over dims (nil
 // = all dimensions) using up to parallel.Workers(workers) goroutines.
 // Results are bit-for-bit identical to calling DensitySub row by row.
+// It is DensityBatchContext under context.Background().
 func (k *ClusterKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityBatch(context.Background(), k, X, dims, workers)
+	return k.DensityBatchContext(context.Background(), X, dims, workers)
+}
+
+// DensityQBatchContext is DensityQBatch under a caller-supplied
+// context.
+func (k *ClusterKDE) DensityQBatchContext(ctx context.Context, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityQBatch(ctx, k, X, Qerr, dims, workers)
 }
 
 // DensityQBatch evaluates the expected density at every uncertain query
-// row of X (query errors Qerr, nil rows = certain) in parallel.
+// row of X (query errors Qerr, nil rows = certain) in parallel. It is
+// DensityQBatchContext under context.Background().
 func (k *ClusterKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityQBatch(context.Background(), k, X, Qerr, dims, workers)
+	return k.DensityQBatchContext(context.Background(), X, Qerr, dims, workers)
 }
 
-// LeaveOneOutBatch returns LeaveOneOutDensity for every training index
-// in parallel — the hot inner loop of outlier detection and likelihood
-// cross-validation. Results are bit-for-bit identical to the serial
-// loop for every worker count.
-func (k *PointKDE) LeaveOneOutBatch(dims []int, workers int) ([]float64, error) {
+// LeaveOneOutBatchContext returns LeaveOneOutDensity for every training
+// index in parallel under a caller-supplied context — the hot inner
+// loop of outlier detection and likelihood cross-validation. Results
+// are bit-for-bit identical to the serial loop for every worker count.
+func (k *PointKDE) LeaveOneOutBatchContext(ctx context.Context, dims []int, workers int) ([]float64, error) {
 	if dims == nil {
 		dims = allDims(len(k.h))
 	} else {
 		for _, j := range dims {
 			if j < 0 || j >= len(k.h) {
-				return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d)", j, len(k.h))
+				return nil, fmt.Errorf("kde: subspace dimension %d out of range [0,%d): %w", j, len(k.h), udmerr.ErrDimensionMismatch)
 			}
 		}
 	}
-	return parallel.Map(context.Background(), len(k.x), workers, func(i int) (float64, error) {
+	return parallel.Map(ctx, len(k.x), workers, func(i int) (float64, error) {
 		return k.LeaveOneOutDensity(i, dims), nil
 	})
+}
+
+// LeaveOneOutBatch is LeaveOneOutBatchContext under
+// context.Background().
+func (k *PointKDE) LeaveOneOutBatch(dims []int, workers int) ([]float64, error) {
+	return k.LeaveOneOutBatchContext(context.Background(), dims, workers)
 }

@@ -8,6 +8,7 @@ import (
 	"udm/internal/dataset"
 	"udm/internal/kernel"
 	"udm/internal/parallel"
+	"udm/internal/udmerr"
 )
 
 // DefaultCVGrid is the multiplier grid used by CVBandwidths when none is
@@ -30,7 +31,7 @@ var DefaultCVGrid = []float64{0.25, 0.35, 0.5, 0.7, 1.0, 1.4, 2.0, 2.8, 4.0}
 // over GOMAXPROCS workers; use CVBandwidthsWorkers to pick the worker
 // count explicitly. The returned slice plugs into Options.Bandwidths.
 func CVBandwidths(ds *dataset.Dataset, errorAdjust bool, grid []float64) ([]float64, error) {
-	return CVBandwidthsWorkers(ds, errorAdjust, grid, 0)
+	return CVBandwidthsContext(context.Background(), ds, errorAdjust, grid, 0)
 }
 
 // CVBandwidthsWorkers is CVBandwidths with an explicit worker count
@@ -40,15 +41,22 @@ func CVBandwidths(ds *dataset.Dataset, errorAdjust bool, grid []float64) ([]floa
 // dimension argmax scans the grid in fixed order, so the selected
 // bandwidths are bit-for-bit identical for every worker count.
 func CVBandwidthsWorkers(ds *dataset.Dataset, errorAdjust bool, grid []float64, workers int) ([]float64, error) {
+	return CVBandwidthsContext(context.Background(), ds, errorAdjust, grid, workers)
+}
+
+// CVBandwidthsContext is CVBandwidthsWorkers under a caller-supplied
+// context: cancelling ctx aborts grid cells that have not started and
+// returns ctx.Err().
+func CVBandwidthsContext(ctx context.Context, ds *dataset.Dataset, errorAdjust bool, grid []float64, workers int) ([]float64, error) {
 	if ds.Len() < 3 {
-		return nil, fmt.Errorf("kde: CV bandwidth selection needs ≥ 3 rows, have %d", ds.Len())
+		return nil, fmt.Errorf("kde: CV bandwidth selection needs ≥ 3 rows, have %d: %w", ds.Len(), udmerr.ErrUntrained)
 	}
 	if grid == nil {
 		grid = DefaultCVGrid
 	}
 	for _, m := range grid {
 		if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
-			return nil, fmt.Errorf("kde: invalid grid multiplier %v", m)
+			return nil, fmt.Errorf("kde: invalid grid multiplier %v: %w", m, udmerr.ErrBadOption)
 		}
 	}
 	d := ds.Dims()
@@ -71,7 +79,7 @@ func CVBandwidthsWorkers(ds *dataset.Dataset, errorAdjust bool, grid []float64, 
 		base[j] = rule.FromValues(col, d)
 	}
 	// One task per (dimension, multiplier) grid cell.
-	lls, err := parallel.Map(context.Background(), d*len(grid), workers, func(t int) (float64, error) {
+	lls, err := parallel.Map(ctx, d*len(grid), workers, func(t int) (float64, error) {
 		j, m := t/len(grid), t%len(grid)
 		return looLogLikelihood1D(cols[j], errCols[j], grid[m]*base[j]), nil
 	})
@@ -128,7 +136,7 @@ func looLogLikelihood1D(x, errs []float64, h float64) float64 {
 // of GOMAXPROCS.
 func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64) (float64, error) {
 	if len(bandwidths) != ds.Dims() {
-		return 0, fmt.Errorf("kde: %d bandwidths for %d dimensions", len(bandwidths), ds.Dims())
+		return 0, fmt.Errorf("kde: %d bandwidths for %d dimensions: %w", len(bandwidths), ds.Dims(), udmerr.ErrDimensionMismatch)
 	}
 	opt := Options{ErrorAdjust: errorAdjust && ds.HasErrors(), Bandwidths: bandwidths}
 	est, err := NewPoint(ds, opt)

@@ -13,6 +13,7 @@ import (
 	"udm/internal/dataset"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
+	"udm/internal/udmerr"
 )
 
 // Estimator is a multivariate density estimate that can be evaluated
@@ -57,7 +58,7 @@ type Options struct {
 
 func (o Options) validate() error {
 	if o.ErrorAdjust && o.Kernel != kernel.Gaussian {
-		return fmt.Errorf("kde: error adjustment requires the Gaussian kernel, got %v", o.Kernel)
+		return fmt.Errorf("kde: error adjustment requires the Gaussian kernel, got %v: %w", o.Kernel, udmerr.ErrBadOption)
 	}
 	return nil
 }
@@ -97,7 +98,7 @@ func NewPoint(ds *dataset.Dataset, opt Options) (*PointKDE, error) {
 		return nil, err
 	}
 	if ds.Len() == 0 {
-		return nil, fmt.Errorf("kde: empty dataset")
+		return nil, fmt.Errorf("kde: empty dataset: %w", udmerr.ErrUntrained)
 	}
 	d := ds.Dims()
 	h, err := explicitOrRule(opt, d, func(j int) float64 {
@@ -300,7 +301,7 @@ func NewCluster(s *microcluster.Summarizer, opt Options) (*ClusterKDE, error) {
 		return nil, err
 	}
 	if s.Len() == 0 {
-		return nil, fmt.Errorf("kde: empty summarizer")
+		return nil, fmt.Errorf("kde: empty summarizer: %w", udmerr.ErrUntrained)
 	}
 	d := s.Dims()
 	n := s.Count()
@@ -413,12 +414,12 @@ func explicitOrRule(opt Options, d int, fromRule func(j int) float64) ([]float64
 		return h, nil
 	}
 	if len(opt.Bandwidths) != d {
-		return nil, fmt.Errorf("kde: %d explicit bandwidths for %d dimensions", len(opt.Bandwidths), d)
+		return nil, fmt.Errorf("kde: %d explicit bandwidths for %d dimensions: %w", len(opt.Bandwidths), d, udmerr.ErrDimensionMismatch)
 	}
 	h := make([]float64, d)
 	for j, v := range opt.Bandwidths {
 		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("kde: explicit bandwidth[%d] = %v must be positive and finite", j, v)
+			return nil, fmt.Errorf("kde: explicit bandwidth[%d] = %v must be positive and finite: %w", j, v, udmerr.ErrBadOption)
 		}
 		h[j] = v
 	}

@@ -16,6 +16,7 @@ import (
 	"udm/internal/dataset"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
+	"udm/internal/udmerr"
 )
 
 // Options configure detection.
@@ -62,7 +63,7 @@ func Detect(ds *dataset.Dataset, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("outlier: contamination %v out of (0,1)", opt.Contamination)
 	}
 	if opt.UseQueryError && !opt.KDE.ErrorAdjust {
-		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust")
+		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust: %w", udmerr.ErrNoErrors)
 	}
 	est, err := kde.NewPoint(ds, opt.KDE)
 	if err != nil {
@@ -97,7 +98,7 @@ func DetectStream(s *microcluster.Summarizer, queries, queryErrs [][]float64, op
 		return nil, fmt.Errorf("outlier: no query points")
 	}
 	if queryErrs != nil && len(queryErrs) != len(queries) {
-		return nil, fmt.Errorf("outlier: %d error rows for %d queries", len(queryErrs), len(queries))
+		return nil, fmt.Errorf("outlier: %d error rows for %d queries: %w", len(queryErrs), len(queries), udmerr.ErrDimensionMismatch)
 	}
 	if opt.Contamination == 0 {
 		opt.Contamination = 0.05
@@ -150,7 +151,7 @@ func Explain(ds *dataset.Dataset, i int, opt Options) ([]Contribution, error) {
 		return nil, fmt.Errorf("outlier: need at least 2 records, have %d", ds.Len())
 	}
 	if opt.UseQueryError && !opt.KDE.ErrorAdjust {
-		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust")
+		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust: %w", udmerr.ErrNoErrors)
 	}
 	est, err := kde.NewPoint(ds, opt.KDE)
 	if err != nil {

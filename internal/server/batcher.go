@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// batcher coalesces concurrent single-item requests into one batched
+// call on the shared worker pool. The first item to arrive arms a
+// max-delay timer; the batch flushes when either MaxBatch items are
+// pending or the timer fires, whichever comes first. Coalescing turns
+// N concurrent single-point HTTP requests into one DensityBatch /
+// ClassifyBatch call that the parallel engine fans out across cores —
+// per-request goroutine overhead collapses into one chunked dispatch.
+//
+// Cancellation: each submitted item carries its own context. A waiter
+// whose context ends stops waiting immediately (its slot in the batch
+// is still computed — results are positional). The batch's own context
+// is derived from the members': it is canceled as soon as EVERY
+// member's context has ended, so work for a batch whose clients all
+// disconnected is abandoned by the worker pool mid-flight. A batch
+// with at least one live waiter always runs to completion.
+type batcher[Req, Res any] struct {
+	run      func(ctx context.Context, reqs []Req) ([]Res, error)
+	maxBatch int
+	maxDelay time.Duration
+	metrics  *Metrics
+
+	mu      sync.Mutex
+	pending []batchWaiter[Req, Res]
+	timer   *time.Timer
+}
+
+type batchWaiter[Req, Res any] struct {
+	ctx context.Context
+	req Req
+	ch  chan batchResult[Res]
+}
+
+type batchResult[Res any] struct {
+	val Res
+	err error
+}
+
+func newBatcher[Req, Res any](maxBatch int, maxDelay time.Duration, metrics *Metrics,
+	run func(ctx context.Context, reqs []Req) ([]Res, error)) *batcher[Req, Res] {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &batcher[Req, Res]{run: run, maxBatch: maxBatch, maxDelay: maxDelay, metrics: metrics}
+}
+
+// do submits one item and blocks until its result is ready or ctx
+// ends. The error is either the batch error (every member of a failed
+// batch sees it) or ctx.Err().
+func (b *batcher[Req, Res]) do(ctx context.Context, req Req) (Res, error) {
+	w := batchWaiter[Req, Res]{ctx: ctx, req: req, ch: make(chan batchResult[Res], 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, w)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		go b.flush(batch)
+	} else {
+		if len(b.pending) == 1 && b.maxDelay > 0 {
+			b.timer = time.AfterFunc(b.maxDelay, b.flushTimer)
+		}
+		b.mu.Unlock()
+		if b.maxDelay <= 0 {
+			// No coalescing window configured: flush whatever is pending
+			// immediately (degenerates to per-request batches of 1 unless
+			// arrivals race).
+			b.flushTimer()
+		}
+	}
+	select {
+	case r := <-w.ch:
+		return r.val, r.err
+	case <-ctx.Done():
+		var zero Res
+		return zero, ctx.Err()
+	}
+}
+
+// takeLocked detaches the pending batch and disarms the timer. Callers
+// hold b.mu.
+func (b *batcher[Req, Res]) takeLocked() []batchWaiter[Req, Res] {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+func (b *batcher[Req, Res]) flushTimer() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// flush executes one batch and distributes positional results.
+func (b *batcher[Req, Res]) flush(batch []batchWaiter[Req, Res]) {
+	if b.metrics != nil {
+		b.metrics.BatchFlushes.Add(1)
+		b.metrics.BatchedItems.Add(int64(len(batch)))
+	}
+	// Derive the batch context: canceled once every member's context is
+	// done, so fully-abandoned work stops burning the pool.
+	ctx, cancel := context.WithCancel(context.Background())
+	var live atomic.Int64
+	live.Store(int64(len(batch)))
+	stops := make([]func() bool, len(batch))
+	for i, w := range batch {
+		stops[i] = context.AfterFunc(w.ctx, func() {
+			if live.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	reqs := make([]Req, len(batch))
+	for i, w := range batch {
+		reqs[i] = w.req
+	}
+	res, err := b.run(ctx, reqs)
+	for _, stop := range stops {
+		stop()
+	}
+	cancel()
+	for i, w := range batch {
+		r := batchResult[Res]{err: err}
+		if err == nil {
+			r.val = res[i]
+		}
+		select {
+		case w.ch <- r:
+		default: // waiter already gone; buffered chan, can't happen, but never block
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherCoalesces checks that concurrent submissions ride one
+// batched call and every waiter gets its own positional result.
+func TestBatcherCoalesces(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	b := newBatcher(64, 50*time.Millisecond, nil,
+		func(_ context.Context, reqs []int) ([]string, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			out := make([]string, len(reqs))
+			for i, r := range reqs {
+				out[i] = fmt.Sprintf("r%d", r)
+			}
+			return out, nil
+		})
+
+	const n = 16
+	results := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := b.do(context.Background(), i)
+			if err != nil {
+				t.Errorf("do(%d): %v", i, err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	for i, r := range results {
+		if want := fmt.Sprintf("r%d", i); r != want {
+			t.Errorf("result[%d] = %q, want %q (positional mixup)", i, r, want)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls >= n {
+		t.Errorf("%d batch calls for %d submissions — no coalescing happened", calls, n)
+	}
+}
+
+// TestBatcherFlushesAtMaxBatch checks the size trigger fires before the
+// delay timer.
+func TestBatcherFlushesAtMaxBatch(t *testing.T) {
+	b := newBatcher(4, time.Hour, nil,
+		func(_ context.Context, reqs []int) ([]int, error) { return reqs, nil })
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.do(context.Background(), i); err != nil {
+				t.Errorf("do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("full batch waited %v for the delay timer instead of flushing at max size", elapsed)
+	}
+}
+
+// TestBatcherErrorFansOut checks every member of a failed batch sees
+// the batch error.
+func TestBatcherErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	b := newBatcher(8, 10*time.Millisecond, nil,
+		func(_ context.Context, reqs []int) ([]int, error) { return nil, boom })
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.do(context.Background(), i); !errors.Is(err, boom) {
+				t.Errorf("do(%d) err = %v, want boom", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatcherCancellationPropagates checks the acceptance criterion
+// that a client disconnect cancels the underlying batch work: when
+// every member's context ends, the batch context is canceled and the
+// worker-pool computation stops.
+func TestBatcherCancellationPropagates(t *testing.T) {
+	runCanceled := make(chan struct{})
+	b := newBatcher(64, time.Millisecond, nil,
+		func(ctx context.Context, reqs []int) ([]int, error) {
+			select {
+			case <-ctx.Done():
+				close(runCanceled)
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return reqs, nil
+			}
+		})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.do(ctx, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the batch flush and start running
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("do returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not return after cancel")
+	}
+	select {
+	case <-runCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch computation was not canceled after its only client left")
+	}
+}
+
+// TestBatcherSurvivingWaiterKeepsBatchAlive checks the flip side: a
+// batch with one live waiter runs to completion even when another
+// member disconnects.
+func TestBatcherSurvivingWaiterKeepsBatchAlive(t *testing.T) {
+	b := newBatcher(2, time.Hour, nil,
+		func(ctx context.Context, reqs []int) ([]int, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+			}
+			out := make([]int, len(reqs))
+			for i, r := range reqs {
+				out[i] = r * 10
+			}
+			return out, nil
+		})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	gone := make(chan error, 1)
+	go func() {
+		_, err := b.do(ctx1, 1)
+		gone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	live := make(chan int, 1)
+	go func() {
+		v, err := b.do(context.Background(), 2) // fills the batch of 2 → flush
+		if err != nil {
+			t.Errorf("live waiter: %v", err)
+		}
+		live <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel1() // first member disconnects mid-batch
+
+	if err := <-gone; !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case v := <-live:
+		if v != 20 {
+			t.Errorf("surviving waiter got %d, want 20", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("surviving waiter starved — batch was canceled despite a live member")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %v/%v", v, ok)
+	}
+	c.put("c", 3) // evicts b (least recently used after the get of a)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted wrongly", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+
+	var nilCache *lruCache
+	nilCache.put("x", 1) // must not panic
+	if _, ok := nilCache.get("x"); ok {
+		t.Error("nil cache returned a hit")
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	x := []float64{1.25, -3.5}
+	exact1 := cacheKey("m", 0, nil, x, 0)
+	exact2 := cacheKey("m", 0, nil, []float64{1.25, -3.5}, 0)
+	if exact1 != exact2 {
+		t.Error("identical points produced different exact keys")
+	}
+	if cacheKey("m", 0, nil, []float64{1.25, -3.5000001}, 0) == exact1 {
+		t.Error("distinct points collided under exact keying")
+	}
+	if cacheKey("m", 1, nil, x, 0) == exact1 {
+		t.Error("model version not part of the key (stale cache after ingest)")
+	}
+	if cacheKey("m", 0, []int{0}, x, 0) == exact1 {
+		t.Error("subspace dims not part of the key")
+	}
+	if cacheKey("other", 0, nil, x, 0) == exact1 {
+		t.Error("model name not part of the key")
+	}
+	// Quantized keys merge near-identical points.
+	if cacheKey("m", 0, nil, []float64{1.2501, -3.5}, 0.01) != cacheKey("m", 0, nil, []float64{1.2503, -3.5}, 0.01) {
+		t.Error("quantization did not merge nearby points")
+	}
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"udm/internal/outlier"
+	"udm/internal/udmerr"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a
+// client that disconnected before the response was ready. The client
+// never sees it; it keeps access logs honest.
+const StatusClientClosedRequest = 499
+
+// errorBody is the uniform error envelope: a stable machine-readable
+// code (derived from the library's sentinel errors) plus a human
+// message.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// statusFor maps an error to (HTTP status, stable code) via errors.Is
+// on the module's sentinel errors — the serving-layer payoff of the
+// error contract: no string matching anywhere.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "client_closed_request"
+	case errors.Is(err, udmerr.ErrDimensionMismatch):
+		return http.StatusBadRequest, "dimension_mismatch"
+	case errors.Is(err, udmerr.ErrBadOption):
+		return http.StatusBadRequest, "bad_option"
+	case errors.Is(err, udmerr.ErrNoErrors):
+		return http.StatusBadRequest, "no_errors"
+	case errors.Is(err, udmerr.ErrUntrained):
+		return http.StatusConflict, "untrained"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, m *Metrics, status int, code, msg string) {
+	if m != nil && status >= 400 {
+		m.Errors.Add(1)
+		switch status {
+		case http.StatusGatewayTimeout:
+			m.Timeouts.Add(1)
+		case StatusClientClosedRequest:
+			m.Canceled.Add(1)
+		}
+	}
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: msg}})
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	writeError(w, s.metrics, status, code, err.Error())
+}
+
+// model resolves the {model} path segment, writing 404 on a miss.
+func (s *Server) model(w http.ResponseWriter, r *http.Request) (*Model, bool) {
+	name := r.PathValue("model")
+	m, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, s.metrics, http.StatusNotFound, "model_not_found",
+			fmt.Sprintf("no model named %q (have %v)", name, s.reg.Names()))
+		return nil, false
+	}
+	return m, true
+}
+
+// decode parses a JSON request body, mapping malformed input to a 400.
+func decode(w http.ResponseWriter, r *http.Request, m *Metrics, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, m, http.StatusBadRequest, "malformed_json", err.Error())
+		return false
+	}
+	return true
+}
+
+// points normalizes the single-point / multi-point request shape and
+// validates every row's width against the model, returning a
+// dimension-mismatch error (→ 400) on disagreement.
+func points(m *Model, point []float64, rows [][]float64) ([][]float64, bool, error) {
+	single := false
+	if point != nil {
+		rows = append([][]float64{point}, rows...)
+		single = len(rows) == 1
+	}
+	if len(rows) == 0 {
+		return nil, false, fmt.Errorf("server: no points in request: %w", udmerr.ErrBadOption)
+	}
+	for i, x := range rows {
+		if len(x) != m.Dims() {
+			return nil, false, fmt.Errorf("server: point %d has %d dims, model %q has %d: %w",
+				i, len(x), m.Name(), m.Dims(), udmerr.ErrDimensionMismatch)
+		}
+	}
+	return rows, single, nil
+}
+
+// --- health and introspection ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, nil, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.snapshot()
+	snap["cache_entries"] = s.cache.len()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+type modelInfo struct {
+	Name  string `json:"name"`
+	Kind  Kind   `json:"kind"`
+	Dims  int    `json:"dims"`
+	Count int    `json:"count,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	out := make([]modelInfo, 0, len(s.reg.Names()))
+	for _, n := range s.reg.Names() {
+		m, _ := s.reg.Get(n)
+		info := modelInfo{Name: n, Kind: m.Kind(), Dims: m.Dims()}
+		if m.Engine() != nil {
+			info.Count = m.Engine().Count()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+// --- /v1/models/{model}/classify ---
+
+type classifyRequest struct {
+	Point  []float64   `json:"point,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+type classifyResponse struct {
+	Labels []int `json:"labels"`
+	Label  *int  `json:"label,omitempty"` // set for single-point requests
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	clf := m.Classifier()
+	if clf == nil {
+		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
+			fmt.Sprintf("model %q is a %s; /classify needs a transform model", m.Name(), m.Kind()))
+		return
+	}
+	var req classifyRequest
+	if !decode(w, r, s.metrics, &req) {
+		return
+	}
+	rows, single, err := points(m, req.Point, req.Points)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var labels []int
+	if single {
+		// Coalesce concurrent single-point requests into one batched
+		// call on the worker pool.
+		label, err := s.batchers[m.Name()].classify.do(r.Context(), rows[0])
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		labels = []int{label}
+	} else {
+		labels, err = clf.ClassifyBatchContext(r.Context(), rows, s.opt.Workers)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	resp := classifyResponse{Labels: labels}
+	if single {
+		resp.Label = &labels[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/models/{model}/density ---
+
+type densityRequest struct {
+	Point  []float64   `json:"point,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+	Dims   []int       `json:"dims,omitempty"`
+}
+
+type densityResponse struct {
+	Densities []float64 `json:"densities"`
+	Density   *float64  `json:"density,omitempty"` // set for single-point requests
+	Cached    bool      `json:"cached,omitempty"`
+}
+
+func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	var req densityRequest
+	if !decode(w, r, s.metrics, &req) {
+		return
+	}
+	rows, single, err := points(m, req.Point, req.Points)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	for _, j := range req.Dims {
+		if j < 0 || j >= m.Dims() {
+			s.fail(w, fmt.Errorf("server: subspace dimension %d out of range [0,%d): %w",
+				j, m.Dims(), udmerr.ErrDimensionMismatch))
+			return
+		}
+	}
+	if single {
+		d, cached, err := s.densityOne(r.Context(), m, rows[0], req.Dims)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, densityResponse{Densities: []float64{d}, Density: &d, Cached: cached})
+		return
+	}
+	est, _, err := m.estimator()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ds, err := est.DensityBatchContext(r.Context(), rows, req.Dims, s.opt.Workers)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, densityResponse{Densities: ds})
+}
+
+// densityOne serves one density query through the LRU cache and, for
+// full-dimensional queries, the micro-batcher. Subset queries bypass
+// coalescing (one batch shares one dims slice) but still hit the cache.
+func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int) (float64, bool, error) {
+	key := cacheKey(m.Name(), m.version(), dims, x, s.opt.CacheQuantum)
+	if d, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return d, true, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	var d float64
+	var err error
+	if dims == nil {
+		d, err = s.batchers[m.Name()].density.do(ctx, x)
+	} else {
+		var est interface {
+			DensityBatchContext(context.Context, [][]float64, []int, int) ([]float64, error)
+		}
+		est, _, err = m.estimator()
+		if err == nil {
+			var ds []float64
+			ds, err = est.DensityBatchContext(ctx, [][]float64{x}, dims, 1)
+			if err == nil {
+				d = ds[0]
+			}
+		}
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	s.cache.put(key, d)
+	return d, false, nil
+}
+
+// --- /v1/models/{model}/outliers ---
+
+type outliersRequest struct {
+	Points        [][]float64 `json:"points"`
+	Errors        [][]float64 `json:"errors,omitempty"`
+	Dims          []int       `json:"dims,omitempty"`
+	Contamination float64     `json:"contamination,omitempty"`
+}
+
+type outliersResponse struct {
+	Scores    []float64 `json:"scores"`
+	Outliers  []bool    `json:"outliers"`
+	Threshold float64   `json:"threshold"`
+}
+
+func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	var req outliersRequest
+	if !decode(w, r, s.metrics, &req) {
+		return
+	}
+	rows, _, err := points(m, nil, req.Points)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	for i, er := range req.Errors {
+		if er != nil && len(er) != m.Dims() {
+			s.fail(w, fmt.Errorf("server: error row %d has %d dims, model %q has %d: %w",
+				i, len(er), m.Name(), m.Dims(), udmerr.ErrDimensionMismatch))
+			return
+		}
+	}
+	sum, err := m.summarizer()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opt := outlier.Options{
+		Contamination: req.Contamination,
+		Dims:          req.Dims,
+		KDE:           m.kdeOpt,
+	}
+	if req.Errors != nil {
+		// Folding per-query error bars into the score requires the
+		// error-adjusted kernel.
+		opt.UseQueryError = true
+		opt.KDE.ErrorAdjust = true
+	}
+	res, err := outlier.DetectStream(sum, rows, req.Errors, opt)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Scores are -log density, so a point far from every cluster scores
+	// +Inf — which JSON cannot carry. Clamp non-finite values to the
+	// float64 extremes; the outlier flags are computed upstream from the
+	// unclamped scores.
+	scores := make([]float64, len(res.Scores))
+	for i, v := range res.Scores {
+		scores[i] = finite(v)
+	}
+	writeJSON(w, http.StatusOK, outliersResponse{
+		Scores:    scores,
+		Outliers:  res.Outlier,
+		Threshold: finite(res.Threshold),
+	})
+}
+
+// finite clamps ±Inf (and NaN, mapped to +MaxFloat64 as "maximally
+// outlying") into the JSON-representable float64 range.
+func finite(v float64) float64 {
+	switch {
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsInf(v, 1), math.IsNaN(v):
+		return math.MaxFloat64
+	}
+	return v
+}
+
+// --- /v1/models/{model}/ingest ---
+
+type ingestRequest struct {
+	Points     [][]float64 `json:"points"`
+	Errors     [][]float64 `json:"errors,omitempty"`
+	Timestamps []int64     `json:"timestamps,omitempty"`
+}
+
+type ingestResponse struct {
+	Ingested int `json:"ingested"`
+	Count    int `json:"count"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	eng := m.Engine()
+	if eng == nil {
+		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
+			fmt.Sprintf("model %q is a %s; /ingest needs a stream model", m.Name(), m.Kind()))
+		return
+	}
+	var req ingestRequest
+	if !decode(w, r, s.metrics, &req) {
+		return
+	}
+	rows, _, err := points(m, nil, req.Points)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Errors != nil && len(req.Errors) != len(rows) {
+		s.fail(w, fmt.Errorf("server: %d error rows for %d points: %w",
+			len(req.Errors), len(rows), udmerr.ErrDimensionMismatch))
+		return
+	}
+	if req.Timestamps != nil && len(req.Timestamps) != len(rows) {
+		s.fail(w, fmt.Errorf("server: %d timestamps for %d points: %w",
+			len(req.Timestamps), len(rows), udmerr.ErrDimensionMismatch))
+		return
+	}
+	for i, er := range req.Errors {
+		if er != nil && len(er) != m.Dims() {
+			s.fail(w, fmt.Errorf("server: error row %d has %d dims, model %q has %d: %w",
+				i, len(er), m.Name(), m.Dims(), udmerr.ErrDimensionMismatch))
+			return
+		}
+	}
+	base := int64(eng.Count())
+	for i, x := range rows {
+		var er []float64
+		if req.Errors != nil {
+			er = req.Errors[i]
+		}
+		ts := base + int64(i) + 1
+		if req.Timestamps != nil {
+			ts = req.Timestamps[i]
+		}
+		eng.Add(x, er, ts)
+	}
+	s.metrics.IngestedRows.Add(int64(len(rows)))
+	writeJSON(w, http.StatusOK, ingestResponse{Ingested: len(rows), Count: eng.Count()})
+}

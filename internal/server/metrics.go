@@ -1,0 +1,140 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential latency buckets: bucket b
+// holds observations in [2^(b-1), 2^b) microseconds (bucket 0 holds
+// sub-microsecond observations), spanning 1µs … ~67s.
+const histBuckets = 27
+
+// histogram is a lock-free exponential latency histogram. Quantile
+// estimates are upper bucket bounds, so a reported p99 never
+// understates the true p99 by more than one power of two.
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.sumNS.Add(d.Nanoseconds())
+	h.n.Add(1)
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (0 < q ≤ 1), or 0 when nothing was observed.
+// Counts are read without a global lock, so concurrent observes can
+// skew a snapshot by at most the in-flight observations.
+func (h *histogram) quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum >= rank {
+			return time.Duration(int64(1)<<uint(b)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<uint(histBuckets-1)) * time.Microsecond
+}
+
+func (h *histogram) mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Metrics holds the server's expvar-style counters. All fields are
+// atomically updated and exported as one JSON document by /metrics.
+type Metrics struct {
+	start time.Time
+
+	// Request outcomes.
+	Requests atomic.Int64 // every request to a /v1 endpoint
+	Errors   atomic.Int64 // 4xx/5xx responses
+	Shed     atomic.Int64 // rejected with 429 by the inflight gate
+	Timeouts atomic.Int64 // 504s from the per-request deadline
+	Canceled atomic.Int64 // clients that disconnected mid-request
+
+	// Per-endpoint request counts.
+	ClassifyRequests atomic.Int64
+	DensityRequests  atomic.Int64
+	OutlierRequests  atomic.Int64
+	IngestRequests   atomic.Int64
+
+	// Micro-batching.
+	BatchFlushes atomic.Int64 // coalesced batch executions
+	BatchedItems atomic.Int64 // single-point requests that rode a batch
+
+	// Density cache.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	// Stream ingestion.
+	IngestedRows atomic.Int64
+
+	// Latency of served /v1 requests (excluding shed ones).
+	Latency histogram
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// snapshot renders every counter plus derived rates into a flat
+// JSON-encodable map (the /metrics document).
+func (m *Metrics) snapshot() map[string]any {
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	flushes, items := m.BatchFlushes.Load(), m.BatchedItems.Load()
+	avgBatch := 0.0
+	if flushes > 0 {
+		avgBatch = float64(items) / float64(flushes)
+	}
+	return map[string]any{
+		"uptime_seconds":    time.Since(m.start).Seconds(),
+		"requests":          m.Requests.Load(),
+		"errors":            m.Errors.Load(),
+		"shed":              m.Shed.Load(),
+		"timeouts":          m.Timeouts.Load(),
+		"canceled":          m.Canceled.Load(),
+		"classify_requests": m.ClassifyRequests.Load(),
+		"density_requests":  m.DensityRequests.Load(),
+		"outlier_requests":  m.OutlierRequests.Load(),
+		"ingest_requests":   m.IngestRequests.Load(),
+		"ingested_rows":     m.IngestedRows.Load(),
+		"batch_flushes":     flushes,
+		"batched_items":     items,
+		"avg_batch_size":    avgBatch,
+		"cache_hits":        hits,
+		"cache_misses":      misses,
+		"cache_hit_rate":    hitRate,
+		"latency_count":     m.Latency.n.Load(),
+		"latency_mean_us":   m.Latency.mean().Microseconds(),
+		"latency_p50_us":    m.Latency.quantile(0.50).Microseconds(),
+		"latency_p90_us":    m.Latency.quantile(0.90).Microseconds(),
+		"latency_p99_us":    m.Latency.quantile(0.99).Microseconds(),
+	}
+}

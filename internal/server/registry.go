@@ -1,0 +1,247 @@
+// Package server is the HTTP serving layer over the density-transform
+// library: a named model registry, JSON endpoints for classification,
+// density evaluation, outlier scoring and stream ingestion, micro-
+// batching of concurrent single-point requests onto the parallel batch
+// engine, a bounded LRU density cache, per-request timeouts, load
+// shedding, and graceful shutdown with stream checkpointing. See
+// DESIGN.md ("Serving layer") for the architecture.
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"udm/internal/core"
+	"udm/internal/kde"
+	"udm/internal/microcluster"
+	"udm/internal/stream"
+)
+
+// Kind names the artifact type behind a served model.
+type Kind string
+
+const (
+	// KindTransform serves a trained core.Transform: classify, density
+	// and outliers against the global summary.
+	KindTransform Kind = "transform"
+	// KindSummarizer serves a standalone micro-cluster summary: density
+	// and outliers.
+	KindSummarizer Kind = "summarizer"
+	// KindStream serves a live stream.Engine: ingest plus density and
+	// outliers against the evolving summary.
+	KindStream Kind = "stream"
+)
+
+// Model is one named, servable artifact. All public methods are safe
+// for concurrent use: classifiers and estimators are read-only after
+// construction, and the mutable stream path (ingest + lazy estimator
+// rebuild) is guarded by mu / the engine's own lock.
+type Model struct {
+	name   string
+	kind   Kind
+	dims   int
+	kdeOpt kde.Options
+
+	clf *core.Classifier // transform kind only
+
+	eng            *stream.Engine // stream kind only
+	checkpointPath string         // where Checkpoint saves the engine
+
+	mu         sync.Mutex
+	est        *kde.ClusterKDE
+	sum        *microcluster.Summarizer
+	estVersion uint64 // engine row count the estimator was built at
+}
+
+// NewTransformModel wraps a trained transform: the classifier serves
+// /classify and a ClusterKDE over the global summary serves /density
+// and /outliers.
+func NewTransformModel(name string, t *core.Transform, clfOpt core.ClassifierOptions) (*Model, error) {
+	clf, err := core.NewClassifier(t, clfOpt)
+	if err != nil {
+		return nil, fmt.Errorf("server: model %q: %w", name, err)
+	}
+	est, err := kde.NewCluster(t.Global(), clfOpt.KDE)
+	if err != nil {
+		return nil, fmt.Errorf("server: model %q: %w", name, err)
+	}
+	return &Model{
+		name:   name,
+		kind:   KindTransform,
+		dims:   t.Dims(),
+		kdeOpt: clfOpt.KDE,
+		clf:    clf,
+		est:    est,
+		sum:    t.Global(),
+	}, nil
+}
+
+// NewSummarizerModel wraps a standalone micro-cluster summary for
+// density evaluation and outlier scoring.
+func NewSummarizerModel(name string, s *microcluster.Summarizer, opt kde.Options) (*Model, error) {
+	est, err := kde.NewCluster(s, opt)
+	if err != nil {
+		return nil, fmt.Errorf("server: model %q: %w", name, err)
+	}
+	return &Model{
+		name:   name,
+		kind:   KindSummarizer,
+		dims:   s.Dims(),
+		kdeOpt: opt,
+		est:    est,
+		sum:    s,
+	}, nil
+}
+
+// NewStreamModel wraps a live stream engine. checkpointPath, when
+// non-empty, is where Checkpoint (and graceful shutdown) writes the
+// engine state. The density estimator is built lazily and rebuilt
+// whenever ingestion has advanced the engine since the last build.
+func NewStreamModel(name string, eng *stream.Engine, opt kde.Options, checkpointPath string) (*Model, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: model %q: nil stream engine", name)
+	}
+	return &Model{
+		name:           name,
+		kind:           KindStream,
+		dims:           eng.Dims(),
+		kdeOpt:         opt,
+		eng:            eng,
+		checkpointPath: checkpointPath,
+	}, nil
+}
+
+// Name returns the registry name.
+func (m *Model) Name() string { return m.name }
+
+// Kind returns the artifact kind.
+func (m *Model) Kind() Kind { return m.kind }
+
+// Dims returns the model dimensionality.
+func (m *Model) Dims() int { return m.dims }
+
+// Classifier returns the classifier, or nil for non-transform kinds.
+func (m *Model) Classifier() *core.Classifier { return m.clf }
+
+// Engine returns the live stream engine, or nil for non-stream kinds.
+func (m *Model) Engine() *stream.Engine { return m.eng }
+
+// version is the cache-invalidation token: static models are always
+// version 0; a stream model's version is its ingested row count, so
+// every ingested row retires cached densities.
+func (m *Model) version() uint64 {
+	if m.eng == nil {
+		return 0
+	}
+	return uint64(m.eng.Count())
+}
+
+// estimator returns the current density estimator and the model
+// version it reflects, rebuilding a stream model's estimator when
+// ingestion has advanced past the cached build. Static models return
+// their construction-time estimator unchanged.
+func (m *Model) estimator() (*kde.ClusterKDE, uint64, error) {
+	if m.eng == nil {
+		return m.est, 0, nil
+	}
+	v := m.version()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.est != nil && m.estVersion == v {
+		return m.est, v, nil
+	}
+	s, err := m.eng.Summarizer()
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: model %q: %w", m.name, err)
+	}
+	est, err := kde.NewCluster(s, m.kdeOpt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: model %q: %w", m.name, err)
+	}
+	m.est, m.sum, m.estVersion = est, s, v
+	return est, v, nil
+}
+
+// summarizer returns the micro-cluster summary backing /outliers,
+// refreshing it for stream models alongside the estimator.
+func (m *Model) summarizer() (*microcluster.Summarizer, error) {
+	if m.eng == nil {
+		return m.sum, nil
+	}
+	if _, _, err := m.estimator(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sum, nil
+}
+
+// Checkpoint writes the stream engine to its checkpoint path. It is a
+// no-op for non-stream models and stream models without a path.
+func (m *Model) Checkpoint() error {
+	if m.eng == nil || m.checkpointPath == "" {
+		return nil
+	}
+	f, err := os.Create(m.checkpointPath)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint %q: %w", m.name, err)
+	}
+	defer f.Close()
+	if err := m.eng.Save(f); err != nil {
+		return fmt.Errorf("server: checkpoint %q: %w", m.name, err)
+	}
+	return f.Close()
+}
+
+// Registry is the immutable name → model table the server routes on.
+// Models are added before the server starts; lookups are lock-free.
+type Registry struct {
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Add registers a model under its name. Duplicate names are an error.
+func (r *Registry) Add(m *Model) error {
+	if m.name == "" {
+		return fmt.Errorf("server: model with empty name")
+	}
+	if _, dup := r.models[m.name]; dup {
+		return fmt.Errorf("server: duplicate model name %q", m.name)
+	}
+	r.models[m.name] = m
+	return nil
+}
+
+// Get looks a model up by name.
+func (r *Registry) Get(name string) (*Model, bool) {
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Checkpoint saves every stream model that has a checkpoint path,
+// returning the first error after attempting all of them.
+func (r *Registry) Checkpoint() error {
+	var first error
+	for _, n := range r.Names() {
+		if err := r.models[n].Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

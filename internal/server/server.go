@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure the serving layer. The zero value is usable; every
+// field has a production-minded default.
+type Options struct {
+	// MaxBatch caps how many coalesced single-point requests ride one
+	// batched library call (default 64).
+	MaxBatch int
+	// BatchDelay is the micro-batching window: how long the first
+	// request of a batch waits for company before the batch flushes
+	// (default 2ms). 0 disables coalescing (every request flushes
+	// immediately); shedding and caching still apply.
+	BatchDelay time.Duration
+	// RequestTimeout bounds each request's server-side work (default
+	// 30s). Exceeding it returns 504 and cancels the underlying batch
+	// computation through the context-first library APIs.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently-admitted /v1 requests; excess
+	// requests are shed immediately with 429 (default 256).
+	MaxInflight int
+	// CacheSize bounds the density LRU cache in entries (default 4096;
+	// negative disables caching).
+	CacheSize int
+	// CacheQuantum quantizes density-cache keys: 0 (default) keys on
+	// exact float bits — cached answers stay bit-identical to direct
+	// library calls — while a positive quantum trades exactness for hit
+	// rate on nearby points.
+	CacheQuantum float64
+	// Workers caps the worker pool used for batched evaluations (≤ 0 =
+	// GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.BatchDelay == 0 {
+		o.BatchDelay = 2 * time.Millisecond
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 256
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	return o
+}
+
+// Server is the HTTP serving layer: routing, admission control,
+// micro-batching, caching, metrics and lifecycle over a model
+// registry.
+type Server struct {
+	reg      *Registry
+	opt      Options
+	metrics  *Metrics
+	cache    *lruCache
+	inflight chan struct{}
+	handler  http.Handler
+	ready    atomic.Bool
+
+	httpSrv  *http.Server
+	batchers map[string]*modelBatchers
+}
+
+// modelBatchers holds one coalescer per (model, operation) pair.
+// Classify and full-dimensional density each get one; density requests
+// over explicit dimension subsets bypass coalescing (a batch must share
+// one dims slice).
+type modelBatchers struct {
+	classify *batcher[[]float64, int]
+	density  *batcher[[]float64, float64]
+}
+
+// New builds a server over a fully-populated registry. The registry
+// must not be mutated afterwards.
+func New(reg *Registry, opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		reg:      reg,
+		opt:      opt,
+		metrics:  newMetrics(),
+		cache:    newLRUCache(opt.CacheSize),
+		inflight: make(chan struct{}, opt.MaxInflight),
+		batchers: make(map[string]*modelBatchers),
+	}
+	for _, name := range reg.Names() {
+		m, _ := reg.Get(name)
+		mb := &modelBatchers{}
+		if m.Classifier() != nil {
+			clf := m.Classifier()
+			mb.classify = newBatcher(opt.MaxBatch, opt.BatchDelay, s.metrics,
+				func(ctx context.Context, reqs [][]float64) ([]int, error) {
+					return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
+				})
+		}
+		model := m
+		mb.density = newBatcher(opt.MaxBatch, opt.BatchDelay, s.metrics,
+			func(ctx context.Context, reqs [][]float64) ([]float64, error) {
+				est, _, err := model.estimator()
+				if err != nil {
+					return nil, err
+				}
+				return est.DensityBatchContext(ctx, reqs, nil, opt.Workers)
+			})
+		s.batchers[name] = mb
+	}
+	s.handler = s.routes()
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the root handler (useful for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the server's counters (useful for tests and
+// embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.httpSrv = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503 (so
+// load balancers stop routing here), in-flight requests run to
+// completion (bounded by ctx), and every stream model is checkpointed
+// via its engine's Save. It returns the first error encountered.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	var first error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.reg.Checkpoint(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/{model}/classify", s.guard(&s.metrics.ClassifyRequests, s.handleClassify))
+	mux.HandleFunc("POST /v1/models/{model}/density", s.guard(&s.metrics.DensityRequests, s.handleDensity))
+	mux.HandleFunc("POST /v1/models/{model}/outliers", s.guard(&s.metrics.OutlierRequests, s.handleOutliers))
+	mux.HandleFunc("POST /v1/models/{model}/ingest", s.guard(&s.metrics.IngestRequests, s.handleIngest))
+	return mux
+}
+
+// guard is the admission-control middleware for /v1 model endpoints:
+// count the request, shed with 429 when MaxInflight requests are
+// already admitted, bound the work with the per-request timeout, and
+// record the latency of admitted requests.
+func (s *Server) guard(endpointCounter *atomic.Int64, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		endpointCounter.Add(1)
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, s.metrics, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("more than %d requests in flight", s.opt.MaxInflight))
+			return
+		}
+		defer func() { <-s.inflight }()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		start := time.Now()
+		h(w, r.WithContext(ctx))
+		s.metrics.Latency.observe(time.Since(start))
+	}
+}

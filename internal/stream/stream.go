@@ -98,6 +98,9 @@ func (e *Engine) Add(x, err []float64, ts int64) {
 	}
 }
 
+// Dims returns the record dimensionality the engine was created with.
+func (e *Engine) Dims() int { return e.s.Dims() }
+
 // Count returns the number of records ingested.
 func (e *Engine) Count() int {
 	e.mu.Lock()

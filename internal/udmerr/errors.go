@@ -1,0 +1,49 @@
+// Package udmerr defines the sentinel errors of the module's error
+// contract. Internal packages wrap these with %w at the point of
+// failure, the root package re-exports them, and callers classify
+// failures with errors.Is instead of matching message strings:
+//
+//	if errors.Is(err, udmerr.ErrDimensionMismatch) { ... }
+//
+// The sentinels partition failures by what the caller can do about
+// them:
+//
+//   - ErrDimensionMismatch: the shape of the supplied data disagrees
+//     with the model or dataset (wrong row width, subspace dimension
+//     out of range, mismatched error-matrix shape). Fix the input.
+//   - ErrNoErrors: an operation that needs per-entry error information
+//     ran against data (or an estimator) that carries none, or
+//     error-free and error-bearing rows were mixed. Supply errors or
+//     drop the error-dependent option.
+//   - ErrUntrained: the model or estimator has no data behind it
+//     (empty dataset, empty summarizer, no training rows for a class).
+//     Train or load a model first.
+//   - ErrBadOption: an option value is out of its documented domain
+//     (non-positive cluster counts, error adjustment with a
+//     non-Gaussian kernel, non-positive explicit bandwidths). Fix the
+//     configuration.
+//
+// The package sits below every other internal package so any layer can
+// wrap the sentinels without import cycles.
+package udmerr
+
+import "errors"
+
+var (
+	// ErrDimensionMismatch reports input whose shape disagrees with the
+	// model or dataset it is applied to.
+	ErrDimensionMismatch = errors.New("dimension mismatch")
+
+	// ErrNoErrors reports an error-dependent operation applied to data
+	// without per-entry error information (or inconsistent mixing of
+	// error-free and error-bearing rows).
+	ErrNoErrors = errors.New("no error information")
+
+	// ErrUntrained reports an operation against a model or estimator
+	// with no data behind it.
+	ErrUntrained = errors.New("untrained model")
+
+	// ErrBadOption reports an option value outside its documented
+	// domain.
+	ErrBadOption = errors.New("bad option")
+)

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the serving path:
+# generate data, train + save a model with udmclassify, start udmserve
+# against it, curl every endpoint class (healthz, readyz, metrics,
+# classify, density, and a deliberate 400), then shut down gracefully
+# and require a clean exit. Any unexpected status code fails the script.
+#
+# Run via `make serve-smoke` or directly from the repository root.
+set -euo pipefail
+
+PORT="${SERVE_SMOKE_PORT:-18573}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# status METHOD URL [JSON-BODY] — print the HTTP status code.
+status() {
+  local method="$1" url="$2" body="${3:-}"
+  if [ -n "$body" ]; then
+    curl -s -o "$TMP/last_body" -w '%{http_code}' -X "$method" \
+      -H 'Content-Type: application/json' -d "$body" "$url"
+  else
+    curl -s -o "$TMP/last_body" -w '%{http_code}' -X "$method" "$url"
+  fi
+}
+
+# expect WANT METHOD URL [JSON-BODY] — fail loudly on a status mismatch.
+expect() {
+  local want="$1"; shift
+  local got
+  got="$(status "$@")"
+  if [ "$got" != "$want" ]; then
+    echo "serve-smoke: FAIL: $1 $2 returned $got, want $want" >&2
+    echo "serve-smoke: response body:" >&2
+    cat "$TMP/last_body" >&2
+    exit 1
+  fi
+  echo "serve-smoke: ok: $1 $2 -> $got"
+}
+
+echo "serve-smoke: building tools"
+go build -o "$TMP/udmgen" ./cmd/udmgen
+go build -o "$TMP/udmclassify" ./cmd/udmclassify
+go build -o "$TMP/udmserve" ./cmd/udmserve
+
+echo "serve-smoke: generating data and training a model"
+"$TMP/udmgen" -profile two-blobs -n 600 -f 1.0 -seed 1 -o "$TMP/train.csv"
+"$TMP/udmgen" -profile two-blobs -n 100 -f 1.0 -seed 2 -o "$TMP/test.csv"
+"$TMP/udmclassify" -train "$TMP/train.csv" -test "$TMP/test.csv" \
+  -save "$TMP/model.gob" >/dev/null
+
+echo "serve-smoke: starting udmserve on $BASE"
+"$TMP/udmserve" -addr "127.0.0.1:${PORT}" \
+  -model "blobs=transform:$TMP/model.gob" 2>"$TMP/server.log" &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if [ "$(status GET "$BASE/readyz" || true)" = "200" ]; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve-smoke: FAIL: server died during startup" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+expect 200 GET "$BASE/healthz"
+expect 200 GET "$BASE/readyz"
+expect 200 GET "$BASE/metrics"
+expect 200 GET "$BASE/v1/models"
+expect 200 POST "$BASE/v1/models/blobs/classify" '{"point": [-2.5, 0]}'
+expect 200 POST "$BASE/v1/models/blobs/classify" '{"points": [[-2.5, 0], [2.5, 0]]}'
+expect 200 POST "$BASE/v1/models/blobs/density" '{"point": [0, 0]}'
+expect 200 POST "$BASE/v1/models/blobs/outliers" '{"points": [[-2.5, 0], [2.5, 0], [50, 50]]}'
+expect 400 POST "$BASE/v1/models/blobs/classify" '{"point": [1, 2, 3]}'
+expect 404 POST "$BASE/v1/models/nope/classify" '{"point": [0, 0]}'
+
+echo "serve-smoke: graceful shutdown"
+kill -TERM "$SERVER_PID"
+for i in $(seq 1 50); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "serve-smoke: FAIL: server did not exit after SIGTERM" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+if ! wait "$SERVER_PID"; then
+  echo "serve-smoke: FAIL: server exited non-zero" >&2
+  cat "$TMP/server.log" >&2
+  exit 1
+fi
+SERVER_PID=""
+
+echo "serve-smoke: PASS"

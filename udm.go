@@ -31,6 +31,38 @@
 //	clf, _ := udm.Train(train, udm.TrainConfig{MicroClusters: 140})
 //	label, _ := clf.Classify(test.X[0])
 //
+// # Error contract
+//
+// Failures that a caller can act on wrap one of four package-level
+// sentinels, so classification is errors.Is, never string matching:
+//
+//   - ErrDimensionMismatch — input shape disagrees with the model or
+//     dataset (wrong row width, subspace dimension out of range,
+//     mismatched error-matrix shape). Fix the input.
+//   - ErrNoErrors — an error-dependent operation ran against data that
+//     carries no per-entry errors, or error-free and error-bearing rows
+//     were mixed. Supply errors or drop the option.
+//   - ErrUntrained — the model or estimator has no data behind it
+//     (empty dataset, empty summarizer, a class with no rows). Train or
+//     load a model first.
+//   - ErrBadOption — an option value is outside its documented domain
+//     (non-positive cluster counts, error adjustment with a
+//     non-Gaussian kernel, non-positive explicit bandwidths). Fix the
+//     configuration.
+//
+// # Context-first batch APIs
+//
+// Every parallel batch API has a context-taking form — the *Context
+// method variants (ClassifyBatchContext, DensityBatchContext,
+// PredictBatchContext, ProbabilitiesBatchContext,
+// LeaveOneOutBatchContext), TrainContext, and the BatchOptions-taking
+// facade functions — that threads cancellation down to the shared
+// worker pool: cancelling the context stops work chunks that have not
+// started and returns ctx.Err(). The context-free forms are thin
+// wrappers over context.Background() kept for convenience and
+// compatibility; long-running services (see cmd/udmserve) should use
+// the context forms so abandoned requests stop consuming CPU.
+//
 // See examples/ for complete programs and DESIGN.md for the paper map.
 package udm
 
@@ -50,7 +82,25 @@ import (
 	"udm/internal/parallel"
 	"udm/internal/rng"
 	"udm/internal/stream"
+	"udm/internal/udmerr"
 	"udm/internal/uncertain"
+)
+
+// Sentinel errors of the module's error contract (see the package
+// documentation). Match with errors.Is.
+var (
+	// ErrDimensionMismatch reports input whose shape disagrees with the
+	// model or dataset it is applied to.
+	ErrDimensionMismatch = udmerr.ErrDimensionMismatch
+	// ErrNoErrors reports an error-dependent operation applied to data
+	// without per-entry error information.
+	ErrNoErrors = udmerr.ErrNoErrors
+	// ErrUntrained reports an operation against a model or estimator
+	// with no data behind it.
+	ErrUntrained = udmerr.ErrUntrained
+	// ErrBadOption reports an option value outside its documented
+	// domain.
+	ErrBadOption = udmerr.ErrBadOption
 )
 
 // Data model.
@@ -162,14 +212,45 @@ func NewPointDensity(ds *Dataset, opt DensityOptions) (*PointDensity, error) {
 	return kde.NewPoint(ds, opt)
 }
 
+// BatchOptions configure a batch evaluation. It is the preferred way to
+// pass execution knobs to the facade's batch functions — new APIs take
+// a BatchOptions instead of a positional workers int, and the
+// positional forms are retained as thin wrappers.
+type BatchOptions struct {
+	// Workers caps the goroutines fanned out over (≤ 0 =
+	// runtime.GOMAXPROCS(0), 1 = serial). Results are bit-for-bit
+	// identical for every worker count.
+	Workers int
+	// Ctx cancels the batch: work chunks that have not started are
+	// skipped and Ctx.Err() is returned. nil means context.Background().
+	Ctx context.Context
+}
+
+func (o BatchOptions) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
 // DensityBatch evaluates any density estimator at every row of X over
 // the dimension subset dims (nil = all dimensions), fanned out over up
 // to BatchWorkers(workers) goroutines. Results are bit-for-bit
 // identical to the serial row-by-row loop for every worker count; see
 // also the DensityBatch/DensityQBatch methods on PointDensity and
 // ClusterDensity.
+//
+// Deprecated-style positional form: prefer DensityBatchOpts, which
+// accepts a context for cancellation.
 func DensityBatch(est DensityEstimator, X [][]float64, dims []int, workers int) ([]float64, error) {
-	return kde.DensityBatch(context.Background(), est, X, dims, workers)
+	return DensityBatchOpts(est, X, dims, BatchOptions{Workers: workers})
+}
+
+// DensityBatchOpts is DensityBatch under explicit BatchOptions: opt.Ctx
+// cancels the batch and opt.Workers caps the fan-out. It is the
+// context-first replacement for the positional form.
+func DensityBatchOpts(est DensityEstimator, X [][]float64, dims []int, opt BatchOptions) ([]float64, error) {
+	return kde.DensityBatch(opt.ctx(), est, X, dims, opt.Workers)
 }
 
 // BatchWorkers resolves a workers argument the way every *Batch API in
@@ -244,6 +325,10 @@ var (
 // transform.
 var NewTransform = core.NewTransform
 
+// NewTransformContext is NewTransform under a caller-supplied context:
+// cancelling it aborts the build and returns ctx.Err().
+var NewTransformContext = core.NewTransformContext
+
 // NewTransformBuilder builds a transform incrementally (streams).
 var NewTransformBuilder = core.NewBuilder
 
@@ -253,18 +338,41 @@ var NewClassifier = core.NewClassifier
 // NewExactClassifier builds the uncompressed reference classifier.
 var NewExactClassifier = core.NewExactClassifier
 
+// Defaults shared by TrainConfig, TransformOptions and
+// ClassifierOptions. These re-exported constants are the one documented
+// home for the zero-value behavior of every training knob: a zero field
+// means "use the constant below", and the same constant governs the
+// same-named field wherever it appears.
+const (
+	// DefaultMicroClusters is the micro-cluster count q used when
+	// TrainConfig.MicroClusters or TransformOptions.MicroClusters is 0,
+	// matching the paper's headline configuration.
+	DefaultMicroClusters = core.DefaultMicroClusters
+	// DefaultThreshold is the Fig. 3 accuracy threshold a used when
+	// TrainConfig.Threshold or ClassifierOptions.Threshold is 0.
+	DefaultThreshold = core.DefaultThreshold
+	// DefaultMaxSubspaceSize is the roll-up depth cap used when
+	// TrainConfig.MaxSubspaceSize or ClassifierOptions.MaxSubspaceSize
+	// is 0 (negative = unlimited).
+	DefaultMaxSubspaceSize = core.DefaultMaxSubspaceSize
+)
+
 // TrainConfig bundles the options of the one-call training pipeline.
+// Field names and zero-value defaults deliberately match
+// TransformOptions and ClassifierOptions (see the Default* constants):
+// a TrainConfig is the union of the two, split apart by Train.
 type TrainConfig struct {
-	// MicroClusters is q (default core.DefaultMicroClusters = 140).
+	// MicroClusters is q (0 = DefaultMicroClusters).
 	MicroClusters int
 	// ErrorAdjust enables error-adjusted assignment and kernels; set it
 	// false to get the paper's "No Error Adjustment" comparator.
 	// Defaults to true when the data carries errors.
 	ErrorAdjust *bool
-	// Threshold is the Fig. 3 accuracy threshold a (default 0.6).
+	// Threshold is the Fig. 3 accuracy threshold a (0 =
+	// DefaultThreshold).
 	Threshold float64
-	// MaxSubspaceSize caps roll-up depth (default 3; negative =
-	// unlimited).
+	// MaxSubspaceSize caps roll-up depth (0 = DefaultMaxSubspaceSize;
+	// negative = unlimited).
 	MaxSubspaceSize int
 	// MaxSubspaces is the cap p on voting subspaces (0 = all).
 	MaxSubspaces int
@@ -277,13 +385,19 @@ type TrainConfig struct {
 }
 
 // Train is the one-call pipeline: transform the training data and build
-// the classifier.
+// the classifier. It is TrainContext under context.Background().
 func Train(train *Dataset, cfg TrainConfig) (*Classifier, error) {
+	return TrainContext(context.Background(), train, cfg)
+}
+
+// TrainContext is Train under a caller-supplied context: cancelling ctx
+// aborts the transform build and returns ctx.Err().
+func TrainContext(ctx context.Context, train *Dataset, cfg TrainConfig) (*Classifier, error) {
 	adjust := train.HasErrors()
 	if cfg.ErrorAdjust != nil {
 		adjust = *cfg.ErrorAdjust
 	}
-	t, err := NewTransform(train, TransformOptions{
+	t, err := core.NewTransformContext(ctx, train, TransformOptions{
 		MicroClusters: cfg.MicroClusters,
 		ErrorAdjust:   adjust,
 		Seed:          cfg.Seed,
@@ -375,6 +489,9 @@ type ROCPoint = eval.ROCPoint
 var (
 	CVBandwidths        = kde.CVBandwidths
 	CVBandwidthsWorkers = kde.CVBandwidthsWorkers
+	// CVBandwidthsContext is the context-first form: cancelling the
+	// context aborts the grid search.
+	CVBandwidthsContext = kde.CVBandwidthsContext
 )
 
 // Outlier detection.
