@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench-smoke fuzz-smoke serve-smoke bench ci
+# Pinned third-party tool versions (tools/tools.go is the source of
+# truth; tools/tools_test.go asserts this file and CI agree with it).
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke serve-smoke bench ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -28,6 +33,35 @@ test:
 race:
 	$(GO) test -race ./...
 
+## lint: project analyzers (always) + staticcheck/govulncheck (when installed)
+lint: lint-udm lint-staticcheck lint-vuln
+
+## lint-udm: the in-tree multichecker — no external deps, never skipped
+lint-udm:
+	$(GO) run ./cmd/udmlint ./...
+
+# staticcheck and govulncheck are external binaries; offline
+# environments without them skip with a notice instead of failing.
+# CI installs the pinned versions, so the full gate always runs there.
+lint-staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make tools' to install $(STATICCHECK_VERSION))" >&2; \
+	fi
+
+lint-vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run 'make tools' to install $(GOVULNCHECK_VERSION))" >&2; \
+	fi
+
+## tools: install the pinned external lint tools (needs network)
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
 ## bench-smoke: every benchmark for exactly one iteration (rot check)
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -46,4 +80,4 @@ bench:
 	$(GO) test -bench=. -benchtime=2s -run='^$$' .
 
 ## ci: the full pipeline, serially
-ci: check race bench-smoke fuzz-smoke serve-smoke
+ci: check lint race bench-smoke fuzz-smoke serve-smoke

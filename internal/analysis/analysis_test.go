@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestSuppressionsMalformed(t *testing.T) {
+	fset, f := parseOne(t, `package x
+
+//lint:allow
+func a() {}
+
+//lint:allow nakedgo
+func b() {}
+
+//lint:allow nakedgo has a reason
+func c() {}
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if b.Analyzer != "lint" || !strings.Contains(b.Message, "malformed") {
+			t.Errorf("unexpected malformed finding: %+v", b)
+		}
+	}
+	// Only the well-formed directive suppresses, and — standing alone —
+	// it covers the following line.
+	if !set.allows("nakedgo", token.Position{Filename: "x.go", Line: 10}) {
+		t.Error("well-formed directive does not cover the next line")
+	}
+	if set.allows("nakedgo", token.Position{Filename: "x.go", Line: 4}) {
+		t.Error("reasonless directive suppressed a finding")
+	}
+}
+
+func TestSuppressionsTrailingScope(t *testing.T) {
+	fset, f := parseOne(t, `package x
+
+func a() {} //lint:allow nakedgo trailing covers only this line
+func b() {}
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	if !set.allows("nakedgo", token.Position{Filename: "x.go", Line: 3}) {
+		t.Error("trailing directive does not cover its own line")
+	}
+	if set.allows("nakedgo", token.Position{Filename: "x.go", Line: 4}) {
+		t.Error("trailing directive leaked onto the next line")
+	}
+}
+
+func TestSuppressionsAll(t *testing.T) {
+	fset, f := parseOne(t, `package x
+
+func a() {} //lint:allow all every analyzer silenced here
+`)
+	set, _ := suppressions(fset, []*ast.File{f})
+	pos := token.Position{Filename: "x.go", Line: 3}
+	for _, analyzer := range []string{"nakedgo", "ctxflow", "anything"} {
+		if !set.allows(analyzer, pos) {
+			t.Errorf("blanket directive does not cover %s", analyzer)
+		}
+	}
+}
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"udm/internal/parallel", "internal/parallel", true},
+		{"internal/parallel", "internal/parallel", true},
+		{"udmfixture/internal/parallel", "internal/parallel", true},
+		{"udm/notinternal/parallel", "internal/parallel", false},
+		{"udm/internal/parallelx", "internal/parallel", false},
+		{"parallel", "internal/parallel", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestParents(t *testing.T) {
+	_, f := parseOne(t, `package x
+
+func a() { _ = len("s") }
+`)
+	parents := Parents([]*ast.File{f})
+	var call *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call expression found")
+	}
+	if _, ok := parents[call].(*ast.AssignStmt); !ok {
+		t.Errorf("parent of call is %T, want *ast.AssignStmt", parents[call])
+	}
+	if parents[f] != nil {
+		t.Errorf("file has non-nil parent %T", parents[f])
+	}
+}

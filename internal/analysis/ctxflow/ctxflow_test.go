@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", ctxflow.Analyzer,
+		"udmfixture/ctxflow", "udmfixture/cmd/ctxmain")
+}

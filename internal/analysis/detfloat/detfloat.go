@@ -1,0 +1,133 @@
+// Package detfloat guards the bit-identity contract of the density
+// kernels (Aggarwal's Eq. 3–5): every float reduction in the library
+// must happen in a deterministic order, or the serial, parallel, and
+// served paths stop agreeing bit-for-bit.
+//
+// Go randomizes map iteration order, so a floating-point accumulation
+// driven by `range` over a map is nondeterministic across runs even on
+// one machine. The analyzer flags any `for ... range m` over a map
+// whose body accumulates into a float variable declared outside the
+// loop (s += x, s = s + x, and friends). The fix is to collect and
+// sort the keys first — and for long reductions to use internal/num's
+// compensated Sum, which is both deterministic and accurate.
+//
+// Writes through an index expression (acc[k] += v) are not flagged:
+// keyed writes are order-independent when each key is visited once,
+// and the common build-a-map patterns would otherwise drown the signal
+// in false positives.
+package detfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detfloat",
+	Doc: "forbid float accumulation driven by range-over-map: map order is random, which breaks the " +
+		"bit-identical density contract — iterate sorted keys and reduce with internal/num.Sum",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			assign, ok := inner.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if lhs, ok := accumulationTarget(pass.TypesInfo, assign); ok {
+				if isFloat(pass.TypesInfo.TypeOf(lhs)) && declaredOutside(pass.TypesInfo, lhs, rng.Body) {
+					pass.Reportf(assign.Pos(), "float accumulation in map iteration order is nondeterministic: iterate sorted keys and reduce with internal/num.Sum")
+				}
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// accumulationTarget reports whether assign accumulates into its
+// left-hand side (s += x, s -= x, s *= x, s /= x, or s = s ⊕ x) and
+// returns that target expression.
+func accumulationTarget(info *types.Info, assign *ast.AssignStmt) (ast.Expr, bool) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil, false
+	}
+	lhs := ast.Unparen(assign.Lhs[0])
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs, true
+	case token.ASSIGN:
+		bin, ok := ast.Unparen(assign.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return nil, false
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if sameTarget(info, lhs, ast.Unparen(bin.X)) || sameTarget(info, lhs, ast.Unparen(bin.Y)) {
+				return lhs, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// sameTarget reports whether two expressions refer to the same
+// identifier object (s = s + x) — the accumulator appearing on both
+// sides of the assignment.
+func sameTarget(info *types.Info, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if !aok || !bok {
+		return false
+	}
+	obj := info.Uses[ai]
+	return obj != nil && obj == info.Uses[bi]
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	if !ok {
+		if named, isNamed := t.(*types.Named); isNamed {
+			basic, ok = named.Underlying().(*types.Basic)
+		}
+	}
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the accumulator target was declared
+// outside body — i.e. the reduction escapes the loop. Accumulators
+// local to one iteration are order-safe. Selector targets (s.total)
+// are treated as outside; index targets never reach here.
+func declaredOutside(info *types.Info, lhs ast.Expr, body *ast.BlockStmt) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	case *ast.SelectorExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package detfloat_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/detfloat"
+)
+
+func TestDetfloat(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", detfloat.Analyzer, "udmfixture/detfloat")
+}

@@ -1,0 +1,107 @@
+// Package driver is the engine behind cmd/udmlint: a multichecker that
+// loads packages, applies every registered analyzer, and renders the
+// findings. It lives apart from the main package so tests can run the
+// whole pipeline in-process and assert on exit codes.
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"udm/internal/analysis"
+	"udm/internal/analysis/ctxflow"
+	"udm/internal/analysis/detfloat"
+	"udm/internal/analysis/errsentinel"
+	"udm/internal/analysis/load"
+	"udm/internal/analysis/nakedgo"
+	"udm/internal/analysis/rngsource"
+)
+
+// All is the registry of project analyzers, in the order they are
+// listed and run.
+var All = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	detfloat.Analyzer,
+	errsentinel.Analyzer,
+	nakedgo.Analyzer,
+	rngsource.Analyzer,
+}
+
+// Exit codes, mirroring the usual linter convention.
+const (
+	ExitClean    = 0
+	ExitFindings = 1
+	ExitError    = 2
+)
+
+// Run executes the multichecker with command-line args and returns the
+// process exit code. Findings go to stdout, usage and internal errors
+// to stderr.
+func Run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("udmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory of the module to analyze (patterns resolve relative to it)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: udmlint [-C dir] [-only a,b] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+
+	if *list {
+		for _, a := range All {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+
+	analyzers := All
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "udmlint: unknown analyzer %q (run -list for the registry)\n", name)
+				return ExitError
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "udmlint: %v\n", err)
+		return ExitError
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "udmlint: %v\n", err)
+		return ExitError
+	}
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(*dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "udmlint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return ExitFindings
+	}
+	return ExitClean
+}

@@ -1,0 +1,82 @@
+package driver
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFixtureTreeFails is the negative smoke test: the multichecker
+// must exit non-zero on the fixture module, which is built to violate
+// every analyzer.
+func TestFixtureTreeFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Run(&stdout, &stderr, []string{"-C", "../testdata/fixture", "./..."})
+	if code != ExitFindings {
+		t.Fatalf("exit code %d on fixture tree, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, ExitFindings, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, a := range All {
+		if !strings.Contains(out, "["+a.Name+"]") {
+			t.Errorf("no %s finding on the fixture tree", a.Name)
+		}
+	}
+}
+
+// TestRealTreeClean is the positive smoke test and the gate that keeps
+// the repository lint-clean: every analyzer over the whole module, zero
+// findings.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := Run(&stdout, &stderr, []string{"-C", "../../..", "./..."})
+	if code != ExitClean {
+		t.Fatalf("udmlint on the real tree exited %d, want clean\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestOnlyFilter restricts the run to one analyzer.
+func TestOnlyFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Run(&stdout, &stderr, []string{"-C", "../testdata/fixture", "-only", "nakedgo", "./..."})
+	if code != ExitFindings {
+		t.Fatalf("exit code %d, want %d (stderr: %s)", code, ExitFindings, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[nakedgo]") {
+		t.Error("no nakedgo findings under -only nakedgo")
+	}
+	for _, a := range All {
+		if a.Name != "nakedgo" && strings.Contains(out, "["+a.Name+"]") {
+			t.Errorf("-only nakedgo leaked %s findings", a.Name)
+		}
+	}
+}
+
+// TestUnknownAnalyzer exercises the registry error path.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Run(&stdout, &stderr, []string{"-only", "nosuch"}); code != ExitError {
+		t.Fatalf("exit code %d for unknown analyzer, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("missing error message, got: %s", stderr.String())
+	}
+}
+
+// TestList prints the registry.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Run(&stdout, &stderr, []string{"-list"}); code != ExitClean {
+		t.Fatalf("exit code %d for -list, want %d", code, ExitClean)
+	}
+	for _, a := range All {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s", a.Name)
+		}
+	}
+}

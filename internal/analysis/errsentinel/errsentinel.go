@@ -1,0 +1,133 @@
+// Package errsentinel enforces the module's error contract.
+//
+// Since PR 2 every failure the library reports is classifiable with
+// errors.Is against a udmerr sentinel, and the serving layer maps
+// sentinels to HTTP status codes. Two rules keep that contract
+// machine-checked:
+//
+//  1. In the contract packages (internal/dataset, internal/kde,
+//     internal/core, internal/outlier, internal/stream) every
+//     constructed error must be wrappable: errors.New inside a
+//     function body is forbidden, and fmt.Errorf must carry a %w verb
+//     (wrapping either a udmerr sentinel or an underlying error whose
+//     chain the caller can inspect).
+//  2. Everywhere, matching on error message text — comparing
+//     err.Error() with == or !=, switching on it, or feeding it to
+//     strings.Contains and friends — is forbidden; use errors.Is or
+//     errors.As.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"udm/internal/analysis"
+)
+
+// contractPkgs are the package-path suffixes whose errors must wrap a
+// sentinel (rule 1). Suffix matching lets the testdata fixture module
+// stand in for the real packages.
+var contractPkgs = []string{
+	"internal/dataset",
+	"internal/kde",
+	"internal/core",
+	"internal/outlier",
+	"internal/stream",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "require errors in contract packages to wrap a udmerr sentinel (fmt.Errorf with %w, no bare errors.New), " +
+		"and forbid matching on err.Error() message text anywhere",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	contract := false
+	for _, suffix := range contractPkgs {
+		if analysis.PathHasSuffix(pass.PkgPath, suffix) {
+			contract = true
+			break
+		}
+	}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if contract {
+				checkConstruction(pass, n)
+			}
+			checkStringsMatch(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				if isErrErrorCall(pass.TypesInfo, n.X) || isErrErrorCall(pass.TypesInfo, n.Y) {
+					pass.Reportf(n.Pos(), "comparing err.Error() text: classify errors with errors.Is against a udmerr sentinel")
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isErrErrorCall(pass.TypesInfo, n.Tag) {
+				pass.Reportf(n.Tag.Pos(), "switching on err.Error() text: classify errors with errors.Is against a udmerr sentinel")
+			}
+		}
+	})
+	return nil
+}
+
+// checkConstruction applies rule 1 to one call in a contract package.
+func checkConstruction(pass *analysis.Pass, call *ast.CallExpr) {
+	switch {
+	case analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "New"):
+		pass.Reportf(call.Pos(), "errors.New in a contract package: wrap a udmerr sentinel with fmt.Errorf(\"...: %%w\", udmerr.Err...)")
+	case analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf"):
+		if len(call.Args) == 0 {
+			return
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			pass.Reportf(call.Pos(), "fmt.Errorf with a non-constant format cannot be audited for %%w: use a literal format wrapping a udmerr sentinel")
+			return
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		if !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(), "error does not wrap a sentinel: add \": %%w\" with a udmerr sentinel (or the underlying error) so callers can use errors.Is")
+		}
+	}
+}
+
+// checkStringsMatch applies rule 2 to strings.* helpers.
+func checkStringsMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, name := range []string{"Contains", "HasPrefix", "HasSuffix", "EqualFold"} {
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "strings", name) {
+			for _, arg := range call.Args {
+				if isErrErrorCall(pass.TypesInfo, arg) {
+					pass.Reportf(call.Pos(), "matching err.Error() text with strings.%s: classify errors with errors.Is against a udmerr sentinel", name)
+					return
+				}
+			}
+		}
+	}
+}
+
+// isErrErrorCall reports whether expr is a call of the Error() string
+// method on a value that satisfies the error interface.
+func isErrErrorCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}

@@ -1,0 +1,13 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/errsentinel"
+)
+
+func TestErrsentinel(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", errsentinel.Analyzer,
+		"udmfixture/internal/dataset", "udmfixture/errtext", "udmfixture/internal/udmerr")
+}

@@ -1,0 +1,72 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestPackagesTypeInfo loads two real module packages — one that leans
+// on the standard library (internal/server) and one pure-math one
+// (internal/num) — and checks that full type information came back.
+func TestPackagesTypeInfo(t *testing.T) {
+	pkgs, err := Packages("../../..", "./internal/num", "./internal/server")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]bool{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = true
+		if len(p.Syntax) == 0 {
+			t.Errorf("%s: no files parsed", p.PkgPath)
+		}
+		if p.Types == nil || !p.Types.Complete() {
+			t.Errorf("%s: incomplete type information", p.PkgPath)
+		}
+		if len(p.TypesInfo.Defs) == 0 || len(p.TypesInfo.Uses) == 0 {
+			t.Errorf("%s: empty types.Info", p.PkgPath)
+		}
+	}
+	for _, want := range []string{"udm/internal/num", "udm/internal/server"} {
+		if !byPath[want] {
+			t.Errorf("missing package %s (have %v)", want, byPath)
+		}
+	}
+	// Spot-check that a cross-package reference resolved: internal/num
+	// exports Sum with a float64 result.
+	for _, p := range pkgs {
+		if p.PkgPath != "udm/internal/num" {
+			continue
+		}
+		obj := p.Types.Scope().Lookup("Sum")
+		if obj == nil {
+			t.Fatal("udm/internal/num: Sum not found in package scope")
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			t.Fatalf("udm/internal/num.Sum: unexpected type %v", obj.Type())
+		}
+	}
+}
+
+// TestPackagesDefaultPattern loads ./... relative to the load package's
+// own directory and expects at least this package itself.
+func TestPackagesDefaultPattern(t *testing.T) {
+	pkgs, err := Packages(".")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "udm/internal/analysis/load" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+}
+
+// TestPackagesBadPattern surfaces go list errors instead of silently
+// returning nothing.
+func TestPackagesBadPattern(t *testing.T) {
+	if _, err := Packages("../../..", "./does/not/exist"); err == nil {
+		t.Fatal("want error for nonexistent package pattern")
+	}
+}

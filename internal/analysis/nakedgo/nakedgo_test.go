@@ -1,0 +1,19 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/nakedgo"
+)
+
+func TestNakedgo(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", nakedgo.Analyzer,
+		"udmfixture/nakedgo", "udmfixture/internal/parallel", "udmfixture/cmd/ctxmain")
+}
+
+// TestSuppressions pins the //lint:allow semantics end to end: the
+// fixture has suppressed and unsuppressed violations side by side.
+func TestSuppressions(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", nakedgo.Analyzer, "udmfixture/suppress")
+}

@@ -1,0 +1,87 @@
+// Package rngsource keeps every random draw in the module reproducible.
+//
+// All stochastic behavior is supposed to flow through internal/rng's
+// seeded, splittable Source, so a run is determined entirely by its
+// configured seeds. Two rules enforce that:
+//
+//  1. Only internal/rng may import math/rand (or math/rand/v2). Any
+//     other import site reintroduces the package-global generator and
+//     with it cross-test, cross-goroutine seed coupling.
+//  2. Nothing may seed a generator from the wall clock: time.Now
+//     flowing into rand.New/rand.NewSource, rng.New, or any
+//     Seed-named call makes runs unrepeatable by construction. This
+//     rule applies everywhere, main packages and internal/rng
+//     included — seeds come from configuration or rng.Source.Split.
+package rngsource
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc: "forbid math/rand imports outside internal/rng and any seeding of a generator from time.Now: " +
+		"randomness must flow through seeded rng.Source streams",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	rngPkg := analysis.PathHasSuffix(pass.PkgPath, "internal/rng")
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			if rngPkg {
+				return
+			}
+			path, err := strconv.Unquote(n.Path.Value)
+			if err != nil {
+				return
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(n.Pos(), "import of %s outside internal/rng: draw randomness from a seeded rng.Source", path)
+			}
+		case *ast.CallExpr:
+			if !isSeedingCall(pass, n) {
+				return
+			}
+			for _, arg := range n.Args {
+				ast.Inspect(arg, func(inner ast.Node) bool {
+					call, ok := inner.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+						pass.Reportf(call.Pos(), "seeding a random source from time.Now makes runs unreproducible: take the seed from configuration or derive it with rng.Source.Split")
+						return false
+					}
+					return true
+				})
+			}
+		}
+	})
+	return nil
+}
+
+// isSeedingCall reports whether call constructs or seeds a random
+// source: rand.New / rand.NewSource (math/rand and v2), rng.New
+// (internal/rng), or any callee whose name mentions Seed.
+func isSeedingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+		if analysis.IsPkgFunc(pass.TypesInfo, call, pkg, "New") ||
+			analysis.IsPkgFunc(pass.TypesInfo, call, pkg, "NewSource") ||
+			analysis.IsPkgFunc(pass.TypesInfo, call, pkg, "NewPCG") {
+			return true
+		}
+	}
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "internal/rng", "New") {
+		return true
+	}
+	if obj := analysis.Callee(pass.TypesInfo, call); obj != nil && strings.Contains(obj.Name(), "Seed") {
+		return true
+	}
+	return false
+}

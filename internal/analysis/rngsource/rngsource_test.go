@@ -1,0 +1,13 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/rngsource"
+)
+
+func TestRngsource(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", rngsource.Analyzer,
+		"udmfixture/rngsource", "udmfixture/internal/rng")
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a justified exception stand without
+// weakening the rule for everyone else. The syntax is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the offending line or alone on the line directly
+// above it. The analyzer name may be "all" to silence every analyzer at
+// that site. The reason is mandatory: a suppression with no
+// justification is itself reported as a finding of the pseudo-analyzer
+// "lint", so exceptions stay auditable.
+
+const allowPrefix = "lint:allow"
+
+// suppressKey identifies one suppressed (file, line, analyzer) site.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressSet map[suppressKey]bool
+
+// allows reports whether a diagnostic of the named analyzer at pos is
+// covered by a suppression directive.
+func (s suppressSet) allows(analyzer string, pos token.Position) bool {
+	return s[suppressKey{pos.Filename, pos.Line, analyzer}] ||
+		s[suppressKey{pos.Filename, pos.Line, "all"}]
+}
+
+// suppressions scans the comments of files for //lint:allow directives.
+// It returns the set of suppressed sites and a list of findings for
+// malformed directives (missing analyzer name or missing reason).
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressSet, []Finding) {
+	set := suppressSet{}
+	var bad []Finding
+	for _, file := range files {
+		code := codeLines(fset, file)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				// A trailing directive covers the code on its own line;
+				// a standalone directive covers the line below it.
+				line := pos.Line
+				if !code[line] {
+					line++
+				}
+				set[suppressKey{pos.Filename, line, fields[0]}] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// codeLines reports which lines of file hold non-comment syntax, so a
+// directive can tell whether it trails code or stands alone.
+func codeLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}

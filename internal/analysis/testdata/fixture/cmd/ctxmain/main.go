@@ -1,0 +1,16 @@
+// Command ctxmain pins the entry-point exemptions: main packages may
+// mint root contexts and manage their own goroutines.
+package main
+
+import (
+	"context"
+	"fmt"
+)
+
+func main() {
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	fmt.Println(ctx != nil)
+}

@@ -1,0 +1,75 @@
+// Package ctxflow holds the golden cases for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+
+	"udmfixture/internal/parallel"
+)
+
+// WorkContext is the context-first API every wrapper delegates to.
+func WorkContext(ctx context.Context, n int) float64 {
+	out, _ := parallel.Sum(ctx, n)
+	return out
+}
+
+// Work is the sanctioned compatibility wrapper: no ctx parameter of its
+// own, Background passed directly to the ...Context variant.
+func Work(n int) float64 {
+	return WorkContext(context.Background(), n)
+}
+
+// Defaulted shows the sanctioned nil-guard default.
+func Defaulted(ctx context.Context, n int) float64 {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return WorkContext(ctx, n)
+}
+
+// DefaultedFlipped spells the nil-guard with the operands reversed.
+func DefaultedFlipped(ctx context.Context, n int) float64 {
+	if nil == ctx {
+		ctx = context.Background()
+	}
+	return WorkContext(ctx, n)
+}
+
+// Dropped declares a ctx it never threads anywhere — the PR 2 bug
+// class this analyzer exists for.
+func Dropped(ctx context.Context, n int) int { // want "context parameter ctx is never used"
+	return n * 2
+}
+
+// Ignored opts out explicitly with the blank identifier.
+func Ignored(_ context.Context, n int) int {
+	return n * 3
+}
+
+// Detached mints a root context in the middle of library code.
+func Detached(n int) float64 {
+	ctx := context.Background() // want "context.Background in library code"
+	return WorkContext(ctx, n)
+}
+
+// Todo reaches for context.TODO, which is never sanctioned.
+func Todo(n int) float64 {
+	return WorkContext(context.TODO(), n) // want "context.TODO in library code"
+}
+
+// HasCtxButMints already has a ctx, so the wrapper exemption does not
+// apply: passing Background to the Context variant discards the
+// caller's cancellation.
+func HasCtxButMints(ctx context.Context, n int) float64 {
+	_ = ctx
+	return WorkContext(context.Background(), n) // want "context.Background in library code"
+}
+
+// NotNilGuard defaults the context under the wrong condition, which is
+// not the sanctioned idiom.
+func NotNilGuard(ctx context.Context, n int) float64 {
+	if n > 0 {
+		ctx = context.Background() // want "context.Background in library code"
+	}
+	return WorkContext(ctx, n)
+}

@@ -1,0 +1,89 @@
+// Package detfloat holds the golden cases for the detfloat analyzer:
+// float reductions driven by map iteration order are nondeterministic.
+package detfloat
+
+import "sort"
+
+// SumMap is the canonical violation.
+func SumMap(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "float accumulation in map iteration order"
+	}
+	return s
+}
+
+// SumRebind accumulates through explicit re-assignment.
+func SumRebind(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation in map iteration order"
+	}
+	return total
+}
+
+// ProdMap catches the multiplicative form too.
+func ProdMap(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "float accumulation in map iteration order"
+	}
+	return p
+}
+
+type acc struct{ total float64 }
+
+// FieldSum accumulates into a struct field that outlives the loop.
+func FieldSum(m map[string]float64, a *acc) {
+	for _, v := range m {
+		a.total += v // want "float accumulation in map iteration order"
+	}
+}
+
+// SumSorted is the sanctioned fix: materialize and sort the keys, then
+// reduce over the slice in deterministic order.
+func SumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// IntSum is order-safe: integer addition is associative.
+func IntSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Bucketed writes through a key: each key is visited once, so the
+// result does not depend on iteration order.
+func Bucketed(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// PerIteration keeps its accumulator local to one iteration, which is
+// order-safe.
+func PerIteration(m map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		out[k] = local
+	}
+	return out
+}

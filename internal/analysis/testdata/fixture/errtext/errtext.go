@@ -1,0 +1,41 @@
+// Package errtext holds the golden cases for errsentinel's
+// message-matching rule, which applies outside the contract packages
+// too (this package is free to use errors.New — it is not one of them).
+package errtext
+
+import (
+	"errors"
+	"strings"
+)
+
+var sentinel = errors.New("sentinel")
+
+// Classify exercises every forbidden way of reading error text.
+func Classify(err error) string {
+	if err.Error() == "dimension mismatch" { // want "comparing err.Error"
+		return "dim"
+	}
+	if "untrained model" != err.Error() { // want "comparing err.Error"
+		_ = err
+	}
+	if strings.Contains(err.Error(), "untrained") { // want "strings.Contains"
+		return "untrained"
+	}
+	if strings.HasPrefix(err.Error(), "kde:") { // want "strings.HasPrefix"
+		return "kde"
+	}
+	switch err.Error() { // want "switching on err.Error"
+	case "bad option":
+		return "opt"
+	}
+	if errors.Is(err, sentinel) {
+		return "sentinel"
+	}
+	return "other"
+}
+
+// Render may read the message for display — only matching on it is
+// forbidden.
+func Render(err error) string {
+	return "error: " + err.Error()
+}

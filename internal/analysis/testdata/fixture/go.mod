@@ -1,0 +1,3 @@
+module udmfixture
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package dataset is a fixture stand-in for the real contract package
+// of the same path suffix: every error it constructs must be
+// classifiable with errors.Is, which means wrapping something.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"udmfixture/internal/udmerr"
+)
+
+// Validate exercises the construction rules.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative length") // want "errors.New in a contract package"
+	}
+	if n == 0 {
+		return fmt.Errorf("dataset: empty (%d rows)", n) // want "error does not wrap a sentinel"
+	}
+	if n > 10 {
+		return fmt.Errorf("dataset: %d rows over cap: %w", n, udmerr.ErrBadData)
+	}
+	return nil
+}
+
+// Reparse shows that wrapping an underlying error also satisfies the
+// contract: the chain stays inspectable.
+func Reparse(raw string) error {
+	if raw == "" {
+		return fmt.Errorf("dataset: parse %q: %w", raw, udmerr.ErrBadData)
+	}
+	return nil
+}
+
+// Dynamic formats cannot be audited for %w.
+func Dynamic(format string, n int) error {
+	return fmt.Errorf(format, n) // want "non-constant format"
+}

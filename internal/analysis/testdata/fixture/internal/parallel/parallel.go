@@ -1,0 +1,24 @@
+// Package parallel is a fixture stand-in for the real module's
+// internal/parallel. The analyzers scope their rules by import-path
+// suffix, so this package exercises the "sanctioned concurrency
+// substrate" exemptions without importing across module boundaries.
+package parallel
+
+import "context"
+
+// Sum pretends to fan n items out and reduce them deterministically.
+func Sum(ctx context.Context, n int) (float64, error) {
+	done := make(chan float64, 1)
+	go func() {
+		var s float64
+		for i := 0; i < n; i++ {
+			select {
+			case <-ctx.Done():
+			default:
+				s++
+			}
+		}
+		done <- s
+	}()
+	return <-done, nil
+}

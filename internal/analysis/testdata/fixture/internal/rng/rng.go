@@ -1,0 +1,14 @@
+// Package rng mirrors the real internal/rng: the single sanctioned
+// math/rand import site in the module.
+package rng
+
+import "math/rand"
+
+// Source wraps a seeded generator.
+type Source struct{ r *rand.Rand }
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source { return &Source{r: rand.New(rand.NewSource(seed))} }
+
+// Float64 returns a uniform draw from [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }

@@ -1,0 +1,9 @@
+// Package udmerr mirrors the real sentinel package: the one place
+// sentinels are minted with errors.New (it is not a contract package,
+// so errsentinel leaves it alone).
+package udmerr
+
+import "errors"
+
+// ErrBadData is a fixture sentinel.
+var ErrBadData = errors.New("bad data")

@@ -1,0 +1,20 @@
+// Package nakedgo holds the golden cases for the nakedgo analyzer.
+package nakedgo
+
+// Spawn launches an anonymous goroutine directly.
+func Spawn(n int) int {
+	ch := make(chan int)
+	go func() { ch <- n }() // want "raw go statement in library code"
+	return <-ch
+}
+
+type worker struct{ done chan struct{} }
+
+func (w worker) run() { close(w.done) }
+
+// SpawnMethod launches a method value, which is just as naked.
+func SpawnMethod() {
+	w := worker{done: make(chan struct{})}
+	go w.run() // want "raw go statement in library code"
+	<-w.done
+}

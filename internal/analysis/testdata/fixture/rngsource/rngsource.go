@@ -1,0 +1,40 @@
+// Package rngsource holds the golden cases for the rngsource analyzer.
+package rngsource
+
+import (
+	"math/rand" // want "import of math/rand outside internal/rng"
+	"time"
+
+	"udmfixture/internal/rng"
+)
+
+// Draw seeds the forbidden generator from the wall clock.
+func Draw() float64 {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding a random source from time.Now"
+	return r.Float64()
+}
+
+// DrawSeeded is the sanctioned pattern: an explicit seed into rng.New.
+func DrawSeeded(seed int64) float64 {
+	return rng.New(seed).Float64()
+}
+
+// DrawClock seeds even the sanctioned Source from the clock, which is
+// still unreproducible.
+func DrawClock() float64 {
+	return rng.New(time.Now().UnixNano()).Float64() // want "seeding a random source from time.Now"
+}
+
+// SeedFrom trips the Seed-name heuristic.
+func SeedFrom(nanos int64) *rng.Source { return rng.New(nanos) }
+
+// DrawLocalSeed launders the clock through a local helper.
+func DrawLocalSeed() float64 {
+	return SeedFrom(time.Now().UnixNano()).Float64() // want "seeding a random source from time.Now"
+}
+
+// Timestamp uses time.Now outside any seeding context — wall-clock
+// reads for metrics and latency are fine.
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,26 @@
+// Package suppress pins the //lint:allow directive semantics the
+// udmlint driver honors: a justified exception stands, everything else
+// still fires.
+package suppress
+
+// Spawn has two suppressed goroutines (standalone and trailing
+// directive forms) and one unsuppressed one.
+func Spawn() {
+	done := make(chan struct{})
+	//lint:allow nakedgo one-shot closer bounded by the function lifetime
+	go func() { close(done) }()
+	go func() {}()         //lint:allow nakedgo trailing-form suppression
+	go func() { <-done }() // want "raw go statement in library code"
+}
+
+// Wrong is suppressed for a different analyzer, so nakedgo still fires.
+func Wrong() {
+	//lint:allow rngsource suppression for the wrong analyzer
+	go func() {}() // want "raw go statement in library code"
+}
+
+// All uses the blanket analyzer name.
+func All() {
+	//lint:allow all fixture exercises the blanket form
+	go func() {}()
+}

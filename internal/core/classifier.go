@@ -107,10 +107,10 @@ func NewClassifier(t *Transform, opt ClassifierOptions) (*Classifier, error) {
 func NewClassifierFromSummaries(global *microcluster.Summarizer, class []*microcluster.Summarizer, classCount []int, opt ClassifierOptions) (*Classifier, error) {
 	opt = opt.withDefaults()
 	if len(class) < 2 {
-		return nil, fmt.Errorf("core: %d class summaries, need at least 2", len(class))
+		return nil, fmt.Errorf("core: %d class summaries, need at least 2: %w", len(class), udmerr.ErrUntrained)
 	}
 	if len(classCount) != len(class) {
-		return nil, fmt.Errorf("core: %d class counts for %d classes", len(classCount), len(class))
+		return nil, fmt.Errorf("core: %d class counts for %d classes: %w", len(classCount), len(class), udmerr.ErrDimensionMismatch)
 	}
 	g, err := kde.NewCluster(global, opt.KDE)
 	if err != nil {
@@ -134,7 +134,7 @@ func NewClassifierFromSummaries(global *microcluster.Summarizer, class []*microc
 		c.total += float64(classCount[l])
 	}
 	if c.total <= 0 {
-		return nil, fmt.Errorf("core: class counts sum to %v", c.total)
+		return nil, fmt.Errorf("core: class counts sum to %v: %w", c.total, udmerr.ErrUntrained)
 	}
 	return c, nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"udm/internal/microcluster"
+	"udm/internal/udmerr"
 )
 
 // transformSnapshot is the gob wire form of a Transform. Summarizers
@@ -67,8 +68,8 @@ func LoadTransform(r io.Reader) (*Transform, error) {
 		return nil, fmt.Errorf("core: decoding transform: %w", err)
 	}
 	if snap.Dims < 1 || len(snap.Class) < 2 || len(snap.ClassCount) != len(snap.Class) {
-		return nil, fmt.Errorf("core: corrupt transform snapshot (d=%d, %d classes, %d counts)",
-			snap.Dims, len(snap.Class), len(snap.ClassCount))
+		return nil, fmt.Errorf("core: corrupt transform snapshot (d=%d, %d classes, %d counts): %w",
+			snap.Dims, len(snap.Class), len(snap.ClassCount), udmerr.ErrBadData)
 	}
 	t := &Transform{
 		classCount: snap.ClassCount,
@@ -86,14 +87,14 @@ func LoadTransform(r io.Reader) (*Transform, error) {
 			return nil, fmt.Errorf("core: class %d summary: %w", l, err)
 		}
 		if snap.ClassCount[l] != s.Count() {
-			return nil, fmt.Errorf("core: class %d count %d disagrees with summary count %d",
-				l, snap.ClassCount[l], s.Count())
+			return nil, fmt.Errorf("core: class %d count %d disagrees with summary count %d: %w",
+				l, snap.ClassCount[l], s.Count(), udmerr.ErrBadData)
 		}
 		total += snap.ClassCount[l]
 		t.class = append(t.class, s)
 	}
 	if total != t.global.Count() {
-		return nil, fmt.Errorf("core: class counts sum to %d, global summary holds %d", total, t.global.Count())
+		return nil, fmt.Errorf("core: class counts sum to %d, global summary holds %d: %w", total, t.global.Count(), udmerr.ErrBadData)
 	}
 	return t, nil
 }
@@ -122,7 +123,7 @@ func decodeSummarizer(b []byte, wantDims int) (*microcluster.Summarizer, error) 
 		return nil, err
 	}
 	if s.Dims() != wantDims {
-		return nil, fmt.Errorf("core: summary has %d dims, want %d", s.Dims(), wantDims)
+		return nil, fmt.Errorf("core: summary has %d dims, want %d: %w", s.Dims(), wantDims, udmerr.ErrDimensionMismatch)
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"udm/internal/udmerr"
 )
 
 // Rule is a human-readable classification rule distilled from the
@@ -81,14 +82,14 @@ type RuleOptions struct {
 // returned sorted by accuracy.
 func (c *Classifier) ExtractRules(t *Transform, opt RuleOptions) ([]Rule, error) {
 	if t.Dims() != c.dims || t.NumClasses() != len(c.class) {
-		return nil, fmt.Errorf("core: transform shape %d/%d does not match classifier %d/%d",
-			t.Dims(), t.NumClasses(), c.dims, len(c.class))
+		return nil, fmt.Errorf("core: transform shape %d/%d does not match classifier %d/%d: %w",
+			t.Dims(), t.NumClasses(), c.dims, len(c.class), udmerr.ErrDimensionMismatch)
 	}
 	if opt.WidthFactor == 0 {
 		opt.WidthFactor = 1.5
 	}
 	if opt.WidthFactor <= 0 {
-		return nil, fmt.Errorf("core: width factor %v", opt.WidthFactor)
+		return nil, fmt.Errorf("core: width factor %v: %w", opt.WidthFactor, udmerr.ErrBadOption)
 	}
 	if opt.MinSupport < 1 {
 		opt.MinSupport = 1
@@ -168,17 +169,17 @@ type RuleSet struct {
 // NewRuleSet bundles rules with a fallback class.
 func NewRuleSet(rules []Rule, fallback, numClasses int) (*RuleSet, error) {
 	if numClasses < 2 {
-		return nil, fmt.Errorf("core: rule set over %d classes", numClasses)
+		return nil, fmt.Errorf("core: rule set over %d classes: %w", numClasses, udmerr.ErrBadOption)
 	}
 	if fallback < 0 || fallback >= numClasses {
-		return nil, fmt.Errorf("core: fallback class %d out of range", fallback)
+		return nil, fmt.Errorf("core: fallback class %d out of range: %w", fallback, udmerr.ErrBadOption)
 	}
 	for i, r := range rules {
 		if len(r.Dims) == 0 || len(r.Lo) != len(r.Dims) || len(r.Hi) != len(r.Dims) {
-			return nil, fmt.Errorf("core: malformed rule %d", i)
+			return nil, fmt.Errorf("core: malformed rule %d: %w", i, udmerr.ErrBadData)
 		}
 		if r.Class < 0 || r.Class >= numClasses {
-			return nil, fmt.Errorf("core: rule %d implies out-of-range class %d", i, r.Class)
+			return nil, fmt.Errorf("core: rule %d implies out-of-range class %d: %w", i, r.Class, udmerr.ErrBadData)
 		}
 	}
 	return &RuleSet{Rules: rules, Fallback: fallback, numClass: numClasses}, nil

@@ -83,7 +83,7 @@ func NewTransformContext(ctx context.Context, train *dataset.Dataset, opt Transf
 	}
 	for i := 0; i < train.Len(); i++ {
 		if train.Label(i) == dataset.Unlabeled {
-			return nil, fmt.Errorf("core: row %d is unlabeled", i)
+			return nil, fmt.Errorf("core: row %d is unlabeled: %w", i, udmerr.ErrBadData)
 		}
 	}
 	q := opt.MicroClusters
@@ -125,7 +125,7 @@ func (b *Builder) addAllParallel(ctx context.Context, train *dataset.Dataset, or
 	for _, i := range order {
 		l := train.Labels[i]
 		if l < 0 || l >= len(b.class) {
-			return nil, fmt.Errorf("core: label %d out of range [0,%d)", l, len(b.class))
+			return nil, fmt.Errorf("core: label %d out of range [0,%d): %w", l, len(b.class), udmerr.ErrBadData)
 		}
 		b.classCount[l]++
 	}
@@ -198,7 +198,7 @@ func (b *Builder) Add(x, err []float64, label int) error {
 		return fmt.Errorf("core: record has %d dims, builder has %d: %w", len(x), b.dims, udmerr.ErrDimensionMismatch)
 	}
 	if label < 0 || label >= len(b.class) {
-		return fmt.Errorf("core: label %d out of range [0,%d)", label, len(b.class))
+		return fmt.Errorf("core: label %d out of range [0,%d): %w", label, len(b.class), udmerr.ErrBadData)
 	}
 	if !b.errAdjust {
 		err = nil

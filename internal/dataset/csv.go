@@ -7,6 +7,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"udm/internal/udmerr"
 )
 
 // CSV layout: one column per dimension plus, when the dataset carries
@@ -82,7 +83,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 	}
 	if len(records) == 0 {
-		return nil, fmt.Errorf("dataset: CSV has no header")
+		return nil, fmt.Errorf("dataset: CSV has no header: %w", udmerr.ErrBadData)
 	}
 	header := records[0]
 
@@ -96,10 +97,10 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	seen := map[string]bool{}
 	for j, name := range header {
 		if name == "" || name == errSuffix {
-			return nil, fmt.Errorf("dataset: column %d has an empty name", j)
+			return nil, fmt.Errorf("dataset: column %d has an empty name: %w", j, udmerr.ErrBadData)
 		}
 		if seen[name] {
-			return nil, fmt.Errorf("dataset: duplicate column name %q", name)
+			return nil, fmt.Errorf("dataset: duplicate column name %q: %w", name, udmerr.ErrBadData)
 		}
 		seen[name] = true
 		switch {
@@ -112,11 +113,11 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 	}
 	if len(valueCols) == 0 {
-		return nil, fmt.Errorf("dataset: CSV has no value columns")
+		return nil, fmt.Errorf("dataset: CSV has no value columns: %w", udmerr.ErrBadData)
 	}
 	hasErr := len(errCols) > 0
 	if hasErr && len(errCols) != len(valueCols) {
-		return nil, fmt.Errorf("dataset: %d error columns for %d value columns", len(errCols), len(valueCols))
+		return nil, fmt.Errorf("dataset: %d error columns for %d value columns: %w", len(errCols), len(valueCols), udmerr.ErrBadData)
 	}
 
 	d := &Dataset{}
@@ -127,7 +128,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if hasErr {
 			k, ok := errCols[name]
 			if !ok {
-				return nil, fmt.Errorf("dataset: no error column for %q", name)
+				return nil, fmt.Errorf("dataset: no error column for %q: %w", name, udmerr.ErrBadData)
 			}
 			errIdx[i] = k
 		}
@@ -137,13 +138,13 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	}
 	for rowNum, rec := range records[1:] {
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", rowNum+1, len(rec), len(header))
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d: %w", rowNum+1, len(rec), len(header), udmerr.ErrBadData)
 		}
 		row := make([]float64, len(valueCols))
 		for i, j := range valueCols {
 			row[i], err = strconv.ParseFloat(rec[j], 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum+1, header[j], err)
+				return nil, fmt.Errorf("dataset: row %d column %q: %w: %w", rowNum+1, header[j], err, udmerr.ErrBadData)
 			}
 		}
 		d.X = append(d.X, row)
@@ -152,7 +153,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			for i, j := range errIdx {
 				er[i], err = strconv.ParseFloat(rec[j], 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: row %d column %q: %w", rowNum+1, header[j], err)
+					return nil, fmt.Errorf("dataset: row %d column %q: %w: %w", rowNum+1, header[j], err, udmerr.ErrBadData)
 				}
 			}
 			d.Err = append(d.Err, er)
@@ -160,7 +161,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if labelCol != -1 {
 			l, err := strconv.Atoi(rec[labelCol])
 			if err != nil {
-				return nil, fmt.Errorf("dataset: row %d label: %w", rowNum+1, err)
+				return nil, fmt.Errorf("dataset: row %d label: %w: %w", rowNum+1, err, udmerr.ErrBadData)
 			}
 			d.Labels = append(d.Labels, l)
 		}

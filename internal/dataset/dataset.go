@@ -128,7 +128,7 @@ func (d *Dataset) Validate() error {
 			return fmt.Errorf("dataset: row %d has %d values, want %d: %w", i, len(row), dd, udmerr.ErrDimensionMismatch)
 		}
 		if !num.AllFinite(row) {
-			return fmt.Errorf("dataset: row %d contains NaN or Inf", i)
+			return fmt.Errorf("dataset: row %d contains NaN or Inf: %w", i, udmerr.ErrBadData)
 		}
 		if d.Err != nil {
 			er := d.Err[i]
@@ -137,7 +137,7 @@ func (d *Dataset) Validate() error {
 			}
 			for j, e := range er {
 				if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
-					return fmt.Errorf("dataset: error[%d][%d] = %v is not a valid standard error", i, j, e)
+					return fmt.Errorf("dataset: error[%d][%d] = %v is not a valid standard error: %w", i, j, e, udmerr.ErrBadData)
 				}
 			}
 		}
@@ -145,7 +145,7 @@ func (d *Dataset) Validate() error {
 	k := d.NumClasses()
 	for i, l := range d.Labels {
 		if l != Unlabeled && (l < 0 || l >= k) {
-			return fmt.Errorf("dataset: label[%d] = %d out of range", i, l)
+			return fmt.Errorf("dataset: label[%d] = %d out of range: %w", i, l, udmerr.ErrBadData)
 		}
 	}
 	return nil
@@ -298,7 +298,7 @@ func (d *Dataset) Standardize() (means, stds []float64) {
 // with ceil(trainFrac*N) training rows. trainFrac must be in (0, 1).
 func (d *Dataset) Split(trainFrac float64, r *rng.Source) (train, test *Dataset, err error) {
 	if trainFrac <= 0 || trainFrac >= 1 {
-		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1): %w", trainFrac, udmerr.ErrBadOption)
 	}
 	idx := r.Perm(d.Len())
 	n := int(math.Ceil(trainFrac * float64(d.Len())))
@@ -309,7 +309,7 @@ func (d *Dataset) Split(trainFrac float64, r *rng.Source) (train, test *Dataset,
 // are distributed like a class of their own.
 func (d *Dataset) StratifiedSplit(trainFrac float64, r *rng.Source) (train, test *Dataset, err error) {
 	if trainFrac <= 0 || trainFrac >= 1 {
-		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1): %w", trainFrac, udmerr.ErrBadOption)
 	}
 	groups := map[int][]int{}
 	for i := 0; i < d.Len(); i++ {
@@ -346,7 +346,7 @@ type Fold struct {
 // KFold returns k folds with shuffled rows. k must be in [2, N].
 func (d *Dataset) KFold(k int, r *rng.Source) ([]Fold, error) {
 	if k < 2 || k > d.Len() {
-		return nil, fmt.Errorf("dataset: k=%d folds for %d rows", k, d.Len())
+		return nil, fmt.Errorf("dataset: k=%d folds for %d rows: %w", k, d.Len(), udmerr.ErrBadOption)
 	}
 	idx := r.Perm(d.Len())
 	folds := make([]Fold, k)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"udm/internal/num"
+	"udm/internal/udmerr"
 )
 
 // Concat appends all rows of other to a copy of d. The datasets must
@@ -11,15 +12,15 @@ import (
 // class names are merged by index (d's take precedence).
 func (d *Dataset) Concat(other *Dataset) (*Dataset, error) {
 	if d.Dims() != other.Dims() {
-		return nil, fmt.Errorf("dataset: concat %d-dim with %d-dim", d.Dims(), other.Dims())
+		return nil, fmt.Errorf("dataset: concat %d-dim with %d-dim: %w", d.Dims(), other.Dims(), udmerr.ErrDimensionMismatch)
 	}
 	for j := range d.Names {
 		if d.Names[j] != other.Names[j] {
-			return nil, fmt.Errorf("dataset: concat dimension %d named %q vs %q", j, d.Names[j], other.Names[j])
+			return nil, fmt.Errorf("dataset: concat dimension %d named %q vs %q: %w", j, d.Names[j], other.Names[j], udmerr.ErrDimensionMismatch)
 		}
 	}
 	if d.Len() > 0 && other.Len() > 0 && d.HasErrors() != other.HasErrors() {
-		return nil, fmt.Errorf("dataset: concat mixes error-bearing and error-free data")
+		return nil, fmt.Errorf("dataset: concat mixes error-bearing and error-free data: %w", udmerr.ErrNoErrors)
 	}
 	out := d.Clone()
 	if len(other.ClassNames) > len(out.ClassNames) {
@@ -58,7 +59,7 @@ func (d *Dataset) DropColumns(names ...string) (*Dataset, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("dataset: no column named %q", n)
+			return nil, fmt.Errorf("dataset: no column named %q: %w", n, udmerr.ErrBadOption)
 		}
 		drop[n] = true
 	}
@@ -69,7 +70,7 @@ func (d *Dataset) DropColumns(names ...string) (*Dataset, error) {
 		}
 	}
 	if len(keep) == 0 {
-		return nil, fmt.Errorf("dataset: dropping every column")
+		return nil, fmt.Errorf("dataset: dropping every column: %w", udmerr.ErrBadOption)
 	}
 	return d.Project(keep)
 }
@@ -79,24 +80,24 @@ func (d *Dataset) DropColumns(names ...string) (*Dataset, error) {
 // matrix). Lengths must match the row count.
 func (d *Dataset) AddColumn(name string, values, errs []float64) (*Dataset, error) {
 	if name == "" {
-		return nil, fmt.Errorf("dataset: empty column name")
+		return nil, fmt.Errorf("dataset: empty column name: %w", udmerr.ErrBadOption)
 	}
 	for _, have := range d.Names {
 		if have == name {
-			return nil, fmt.Errorf("dataset: column %q already exists", name)
+			return nil, fmt.Errorf("dataset: column %q already exists: %w", name, udmerr.ErrBadOption)
 		}
 	}
 	if len(values) != d.Len() {
-		return nil, fmt.Errorf("dataset: %d values for %d rows", len(values), d.Len())
+		return nil, fmt.Errorf("dataset: %d values for %d rows: %w", len(values), d.Len(), udmerr.ErrDimensionMismatch)
 	}
 	if d.HasErrors() && errs == nil {
-		return nil, fmt.Errorf("dataset: error-bearing dataset needs errors for the new column")
+		return nil, fmt.Errorf("dataset: error-bearing dataset needs errors for the new column: %w", udmerr.ErrNoErrors)
 	}
 	if !d.HasErrors() && errs != nil && d.Len() > 0 {
-		return nil, fmt.Errorf("dataset: error column added to error-free dataset")
+		return nil, fmt.Errorf("dataset: error column added to error-free dataset: %w", udmerr.ErrNoErrors)
 	}
 	if errs != nil && len(errs) != d.Len() {
-		return nil, fmt.Errorf("dataset: %d errors for %d rows", len(errs), d.Len())
+		return nil, fmt.Errorf("dataset: %d errors for %d rows: %w", len(errs), d.Len(), udmerr.ErrDimensionMismatch)
 	}
 	out := d.Clone()
 	out.Names = append(out.Names, name)
@@ -119,7 +120,7 @@ func (d *Dataset) ColumnIndex(name string) (int, error) {
 			return j, nil
 		}
 	}
-	return 0, fmt.Errorf("dataset: no column named %q", name)
+	return 0, fmt.Errorf("dataset: no column named %q: %w", name, udmerr.ErrBadOption)
 }
 
 // Column returns a copy of one dimension's values.

@@ -133,8 +133,16 @@ func looLogLikelihood1D(x, errs []float64, h float64) float64 {
 // The per-point LOO densities are evaluated in parallel; the total is a
 // compensated sum of the per-point log terms taken in row order
 // (parallel.Sum), so the score is bit-for-bit reproducible regardless
-// of GOMAXPROCS.
+// of GOMAXPROCS. It is CVLogLikelihoodContext under
+// context.Background().
 func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64) (float64, error) {
+	return CVLogLikelihoodContext(context.Background(), ds, errorAdjust, bandwidths)
+}
+
+// CVLogLikelihoodContext is CVLogLikelihood under a caller-supplied
+// context: cancelling ctx aborts per-point evaluations that have not
+// started and returns ctx.Err().
+func CVLogLikelihoodContext(ctx context.Context, ds *dataset.Dataset, errorAdjust bool, bandwidths []float64) (float64, error) {
 	if len(bandwidths) != ds.Dims() {
 		return 0, fmt.Errorf("kde: %d bandwidths for %d dimensions: %w", len(bandwidths), ds.Dims(), udmerr.ErrDimensionMismatch)
 	}
@@ -144,7 +152,7 @@ func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64
 		return 0, err
 	}
 	dims := allDims(ds.Dims())
-	ll, err := parallel.Sum(context.Background(), ds.Len(), 0, func(i int) float64 {
+	ll, err := parallel.Sum(ctx, ds.Len(), 0, func(i int) float64 {
 		if f := est.LeaveOneOutDensity(i, dims); f > 0 {
 			return math.Log(f)
 		}
@@ -154,7 +162,7 @@ func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64
 		return 0, err
 	}
 	if math.IsNaN(ll) {
-		return 0, fmt.Errorf("kde: log-likelihood is NaN")
+		return 0, fmt.Errorf("kde: log-likelihood is NaN: %w", udmerr.ErrBadData)
 	}
 	return ll, nil
 }

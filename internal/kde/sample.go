@@ -6,6 +6,7 @@ import (
 
 	"udm/internal/kernel"
 	"udm/internal/rng"
+	"udm/internal/udmerr"
 )
 
 // Sample draws n points from the estimated density: a data point is
@@ -64,16 +65,16 @@ func (k *ClusterKDE) Sample(n int, r *rng.Source) ([][]float64, error) {
 
 func sampleArgs(opt Options, n int, r *rng.Source) error {
 	if n < 1 {
-		return fmt.Errorf("kde: sampling n=%d points", n)
+		return fmt.Errorf("kde: sampling n=%d points: %w", n, udmerr.ErrBadOption)
 	}
 	if r == nil {
-		return fmt.Errorf("kde: nil random source")
+		return fmt.Errorf("kde: nil random source: %w", udmerr.ErrBadOption)
 	}
 	if opt.Kernel != kernel.Gaussian {
-		return fmt.Errorf("kde: sampling requires the Gaussian kernel, got %v", opt.Kernel)
+		return fmt.Errorf("kde: sampling requires the Gaussian kernel, got %v: %w", opt.Kernel, udmerr.ErrBadOption)
 	}
 	if opt.PaperKernel {
-		return fmt.Errorf("kde: sampling from the unnormalized paper kernel is undefined; use the normalized form")
+		return fmt.Errorf("kde: sampling from the unnormalized paper kernel is undefined; use the normalized form: %w", udmerr.ErrBadOption)
 	}
 	return nil
 }

@@ -54,13 +54,13 @@ type Result struct {
 // density and flags the lowest-density fraction.
 func Detect(ds *dataset.Dataset, opt Options) (*Result, error) {
 	if ds.Len() < 2 {
-		return nil, fmt.Errorf("outlier: need at least 2 records, have %d", ds.Len())
+		return nil, fmt.Errorf("outlier: need at least 2 records, have %d: %w", ds.Len(), udmerr.ErrUntrained)
 	}
 	if opt.Contamination == 0 {
 		opt.Contamination = 0.05
 	}
 	if opt.Contamination < 0 || opt.Contamination >= 1 {
-		return nil, fmt.Errorf("outlier: contamination %v out of (0,1)", opt.Contamination)
+		return nil, fmt.Errorf("outlier: contamination %v out of (0,1): %w", opt.Contamination, udmerr.ErrBadOption)
 	}
 	if opt.UseQueryError && !opt.KDE.ErrorAdjust {
 		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust: %w", udmerr.ErrNoErrors)
@@ -95,7 +95,7 @@ func Detect(ds *dataset.Dataset, opt Options) (*Result, error) {
 // set. Useful for online anomaly detection over a stream transform.
 func DetectStream(s *microcluster.Summarizer, queries, queryErrs [][]float64, opt Options) (*Result, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("outlier: no query points")
+		return nil, fmt.Errorf("outlier: no query points: %w", udmerr.ErrBadData)
 	}
 	if queryErrs != nil && len(queryErrs) != len(queries) {
 		return nil, fmt.Errorf("outlier: %d error rows for %d queries: %w", len(queryErrs), len(queries), udmerr.ErrDimensionMismatch)
@@ -104,7 +104,7 @@ func DetectStream(s *microcluster.Summarizer, queries, queryErrs [][]float64, op
 		opt.Contamination = 0.05
 	}
 	if opt.Contamination < 0 || opt.Contamination >= 1 {
-		return nil, fmt.Errorf("outlier: contamination %v out of (0,1)", opt.Contamination)
+		return nil, fmt.Errorf("outlier: contamination %v out of (0,1): %w", opt.Contamination, udmerr.ErrBadOption)
 	}
 	est, err := kde.NewCluster(s, opt.KDE)
 	if err != nil {
@@ -145,10 +145,10 @@ type Contribution struct {
 // in).
 func Explain(ds *dataset.Dataset, i int, opt Options) ([]Contribution, error) {
 	if i < 0 || i >= ds.Len() {
-		return nil, fmt.Errorf("outlier: record %d out of range [0,%d)", i, ds.Len())
+		return nil, fmt.Errorf("outlier: record %d out of range [0,%d): %w", i, ds.Len(), udmerr.ErrBadOption)
 	}
 	if ds.Len() < 2 {
-		return nil, fmt.Errorf("outlier: need at least 2 records, have %d", ds.Len())
+		return nil, fmt.Errorf("outlier: need at least 2 records, have %d: %w", ds.Len(), udmerr.ErrUntrained)
 	}
 	if opt.UseQueryError && !opt.KDE.ErrorAdjust {
 		return nil, fmt.Errorf("outlier: UseQueryError requires KDE.ErrorAdjust: %w", udmerr.ErrNoErrors)

@@ -18,11 +18,14 @@ import (
 // Cancellation: each submitted item carries its own context. A waiter
 // whose context ends stops waiting immediately (its slot in the batch
 // is still computed — results are positional). The batch's own context
-// is derived from the members': it is canceled as soon as EVERY
-// member's context has ended, so work for a batch whose clients all
-// disconnected is abandoned by the worker pool mid-flight. A batch
-// with at least one live waiter always runs to completion.
+// is derived from the server's base lifecycle context and the
+// members': it is canceled as soon as EVERY member's context has
+// ended, so work for a batch whose clients all disconnected is
+// abandoned by the worker pool mid-flight, and it dies with the server
+// regardless. A batch with at least one live waiter always runs to
+// completion.
 type batcher[Req, Res any] struct {
+	base     context.Context
 	run      func(ctx context.Context, reqs []Req) ([]Res, error)
 	maxBatch int
 	maxDelay time.Duration
@@ -44,12 +47,18 @@ type batchResult[Res any] struct {
 	err error
 }
 
-func newBatcher[Req, Res any](maxBatch int, maxDelay time.Duration, metrics *Metrics,
+// newBatcher builds a coalescer whose batch contexts descend from
+// base, so in-flight batch work is canceled when the owning server's
+// lifecycle ends.
+func newBatcher[Req, Res any](base context.Context, maxBatch int, maxDelay time.Duration, metrics *Metrics,
 	run func(ctx context.Context, reqs []Req) ([]Res, error)) *batcher[Req, Res] {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	return &batcher[Req, Res]{run: run, maxBatch: maxBatch, maxDelay: maxDelay, metrics: metrics}
+	if base == nil {
+		base = context.Background()
+	}
+	return &batcher[Req, Res]{base: base, run: run, maxBatch: maxBatch, maxDelay: maxDelay, metrics: metrics}
 }
 
 // do submits one item and blocks until its result is ready or ctx
@@ -112,8 +121,11 @@ func (b *batcher[Req, Res]) flush(batch []batchWaiter[Req, Res]) {
 		b.metrics.BatchedItems.Add(int64(len(batch)))
 	}
 	// Derive the batch context: canceled once every member's context is
-	// done, so fully-abandoned work stops burning the pool.
-	ctx, cancel := context.WithCancel(context.Background())
+	// done, so fully-abandoned work stops burning the pool. It descends
+	// from the batcher's base (the server lifecycle), never from any one
+	// member — a batch with live waiters must survive other members'
+	// cancellations.
+	ctx, cancel := context.WithCancel(b.base)
 	var live atomic.Int64
 	live.Store(int64(len(batch)))
 	stops := make([]func() bool, len(batch))

@@ -14,7 +14,7 @@ import (
 func TestBatcherCoalesces(t *testing.T) {
 	var calls int
 	var mu sync.Mutex
-	b := newBatcher(64, 50*time.Millisecond, nil,
+	b := newBatcher(context.Background(), 64, 50*time.Millisecond, nil,
 		func(_ context.Context, reqs []int) ([]string, error) {
 			mu.Lock()
 			calls++
@@ -57,7 +57,7 @@ func TestBatcherCoalesces(t *testing.T) {
 // TestBatcherFlushesAtMaxBatch checks the size trigger fires before the
 // delay timer.
 func TestBatcherFlushesAtMaxBatch(t *testing.T) {
-	b := newBatcher(4, time.Hour, nil,
+	b := newBatcher(context.Background(), 4, time.Hour, nil,
 		func(_ context.Context, reqs []int) ([]int, error) { return reqs, nil })
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -80,7 +80,7 @@ func TestBatcherFlushesAtMaxBatch(t *testing.T) {
 // the batch error.
 func TestBatcherErrorFansOut(t *testing.T) {
 	boom := errors.New("boom")
-	b := newBatcher(8, 10*time.Millisecond, nil,
+	b := newBatcher(context.Background(), 8, 10*time.Millisecond, nil,
 		func(_ context.Context, reqs []int) ([]int, error) { return nil, boom })
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
@@ -101,7 +101,7 @@ func TestBatcherErrorFansOut(t *testing.T) {
 // worker-pool computation stops.
 func TestBatcherCancellationPropagates(t *testing.T) {
 	runCanceled := make(chan struct{})
-	b := newBatcher(64, time.Millisecond, nil,
+	b := newBatcher(context.Background(), 64, time.Millisecond, nil,
 		func(ctx context.Context, reqs []int) ([]int, error) {
 			select {
 			case <-ctx.Done():
@@ -140,7 +140,7 @@ func TestBatcherCancellationPropagates(t *testing.T) {
 // batch with one live waiter runs to completion even when another
 // member disconnects.
 func TestBatcherSurvivingWaiterKeepsBatchAlive(t *testing.T) {
-	b := newBatcher(2, time.Hour, nil,
+	b := newBatcher(context.Background(), 2, time.Hour, nil,
 		func(ctx context.Context, reqs []int) ([]int, error) {
 			select {
 			case <-ctx.Done():

@@ -85,8 +85,22 @@ type modelBatchers struct {
 }
 
 // New builds a server over a fully-populated registry. The registry
-// must not be mutated afterwards.
+// must not be mutated afterwards. Batch work is unbounded by any
+// caller lifecycle; use NewContext to tie in-flight batches to a
+// lifetime.
 func New(reg *Registry, opt Options) *Server {
+	return NewContext(context.Background(), reg, opt)
+}
+
+// NewContext is New with an explicit lifecycle context: every
+// micro-batched library call descends from ctx, so canceling it
+// abandons in-flight batch work (individual waiters still observe
+// their own request contexts first). A nil ctx means an unbounded
+// lifetime.
+func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults()
 	s := &Server{
 		reg:      reg,
@@ -101,13 +115,13 @@ func New(reg *Registry, opt Options) *Server {
 		mb := &modelBatchers{}
 		if m.Classifier() != nil {
 			clf := m.Classifier()
-			mb.classify = newBatcher(opt.MaxBatch, opt.BatchDelay, s.metrics,
+			mb.classify = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
 				func(ctx context.Context, reqs [][]float64) ([]int, error) {
 					return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
 				})
 		}
 		model := m
-		mb.density = newBatcher(opt.MaxBatch, opt.BatchDelay, s.metrics,
+		mb.density = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
 			func(ctx context.Context, reqs [][]float64) ([]float64, error) {
 				est, _, err := model.estimator()
 				if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"udm/internal/microcluster"
 	"udm/internal/num"
+	"udm/internal/udmerr"
 )
 
 // Drift1D returns the total-variation distance (in [0, 1]) between the
@@ -55,7 +56,7 @@ func Drift1D(a, b []*microcluster.Feature, dim, gridN int) (float64, error) {
 // summaries plus the index of the most-drifted dimension.
 func Drift(a, b []*microcluster.Feature, gridN int) (scores []float64, worst int, err error) {
 	if len(a) == 0 || len(b) == 0 {
-		return nil, 0, fmt.Errorf("stream: empty window summaries")
+		return nil, 0, fmt.Errorf("stream: empty window summaries: %w", udmerr.ErrUntrained)
 	}
 	d := a[0].Dims()
 	scores = make([]float64, d)
@@ -80,13 +81,13 @@ func newMixture1D(feats []*microcluster.Feature, dim int) (*mixture1D, error) {
 	m := &mixture1D{lo: math.Inf(1), hi: math.Inf(-1)}
 	for _, f := range feats {
 		if f == nil {
-			return nil, fmt.Errorf("nil feature")
+			return nil, fmt.Errorf("stream: nil feature: %w", udmerr.ErrBadData)
 		}
 		if f.N == 0 {
 			continue
 		}
 		if dim < 0 || dim >= f.Dims() {
-			return nil, fmt.Errorf("dimension %d out of range [0,%d)", dim, f.Dims())
+			return nil, fmt.Errorf("stream: dimension %d out of range [0,%d): %w", dim, f.Dims(), udmerr.ErrDimensionMismatch)
 		}
 		mean := f.CF1[dim] / float64(f.N)
 		sigma := math.Sqrt(f.Delta2(dim))
@@ -101,7 +102,7 @@ func newMixture1D(feats []*microcluster.Feature, dim int) (*mixture1D, error) {
 		m.hi = math.Max(m.hi, mean+5*sigma)
 	}
 	if m.total == 0 {
-		return nil, fmt.Errorf("window holds no records")
+		return nil, fmt.Errorf("stream: window holds no records: %w", udmerr.ErrUntrained)
 	}
 	return m, nil
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"udm/internal/microcluster"
+	"udm/internal/udmerr"
 )
 
 // Snapshot is the full micro-cluster state at one instant.
@@ -60,22 +61,22 @@ type Engine struct {
 // NewEngine returns an Engine with the given options.
 func NewEngine(opt Options) (*Engine, error) {
 	if opt.MicroClusters < 1 {
-		return nil, fmt.Errorf("stream: %d micro-clusters", opt.MicroClusters)
+		return nil, fmt.Errorf("stream: %d micro-clusters: %w", opt.MicroClusters, udmerr.ErrBadOption)
 	}
 	if opt.Dims < 1 {
-		return nil, fmt.Errorf("stream: %d dims", opt.Dims)
+		return nil, fmt.Errorf("stream: %d dims: %w", opt.Dims, udmerr.ErrBadOption)
 	}
 	if opt.SnapshotEvery == 0 {
 		opt.SnapshotEvery = 1000
 	}
 	if opt.SnapshotEvery < 1 {
-		return nil, fmt.Errorf("stream: snapshot cadence %d", opt.SnapshotEvery)
+		return nil, fmt.Errorf("stream: snapshot cadence %d: %w", opt.SnapshotEvery, udmerr.ErrBadOption)
 	}
 	if opt.MaxSnapshots == 0 {
 		opt.MaxSnapshots = 64
 	}
 	if opt.MaxSnapshots < 2 {
-		return nil, fmt.Errorf("stream: MaxSnapshots %d, need ≥ 2", opt.MaxSnapshots)
+		return nil, fmt.Errorf("stream: MaxSnapshots %d, need ≥ 2: %w", opt.MaxSnapshots, udmerr.ErrBadOption)
 	}
 	return &Engine{
 		s:       microcluster.NewSummarizer(opt.MicroClusters, opt.Dims),
@@ -146,7 +147,7 @@ func (e *Engine) Summarizer() (*microcluster.Summarizer, error) {
 // from < 0, which is accepted and uses an empty baseline.
 func (e *Engine) Window(from, to int64) ([]*microcluster.Feature, error) {
 	if to <= from {
-		return nil, fmt.Errorf("stream: window (%d, %d] is empty", from, to)
+		return nil, fmt.Errorf("stream: window (%d, %d] is empty: %w", from, to, udmerr.ErrBadOption)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -192,7 +193,7 @@ func (e *Engine) EqualWindows(k int) ([][]*microcluster.Feature, error) {
 	last := e.lastTS
 	e.mu.Unlock()
 	if k < 1 || k > n {
-		return nil, fmt.Errorf("stream: %d windows for %d records", k, n)
+		return nil, fmt.Errorf("stream: %d windows for %d records: %w", k, n, udmerr.ErrBadOption)
 	}
 	out := make([][]*microcluster.Feature, k)
 	var from int64 = -1
@@ -265,8 +266,8 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("stream: decoding engine: %w", err)
 	}
 	if snap.Every < 1 || snap.MaxKeep < 2 || snap.N < 0 {
-		return nil, fmt.Errorf("stream: corrupt engine checkpoint (every=%d, keep=%d, n=%d)",
-			snap.Every, snap.MaxKeep, snap.N)
+		return nil, fmt.Errorf("stream: corrupt engine checkpoint (every=%d, keep=%d, n=%d): %w",
+			snap.Every, snap.MaxKeep, snap.N, udmerr.ErrBadData)
 	}
 	s, err := microcluster.Load(bytes.NewReader(snap.Summarizer))
 	if err != nil {
@@ -283,14 +284,14 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	for i, wire := range snap.Snaps {
 		restored := Snapshot{At: wire.At, Count: wire.Count}
 		if i > 0 && wire.At <= prevAt {
-			return nil, fmt.Errorf("stream: checkpoint snapshots out of order at %d", i)
+			return nil, fmt.Errorf("stream: checkpoint snapshots out of order at %d: %w", i, udmerr.ErrBadData)
 		}
 		prevAt = wire.At
 		for j := range wire.Feats {
 			f := wire.Feats[j].Clone()
 			if f.Dims() != s.Dims() {
-				return nil, fmt.Errorf("stream: snapshot %d feature %d has %d dims, want %d",
-					i, j, f.Dims(), s.Dims())
+				return nil, fmt.Errorf("stream: snapshot %d feature %d has %d dims, want %d: %w",
+					i, j, f.Dims(), s.Dims(), udmerr.ErrDimensionMismatch)
 			}
 			restored.Feats = append(restored.Feats, f)
 		}
@@ -308,7 +309,7 @@ func (e *Engine) stateAtLocked(ts int64) ([]*microcluster.Feature, error) {
 	// snaps are ordered by At; find the last one ≤ ts.
 	i := sort.Search(len(e.snaps), func(i int) bool { return e.snaps[i].At > ts })
 	if i == 0 {
-		return nil, fmt.Errorf("stream: no snapshot at or before t=%d (oldest retained: %d)", ts, e.oldestAt())
+		return nil, fmt.Errorf("stream: no snapshot at or before t=%d (oldest retained: %d): %w", ts, e.oldestAt(), udmerr.ErrBadOption)
 	}
 	return e.snaps[i-1].Feats, nil
 }

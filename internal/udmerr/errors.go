@@ -22,6 +22,10 @@
 //     (non-positive cluster counts, error adjustment with a
 //     non-Gaussian kernel, non-positive explicit bandwidths). Fix the
 //     configuration.
+//   - ErrBadData: the content of the supplied data is malformed even
+//     though its shape may be right (NaN/Inf values, invalid standard
+//     errors, out-of-range labels, malformed CSV, corrupt snapshot or
+//     checkpoint artifacts). Fix or regenerate the data.
 //
 // The package sits below every other internal package so any layer can
 // wrap the sentinels without import cycles.
@@ -46,4 +50,10 @@ var (
 	// ErrBadOption reports an option value outside its documented
 	// domain.
 	ErrBadOption = errors.New("bad option")
+
+	// ErrBadData reports supplied data whose content (not shape) is
+	// malformed: NaN or Inf values, invalid standard errors,
+	// out-of-range labels, unparseable or inconsistent CSV, or a
+	// corrupt model/checkpoint artifact. Fix or regenerate the data.
+	ErrBadData = errors.New("bad data")
 )

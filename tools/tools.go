@@ -1,0 +1,20 @@
+// Package tools pins the versions of the external lint tools the
+// project runs in CI, tools.go-style.
+//
+// The classic pattern blank-imports each tool under a build tag so
+// go.mod records its version. This module deliberately has zero
+// third-party dependencies (the library builds offline from a bare
+// toolchain), so the pins live here as constants instead: the Makefile
+// declares the same versions for `make tools`, the CI lint job
+// installs through the Makefile, and tools_test.go fails the build if
+// either ever drifts from this file. Bump a version here first, then
+// mirror it in the Makefile.
+package tools
+
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2025.1"
+
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.4"
+)

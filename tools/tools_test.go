@@ -1,0 +1,46 @@
+package tools
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestMakefileAgreesWithPins fails when the Makefile's tool-version
+// variables drift from the constants in this package, which are the
+// source of truth.
+func TestMakefileAgreesWithPins(t *testing.T) {
+	data, err := os.ReadFile("../Makefile")
+	if err != nil {
+		t.Fatalf("reading Makefile: %v", err)
+	}
+	for name, want := range map[string]string{
+		"STATICCHECK_VERSION": StaticcheckVersion,
+		"GOVULNCHECK_VERSION": GovulncheckVersion,
+	} {
+		re := regexp.MustCompile(`(?m)^` + name + `\s*\?=\s*(\S+)\s*$`)
+		m := re.FindSubmatch(data)
+		if m == nil {
+			t.Errorf("Makefile does not declare %s", name)
+			continue
+		}
+		if got := string(m[1]); got != want {
+			t.Errorf("Makefile pins %s=%s, tools.go pins %s", name, got, want)
+		}
+	}
+}
+
+// TestCIInstallsThroughMakefile keeps the CI lint job honest: it must
+// install tools via `make tools` (which uses the pinned versions)
+// rather than ad-hoc `go install` lines that could drift.
+func TestCIInstallsThroughMakefile(t *testing.T) {
+	data, err := os.ReadFile("../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading ci.yml: %v", err)
+	}
+	for _, want := range []string{"make tools", "make lint"} {
+		if !regexp.MustCompile(`(?m)run:\s*` + want + `\s*$`).Match(data) {
+			t.Errorf("ci.yml lint job does not run %q", want)
+		}
+	}
+}

@@ -33,7 +33,7 @@
 //
 // # Error contract
 //
-// Failures that a caller can act on wrap one of four package-level
+// Failures that a caller can act on wrap one of five package-level
 // sentinels, so classification is errors.Is, never string matching:
 //
 //   - ErrDimensionMismatch — input shape disagrees with the model or
@@ -49,6 +49,10 @@
 //     (non-positive cluster counts, error adjustment with a
 //     non-Gaussian kernel, non-positive explicit bandwidths). Fix the
 //     configuration.
+//   - ErrBadData — the content of the supplied data is malformed even
+//     though its shape may be right (NaN/Inf values, invalid standard
+//     errors, out-of-range labels, malformed CSV, corrupt snapshots).
+//     Fix or regenerate the data.
 //
 // # Context-first batch APIs
 //
@@ -101,6 +105,10 @@ var (
 	// ErrBadOption reports an option value outside its documented
 	// domain.
 	ErrBadOption = udmerr.ErrBadOption
+	// ErrBadData reports supplied data whose content is malformed:
+	// NaN/Inf values, invalid standard errors, out-of-range labels,
+	// malformed CSV, or a corrupt model/checkpoint artifact.
+	ErrBadData = udmerr.ErrBadData
 )
 
 // Data model.
@@ -228,6 +236,7 @@ type BatchOptions struct {
 
 func (o BatchOptions) ctx() context.Context {
 	if o.Ctx == nil {
+		//lint:allow ctxflow nil BatchOptions.Ctx means Background by documented contract
 		return context.Background()
 	}
 	return o.Ctx
