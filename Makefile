@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke serve-smoke bench ci
+.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke serve-smoke bench bench-snapshot ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -78,6 +78,10 @@ serve-smoke:
 ## bench: the real benchmark suite (slow; use for EXPERIMENTS.md numbers)
 bench:
 	$(GO) test -bench=. -benchtime=2s -run='^$$' .
+
+## bench-snapshot: observability overhead on the hot batch path (gates at 5%)
+bench-snapshot:
+	bash scripts/bench_snapshot.sh
 
 ## ci: the full pipeline, serially
 ci: check lint race bench-smoke fuzz-smoke serve-smoke

@@ -15,8 +15,11 @@
 // back to their source path on shutdown unless -no-checkpoint is set.
 //
 // Endpoints: GET /healthz /readyz /metrics /v1/models and POST
-// /v1/models/{name}/{classify,density,outliers,ingest}. See the
-// "Serving" section of README.md for request shapes.
+// /v1/models/{name}/{classify,density,outliers,ingest}. /metrics
+// serves the legacy JSON document by default and the Prometheus text
+// exposition with ?format=prometheus. With -debug, GET /debug/pprof/*,
+// /debug/traces and /debug/slow are also served. See the "Serving" and
+// "Observability" sections of README.md for request shapes.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"udm/internal/core"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
+	"udm/internal/obs"
 	"udm/internal/server"
 	"udm/internal/stream"
 )
@@ -91,6 +95,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "worker pool size for batched evaluation (0 = all cores)")
 		noCheckpoint = flag.Bool("no-checkpoint", false, "do not checkpoint stream models on shutdown")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		debug        = flag.Bool("debug", false, "expose /debug/pprof, /debug/traces and /debug/slow plus runtime gauges (unauthenticated)")
+		slowRequest  = flag.Duration("slow", 0, "log requests slower than this and keep them in /debug/slow (0 = default 1s; -1ns disables)")
+		sample       = flag.Duration("sample", 0, "runtime sampler interval for the sampled gauges (0 = default 10s; needs -debug)")
 	)
 	flag.Parse()
 	if len(models) == 0 {
@@ -121,7 +128,13 @@ func main() {
 		CacheSize:      *cacheSize,
 		CacheQuantum:   *cacheQuantum,
 		Workers:        *workers,
+		Debug:          *debug,
+		SlowRequest:    *slowRequest,
 	})
+	if *debug {
+		stopSampler := obs.StartSampler(srv.Metrics().Registry(), *sample)
+		defer stopSampler()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -7,6 +7,7 @@
 //
 //	udmstream -in readings.csv -q 200 -windows 4
 //	udmstream -in readings.csv -score suspects.csv -contamination 0.02
+//	udmstream -in readings.csv -stats   # dump telemetry on exit
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"udm/internal/dataset"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
+	"udm/internal/obs"
 	"udm/internal/outlier"
 	"udm/internal/stream"
 )
@@ -31,11 +33,23 @@ func main() {
 		contamination = flag.Float64("contamination", 0, "flagged fraction for -score (0 = default 0.05)")
 		showDrift     = flag.Bool("drift", false, "report per-dimension drift between consecutive windows")
 		checkpoint    = flag.String("checkpoint", "", "write an engine checkpoint (resumable with stream.LoadEngine) to this file")
+		stats         = flag.Bool("stats", false, "dump process telemetry (Prometheus text format) to stderr on exit")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *stats {
+		// Ingest counters, snapshot counts, drift evaluations and
+		// checkpoint timings accumulate on the default registry as the
+		// replay runs; dump them on the way out.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nudmstream: telemetry")
+			if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "udmstream:", err)
+			}
+		}()
 	}
 	ds, err := dataset.LoadCSV(*in)
 	if err != nil {

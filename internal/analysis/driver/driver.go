@@ -18,6 +18,7 @@ import (
 	"udm/internal/analysis/load"
 	"udm/internal/analysis/nakedgo"
 	"udm/internal/analysis/rngsource"
+	"udm/internal/analysis/spanend"
 )
 
 // All is the registry of project analyzers, in the order they are
@@ -28,6 +29,7 @@ var All = []*analysis.Analyzer{
 	errsentinel.Analyzer,
 	nakedgo.Analyzer,
 	rngsource.Analyzer,
+	spanend.Analyzer,
 }
 
 // Exit codes, mirroring the usual linter convention.

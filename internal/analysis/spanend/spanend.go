@@ -1,0 +1,101 @@
+// Package spanend enforces the span-hygiene idiom for internal/obs
+// trace spans: every obs.StartSpan call must bind its span and be
+// followed immediately by a deferred End,
+//
+//	ctx, sp := obs.StartSpan(ctx, "pkg.Operation")
+//	defer sp.End()
+//
+// so the span is closed on every return path, including panics. A span
+// ended manually at the bottom of a function leaks on early returns —
+// the trace ring then never sees the root publish and its descendants
+// are orphaned — so the analyzer does not try to prove End-on-all-paths
+// by flow analysis; it requires the one shape that makes leaks
+// impossible. Unlike most checks here it applies to main packages too:
+// a leaked span misattributes traces no matter who started it.
+package spanend
+
+import (
+	"go/ast"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "require `ctx, sp := obs.StartSpan(...)` to be followed immediately by `defer sp.End()` " +
+		"so spans are ended on every return path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !analysis.IsPkgFunc(pass.TypesInfo, call, "internal/obs", "StartSpan") {
+			return
+		}
+		sp := boundSpan(pass, call)
+		if sp == nil {
+			pass.Reportf(call.Pos(), "obs.StartSpan result must be bound: ctx, sp := obs.StartSpan(...)")
+			return
+		}
+		if !deferredEndFollows(pass, sp) {
+			pass.Reportf(call.Pos(), "span %s must be ended by `defer %s.End()` immediately after obs.StartSpan", sp.Name, sp.Name)
+		}
+	})
+	return nil
+}
+
+// boundSpan returns the identifier the span is assigned to when the
+// call is the sole RHS of a two-value assignment with a named span
+// variable, else nil.
+func boundSpan(pass *analysis.Pass, call *ast.CallExpr) *ast.Ident {
+	asg, ok := pass.ParentOf(call).(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 || asg.Rhs[0] != call || len(asg.Lhs) != 2 {
+		return nil
+	}
+	id, ok := asg.Lhs[1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// deferredEndFollows reports whether the statement immediately after
+// the span's assignment, in the same statement list, is
+// `defer <span>.End()`.
+func deferredEndFollows(pass *analysis.Pass, sp *ast.Ident) bool {
+	asg := pass.ParentOf(sp)
+	next := nextStmt(pass, asg.(*ast.AssignStmt))
+	def, ok := next.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	return ok && recv.Name == sp.Name
+}
+
+// nextStmt returns the statement following stmt in its enclosing
+// statement list (block, case clause, or select clause), or nil.
+func nextStmt(pass *analysis.Pass, stmt ast.Stmt) ast.Stmt {
+	var list []ast.Stmt
+	switch parent := pass.ParentOf(stmt).(type) {
+	case *ast.BlockStmt:
+		list = parent.List
+	case *ast.CaseClause:
+		list = parent.Body
+	case *ast.CommClause:
+		list = parent.Body
+	default:
+		return nil
+	}
+	for i, s := range list {
+		if s == stmt && i+1 < len(list) {
+			return list[i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", spanend.Analyzer, "udmfixture/spanend")
+}

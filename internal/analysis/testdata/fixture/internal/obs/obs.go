@@ -1,0 +1,17 @@
+// Package obs is a stub of the real module's internal/obs with just
+// enough surface for the spanend fixture: StartSpan and a Span with
+// End and Attr. The spanend analyzer matches by package-path suffix,
+// so udmfixture/internal/obs stands in for udm/internal/obs.
+package obs
+
+import "context"
+
+type Span struct{}
+
+func (s *Span) End() {}
+
+func (s *Span) Attr(key string, value any) *Span { return s }
+
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

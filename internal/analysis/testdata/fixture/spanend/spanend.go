@@ -1,0 +1,73 @@
+// Package spanend holds the golden cases for the spanend analyzer.
+package spanend
+
+import (
+	"context"
+
+	"udmfixture/internal/obs"
+)
+
+// Good is the required idiom: bind both results, defer End immediately.
+func Good(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "fixture.Good")
+	defer sp.End()
+	sp.Attr("k", 1)
+	_ = ctx
+}
+
+// GoodInCase shows the idiom inside a switch case body.
+func GoodInCase(ctx context.Context, mode int) {
+	switch mode {
+	case 1:
+		ctx, sp := obs.StartSpan(ctx, "fixture.Case")
+		defer sp.End()
+		_ = ctx
+	}
+}
+
+// DroppedSpan discards the span, so nothing can ever End it.
+func DroppedSpan(ctx context.Context) context.Context {
+	ctx, _ = obs.StartSpan(ctx, "fixture.Dropped") // want "result must be bound"
+	return ctx
+}
+
+// ExpressionUse never binds the span at all.
+func ExpressionUse(ctx context.Context) {
+	handle(obs.StartSpan(ctx, "fixture.Expr")) // want "result must be bound"
+}
+
+func handle(ctx context.Context, sp *obs.Span) { sp.End() }
+
+// LateEnd separates the defer from the start: the statement in between
+// can return or panic with the span still open.
+func LateEnd(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "fixture.Late") // want "must be ended by `defer sp.End\\(\\)` immediately"
+	_ = ctx
+	defer sp.End()
+}
+
+// ManualEnd ends the span without defer: every early return leaks it.
+func ManualEnd(ctx context.Context, fail bool) error {
+	ctx, sp := obs.StartSpan(ctx, "fixture.Manual") // want "must be ended by `defer sp.End\\(\\)` immediately"
+	_ = ctx
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// WrongSpan defers End on a different span than the one just started.
+func WrongSpan(ctx context.Context) {
+	_, outer := obs.StartSpan(ctx, "fixture.Outer")
+	defer outer.End()
+	_, inner := obs.StartSpan(ctx, "fixture.Inner") // want "must be ended by `defer inner.End\\(\\)` immediately"
+	defer outer.End()
+	_ = inner
+}
+
+var errFail = errorString("fail")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

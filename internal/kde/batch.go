@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"udm/internal/kernel"
+	"udm/internal/obs"
 	"udm/internal/parallel"
 	"udm/internal/udmerr"
 )
@@ -30,10 +31,18 @@ type QEstimator interface {
 // Unlike the per-query methods, malformed input surfaces as an error,
 // not a panic: rows and dims are validated up front.
 func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int, workers int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.DensityBatch")
+	defer sp.End()
+	densityBatches.Inc()
+	kernelEvals.Add(int64(len(X)) * int64(est.Count()))
 	dims, err := batchDims(est, X, dims)
 	if err != nil {
 		return nil, err
 	}
+	sp.Attr("points", len(X)).Attr("dims", len(dims))
 	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
 		return est.DensitySub(X[i], dims), nil
 	})
@@ -45,10 +54,18 @@ func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int,
 // DensityBatch) and individual Qerr rows may be nil (that query is
 // certain). Results are bit-for-bit identical for every worker count.
 func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.DensityQBatch")
+	defer sp.End()
+	densityQBatches.Inc()
+	kernelEvals.Add(int64(len(X)) * int64(est.Count()))
 	dims, err := batchDims(est, X, dims)
 	if err != nil {
 		return nil, err
 	}
+	sp.Attr("points", len(X)).Attr("dims", len(dims))
 	if Qerr != nil && len(Qerr) != len(X) {
 		return nil, fmt.Errorf("kde: %d query-error rows for %d queries: %w", len(Qerr), len(X), udmerr.ErrDimensionMismatch)
 	}
@@ -153,6 +170,14 @@ func (k *ClusterKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int)
 // loop of outlier detection and likelihood cross-validation. Results
 // are bit-for-bit identical to the serial loop for every worker count.
 func (k *PointKDE) LeaveOneOutBatchContext(ctx context.Context, dims []int, workers int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.LeaveOneOutBatch")
+	defer sp.End()
+	sp.Attr("points", len(k.x))
+	looBatches.Inc()
+	kernelEvals.Add(int64(len(k.x)) * int64(len(k.x)-1))
 	if dims == nil {
 		dims = allDims(len(k.h))
 	} else {

@@ -7,6 +7,7 @@ import (
 
 	"udm/internal/dataset"
 	"udm/internal/kernel"
+	"udm/internal/obs"
 	"udm/internal/parallel"
 	"udm/internal/udmerr"
 )
@@ -48,6 +49,11 @@ func CVBandwidthsWorkers(ds *dataset.Dataset, errorAdjust bool, grid []float64, 
 // context: cancelling ctx aborts grid cells that have not started and
 // returns ctx.Err().
 func CVBandwidthsContext(ctx context.Context, ds *dataset.Dataset, errorAdjust bool, grid []float64, workers int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.CVBandwidths")
+	defer sp.End()
 	if ds.Len() < 3 {
 		return nil, fmt.Errorf("kde: CV bandwidth selection needs ≥ 3 rows, have %d: %w", ds.Len(), udmerr.ErrUntrained)
 	}
@@ -79,6 +85,9 @@ func CVBandwidthsContext(ctx context.Context, ds *dataset.Dataset, errorAdjust b
 		base[j] = rule.FromValues(col, d)
 	}
 	// One task per (dimension, multiplier) grid cell.
+	sp.Attr("rows", ds.Len()).Attr("cells", d*len(grid))
+	cvCells.Add(int64(d * len(grid)))
+	kernelEvals.Add(int64(d*len(grid)) * int64(ds.Len()) * int64(ds.Len()-1))
 	lls, err := parallel.Map(ctx, d*len(grid), workers, func(t int) (float64, error) {
 		j, m := t/len(grid), t%len(grid)
 		return looLogLikelihood1D(cols[j], errCols[j], grid[m]*base[j]), nil
@@ -143,6 +152,13 @@ func CVLogLikelihood(ds *dataset.Dataset, errorAdjust bool, bandwidths []float64
 // context: cancelling ctx aborts per-point evaluations that have not
 // started and returns ctx.Err().
 func CVLogLikelihoodContext(ctx context.Context, ds *dataset.Dataset, errorAdjust bool, bandwidths []float64) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.CVLogLikelihood")
+	defer sp.End()
+	sp.Attr("rows", ds.Len())
+	cvScores.Inc()
 	if len(bandwidths) != ds.Dims() {
 		return 0, fmt.Errorf("kde: %d bandwidths for %d dimensions: %w", len(bandwidths), ds.Dims(), udmerr.ErrDimensionMismatch)
 	}

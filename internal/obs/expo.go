@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4): one `# HELP` and `# TYPE`
+// header per metric name, then one sample line per series (histograms
+// expand into cumulative `_bucket{le=...}` lines plus `_sum` and
+// `_count`). Series are rendered in sorted name-then-label order, so
+// output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, e := range r.sorted() {
+		if e.name != lastName {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.kind); err != nil {
+				return fmt.Errorf("obs: writing exposition: %w", err)
+			}
+			lastName = e.name
+		}
+		if err := writeSeries(w, e); err != nil {
+			return fmt.Errorf("obs: writing exposition: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, e *entry) error {
+	switch e.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name, e.labels, ""), e.counter.Load())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.name, e.labels, ""), formatFloat(e.gauge.Load()))
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.name, e.labels, ""), formatFloat(e.gaugeFunc()))
+		return err
+	case kindHistogram:
+		bounds, cum := e.hist.Buckets()
+		for i, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name+"_bucket", e.labels, formatFloat(b)), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name+"_bucket", e.labels, "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.name+"_sum", e.labels, ""), formatFloat(e.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.name+"_count", e.labels, ""), e.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// sampleName renders `name{labels}` with an optional le bucket label
+// appended.
+func sampleName(name string, labels []string, le string) string {
+	ls := labelString(labels)
+	if le != "" {
+		if ls != "" {
+			ls += ","
+		}
+		ls += `le="` + le + `"`
+	}
+	if ls == "" {
+		return name
+	}
+	return name + "{" + ls + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

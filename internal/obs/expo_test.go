@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal 0.0.4 text-format parser: it validates
+// every line is either a well-formed comment or `name{labels} value`
+// and returns the sample lines keyed by series name.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced label braces in %q", line)
+			}
+			name = series[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if typed[name] == "" && typed[base] == "" {
+			t.Fatalf("sample %q appears before its TYPE header", line)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("udm_test_requests_total", "requests served", "endpoint", "density").Add(7)
+	r.Gauge("udm_test_depth", "queue depth").Set(2.5)
+	r.GaugeFunc("udm_test_live", "computed at scrape", func() float64 { return 42 })
+	h := r.Histogram("udm_test_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.001)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, sb.String())
+
+	want := map[string]float64{
+		`udm_test_requests_total{endpoint="density"}`: 7,
+		"udm_test_depth":                      2.5,
+		"udm_test_live":                       42,
+		`udm_test_seconds_bucket{le="0.001"}`: 1,
+		`udm_test_seconds_bucket{le="0.01"}`:  1,
+		`udm_test_seconds_bucket{le="+Inf"}`:  2,
+		"udm_test_seconds_sum":                0.501,
+		"udm_test_seconds_count":              2,
+	}
+	for series, v := range want {
+		if got[series] != v {
+			t.Errorf("%s = %v, want %v\nfull output:\n%s", series, got[series], v, sb.String())
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, ep := range []string{"zeta", "alpha", "mid"} {
+		r.Counter("udm_det_total", "d", "endpoint", ep).Inc()
+	}
+	r.Gauge("udm_aaa", "first").Set(1)
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two renders differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !strings.HasPrefix(a.String(), "# HELP udm_aaa") {
+		t.Errorf("output not name-sorted:\n%s", a.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("udm_esc_total", "e", "path", "a\\b\nc").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `path="a\\b\nc"`) {
+		t.Errorf("label not escaped: %q", sb.String())
+	}
+	if strings.Count(sb.String(), "\n") != 3 { // HELP, TYPE, sample
+		t.Errorf("raw newline leaked into sample line:\n%q", sb.String())
+	}
+}

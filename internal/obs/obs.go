@@ -1,0 +1,70 @@
+// Package obs is the repository's observability substrate: a
+// process-wide metrics registry (typed counters, gauges, and
+// fixed-bucket histograms rendered in Prometheus text exposition
+// format), lightweight trace spans propagated through context.Context
+// with a ring buffer of recent traces and a slow-span log, and runtime
+// introspection gauges sampled at scrape time.
+//
+// Everything is stdlib-only and built for hot paths: metric handles
+// are resolved once at registration and updated with single atomic
+// operations, spans cost two small allocations each and are created at
+// batch granularity (one span per DensityBatch call, never one per
+// kernel evaluation), and the whole subsystem can be switched off with
+// SetEnabled(false) or UDM_OBS=off in the environment, turning every
+// record operation into a single atomic load.
+//
+// Instrumentation never changes numerics: no metric or span feeds back
+// into any computation, so batch results remain bit-for-bit identical
+// with observability on, off, or absent (the facade's bit-identity
+// tests run with it enabled).
+//
+// Naming conventions (enforced by review, documented in DESIGN.md
+// §11): metrics are snake_case with a `udm_<subsystem>_` prefix,
+// cumulative counters end in `_total`, durations are histograms in
+// seconds ending in `_seconds`, sizes in `_bytes`. Span names are
+// `<package>.<Operation>` (e.g. "kde.DensityBatch", "server.classify").
+package obs
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// enabled gates every record operation. It defaults to on and can be
+// flipped at runtime (SetEnabled) or at startup via UDM_OBS=off —
+// the knob scripts/bench_snapshot.sh uses to measure instrumentation
+// overhead against a truly dark build.
+var enabled atomic.Bool
+
+func init() {
+	switch os.Getenv("UDM_OBS") {
+	case "off", "0", "false":
+		enabled.Store(false)
+	default:
+		enabled.Store(true)
+	}
+}
+
+// Enabled reports whether telemetry recording is on. When off,
+// counters stop counting, histograms stop observing, and StartSpan
+// returns a nil (no-op) span — including the counters behind the
+// serving layer's /metrics document.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips telemetry recording at runtime. Values already
+// recorded are kept.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// defaultRegistry is the process-wide registry: library packages
+// (kde, parallel, stream) register their metrics here at init time.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// defaultTracer receives spans whose context carries no explicit
+// tracer (see WithTracer).
+var defaultTracer = NewTracer(TracerOptions{})
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }

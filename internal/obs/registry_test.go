@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Error("re-registration did not return the same handle")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Load(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req_total", "requests", "endpoint", "classify")
+	b := r.Counter("req_total", "requests", "endpoint", "density")
+	if a == b {
+		t.Fatal("different label values returned the same series")
+	}
+	a.Inc()
+	if b.Load() != 0 {
+		t.Error("label series share state")
+	}
+	// Label order must not matter.
+	c1 := r.Counter("multi_total", "m", "a", "1", "b", "2")
+	c2 := r.Counter("multi_total", "m", "b", "2", "a", "1")
+	if c1 != c2 {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestHistogramBucketEdges pins the `le` convention: a value exactly on
+// a bucket's upper bound belongs to that bucket, not the next one.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 4} { // every exact edge
+		h.Observe(v)
+	}
+	h.Observe(0)          // below the first bound → first bucket
+	h.Observe(2.5)        // interior → le=4
+	h.Observe(5)          // above every bound → +Inf
+	h.Observe(math.NaN()) // dropped
+	bounds, cum := h.Buckets()
+	if want := []float64{1, 2, 4}; len(bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", bounds, want)
+	}
+	// cumulative: le=1 → {0,1}=2; le=2 → +{2}=3; le=4 → +{2.5,4}=5; +Inf → +{5}=6.
+	for i, want := range []int64{2, 3, 5, 6} {
+		if cum[i] != want {
+			t.Errorf("cumulative[%d] = %d, want %d (buckets %v)", i, cum[i], want, cum)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6 (NaN must be dropped)", got)
+	}
+	if got, want := h.Sum(), 1.0+2+4+0+2.5+5; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "q", ExpBuckets(1, 2, 4)) // 1,2,4,8
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 98; i++ {
+		h.Observe(0.5) // le=1
+	}
+	h.Observe(3)   // le=4
+	h.Observe(100) // +Inf
+	if got := h.Quantile(0.50); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("p99 = %v, want 4", got)
+	}
+	// The +Inf observation reports the largest finite bound.
+	if got := h.Quantile(1.0); got != 8 {
+		t.Errorf("p100 = %v, want 8", got)
+	}
+	if got, want := h.Mean(), (98*0.5+3+100)/100; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentRegistryAccess exercises registration, updates, and
+// rendering from many goroutines at once; run under -race this is the
+// registry's thread-safety gate.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("conc_total", "c").Inc()
+				r.Gauge("conc_gauge", "g").Set(float64(i))
+				r.Histogram("conc_seconds", "h", []float64{0.001, 0.1, 10}).Observe(float64(i) / 100)
+				r.Counter("conc_labeled_total", "c", "worker", string(rune('a'+w))).Inc()
+				if i%50 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("conc_total", "c").Load(); got != 8*200 {
+		t.Errorf("concurrent counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Histogram("conc_seconds", "h", []float64{0.001, 0.1, 10}).Count(); got != 8*200 {
+		t.Errorf("concurrent histogram count = %d, want %d", got, 8*200)
+	}
+}
+
+func TestDisabledTelemetry(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("dark_total", "c")
+	g := r.Gauge("dark_gauge", "g")
+	h := r.Histogram("dark_seconds", "h", []float64{1})
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.5)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Errorf("disabled telemetry still recorded: c=%d g=%v h=%d", c.Load(), g.Load(), h.Count())
+	}
+	if _, sp := StartSpan(t.Context(), "dark"); sp != nil {
+		t.Error("disabled StartSpan returned a live span")
+	}
+}

@@ -18,8 +18,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"udm/internal/num"
+	"udm/internal/obs"
+)
+
+// Telemetry for the fan-out substrate. Counters are unconditional (one
+// atomic add each); chunk timing — two time.Now calls per chunk — runs
+// only on the multi-worker path and only while telemetry is enabled,
+// so the serial fast path and UDM_OBS=off baselines stay uninstrumented
+// beyond the atomic-load gate. Timing never feeds back into scheduling:
+// chunk boundaries depend only on (n, workers), preserving the
+// determinism contract.
+var (
+	forCalls = obs.Default().Counter("udm_parallel_for_calls_total",
+		"batch fan-out calls (For/Map/Sum)")
+	serialCalls = obs.Default().Counter("udm_parallel_serial_calls_total",
+		"fan-out calls that took the single-worker serial path")
+	chunksDispatched = obs.Default().Counter("udm_parallel_chunks_total",
+		"work chunks dispatched to workers")
+	chunkSeconds = obs.Default().Histogram("udm_parallel_chunk_seconds",
+		"execution time of one work chunk", obs.ExpBuckets(1e-6, 4, 12))
+	queueWaitSeconds = obs.Default().Histogram("udm_parallel_queue_wait_seconds",
+		"delay between fan-out start and a chunk being picked up", obs.ExpBuckets(1e-6, 4, 12))
 )
 
 // Workers resolves a caller-supplied worker count the way every batch
@@ -60,15 +82,23 @@ func For(ctx context.Context, n, p int, fn func(start, end int) error) error {
 	if workers > n {
 		workers = n
 	}
+	forCalls.Inc()
 	if workers == 1 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		serialCalls.Inc()
+		chunksDispatched.Inc()
 		return fn(0, n)
 	}
 	chunks := workers * oversubscribe
 	if chunks > n {
 		chunks = n
+	}
+	timed := obs.Enabled()
+	var began time.Time
+	if timed {
+		began = time.Now()
 	}
 	errs := make([]error, chunks)
 	var next atomic.Int64
@@ -83,8 +113,18 @@ func For(ctx context.Context, n, p int, fn func(start, end int) error) error {
 				if c >= chunks || failed.Load() || ctx.Err() != nil {
 					return
 				}
+				chunksDispatched.Inc()
+				var picked time.Time
+				if timed {
+					picked = time.Now()
+					queueWaitSeconds.Observe(picked.Sub(began).Seconds())
+				}
 				start, end := c*n/chunks, (c+1)*n/chunks
-				if err := fn(start, end); err != nil {
+				err := fn(start, end)
+				if timed {
+					chunkSeconds.Observe(time.Since(picked).Seconds())
+				}
+				if err != nil {
 					errs[c] = err
 					failed.Store(true)
 					return

@@ -119,6 +119,7 @@ func (b *batcher[Req, Res]) flush(batch []batchWaiter[Req, Res]) {
 	if b.metrics != nil {
 		b.metrics.BatchFlushes.Add(1)
 		b.metrics.BatchedItems.Add(int64(len(batch)))
+		b.metrics.BatchSize.Observe(float64(len(batch)))
 	}
 	// Derive the batch context: canceled once every member's context is
 	// done, so fully-abandoned work stops burning the pool. It descends

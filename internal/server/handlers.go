@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 
+	"udm/internal/obs"
 	"udm/internal/outlier"
 	"udm/internal/udmerr"
 )
@@ -133,10 +134,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the metrics document. The default JSON shape
+// predates the obs registry and its key set is frozen;
+// ?format=prometheus renders the text exposition instead: the
+// server-scoped registry followed by the process-wide default registry
+// (library and runtime series). The two registries use disjoint
+// metric-name prefixes, so concatenation is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.reg.WritePrometheus(w); err != nil {
+			return // client went away mid-scrape; nothing to salvage
+		}
+		_ = obs.Default().WritePrometheus(w)
+		return
+	}
 	snap := s.metrics.snapshot()
 	snap["cache_entries"] = s.cache.len()
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraces dumps the tracer's recent-traces ring (newest last).
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.tracer.Recent()})
+}
+
+// handleSlow dumps spans that exceeded the slow-request threshold.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ns": s.opt.SlowRequest.Nanoseconds(),
+		"slow":         s.tracer.Slow(),
+	})
 }
 
 type modelInfo struct {

@@ -1,107 +1,115 @@
 package server
 
 import (
-	"sync/atomic"
+	"math"
 	"time"
+
+	"udm/internal/obs"
 )
 
-// histBuckets is the number of exponential latency buckets: bucket b
-// holds observations in [2^(b-1), 2^b) microseconds (bucket 0 holds
-// sub-microsecond observations), spanning 1µs … ~67s.
-const histBuckets = 27
+// latencyBuckets spans 1µs … ~67s in powers of two — the same
+// resolution the pre-obs expvar histogram used (27 exponential
+// microsecond buckets), now in seconds per the metric naming
+// convention.
+var latencyBuckets = obs.ExpBuckets(1e-6, 2, 27)
 
-// histogram is a lock-free exponential latency histogram. Quantile
-// estimates are upper bucket bounds, so a reported p99 never
-// understates the true p99 by more than one power of two.
-type histogram struct {
-	counts [histBuckets]atomic.Int64
-	sumNS  atomic.Int64
-	n      atomic.Int64
-}
+// batchSizeBuckets covers coalesced batch sizes up to the default
+// MaxBatch and beyond.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.sumNS.Add(d.Nanoseconds())
-	h.n.Add(1)
-	us := d.Microseconds()
-	b := 0
-	for us > 0 && b < histBuckets-1 {
-		us >>= 1
-		b++
-	}
-	h.counts[b].Add(1)
-}
-
-// quantile returns the upper bound of the bucket containing the q-th
-// quantile observation (0 < q ≤ 1), or 0 when nothing was observed.
-// Counts are read without a global lock, so concurrent observes can
-// skew a snapshot by at most the in-flight observations.
-func (h *histogram) quantile(q float64) time.Duration {
-	n := h.n.Load()
-	if n == 0 {
-		return 0
-	}
-	rank := int64(q*float64(n) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for b := 0; b < histBuckets; b++ {
-		cum += h.counts[b].Load()
-		if cum >= rank {
-			return time.Duration(int64(1)<<uint(b)) * time.Microsecond
-		}
-	}
-	return time.Duration(int64(1)<<uint(histBuckets-1)) * time.Microsecond
-}
-
-func (h *histogram) mean() time.Duration {
-	n := h.n.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNS.Load() / n)
-}
-
-// Metrics holds the server's expvar-style counters. All fields are
-// atomically updated and exported as one JSON document by /metrics.
+// Metrics holds the server's counters, now backed by a per-server
+// obs.Registry: the same handles feed both the legacy JSON /metrics
+// document (snapshot, key-compatible with the pre-obs shape) and the
+// Prometheus exposition (/metrics?format=prometheus). Fields keep
+// their historical names and Load/Add surface so embedders and tests
+// are unaffected.
+//
+// Note: the counters honor the global obs enable gate — under
+// UDM_OBS=off they stop recording (the gate exists to benchmark the
+// uninstrumented baseline, not for production use).
 type Metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
 	// Request outcomes.
-	Requests atomic.Int64 // every request to a /v1 endpoint
-	Errors   atomic.Int64 // 4xx/5xx responses
-	Shed     atomic.Int64 // rejected with 429 by the inflight gate
-	Timeouts atomic.Int64 // 504s from the per-request deadline
-	Canceled atomic.Int64 // clients that disconnected mid-request
+	Requests *obs.Counter // every request to a /v1 endpoint
+	Errors   *obs.Counter // 4xx/5xx responses
+	Shed     *obs.Counter // rejected with 429 by the inflight gate
+	Timeouts *obs.Counter // 504s from the per-request deadline
+	Canceled *obs.Counter // clients that disconnected mid-request
 
-	// Per-endpoint request counts.
-	ClassifyRequests atomic.Int64
-	DensityRequests  atomic.Int64
-	OutlierRequests  atomic.Int64
-	IngestRequests   atomic.Int64
+	// Per-endpoint request counts (labeled series of one family).
+	ClassifyRequests *obs.Counter
+	DensityRequests  *obs.Counter
+	OutlierRequests  *obs.Counter
+	IngestRequests   *obs.Counter
 
 	// Micro-batching.
-	BatchFlushes atomic.Int64 // coalesced batch executions
-	BatchedItems atomic.Int64 // single-point requests that rode a batch
+	BatchFlushes *obs.Counter   // coalesced batch executions
+	BatchedItems *obs.Counter   // single-point requests that rode a batch
+	BatchSize    *obs.Histogram // distribution of coalesced batch sizes
 
 	// Density cache.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
 
 	// Stream ingestion.
-	IngestedRows atomic.Int64
+	IngestedRows *obs.Counter
 
-	// Latency of served /v1 requests (excluding shed ones).
-	Latency histogram
+	// Latency of served /v1 requests (excluding shed ones), seconds.
+	Latency *obs.Histogram
 }
 
-func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		start: time.Now(),
+		reg:   reg,
+
+		Requests: reg.Counter("udm_server_requests_total", "requests to /v1 endpoints"),
+		Errors:   reg.Counter("udm_server_errors_total", "4xx/5xx responses"),
+		Shed:     reg.Counter("udm_server_shed_total", "requests shed with 429 by the inflight gate"),
+		Timeouts: reg.Counter("udm_server_timeouts_total", "504 responses from the per-request deadline"),
+		Canceled: reg.Counter("udm_server_canceled_total", "clients that disconnected mid-request"),
+
+		ClassifyRequests: reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "classify"),
+		DensityRequests:  reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "density"),
+		OutlierRequests:  reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "outliers"),
+		IngestRequests:   reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "ingest"),
+
+		BatchFlushes: reg.Counter("udm_server_batch_flushes_total", "coalesced batch executions"),
+		BatchedItems: reg.Counter("udm_server_batched_items_total", "single-point requests that rode a batch"),
+		BatchSize:    reg.Histogram("udm_server_batch_size", "coalesced batch size per flush", batchSizeBuckets),
+
+		CacheHits:   reg.Counter("udm_server_cache_hits_total", "density cache hits"),
+		CacheMisses: reg.Counter("udm_server_cache_misses_total", "density cache misses"),
+
+		IngestedRows: reg.Counter("udm_server_ingested_rows_total", "stream records ingested via /ingest"),
+
+		Latency: reg.Histogram("udm_server_latency_seconds", "latency of served /v1 requests", latencyBuckets),
+	}
+	reg.GaugeFunc("udm_server_uptime_seconds", "seconds since the server was built",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
+}
+
+// Registry exposes the server-scoped metrics registry (per-endpoint
+// series are registered on it lazily by the request guard).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// endpointLatency get-or-creates the per-endpoint latency histogram.
+func (m *Metrics) endpointLatency(endpoint string) *obs.Histogram {
+	return m.reg.Histogram("udm_server_request_seconds", "request latency by endpoint",
+		latencyBuckets, "endpoint", endpoint)
+}
+
+// usec converts a histogram bound or statistic in seconds to integer
+// microseconds for the legacy JSON document.
+func usec(seconds float64) int64 { return int64(math.Round(seconds * 1e6)) }
 
 // snapshot renders every counter plus derived rates into a flat
-// JSON-encodable map (the /metrics document).
+// JSON-encodable map (the /metrics document). The key set is frozen:
+// it predates the obs registry and is a compatibility contract.
 func (m *Metrics) snapshot() map[string]any {
 	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
 	hitRate := 0.0
@@ -131,10 +139,10 @@ func (m *Metrics) snapshot() map[string]any {
 		"cache_hits":        hits,
 		"cache_misses":      misses,
 		"cache_hit_rate":    hitRate,
-		"latency_count":     m.Latency.n.Load(),
-		"latency_mean_us":   m.Latency.mean().Microseconds(),
-		"latency_p50_us":    m.Latency.quantile(0.50).Microseconds(),
-		"latency_p90_us":    m.Latency.quantile(0.90).Microseconds(),
-		"latency_p99_us":    m.Latency.quantile(0.99).Microseconds(),
+		"latency_count":     m.Latency.Count(),
+		"latency_mean_us":   usec(m.Latency.Mean()),
+		"latency_p50_us":    usec(m.Latency.Quantile(0.50)),
+		"latency_p90_us":    usec(m.Latency.Quantile(0.90)),
+		"latency_p99_us":    usec(m.Latency.Quantile(0.99)),
 	}
 }

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsJSONShape freezes the legacy /metrics JSON contract: the
+// exact key set (and JSON types) from before the obs-registry
+// migration. Clients parse this document; a key rename or removal is a
+// breaking change.
+func TestMetricsJSONShape(t *testing.T) {
+	s := testServer(t, Options{}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp densityResponse
+	if status := postJSON(t, ts.URL+"/v1/models/blobs/density", densityRequest{Point: []float64{0, 0}}, &resp); status != http.StatusOK {
+		t.Fatalf("density = %d, want 200", status)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc map[string]json.Number
+	dec := json.NewDecoder(res.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("/metrics is no longer a flat numeric document: %v", err)
+	}
+	want := []string{
+		"uptime_seconds", "requests", "errors", "shed", "timeouts", "canceled",
+		"classify_requests", "density_requests", "outlier_requests", "ingest_requests",
+		"ingested_rows", "batch_flushes", "batched_items", "avg_batch_size",
+		"cache_hits", "cache_misses", "cache_hit_rate",
+		"latency_count", "latency_mean_us", "latency_p50_us", "latency_p90_us", "latency_p99_us",
+		"cache_entries",
+	}
+	got := make([]string, 0, len(doc))
+	for k := range doc {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("/metrics keys changed:\n got %v\nwant %v", got, want)
+	}
+	if v, _ := doc["requests"].Int64(); v != 1 {
+		t.Errorf("requests = %v, want 1", doc["requests"])
+	}
+	if v, _ := doc["density_requests"].Int64(); v != 1 {
+		t.Errorf("density_requests = %v, want 1", doc["density_requests"])
+	}
+}
+
+// TestMetricsPrometheus exercises /metrics?format=prometheus: the
+// output must be a well-formed 0.0.4 exposition containing the
+// server-scoped series and the process-wide library series.
+func TestMetricsPrometheus(t *testing.T) {
+	s := testServer(t, Options{}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp densityResponse
+	if status := postJSON(t, ts.URL+"/v1/models/blobs/density",
+		densityRequest{Points: [][]float64{{0, 0}, {1, 1}}}, &resp); status != http.StatusOK {
+		t.Fatalf("density = %d, want 200", status)
+	}
+
+	res, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	for _, series := range []string{
+		"udm_server_requests_total 1",
+		`udm_server_endpoint_requests_total{endpoint="density"} 1`,
+		`udm_server_request_seconds_bucket{endpoint="density"`,
+		"udm_server_latency_seconds_count",
+		"udm_server_uptime_seconds ",
+		"udm_server_cache_entries ",
+		"udm_kde_batches_total",        // default-registry library series
+		"udm_parallel_for_calls_total", // fan-out substrate series
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %q; got:\n%s", series, text)
+		}
+	}
+}
+
+// TestDebugEndpoints checks the Debug gate: pprof, traces, and slow
+// endpoints exist (with runtime gauges on the registry) only when
+// Options.Debug is set.
+func TestDebugEndpoints(t *testing.T) {
+	s := testServer(t, Options{Debug: true}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/traces", "/debug/slow"} {
+		res, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, res.StatusCode)
+		}
+	}
+	res, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "udm_runtime_goroutines ") {
+		t.Error("Debug server exposition missing runtime gauges")
+	}
+
+	off := testServer(t, Options{}, "")
+	rec := httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("GET /debug/traces without Debug = %d, want 404", rec.Code)
+	}
+}
+
+// TestRequestSpans checks that a served request produces a trace rooted
+// at the endpoint span with the library's batch span as its child.
+func TestRequestSpans(t *testing.T) {
+	s := testServer(t, Options{}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp densityResponse
+	// A multi-point request runs the batch call inside the request
+	// context, so the kde span nests under the server span.
+	if status := postJSON(t, ts.URL+"/v1/models/blobs/density",
+		densityRequest{Points: [][]float64{{0, 0}, {1, 1}}}, &resp); status != http.StatusOK {
+		t.Fatalf("density = %d, want 200", status)
+	}
+
+	// The root span ends in a deferred call after the response is
+	// written, so the trace can land in the ring just after the client
+	// sees the reply: poll briefly.
+	traces := s.Tracer().Recent()
+	for deadline := time.Now().Add(2 * time.Second); len(traces) == 0 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+		traces = s.Tracer().Recent()
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	trace := traces[len(traces)-1]
+	if trace.Root != "server.density" {
+		t.Fatalf("trace root = %q, want server.density", trace.Root)
+	}
+	var sawKDE bool
+	for _, sp := range trace.Spans {
+		if sp.Name == "kde.DensityBatch" {
+			sawKDE = true
+			if sp.TraceID != trace.TraceID {
+				t.Errorf("kde span in trace %d, want %d", sp.TraceID, trace.TraceID)
+			}
+		}
+	}
+	if !sawKDE {
+		t.Errorf("trace has no kde.DensityBatch child; spans: %+v", trace.Spans)
+	}
+}
+
+// TestSlowRequestLog checks the slow-span pipeline: a request slower
+// than SlowRequest lands in the slow ring and the slow log.
+func TestSlowRequestLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s := testServer(t, Options{
+		SlowRequest: time.Nanosecond,
+		SlowLogf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp densityResponse
+	if status := postJSON(t, ts.URL+"/v1/models/blobs/density",
+		densityRequest{Points: [][]float64{{0, 0}}}, &resp); status != http.StatusOK {
+		t.Fatalf("density = %d, want 200", status)
+	}
+
+	// Same post-response race as TestRequestSpans: poll for the span.
+	var names []string
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		names = names[:0]
+		for _, sp := range s.Tracer().Slow() {
+			names = append(names, sp.Name)
+		}
+		if slicesContains(names, "server.density") {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !slicesContains(names, "server.density") {
+		t.Errorf("slow ring %v missing server.density", names)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 || !strings.Contains(strings.Join(lines, "\n"), "server.density") {
+		t.Errorf("slow log %q missing server.density", lines)
+	}
+}
+
+func slicesContains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

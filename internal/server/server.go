@@ -3,10 +3,14 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
+
+	"udm/internal/obs"
 )
 
 // Options configure the serving layer. The zero value is usable; every
@@ -38,6 +42,18 @@ type Options struct {
 	// Workers caps the worker pool used for batched evaluations (≤ 0 =
 	// GOMAXPROCS).
 	Workers int
+	// Debug enables the runtime introspection surface: /debug/pprof/*,
+	// /debug/traces (recent request traces), /debug/slow (spans over the
+	// slow threshold), and runtime gauges on the metrics registry
+	// (default off — these endpoints are unauthenticated).
+	Debug bool
+	// SlowRequest is the span duration at or above which a request is
+	// logged as slow and retained in the slow-span ring (default 1s;
+	// negative disables slow tracking).
+	SlowRequest time.Duration
+	// SlowLogf receives slow-span log lines (default log.Printf). It
+	// must be safe for concurrent use.
+	SlowLogf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +72,14 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = 4096
 	}
+	if o.SlowRequest == 0 {
+		o.SlowRequest = time.Second
+	} else if o.SlowRequest < 0 {
+		o.SlowRequest = 0 // 0 disables slow tracking in the tracer
+	}
+	if o.SlowLogf == nil {
+		o.SlowLogf = log.Printf
+	}
 	return o
 }
 
@@ -66,6 +90,7 @@ type Server struct {
 	reg      *Registry
 	opt      Options
 	metrics  *Metrics
+	tracer   *obs.Tracer
 	cache    *lruCache
 	inflight chan struct{}
 	handler  http.Handler
@@ -103,13 +128,27 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 	}
 	opt = opt.withDefaults()
 	s := &Server{
-		reg:      reg,
-		opt:      opt,
-		metrics:  newMetrics(),
+		reg:     reg,
+		opt:     opt,
+		metrics: newMetrics(),
+		tracer: obs.NewTracer(obs.TracerOptions{
+			RingSize:      256,
+			SlowThreshold: opt.SlowRequest,
+			SlowLogf:      opt.SlowLogf,
+		}),
 		cache:    newLRUCache(opt.CacheSize),
 		inflight: make(chan struct{}, opt.MaxInflight),
 		batchers: make(map[string]*modelBatchers),
 	}
+	s.metrics.reg.GaugeFunc("udm_server_cache_entries", "live density-cache entries",
+		func() float64 { return float64(s.cache.len()) })
+	if opt.Debug {
+		obs.RegisterRuntimeGauges(s.metrics.reg)
+	}
+	// Batch flushes run under the server lifecycle context, not any one
+	// request's; carry the server tracer so their library spans land in
+	// the same rings as request spans.
+	ctx = obs.WithTracer(ctx, s.tracer)
 	for _, name := range reg.Names() {
 		m, _ := reg.Get(name)
 		mb := &modelBatchers{}
@@ -142,6 +181,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics exposes the server's counters (useful for tests and
 // embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer exposes the server's span tracer: request spans (and the
+// library spans they parent) land in its recent and slow rings.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http.
@@ -187,18 +230,30 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/models/{model}/classify", s.guard(&s.metrics.ClassifyRequests, s.handleClassify))
-	mux.HandleFunc("POST /v1/models/{model}/density", s.guard(&s.metrics.DensityRequests, s.handleDensity))
-	mux.HandleFunc("POST /v1/models/{model}/outliers", s.guard(&s.metrics.OutlierRequests, s.handleOutliers))
-	mux.HandleFunc("POST /v1/models/{model}/ingest", s.guard(&s.metrics.IngestRequests, s.handleIngest))
+	mux.HandleFunc("POST /v1/models/{model}/classify", s.guard("classify", s.metrics.ClassifyRequests, s.handleClassify))
+	mux.HandleFunc("POST /v1/models/{model}/density", s.guard("density", s.metrics.DensityRequests, s.handleDensity))
+	mux.HandleFunc("POST /v1/models/{model}/outliers", s.guard("outliers", s.metrics.OutlierRequests, s.handleOutliers))
+	mux.HandleFunc("POST /v1/models/{model}/ingest", s.guard("ingest", s.metrics.IngestRequests, s.handleIngest))
+	if s.opt.Debug {
+		mux.HandleFunc("GET /debug/traces", s.handleTraces)
+		mux.HandleFunc("GET /debug/slow", s.handleSlow)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 // guard is the admission-control middleware for /v1 model endpoints:
-// count the request, shed with 429 when MaxInflight requests are
-// already admitted, bound the work with the per-request timeout, and
-// record the latency of admitted requests.
-func (s *Server) guard(endpointCounter *atomic.Int64, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// count the request (total and per-endpoint), shed with 429 when
+// MaxInflight requests are already admitted, bound the work with the
+// per-request timeout, open the request's root trace span, and record
+// the latency of admitted requests overall and per endpoint.
+func (s *Server) guard(endpoint string, endpointCounter *obs.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	endpointLatency := s.metrics.endpointLatency(endpoint)
+	spanName := "server." + endpoint
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
 		endpointCounter.Add(1)
@@ -214,8 +269,13 @@ func (s *Server) guard(endpointCounter *atomic.Int64, h func(http.ResponseWriter
 		defer func() { <-s.inflight }()
 		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
+		ctx, sp := obs.StartSpan(obs.WithTracer(ctx, s.tracer), spanName)
+		defer sp.End()
+		sp.Attr("model", r.PathValue("model"))
 		start := time.Now()
 		h(w, r.WithContext(ctx))
-		s.metrics.Latency.observe(time.Since(start))
+		d := time.Since(start)
+		s.metrics.Latency.Observe(d.Seconds())
+		endpointLatency.Observe(d.Seconds())
 	}
 }

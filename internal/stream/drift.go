@@ -18,6 +18,7 @@ import (
 // distributions, 1 means disjoint support — the standard drift score for
 // monitoring a stream between windows.
 func Drift1D(a, b []*microcluster.Feature, dim, gridN int) (float64, error) {
+	driftEvals.Inc()
 	if gridN <= 0 {
 		gridN = 512
 	}

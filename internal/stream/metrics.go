@@ -1,0 +1,18 @@
+package stream
+
+import "udm/internal/obs"
+
+// Stream-side telemetry: ingest volume (rate is derived by the
+// scraper), snapshot and checkpoint activity, and drift evaluations.
+// Per-record cost is one atomic add in Add; checkpoint timing is one
+// histogram observation per Save.
+var (
+	recordsIngested = obs.Default().Counter("udm_stream_records_total",
+		"records folded into the stream summary")
+	snapshotsTaken = obs.Default().Counter("udm_stream_snapshots_total",
+		"micro-cluster snapshots taken (periodic and forced)")
+	checkpointSeconds = obs.Default().Histogram("udm_stream_checkpoint_seconds",
+		"wall time of one engine checkpoint (Save)", obs.ExpBuckets(1e-5, 4, 10))
+	driftEvals = obs.Default().Counter("udm_stream_drift_evals_total",
+		"single-dimension drift scores computed")
+)

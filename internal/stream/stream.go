@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"udm/internal/microcluster"
 	"udm/internal/udmerr"
@@ -94,6 +95,7 @@ func (e *Engine) Add(x, err []float64, ts int64) {
 	e.s.AddAt(x, err, ts)
 	e.n++
 	e.lastTS = ts
+	recordsIngested.Inc()
 	if e.n%e.every == 0 {
 		e.takeSnapshotLocked()
 	}
@@ -233,6 +235,8 @@ type snapshotWire struct {
 // snapshots — so a stream consumer can restart without losing window
 // history. Safe to call concurrently with Add.
 func (e *Engine) Save(w io.Writer) error {
+	began := time.Now()
+	defer func() { checkpointSeconds.Observe(time.Since(began).Seconds()) }()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var buf bytes.Buffer
@@ -330,6 +334,7 @@ func (e *Engine) featsCopyLocked() []*microcluster.Feature {
 }
 
 func (e *Engine) takeSnapshotLocked() {
+	snapshotsTaken.Inc()
 	e.snaps = append(e.snaps, Snapshot{
 		At:    e.lastTS,
 		Count: e.n,

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — measure the observability overhead on the hot
+# batch path and refuse to let it creep past budget.
+#
+# Runs BenchmarkDensityBatch/workers=1 (the serial batch engine, so no
+# scheduler noise) twice: once with UDM_OBS=off (every counter, span,
+# and histogram collapses to a single atomic load) and once with
+# UDM_OBS=on (the default). The best of -count runs is taken on each
+# side, the relative overhead is computed, and the result is written to
+# BENCH_obs.json at the repository root. The script exits non-zero if
+# the overhead exceeds the budget.
+#
+# Environment knobs:
+#   BENCH_SNAPSHOT_MAX_PCT   overhead budget in percent (default 5)
+#   BENCH_SNAPSHOT_COUNT     benchmark repetitions per side (default 5)
+#   BENCH_SNAPSHOT_BENCHTIME go test -benchtime value (default 1s)
+#
+# Run via `make bench-snapshot` or directly from the repository root.
+set -euo pipefail
+
+MAX_PCT="${BENCH_SNAPSHOT_MAX_PCT:-5}"
+COUNT="${BENCH_SNAPSHOT_COUNT:-5}"
+BENCHTIME="${BENCH_SNAPSHOT_BENCHTIME:-1s}"
+BENCH='^BenchmarkDensityBatch$/^workers=1$'
+OUT="BENCH_obs.json"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# run_side LABEL UDM_OBS-VALUE — run the benchmark, echo best ns/op.
+run_side() {
+  local label="$1" mode="$2"
+  echo "bench-snapshot: running $label (UDM_OBS=$mode, count=$COUNT, benchtime=$BENCHTIME)" >&2
+  UDM_OBS="$mode" go test -run '^$' -bench "$BENCH" \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/kde >"$TMP/$label.txt"
+  awk '/^BenchmarkDensityBatch\// { if (best == 0 || $3 < best) best = $3 } END {
+    if (best == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
+    print best
+  }' "$TMP/$label.txt"
+}
+
+off_ns="$(run_side off off)"
+on_ns="$(run_side on on)"
+
+overhead_pct="$(awk -v on="$on_ns" -v off="$off_ns" \
+  'BEGIN { printf "%.2f", (on - off) / off * 100 }')"
+
+cat >"$OUT" <<EOF
+{
+  "benchmark": "BenchmarkDensityBatch/workers=1",
+  "package": "udm/internal/kde",
+  "count": $COUNT,
+  "benchtime": "$BENCHTIME",
+  "uninstrumented_ns_per_op": $off_ns,
+  "instrumented_ns_per_op": $on_ns,
+  "overhead_pct": $overhead_pct,
+  "budget_pct": $MAX_PCT
+}
+EOF
+
+echo "bench-snapshot: UDM_OBS=off best ${off_ns} ns/op, UDM_OBS=on best ${on_ns} ns/op"
+echo "bench-snapshot: overhead ${overhead_pct}% (budget ${MAX_PCT}%), wrote $OUT"
+
+awk -v pct="$overhead_pct" -v max="$MAX_PCT" 'BEGIN { exit !(pct <= max) }' || {
+  echo "bench-snapshot: FAIL: instrumentation overhead ${overhead_pct}% exceeds budget ${MAX_PCT}%" >&2
+  exit 1
+}
+echo "bench-snapshot: PASS"

@@ -5,6 +5,12 @@
 # classify, density, and a deliberate 400), then shut down gracefully
 # and require a clean exit. Any unexpected status code fails the script.
 #
+# The server runs with -debug so the smoke also covers observability:
+# both /metrics formats are scraped and validated (the JSON shape and
+# the Prometheus text exposition, line by line), required series must
+# be present after traffic, and the debug endpoints (/debug/pprof/,
+# /debug/traces, /debug/slow) must answer 200.
+#
 # Run via `make serve-smoke` or directly from the repository root.
 set -euo pipefail
 
@@ -58,7 +64,7 @@ echo "serve-smoke: generating data and training a model"
   -save "$TMP/model.gob" >/dev/null
 
 echo "serve-smoke: starting udmserve on $BASE"
-"$TMP/udmserve" -addr "127.0.0.1:${PORT}" \
+"$TMP/udmserve" -addr "127.0.0.1:${PORT}" -debug \
   -model "blobs=transform:$TMP/model.gob" 2>"$TMP/server.log" &
 SERVER_PID=$!
 
@@ -84,6 +90,46 @@ expect 200 POST "$BASE/v1/models/blobs/density" '{"point": [0, 0]}'
 expect 200 POST "$BASE/v1/models/blobs/outliers" '{"points": [[-2.5, 0], [2.5, 0], [50, 50]]}'
 expect 400 POST "$BASE/v1/models/blobs/classify" '{"point": [1, 2, 3]}'
 expect 404 POST "$BASE/v1/models/nope/classify" '{"point": [0, 0]}'
+
+echo "serve-smoke: observability endpoints"
+expect 200 GET "$BASE/debug/pprof/"
+expect 200 GET "$BASE/debug/traces"
+expect 200 GET "$BASE/debug/slow"
+
+# JSON shape: the legacy /metrics contract — a flat JSON object whose
+# counters reflect the traffic above.
+expect 200 GET "$BASE/metrics"
+cp "$TMP/last_body" "$TMP/metrics.json"
+for key in requests density_requests classify_requests batch_flushes latency_p50_us cache_entries; do
+  if ! grep -q "\"$key\"" "$TMP/metrics.json"; then
+    echo "serve-smoke: FAIL: /metrics JSON missing key \"$key\"" >&2
+    cat "$TMP/metrics.json" >&2
+    exit 1
+  fi
+done
+echo "serve-smoke: ok: /metrics JSON has the frozen key set"
+
+# Prometheus text exposition: every line must be a comment (# HELP /
+# # TYPE) or a well-formed sample, and the series the dashboards key
+# on must exist after the traffic above.
+expect 200 GET "$BASE/metrics?format=prometheus"
+cp "$TMP/last_body" "$TMP/metrics.prom"
+bad="$(grep -Ev '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+([eE][-+][0-9]+)?|)$' "$TMP/metrics.prom" || true)"
+if [ -n "$bad" ]; then
+  echo "serve-smoke: FAIL: malformed Prometheus exposition lines:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+for series in udm_server_requests_total udm_server_request_seconds_bucket \
+  udm_server_latency_seconds_count udm_server_uptime_seconds \
+  udm_runtime_goroutines udm_kde_batches_total udm_parallel_for_calls_total; do
+  if ! grep -q "^$series" "$TMP/metrics.prom"; then
+    echo "serve-smoke: FAIL: Prometheus exposition missing series $series" >&2
+    grep '^# TYPE' "$TMP/metrics.prom" >&2
+    exit 1
+  fi
+done
+echo "serve-smoke: ok: Prometheus exposition parses and has the required series"
 
 echo "serve-smoke: graceful shutdown"
 kill -TERM "$SERVER_PID"

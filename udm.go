@@ -67,11 +67,24 @@
 // compatibility; long-running services (see cmd/udmserve) should use
 // the context forms so abandoned requests stop consuming CPU.
 //
+// # Observability
+//
+// The library self-instruments through internal/obs: batch APIs and
+// the serving layer count work and record trace spans on a
+// process-wide registry. WriteMetrics renders everything in Prometheus
+// text format, StartSpan opens an application-level span that nests
+// around the library's own, and SetTelemetry(false) (or UDM_OBS=off in
+// the environment) disables all of it — counters, histograms, and
+// spans — leaving a single atomic load on the hot paths.
+// Instrumentation never changes numerics: batch results stay
+// bit-identical with telemetry on or off. See DESIGN.md §11.
+//
 // See examples/ for complete programs and DESIGN.md for the paper map.
 package udm
 
 import (
 	"context"
+	"io"
 
 	"udm/internal/baseline"
 	"udm/internal/cluster"
@@ -82,6 +95,7 @@ import (
 	"udm/internal/kde"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
+	"udm/internal/obs"
 	"udm/internal/outlier"
 	"udm/internal/parallel"
 	"udm/internal/rng"
@@ -571,3 +585,38 @@ var XOR = datagen.XOR
 // LoadStreamEngine restores a stream engine checkpoint written with
 // (*StreamEngine).Save.
 var LoadStreamEngine = stream.LoadEngine
+
+// Observability (see the package documentation and DESIGN.md §11).
+
+// Span is a lightweight trace span. The zero of its pointer type is a
+// valid no-op: every method on a nil *Span is safe.
+type Span = obs.Span
+
+// StartSpan opens a span named name (convention: "package.Operation")
+// as a child of the span already on ctx, if any, and returns the
+// derived context carrying it. End the span on every return path:
+//
+//	ctx, sp := udm.StartSpan(ctx, "app.Reindex")
+//	defer sp.End()
+//
+// Library batch APIs called with the derived context report their own
+// spans as children, so application traces show where the time went.
+var StartSpan = obs.StartSpan
+
+// WriteMetrics renders every metric of the process-wide registry —
+// kernel evaluation counts, batch sizes, worker utilization, stream
+// ingest rates, and anything the application registered — to w in
+// Prometheus text exposition format 0.0.4.
+func WriteMetrics(w io.Writer) error {
+	return obs.Default().WritePrometheus(w)
+}
+
+// SetTelemetry enables or disables all telemetry — counters,
+// histograms, and trace spans — at runtime. Disabled telemetry costs
+// one atomic load per instrumentation site and records nothing; the
+// UDM_OBS environment variable ("off", "0", or "false") sets the
+// initial state. Telemetry never affects computed results.
+var SetTelemetry = obs.SetEnabled
+
+// TelemetryEnabled reports whether telemetry is currently recording.
+var TelemetryEnabled = obs.Enabled
