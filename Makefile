@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke serve-smoke bench bench-snapshot ci
+.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -66,10 +66,20 @@ tools:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-## fuzz-smoke: 10s burn of each microcluster fuzz target
+## fuzz-smoke: 10s burn of each fuzz target
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzFeatureAdd -fuzztime=10s -run='^Fuzz' ./internal/microcluster
 	$(GO) test -fuzz=FuzzDist2 -fuzztime=10s -run='^Fuzz' ./internal/microcluster
+	$(GO) test -fuzz=FuzzFeatureMerge -fuzztime=10s -run='^Fuzz' ./internal/microcluster
+	$(GO) test -fuzz=FuzzPrometheusExposition -fuzztime=10s -run='^Fuzz' ./internal/obs
+
+## faults: the failure-path gate — the fault-matrix and resilience suite
+## under -race, plus a longer -race fuzz burn of the newest targets
+faults:
+	$(GO) test -race ./internal/faultinject
+	$(GO) test -race -run 'TestFault|TestBatcher|TestRetr|TestBreaker' ./internal/server
+	$(GO) test -race -fuzz=FuzzFeatureMerge -fuzztime=30s -run='^Fuzz' ./internal/microcluster
+	$(GO) test -race -fuzz=FuzzPrometheusExposition -fuzztime=30s -run='^Fuzz' ./internal/obs
 
 ## serve-smoke: end-to-end udmserve check (train, serve, curl, shut down)
 serve-smoke:
@@ -84,4 +94,4 @@ bench-snapshot:
 	bash scripts/bench_snapshot.sh
 
 ## ci: the full pipeline, serially
-ci: check lint race bench-smoke fuzz-smoke serve-smoke
+ci: check lint race bench-smoke fuzz-smoke faults serve-smoke

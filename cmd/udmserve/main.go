@@ -35,12 +35,28 @@ import (
 	"time"
 
 	"udm/internal/core"
+	"udm/internal/faultinject"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
 	"udm/internal/obs"
 	"udm/internal/server"
 	"udm/internal/stream"
 )
+
+// faultFlags collects repeated -fault flags (site=spec, armed after
+// flag parsing so an invalid site or spec fails startup, not a
+// request).
+type faultFlags []string
+
+func (f *faultFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *faultFlags) Set(v string) error {
+	if _, _, ok := strings.Cut(v, "="); !ok {
+		return fmt.Errorf("want site=spec, got %q", v)
+	}
+	*f = append(*f, v)
+	return nil
+}
 
 // modelSpec is one parsed -model flag.
 type modelSpec struct {
@@ -82,6 +98,8 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var models modelFlags
 	flag.Var(&models, "model", "model to serve, name=kind:path (repeatable; kinds: transform, summarizer, stream)")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "arm a fault-injection site, site=spec (repeatable; e.g. server.model.eval=error,times=3; testing only)")
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		threshold    = flag.Float64("a", 0, "classifier accuracy threshold for transform models (0 = default)")
@@ -98,8 +116,19 @@ func main() {
 		debug        = flag.Bool("debug", false, "expose /debug/pprof, /debug/traces and /debug/slow plus runtime gauges (unauthenticated)")
 		slowRequest  = flag.Duration("slow", 0, "log requests slower than this and keep them in /debug/slow (0 = default 1s; -1ns disables)")
 		sample       = flag.Duration("sample", 0, "runtime sampler interval for the sampled gauges (0 = default 10s; needs -debug)")
+		retryMax     = flag.Int("retry-max", 0, "max retries of a transiently-failed model evaluation (0 = default 2; negative disables)")
+		retryBase    = flag.Duration("retry-base", 0, "base retry backoff (0 = default 5ms)")
+		retryCap     = flag.Duration("retry-cap", 0, "max retry backoff (0 = default 250ms)")
+		breakerAfter = flag.Int("breaker-threshold", 0, "consecutive failures that open a model's circuit breaker (0 = default 5; negative disables)")
+		breakerCool  = flag.Duration("breaker-cooldown", 0, "how long an open breaker refuses traffic before probing (0 = default 5s)")
 	)
 	flag.Parse()
+	for _, f := range faults {
+		if err := faultinject.ArmFlag(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "udmserve: armed fault %s\n", f)
+	}
 	if len(models) == 0 {
 		fmt.Fprintln(os.Stderr, "udmserve: at least one -model name=kind:path is required")
 		flag.Usage()
@@ -121,15 +150,20 @@ func main() {
 	}
 
 	srv := server.New(reg, server.Options{
-		MaxBatch:       *maxBatch,
-		BatchDelay:     *batchDelay,
-		RequestTimeout: *timeout,
-		MaxInflight:    *maxInflight,
-		CacheSize:      *cacheSize,
-		CacheQuantum:   *cacheQuantum,
-		Workers:        *workers,
-		Debug:          *debug,
-		SlowRequest:    *slowRequest,
+		MaxBatch:         *maxBatch,
+		BatchDelay:       *batchDelay,
+		RequestTimeout:   *timeout,
+		MaxInflight:      *maxInflight,
+		CacheSize:        *cacheSize,
+		CacheQuantum:     *cacheQuantum,
+		Workers:          *workers,
+		Debug:            *debug,
+		SlowRequest:      *slowRequest,
+		RetryMax:         *retryMax,
+		RetryBase:        *retryBase,
+		RetryCap:         *retryCap,
+		BreakerThreshold: *breakerAfter,
+		BreakerCooldown:  *breakerCool,
 	})
 	if *debug {
 		stopSampler := obs.StartSampler(srv.Metrics().Registry(), *sample)

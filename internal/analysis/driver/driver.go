@@ -15,6 +15,7 @@ import (
 	"udm/internal/analysis/ctxflow"
 	"udm/internal/analysis/detfloat"
 	"udm/internal/analysis/errsentinel"
+	"udm/internal/analysis/faultpoint"
 	"udm/internal/analysis/load"
 	"udm/internal/analysis/nakedgo"
 	"udm/internal/analysis/rngsource"
@@ -27,6 +28,7 @@ var All = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	detfloat.Analyzer,
 	errsentinel.Analyzer,
+	faultpoint.Analyzer,
 	nakedgo.Analyzer,
 	rngsource.Analyzer,
 	spanend.Analyzer,

@@ -1,0 +1,103 @@
+// Package faultpoint keeps the fault-injection site namespace sound.
+//
+// faultinject.NewPoint panics at init time on an invalid or duplicate
+// site name — but only in a process that happens to link both
+// offending packages. This analyzer moves the whole contract to lint
+// time, across every package of one analysis run:
+//
+//  1. NewPoint may only initialize a package-level var. A point built
+//     inside a function re-registers on every call and panics the
+//     second time; points are compiled in, not created at run time.
+//  2. The site name must be a plain string literal. Computed names
+//     defeat static checking (and grep), which is most of the value of
+//     a site registry.
+//  3. The literal must satisfy faultinject.ValidSiteName — the same
+//     predicate NewPoint enforces dynamically.
+//  4. The name must be unique across all analyzed packages, so two
+//     subsystems can never claim the same site even when no test
+//     binary links them together.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"sync"
+
+	"udm/internal/analysis"
+	"udm/internal/faultinject"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "require faultinject.NewPoint sites to be package-level vars with literal, well-formed, " +
+		"globally unique names",
+	Run: run,
+}
+
+// sites records the first declaration of every literal site name, keyed
+// by the load's shared FileSet so that uniqueness is scoped to one
+// analysis run: independent runs in one test process (fixture trees,
+// the real tree) must not see each other's names.
+var sites = struct {
+	sync.Mutex
+	byLoad map[*token.FileSet]map[string]string
+}{byLoad: map[*token.FileSet]map[string]string{}}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !analysis.IsPkgFunc(pass.TypesInfo, call, "internal/faultinject", "NewPoint") {
+			return
+		}
+		if !packageLevelVar(pass, call) {
+			pass.Reportf(call.Pos(), "faultinject.NewPoint outside a package-level var: points are compiled in once, not created at run time")
+		}
+		if len(call.Args) != 1 {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			pass.Reportf(call.Args[0].Pos(), "fault site name is not a string literal: site names must be greppable and statically checkable")
+			return
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		if !faultinject.ValidSiteName(name) {
+			pass.Reportf(lit.Pos(), "invalid fault site name %q: want a lowercase dotted path like \"server.batcher.flush\"", name)
+			return
+		}
+		sites.Lock()
+		m := sites.byLoad[pass.Fset]
+		if m == nil {
+			m = map[string]string{}
+			sites.byLoad[pass.Fset] = m
+		}
+		first, dup := m[name]
+		if !dup {
+			m[name] = pass.Fset.Position(lit.Pos()).String()
+		}
+		sites.Unlock()
+		if dup {
+			pass.Reportf(lit.Pos(), "duplicate fault site name %q: first declared at %s", name, first)
+		}
+	})
+	return nil
+}
+
+// packageLevelVar reports whether n sits inside a package-level var
+// initializer: ascending the syntax tree reaches the file before any
+// function body.
+func packageLevelVar(pass *analysis.Pass, n ast.Node) bool {
+	for p := pass.ParentOf(n); p != nil; p = pass.ParentOf(p) {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.File:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", faultpoint.Analyzer,
+		"udmfixture/faultpoint", "udmfixture/faultpoint2", "udmfixture/internal/faultinject")
+}

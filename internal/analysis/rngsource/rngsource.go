@@ -4,9 +4,11 @@
 // seeded, splittable Source, so a run is determined entirely by its
 // configured seeds. Two rules enforce that:
 //
-//  1. Only internal/rng may import math/rand (or math/rand/v2). Any
-//     other import site reintroduces the package-global generator and
-//     with it cross-test, cross-goroutine seed coupling.
+//  1. Only internal/rng — and internal/faultinject, whose per-site
+//     probability streams are seeded by the armed fault spec — may
+//     import math/rand (or math/rand/v2). Any other import site
+//     reintroduces the package-global generator and with it
+//     cross-test, cross-goroutine seed coupling.
 //  2. Nothing may seed a generator from the wall clock: time.Now
 //     flowing into rand.New/rand.NewSource, rng.New, or any
 //     Seed-named call makes runs unrepeatable by construction. This
@@ -22,15 +24,33 @@ import (
 	"udm/internal/analysis"
 )
 
+// randPkgs are the package-path suffixes sanctioned to import
+// math/rand directly: internal/rng (the seeded-stream substrate every
+// other package draws through) and internal/faultinject, whose
+// probabilistic fault points run one explicitly-seeded stream per
+// armed site and must not depend on internal/rng (fault points are
+// compiled into the substrate packages internal/rng's own users sit
+// on).
+var randPkgs = []string{
+	"internal/rng",
+	"internal/faultinject",
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "rngsource",
-	Doc: "forbid math/rand imports outside internal/rng and any seeding of a generator from time.Now: " +
-		"randomness must flow through seeded rng.Source streams",
+	Doc: "forbid math/rand imports outside internal/rng (and internal/faultinject's seeded fault streams) " +
+		"and any seeding of a generator from time.Now: randomness must flow through seeded streams",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	rngPkg := analysis.PathHasSuffix(pass.PkgPath, "internal/rng")
+	rngPkg := false
+	for _, suffix := range randPkgs {
+		if analysis.PathHasSuffix(pass.PkgPath, suffix) {
+			rngPkg = true
+			break
+		}
+	}
 	analysis.Preorder(pass.Files, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.ImportSpec:

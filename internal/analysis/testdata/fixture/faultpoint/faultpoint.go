@@ -1,0 +1,24 @@
+// Package faultpoint exercises the faultpoint analyzer: literal,
+// well-formed, unique site names in package-level vars pass; everything
+// else is flagged.
+package faultpoint
+
+import "udmfixture/internal/faultinject"
+
+var okFlush = faultinject.NewPoint("server.batcher.flush")
+
+var okEval = faultinject.NewPoint("server.model.eval")
+
+var dupFirst = faultinject.NewPoint("dup.site")
+
+var dupSecond = faultinject.NewPoint("dup.site") // want `duplicate fault site name "dup.site"`
+
+var computedName = faultinject.NewPoint("server." + suffix()) // want `not a string literal`
+
+var badShape = faultinject.NewPoint("NoDots") // want `invalid fault site name "NoDots"`
+
+func suffix() string { return "computed" }
+
+func runtimePoint() *faultinject.Point {
+	return faultinject.NewPoint("func.scoped") // want `outside a package-level var`
+}

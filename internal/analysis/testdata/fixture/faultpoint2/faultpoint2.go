@@ -1,0 +1,10 @@
+// Package faultpoint2 exists to prove site-name uniqueness is enforced
+// ACROSS packages: "server.batcher.flush" is first declared in the
+// sibling faultpoint fixture package, and no process ever links the two.
+package faultpoint2
+
+import "udmfixture/internal/faultinject"
+
+var okLocal = faultinject.NewPoint("pkg2.only")
+
+var crossDup = faultinject.NewPoint("server.batcher.flush") // want `duplicate fault site name "server.batcher.flush"`

@@ -1,0 +1,10 @@
+// Package faultinject is the fixture stand-in for the real fault
+// registry: the faultpoint analyzer resolves NewPoint by package-path
+// suffix, so this stub only needs the signature.
+package faultinject
+
+// Point is one named injection site.
+type Point struct{ name string }
+
+// NewPoint registers a named injection site.
+func NewPoint(name string) *Point { return &Point{name: name} }

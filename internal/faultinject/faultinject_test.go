@@ -1,0 +1,311 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"udm/internal/udmerr"
+)
+
+// Test sites are registered once at package init, like production
+// sites.
+var (
+	ptErr     = NewPoint("faulttest.err")
+	ptDelay   = NewPoint("faulttest.delay")
+	ptCancel  = NewPoint("faulttest.cancel")
+	ptTrunc   = NewPoint("faulttest.trunc")
+	ptProb    = NewPoint("faulttest.prob")
+	ptUnarmed = NewPoint("faulttest.unarmed")
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() = true after Reset")
+	}
+	if err := ptErr.Hit(context.Background()); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if ptErr.Hits() != 0 {
+		t.Fatalf("disarmed hits counted: %d", ptErr.Hits())
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.err", Spec{Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Arm")
+	}
+	for i := 0; i < 2; i++ {
+		err := ptErr.Hit(context.Background())
+		if !errors.Is(err, udmerr.ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+		if !strings.Contains(err.Error(), "faulttest.err") {
+			t.Fatalf("injected error does not name its site: %v", err)
+		}
+	}
+	if err := ptErr.Hit(context.Background()); err != nil {
+		t.Fatalf("hit after Times exhausted = %v, want nil", err)
+	}
+	if got := ptErr.Hits(); got != 3 {
+		t.Errorf("Hits() = %d, want 3", got)
+	}
+	if got := ptErr.Fired(); got != 2 {
+		t.Errorf("Fired() = %d, want 2", got)
+	}
+	// Other sites stay dark.
+	if err := ptUnarmed.Hit(context.Background()); err != nil {
+		t.Errorf("unarmed site fired: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	Reset()
+	defer Reset()
+	custom := errors.New("backend exploded")
+	if err := Arm("faulttest.err", Spec{Err: true, Custom: custom}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptErr.Hit(nil); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want wrapped custom error", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.delay", Spec{Delay: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ptDelay.Hit(context.Background()); err != nil {
+		t.Fatalf("latency-only hit failed: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency hit returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.delay", Spec{Delay: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := ptDelay.Hit(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("context-bounded sleep took %v", d)
+	}
+}
+
+func TestCancelInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.cancel", Spec{Cancel: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := ptCancel.Hit(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, udmerr.ErrInjected) {
+		t.Fatalf("injected cancellation must not match ErrInjected: %v", err)
+	}
+}
+
+func TestTruncateWriter(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.trunc", Spec{Truncate: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := ptTrunc.Writer(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, udmerr.ErrInjected) {
+		t.Fatalf("torn write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "01234" {
+		t.Fatalf("payload = %q, want %q", buf.String(), "01234")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, udmerr.ErrInjected) {
+		t.Fatalf("write after truncation = %v, want ErrInjected", err)
+	}
+}
+
+func TestWriterPassThrough(t *testing.T) {
+	Reset()
+	defer Reset()
+	var buf bytes.Buffer
+	w, err := ptTrunc.Writer(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil || buf.String() != "hello" {
+		t.Fatalf("disarmed Writer mangled the stream: %v %q", err, buf.String())
+	}
+	// An error-armed writer site fails before any bytes flow.
+	if err := Arm("faulttest.trunc", Spec{Err: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ptTrunc.Writer(context.Background(), &buf); !errors.Is(err, udmerr.ErrInjected) {
+		t.Fatalf("error-armed Writer = %v, want ErrInjected", err)
+	}
+}
+
+func TestProbDeterminism(t *testing.T) {
+	Reset()
+	defer Reset()
+	fired := func(seed int64) []bool {
+		Reset()
+		if err := Arm("faulttest.prob", Spec{Prob: 0.5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = ptProb.Hit(context.Background()) != nil
+		}
+		return out
+	}
+	a, b := fired(7), fired(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := fired(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical firing schedules (suspicious)")
+	}
+	var n int
+	for _, f := range a {
+		if f {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Errorf("prob=0.5 fired %d/%d hits", n, len(a))
+	}
+}
+
+func TestArmUnknownSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := Arm("no.such.site", Spec{})
+	if !errors.Is(err, udmerr.ErrBadOption) {
+		t.Fatalf("Arm(unknown) = %v, want ErrBadOption", err)
+	}
+}
+
+func TestDisarmSite(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("faulttest.err", Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("faulttest.err")
+	if err := ptErr.Hit(context.Background()); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	sites := Sites()
+	for i := 1; i < len(sites); i++ {
+		if sites[i-1] >= sites[i] {
+			t.Fatalf("Sites() not sorted/unique: %v", sites)
+		}
+	}
+	found := false
+	for _, s := range sites {
+		if s == "faulttest.err" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Sites() missing registered site: %v", sites)
+	}
+}
+
+func TestValidSiteName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"server.batcher.flush": true,
+		"a.b":                  true,
+		"a.b_c.d9":             true,
+		"":                     false,
+		"noDots":               false,
+		"Upper.case":           false,
+		"a..b":                 false,
+		"a.":                   false,
+		".a":                   false,
+		"a b.c":                false,
+		"9a.b":                 false,
+	} {
+		if got := ValidSiteName(name); got != want {
+			t.Errorf("ValidSiteName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("error,times=2,latency=50ms,prob=0.25,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Err: true, Times: 2, Delay: 50 * time.Millisecond, Prob: 0.25, Seed: 9}
+	if spec != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", spec, want)
+	}
+	if _, err := ParseSpec("cancel"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec("truncate=64"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "explode", "latency", "prob=2", "times=-1", "seed=x"} {
+		if _, err := ParseSpec(bad); !errors.Is(err, udmerr.ErrBadOption) {
+			t.Errorf("ParseSpec(%q) = %v, want ErrBadOption", bad, err)
+		}
+	}
+}
+
+func TestArmFlag(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ArmFlag("faulttest.err=error,times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptErr.Hit(context.Background()); !errors.Is(err, udmerr.ErrInjected) {
+		t.Fatalf("armed-by-flag site did not fire: %v", err)
+	}
+	for _, bad := range []string{"nosuch", "=error", "no.such.site=error", "faulttest.err=bogus"} {
+		if err := ArmFlag(bad); err == nil {
+			t.Errorf("ArmFlag(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"udm/internal/udmerr"
+)
+
+// ParseSpec parses the textual fault-spec syntax used by flags like
+// udmserve's -fault. A spec is a comma-separated list of directives:
+//
+//	error                fail the hit with ErrInjected (the default when
+//	                     no other directive implies an outcome)
+//	cancel               fail the hit with an injected cancellation
+//	latency=DUR          sleep DUR before proceeding or failing
+//	truncate=N           (writer sites) pass N bytes then fail writes
+//	times=N              fire only on the first N hits
+//	prob=P               fire each hit with probability P (seeded)
+//	seed=S               seed for the prob stream (default 0)
+//
+// Examples: "error", "error,times=2", "latency=50ms", "cancel,prob=0.5,seed=7".
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	if strings.TrimSpace(s) == "" {
+		return spec, fmt.Errorf("faultinject: empty fault spec: %w", udmerr.ErrBadOption)
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(part), "=")
+		var err error
+		switch key {
+		case "error":
+			spec.Err = true
+		case "cancel":
+			spec.Cancel = true
+		case "latency":
+			if !hasVal {
+				return spec, fmt.Errorf("faultinject: latency needs a duration: %w", udmerr.ErrBadOption)
+			}
+			spec.Delay, err = time.ParseDuration(val)
+		case "truncate":
+			spec.Truncate, err = atoiDirective(key, val, hasVal)
+		case "times":
+			spec.Times, err = atoiDirective(key, val, hasVal)
+		case "prob":
+			if !hasVal {
+				return spec, fmt.Errorf("faultinject: prob needs a value: %w", udmerr.ErrBadOption)
+			}
+			spec.Prob, err = strconv.ParseFloat(val, 64)
+			if err == nil && (spec.Prob < 0 || spec.Prob > 1) {
+				err = fmt.Errorf("prob %v outside [0,1]", spec.Prob)
+			}
+		case "seed":
+			if !hasVal {
+				return spec, fmt.Errorf("faultinject: seed needs a value: %w", udmerr.ErrBadOption)
+			}
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return spec, fmt.Errorf("faultinject: unknown directive %q in fault spec %q: %w", key, s, udmerr.ErrBadOption)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("faultinject: directive %q: %v: %w", part, err, udmerr.ErrBadOption)
+		}
+	}
+	return spec, nil
+}
+
+func atoiDirective(key, val string, hasVal bool) (int, error) {
+	if !hasVal {
+		return 0, fmt.Errorf("%s needs a value", key)
+	}
+	n, err := strconv.Atoi(val)
+	if err == nil && n < 0 {
+		err = fmt.Errorf("%s must be non-negative, got %d", key, n)
+	}
+	return n, err
+}
+
+// ArmFlag parses one "site=spec" flag value and arms it — the shape
+// cmd/udmserve's repeatable -fault flag feeds through.
+func ArmFlag(v string) error {
+	site, specStr, ok := strings.Cut(v, "=")
+	if !ok || site == "" {
+		return fmt.Errorf("faultinject: want site=spec, got %q: %w", v, udmerr.ErrBadOption)
+	}
+	spec, err := ParseSpec(specStr)
+	if err != nil {
+		return err
+	}
+	return Arm(site, spec)
+}

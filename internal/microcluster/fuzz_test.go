@@ -35,6 +35,90 @@ func FuzzDist2(f *testing.F) {
 	})
 }
 
+// FuzzFeatureMerge checks Definition 1's additivity under arbitrary
+// splits of a point set: merging two partial summaries is bit-exact
+// commutative (the statistics are element-wise float sums), the n and
+// timestamp bookkeeping is exact, the merged summary agrees with the
+// summary built by adding every point sequentially (up to reassociation
+// of the float sums), Lemma 1's Δ² stays well defined, and merging an
+// empty feature is a bit-exact no-op.
+func FuzzFeatureMerge(f *testing.F) {
+	f.Add(1.0, 0.5, 2.0, 0.25, -3.0, 1.0, 4.0, 0.0, 2, int64(100))
+	f.Add(-1e6, 10.0, 1e6, 10.0, 0.0, 0.0, 7.5, 2.5, 0, int64(-5))
+	f.Add(0.125, 0.0, 0.25, 0.5, 0.375, 0.25, 0.5, 0.125, 4, int64(0))
+	f.Fuzz(func(t *testing.T, x0, e0, x1, e1, x2, e2, x3, e3 float64, split int, ts0 int64) {
+		vals := []float64{x0, x1, x2, x3}
+		errs := []float64{e0, e1, e2, e3}
+		for i := range vals {
+			if math.IsNaN(vals[i]) || math.Abs(vals[i]) > 1e12 ||
+				math.IsNaN(errs[i]) || math.Abs(errs[i]) > 1e12 {
+				return
+			}
+			errs[i] = math.Abs(errs[i])
+		}
+		if ts0 > 1<<60 || ts0 < -(1<<60) {
+			return
+		}
+		k := ((split % 5) + 5) % 5 // a gets vals[:k], b the rest
+		a, b, all := NewFeature(1), NewFeature(1), NewFeature(1)
+		for i := range vals {
+			ft := a
+			if i >= k {
+				ft = b
+			}
+			ft.Add([]float64{vals[i]}, []float64{errs[i]}, ts0+int64(i))
+			all.Add([]float64{vals[i]}, []float64{errs[i]}, ts0+int64(i))
+		}
+		ab, ba := a.Clone(), b.Clone()
+		ab.Merge(b)
+		ba.Merge(a)
+		// Commutative to the bit: each statistic is a float add.
+		if ab.CF1[0] != ba.CF1[0] || ab.CF2[0] != ba.CF2[0] || ab.EF2[0] != ba.EF2[0] {
+			t.Fatalf("merge not commutative: %+v vs %+v", ab, ba)
+		}
+		if ab.N != ba.N || ab.FirstT != ba.FirstT || ab.LastT != ba.LastT {
+			t.Fatalf("merge bookkeeping not commutative: %+v vs %+v", ab, ba)
+		}
+		// Bookkeeping is exact: n adds, timestamps span the union.
+		if ab.N != 4 || ab.FirstT != ts0 || ab.LastT != ts0+3 {
+			t.Fatalf("merged bookkeeping n=%d first=%d last=%d, want 4, %d, %d",
+				ab.N, ab.FirstT, ab.LastT, ts0, ts0+3)
+		}
+		// Definition 1 additivity: merged statistics equal the one-pass
+		// statistics up to reassociation slack, which scales with the
+		// magnitude of the TERMS, not the (possibly cancelled) result.
+		var mCF1, mCF2, mEF2 float64
+		for i := range vals {
+			mCF1 += math.Abs(vals[i])
+			mCF2 += vals[i] * vals[i]
+			mEF2 += errs[i] * errs[i]
+		}
+		for _, s := range []struct {
+			name        string
+			merged, seq float64
+			termMag     float64
+		}{
+			{"CF1", ab.CF1[0], all.CF1[0], mCF1},
+			{"CF2", ab.CF2[0], all.CF2[0], mCF2},
+			{"EF2", ab.EF2[0], all.EF2[0], mEF2},
+		} {
+			if math.Abs(s.merged-s.seq) > 1e-9*(1+s.termMag) {
+				t.Fatalf("%s: merged %v != sequential %v", s.name, s.merged, s.seq)
+			}
+		}
+		if d2 := ab.Delta2(0); d2 < 0 || math.IsNaN(d2) {
+			t.Fatalf("merged Delta2 = %v", d2)
+		}
+		// Merging an empty feature is a bit-exact no-op.
+		solo := all.Clone()
+		solo.Merge(NewFeature(1))
+		if solo.CF1[0] != all.CF1[0] || solo.CF2[0] != all.CF2[0] || solo.EF2[0] != all.EF2[0] ||
+			solo.N != all.N || solo.FirstT != all.FirstT || solo.LastT != all.LastT {
+			t.Fatalf("merging an empty feature changed the summary: %+v vs %+v", solo, all)
+		}
+	})
+}
+
 // FuzzFeatureAdd checks that the additive statistics stay consistent
 // under arbitrary finite inputs: Lemma 1's Δ² is non-negative and the
 // centroid stays within the value envelope.

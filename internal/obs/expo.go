@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders every registered series in the Prometheus
@@ -16,7 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	lastName := ""
 	for _, e := range r.sorted() {
 		if e.name != lastName {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.kind); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, escapeHelp(e.help), e.name, e.kind); err != nil {
 				return fmt.Errorf("obs: writing exposition: %w", err)
 			}
 			lastName = e.name
@@ -76,4 +77,15 @@ func sampleName(name string, labels []string, le string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline only (quotes are legal in help text). Without this a help
+// string containing a newline would tear the line-oriented format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }

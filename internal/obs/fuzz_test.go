@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one well-formed exposition sample: a legal metric
+// name, an optional brace-delimited label set whose values contain no
+// raw quote or backslash outside an escape sequence, and a value token.
+// Raw newlines cannot appear because lines are split on them — an
+// escaping bug would tear a sample into two lines that fail this match.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? \S+$`)
+
+// unescapeLabel inverts escapeLabel; the second result is false on a
+// malformed escape (dangling backslash or unknown sequence).
+func unescapeLabel(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// FuzzPrometheusExposition drives arbitrary metric names, help strings,
+// label keys and label values through the registry and renderer and
+// checks the exposition contract: invalid names and label keys are
+// refused at registration; valid ones always render a deterministic,
+// line-oriented, parseable document in which every label value survives
+// the escape/unescape round trip and histogram buckets stay cumulative.
+func FuzzPrometheusExposition(f *testing.F) {
+	f.Add("udm_requests_total", "requests served", "endpoint", "/density", 1.5)
+	f.Add("udm_x", "line one\nline two", "model", `quote " and \ slash`, -0.25)
+	f.Add("", "empty name must be refused", "k", "v", 0.0)
+	f.Add("udm_y", "bad label key", "0key", "v", 2.0)
+	f.Add("udm:z_9", "", "_k9", "trailing newline\n", 7.0)
+	f.Fuzz(func(t *testing.T, name, help, lk, lv string, v float64) {
+		reg := NewRegistry()
+		bad := !validMetricName(name) || !validLabelKey(lk)
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			reg.Counter(name, help, lk, lv).Inc()
+			return
+		}()
+		if panicked != bad {
+			t.Fatalf("registering name=%q key=%q: panicked=%v, want %v", name, lk, panicked, bad)
+		}
+		if bad {
+			return
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 1.25
+		}
+		reg.Gauge(name+"_g", help, lk, lv).Set(v)
+		h := reg.Histogram(name+"_h", help, []float64{0.5, 2}, lk, lv)
+		h.Observe(v)
+		h.Observe(-v)
+
+		var first, second bytes.Buffer
+		if err := reg.WritePrometheus(&first); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WritePrometheus(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("exposition not deterministic:\n%q\nvs\n%q", first.String(), second.String())
+		}
+
+		out := first.String()
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition does not end in a newline: %q", out)
+		}
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		helps := 0
+		var bucketCounts []uint64
+		var histCount uint64
+		var counterLine string
+		for _, line := range lines {
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				rest := strings.TrimPrefix(strings.TrimPrefix(line, "# HELP "), "# TYPE ")
+				mn, _, _ := strings.Cut(rest, " ")
+				if !validMetricName(mn) {
+					t.Fatalf("comment line for invalid metric name: %q", line)
+				}
+				if strings.HasPrefix(line, "# HELP ") {
+					helps++
+				}
+				continue
+			}
+			if !sampleLine.MatchString(line) {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			val := line[strings.LastIndexByte(line, ' ')+1:]
+			switch {
+			case strings.HasPrefix(line, name+"_h_bucket{"):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket line %q: %v", line, err)
+				}
+				bucketCounts = append(bucketCounts, n)
+			case strings.HasPrefix(line, name+"_h_count{"):
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					t.Fatalf("count line %q: %v", line, err)
+				}
+				histCount = n
+			case strings.HasPrefix(line, name+"{"):
+				counterLine = line
+			}
+		}
+		if helps != 3 {
+			t.Fatalf("want one HELP line per metric name (3), got %d:\n%s", helps, out)
+		}
+		for i := 1; i < len(bucketCounts); i++ {
+			if bucketCounts[i] < bucketCounts[i-1] {
+				t.Fatalf("bucket counts not cumulative: %v", bucketCounts)
+			}
+		}
+		if len(bucketCounts) != 3 || bucketCounts[len(bucketCounts)-1] != histCount {
+			t.Fatalf("buckets %v inconsistent with count %d", bucketCounts, histCount)
+		}
+		// The counter's label value must survive the escaping round trip.
+		prefix := name + "{" + lk + `="`
+		if counterLine == "" {
+			t.Fatalf("counter series %q not rendered:\n%s", prefix, out)
+		}
+		rest := counterLine[len(prefix):]
+		end := -1
+		for p := 0; p < len(rest); p++ {
+			if rest[p] == '\\' {
+				p++
+				continue
+			}
+			if rest[p] == '"' {
+				end = p
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("counter label value unterminated in %q", counterLine)
+		}
+		got, ok := unescapeLabel(rest[:end])
+		if !ok || got != lv {
+			t.Fatalf("label value round trip: rendered %q decodes to %q (ok=%v), want %q", rest[:end], got, ok, lv)
+		}
+	})
+}

@@ -105,14 +105,49 @@ func escapeLabel(v string) string {
 	return v
 }
 
+// validMetricName reports whether name satisfies the Prometheus data
+// model ([a-zA-Z_:][a-zA-Z0-9_:]*). Anything else would render an
+// unparsable exposition, so registration refuses it up front.
+func validMetricName(name string) bool {
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return name != ""
+}
+
+// validLabelKey reports whether k is a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*). Label VALUES are unrestricted — they are
+// escaped at render time.
+func validLabelKey(k string) bool {
+	for i, c := range k {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return k != ""
+}
+
 // register get-or-creates the entry for (name, labels), enforcing kind
 // agreement.
 func (r *Registry) register(name, help string, kind metricKind, labels []string) *entry {
-	if name == "" {
-		panic("obs: empty metric name")
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: metric %s registered with odd label list %q", name, labels))
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		if !validLabelKey(labels[i]) {
+			panic(fmt.Sprintf("obs: metric %s registered with invalid label name %q", name, labels[i]))
+		}
 	}
 	key := seriesKey(name, labels)
 	r.mu.Lock()

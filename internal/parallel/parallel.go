@@ -20,9 +20,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"udm/internal/faultinject"
 	"udm/internal/num"
 	"udm/internal/obs"
 )
+
+// chunkFault fires once per dispatched chunk, letting the fault-matrix
+// suite fail or delay an arbitrary slice of a batch computation. When
+// disarmed it costs one atomic load per chunk — noise next to the chunk
+// itself.
+var chunkFault = faultinject.NewPoint("parallel.chunk")
 
 // Telemetry for the fan-out substrate. Counters are unconditional (one
 // atomic add each); chunk timing — two time.Now calls per chunk — runs
@@ -89,6 +96,9 @@ func For(ctx context.Context, n, p int, fn func(start, end int) error) error {
 		}
 		serialCalls.Inc()
 		chunksDispatched.Inc()
+		if err := chunkFault.Hit(ctx); err != nil {
+			return err
+		}
 		return fn(0, n)
 	}
 	chunks := workers * oversubscribe
@@ -120,7 +130,10 @@ func For(ctx context.Context, n, p int, fn func(start, end int) error) error {
 					queueWaitSeconds.Observe(picked.Sub(began).Seconds())
 				}
 				start, end := c*n/chunks, (c+1)*n/chunks
-				err := fn(start, end)
+				err := chunkFault.Hit(ctx)
+				if err == nil {
+					err = fn(start, end)
+				}
 				if timed {
 					chunkSeconds.Observe(time.Since(picked).Seconds())
 				}

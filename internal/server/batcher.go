@@ -86,6 +86,15 @@ func (b *batcher[Req, Res]) do(ctx context.Context, req Req) (Res, error) {
 	}
 	select {
 	case r := <-w.ch:
+		if r.err != nil && ctx.Err() != nil {
+			// The batch failed after this waiter's context ended (both
+			// select arms were ready; Go picks one at random). The
+			// cancellation owns the outcome: reporting the batch error
+			// would let upstream resilience retry or count a failure on
+			// behalf of a client that already hung up.
+			var zero Res
+			return zero, ctx.Err()
+		}
 		return r.val, r.err
 	case <-ctx.Done():
 		var zero Res
@@ -141,7 +150,13 @@ func (b *batcher[Req, Res]) flush(batch []batchWaiter[Req, Res]) {
 	for i, w := range batch {
 		reqs[i] = w.req
 	}
-	res, err := b.run(ctx, reqs)
+	// The flush fault point sees the batch context, so an injected delay
+	// here models a stalled flush that members may cancel out of.
+	err := flushFault.Hit(ctx)
+	var res []Res
+	if err == nil {
+		res, err = b.run(ctx, reqs)
+	}
 	for _, stop := range stops {
 		stop()
 	}

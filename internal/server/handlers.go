@@ -47,6 +47,12 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "no_errors"
 	case errors.Is(err, udmerr.ErrUntrained):
 		return http.StatusConflict, "untrained"
+	case errors.Is(err, udmerr.ErrCircuitOpen):
+		return http.StatusServiceUnavailable, "circuit_open"
+	case errors.Is(err, udmerr.ErrDegraded):
+		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, udmerr.ErrInjected):
+		return http.StatusBadGateway, "injected_fault"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
@@ -73,7 +79,26 @@ func writeError(w http.ResponseWriter, m *Metrics, status int, code, msg string)
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	status, code := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		// Breaker refusals clear on their own; tell well-behaved clients
+		// when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeError(w, s.metrics, status, code, err.Error())
+}
+
+// evalRetry runs one direct (non-coalesced) model evaluation under the
+// eval fault point, the model's circuit breaker, and the server's retry
+// budget — the same resilience stack the batched paths get inside their
+// flush functions.
+func evalRetry[T any](ctx context.Context, s *Server, model string, op func(context.Context) (T, error)) (T, error) {
+	return retryDo(ctx, s.retry, s.breakers[model], func(ctx context.Context) (T, error) {
+		if err := evalFault.Hit(ctx); err != nil {
+			var zero T
+			return zero, err
+		}
+		return op(ctx)
+	})
 }
 
 // model resolves the {model} path segment, writing 404 on a miss.
@@ -230,7 +255,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		labels = []int{label}
 	} else {
-		labels, err = clf.ClassifyBatchContext(r.Context(), rows, s.opt.Workers)
+		labels, err = evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]int, error) {
+			return clf.ClassifyBatchContext(ctx, rows, s.opt.Workers)
+		})
 		if err != nil {
 			s.fail(w, err)
 			return
@@ -255,6 +282,10 @@ type densityResponse struct {
 	Densities []float64 `json:"densities"`
 	Density   *float64  `json:"density,omitempty"` // set for single-point requests
 	Cached    bool      `json:"cached,omitempty"`
+	// Degraded marks a stale answer served because the model's circuit
+	// breaker was open; such responses also carry the X-UDM-Degraded
+	// header. Absent on every healthy response.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
@@ -279,20 +310,24 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if single {
-		d, cached, err := s.densityOne(r.Context(), m, rows[0], req.Dims)
+		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims)
 		if err != nil {
 			s.fail(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, densityResponse{Densities: []float64{d}, Density: &d, Cached: cached})
+		if degraded {
+			w.Header().Set("X-UDM-Degraded", "stale")
+		}
+		writeJSON(w, http.StatusOK, densityResponse{Densities: []float64{d}, Density: &d, Cached: cached, Degraded: degraded})
 		return
 	}
-	est, _, err := m.estimator()
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	ds, err := est.DensityBatchContext(r.Context(), rows, req.Dims, s.opt.Workers)
+	ds, err := evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]float64, error) {
+		est, _, err := m.estimator()
+		if err != nil {
+			return nil, err
+		}
+		return est.DensityBatchContext(ctx, rows, req.Dims, s.opt.Workers)
+	})
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -300,38 +335,57 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, densityResponse{Densities: ds})
 }
 
+// staleVersion is the sentinel model version keying the stale cache.
+// Degraded mode deliberately ignores model versioning: a stale answer
+// that survived ingestion is exactly what a tripped model can still
+// serve.
+const staleVersion = ^uint64(0)
+
 // densityOne serves one density query through the LRU cache and, for
 // full-dimensional queries, the micro-batcher. Subset queries bypass
 // coalescing (one batch shares one dims slice) but still hit the cache.
-func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int) (float64, bool, error) {
+// When the model's circuit breaker refuses the evaluation, the stale
+// cache answers instead (degraded=true); with no stale entry either,
+// the request fails with ErrDegraded.
+func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int) (d float64, cached, degraded bool, err error) {
 	key := cacheKey(m.Name(), m.version(), dims, x, s.opt.CacheQuantum)
-	if d, ok := s.cache.get(key); ok {
-		s.metrics.CacheHits.Add(1)
-		return d, true, nil
-	}
-	s.metrics.CacheMisses.Add(1)
-	var d float64
-	var err error
+	skey := cacheKey(m.Name(), staleVersion, dims, x, s.opt.CacheQuantum)
+	if ferr := cacheGetFault.Hit(ctx); ferr == nil {
+		if d, ok := s.cache.get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			return d, true, false, nil
+		}
+		s.metrics.CacheMisses.Add(1)
+	} // an unavailable cache is a miss, never a failure
 	if dims == nil {
 		d, err = s.batchers[m.Name()].density.do(ctx, x)
 	} else {
-		var est interface {
-			DensityBatchContext(context.Context, [][]float64, []int, int) ([]float64, error)
-		}
-		est, _, err = m.estimator()
-		if err == nil {
-			var ds []float64
-			ds, err = est.DensityBatchContext(ctx, [][]float64{x}, dims, 1)
-			if err == nil {
-				d = ds[0]
+		d, err = evalRetry(ctx, s, m.Name(), func(ctx context.Context) (float64, error) {
+			est, _, err := m.estimator()
+			if err != nil {
+				return 0, err
 			}
-		}
+			ds, err := est.DensityBatchContext(ctx, [][]float64{x}, dims, 1)
+			if err != nil {
+				return 0, err
+			}
+			return ds[0], nil
+		})
 	}
 	if err != nil {
-		return 0, false, err
+		if errors.Is(err, udmerr.ErrCircuitOpen) {
+			if d, ok := s.stale.get(skey); ok {
+				s.metrics.Degraded.Add(1)
+				return d, true, true, nil
+			}
+			return 0, false, false, fmt.Errorf("server: model %q circuit open and no stale density for this point: %w",
+				m.Name(), udmerr.ErrDegraded)
+		}
+		return 0, false, false, err
 	}
 	s.cache.put(key, d)
-	return d, false, nil
+	s.stale.put(skey, d)
+	return d, false, false, nil
 }
 
 // --- /v1/models/{model}/outliers ---
@@ -386,7 +440,9 @@ func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		opt.UseQueryError = true
 		opt.KDE.ErrorAdjust = true
 	}
-	res, err := outlier.DetectStream(sum, rows, req.Errors, opt)
+	res, err := evalRetry(r.Context(), s, m.Name(), func(context.Context) (*outlier.Result, error) {
+		return outlier.DetectStream(sum, rows, req.Errors, opt)
+	})
 	if err != nil {
 		s.fail(w, err)
 		return

@@ -56,6 +56,11 @@ type Metrics struct {
 	// Stream ingestion.
 	IngestedRows *obs.Counter
 
+	// Resilience. These are Prometheus-only: the JSON /metrics document
+	// predates them and its key set is frozen.
+	Retries  *obs.Counter // model evaluations re-run after a transient failure
+	Degraded *obs.Counter // responses served from the stale cache while a breaker was open
+
 	// Latency of served /v1 requests (excluding shed ones), seconds.
 	Latency *obs.Histogram
 }
@@ -85,6 +90,9 @@ func newMetrics() *Metrics {
 		CacheMisses: reg.Counter("udm_server_cache_misses_total", "density cache misses"),
 
 		IngestedRows: reg.Counter("udm_server_ingested_rows_total", "stream records ingested via /ingest"),
+
+		Retries:  reg.Counter("udm_retry_total", "model evaluations retried after a transient failure"),
+		Degraded: reg.Counter("udm_server_degraded_total", "degraded responses served from the stale density cache"),
 
 		Latency: reg.Histogram("udm_server_latency_seconds", "latency of served /v1 requests", latencyBuckets),
 	}

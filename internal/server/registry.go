@@ -189,7 +189,14 @@ func (m *Model) Checkpoint() error {
 		return fmt.Errorf("server: checkpoint %q: %w", m.name, err)
 	}
 	defer f.Close()
-	if err := m.eng.Save(f); err != nil {
+	// The fault point wraps the file, so error plans fail the write
+	// outright and truncation plans leave a torn artifact on disk — the
+	// recovery path LoadEngine must reject.
+	w, err := modelCheckpointFault.Writer(nil, f)
+	if err != nil {
+		return fmt.Errorf("server: checkpoint %q: %w", m.name, err)
+	}
+	if err := m.eng.Save(w); err != nil {
 		return fmt.Errorf("server: checkpoint %q: %w", m.name, err)
 	}
 	return f.Close()

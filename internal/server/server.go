@@ -54,6 +54,33 @@ type Options struct {
 	// SlowLogf receives slow-span log lines (default log.Printf). It
 	// must be safe for concurrent use.
 	SlowLogf func(format string, args ...any)
+
+	// RetryMax is how many times a transiently-failed model evaluation
+	// is re-run beyond the first attempt (default 2; negative disables
+	// retries). Input errors, context endings and breaker refusals are
+	// never retried.
+	RetryMax int
+	// RetryBase and RetryCap bound the decorrelated-jitter backoff
+	// between retry attempts: each sleep is drawn from [RetryBase,
+	// 3×previous] and clamped to RetryCap (defaults 5ms and 250ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// RetrySeed seeds the backoff jitter stream, making retry schedules
+	// reproducible for a fixed seed and arrival order (default 1).
+	RetrySeed int64
+	// BreakerThreshold is the number of consecutive transient evaluation
+	// failures that opens a model's circuit breaker (default 5; negative
+	// disables breakers). While open, requests for that model fail fast
+	// with 503 circuit_open — or are served stale densities in degraded
+	// mode — without touching the model.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// letting probe requests through (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerProbes is how many half-open probe requests may be in
+	// flight at once, and how many must succeed consecutively to close
+	// the breaker again (default 1).
+	BreakerProbes int
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +107,29 @@ func (o Options) withDefaults() Options {
 	if o.SlowLogf == nil {
 		o.SlowLogf = log.Printf
 	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 2
+	} else if o.RetryMax < 0 {
+		o.RetryMax = 0
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryCap == 0 {
+		o.RetryCap = 250 * time.Millisecond
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.BreakerProbes == 0 {
+		o.BreakerProbes = 1
+	}
 	return o
 }
 
@@ -95,6 +145,15 @@ type Server struct {
 	inflight chan struct{}
 	handler  http.Handler
 	ready    atomic.Bool
+
+	// Resilience: shared retry pacing, one breaker per model (nil when
+	// disabled), and the stale density cache backing degraded mode. The
+	// stale cache is keyed without the model version, so entries survive
+	// the version bumps that retire the exact cache — deliberately: a
+	// stale answer is degraded mode's whole point.
+	retry    *retrier
+	breakers map[string]*breaker
+	stale    *lruCache
 
 	httpSrv  *http.Server
 	batchers map[string]*modelBatchers
@@ -139,7 +198,10 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 		cache:    newLRUCache(opt.CacheSize),
 		inflight: make(chan struct{}, opt.MaxInflight),
 		batchers: make(map[string]*modelBatchers),
+		breakers: make(map[string]*breaker),
+		stale:    newLRUCache(opt.CacheSize),
 	}
+	s.retry = newRetrier(opt, s.metrics)
 	s.metrics.reg.GaugeFunc("udm_server_cache_entries", "live density-cache entries",
 		func() float64 { return float64(s.cache.len()) })
 	if opt.Debug {
@@ -151,22 +213,34 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 	ctx = obs.WithTracer(ctx, s.tracer)
 	for _, name := range reg.Names() {
 		m, _ := reg.Get(name)
+		br := newBreaker(name, opt, s.metrics.reg)
+		s.breakers[name] = br
 		mb := &modelBatchers{}
 		if m.Classifier() != nil {
 			clf := m.Classifier()
 			mb.classify = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
 				func(ctx context.Context, reqs [][]float64) ([]int, error) {
-					return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
+					return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]int, error) {
+						if err := evalFault.Hit(ctx); err != nil {
+							return nil, err
+						}
+						return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
+					})
 				})
 		}
 		model := m
 		mb.density = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
 			func(ctx context.Context, reqs [][]float64) ([]float64, error) {
-				est, _, err := model.estimator()
-				if err != nil {
-					return nil, err
-				}
-				return est.DensityBatchContext(ctx, reqs, nil, opt.Workers)
+				return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]float64, error) {
+					if err := evalFault.Hit(ctx); err != nil {
+						return nil, err
+					}
+					est, _, err := model.estimator()
+					if err != nil {
+						return nil, err
+					}
+					return est.DensityBatchContext(ctx, reqs, nil, opt.Workers)
+				})
 			})
 		s.batchers[name] = mb
 	}

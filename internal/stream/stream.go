@@ -18,9 +18,16 @@ import (
 	"sync"
 	"time"
 
+	"udm/internal/faultinject"
 	"udm/internal/microcluster"
 	"udm/internal/udmerr"
 )
+
+// checkpointFault guards the engine-checkpoint encoder: armed with an
+// error it fails the Save outright, armed with truncation it produces a
+// deterministically torn checkpoint (which LoadEngine must then reject
+// as ErrBadData). Disarmed it costs one atomic load per Save.
+var checkpointFault = faultinject.NewPoint("stream.checkpoint.encode")
 
 // Snapshot is the full micro-cluster state at one instant.
 type Snapshot struct {
@@ -257,7 +264,11 @@ func (e *Engine) Save(w io.Writer) error {
 		}
 		snap.Snaps = append(snap.Snaps, wire)
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	out, err := checkpointFault.Writer(nil, w)
+	if err != nil {
+		return fmt.Errorf("stream: encoding engine: %w", err)
+	}
+	if err := gob.NewEncoder(out).Encode(snap); err != nil {
 		return fmt.Errorf("stream: encoding engine: %w", err)
 	}
 	return nil

@@ -26,6 +26,12 @@
 //     though its shape may be right (NaN/Inf values, invalid standard
 //     errors, out-of-range labels, malformed CSV, corrupt snapshot or
 //     checkpoint artifacts). Fix or regenerate the data.
+//   - ErrInjected: a deliberate fault from internal/faultinject fired at
+//     this site. Transient by construction; retry or disarm the plan.
+//   - ErrCircuitOpen: the model's circuit breaker is open and the
+//     operation was refused without touching the backend. Retry later.
+//   - ErrDegraded: degraded mode (stale answers while the breaker is
+//     open) had nothing cached for this request. Retry later.
 //
 // The package sits below every other internal package so any layer can
 // wrap the sentinels without import cycles.
@@ -56,4 +62,22 @@ var (
 	// out-of-range labels, unparseable or inconsistent CSV, or a
 	// corrupt model/checkpoint artifact. Fix or regenerate the data.
 	ErrBadData = errors.New("bad data")
+
+	// ErrInjected reports a failure manufactured by the fault-injection
+	// framework (internal/faultinject). It never occurs in production
+	// builds with injection disarmed; seeing it means a fault plan is
+	// active. Resilience layers treat it as a transient backend fault.
+	ErrInjected = errors.New("injected fault")
+
+	// ErrCircuitOpen reports an operation refused because the model's
+	// circuit breaker is open: the backing model failed repeatedly and
+	// the serving layer is shedding work to let it recover. Retry after
+	// the breaker's cooldown.
+	ErrCircuitOpen = errors.New("circuit open")
+
+	// ErrDegraded reports that degraded mode — serving cached or stale
+	// answers while the circuit breaker is open — could not produce an
+	// answer for this request (no stale value available). Retry after
+	// the breaker's cooldown.
+	ErrDegraded = errors.New("degraded mode cannot serve request")
 )

@@ -123,6 +123,16 @@ var (
 	// NaN/Inf values, invalid standard errors, out-of-range labels,
 	// malformed CSV, or a corrupt model/checkpoint artifact.
 	ErrBadData = udmerr.ErrBadData
+	// ErrInjected reports a failure fired by an armed fault-injection
+	// site (internal/faultinject) — it never occurs in production
+	// configurations, where every site is disarmed.
+	ErrInjected = udmerr.ErrInjected
+	// ErrCircuitOpen reports a request refused fast because the serving
+	// layer's circuit breaker for the target model is open.
+	ErrCircuitOpen = udmerr.ErrCircuitOpen
+	// ErrDegraded reports a request the serving layer could not satisfy
+	// even in degraded mode (breaker open and no stale answer cached).
+	ErrDegraded = udmerr.ErrDegraded
 )
 
 // Data model.
