@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot ci
+.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot bench-kde ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -92,6 +92,11 @@ bench:
 ## bench-snapshot: observability overhead on the hot batch path (gates at 5%)
 bench-snapshot:
 	bash scripts/bench_snapshot.sh
+
+## bench-kde: KDE hot-path trajectory — appends to BENCH_kde.json and
+## gates on pruned speedup (≥5x) and regression vs the best prior entry
+bench-kde:
+	bash scripts/bench_kde.sh
 
 ## ci: the full pipeline, serially
 ci: check lint race bench-smoke fuzz-smoke faults serve-smoke

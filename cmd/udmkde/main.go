@@ -19,6 +19,7 @@ import (
 	"udm/internal/dataset"
 	"udm/internal/eval"
 	"udm/internal/kde"
+	"udm/internal/kernel"
 	"udm/internal/microcluster"
 	"udm/internal/rng"
 )
@@ -34,6 +35,8 @@ func main() {
 		noAdj   = flag.Bool("no-adjust", false, "ignore error columns")
 		plot    = flag.Bool("plot", false, "render the 1-D curve as an ASCII chart instead of values")
 		seed    = flag.Int64("seed", 1, "random seed (micro-cluster ordering)")
+		prune   = flag.Float64("prune", 0, "far-field truncation tolerance (relative error bound; 0 = exact)")
+		approx  = flag.Float64("approx", 0, "bounded-error fast-exp budget epsilon (0 = exact; Gaussian kernel only)")
 	)
 	flag.Parse()
 	if *in == "" || *dimName == "" {
@@ -50,7 +53,10 @@ func main() {
 	}
 	adjust := !*noAdj && ds.HasErrors()
 
-	opt := kde.Options{ErrorAdjust: adjust}
+	opt := kde.Options{ErrorAdjust: adjust, Prune: *prune}
+	if *approx > 0 {
+		opt.Accuracy = kernel.Approx(*approx)
+	}
 	if *cv {
 		h, err := kde.CVBandwidths(ds, adjust, nil)
 		if err != nil {

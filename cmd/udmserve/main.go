@@ -104,6 +104,7 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		threshold    = flag.Float64("a", 0, "classifier accuracy threshold for transform models (0 = default)")
 		errorAdjust  = flag.Bool("error-adjust", true, "use the error-adjusted kernel for density and outliers")
+		prune        = flag.Float64("prune", 0, "far-field truncation tolerance for batched densities (relative error bound; 0 = no pruning)")
 		maxBatch     = flag.Int("max-batch", 0, "max coalesced requests per batched call (0 = default 64)")
 		batchDelay   = flag.Duration("batch-delay", 0, "micro-batching window (0 = default 2ms; -1ns disables)")
 		timeout      = flag.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
@@ -135,7 +136,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	kdeOpt := kde.Options{ErrorAdjust: *errorAdjust}
+	kdeOpt := kde.Options{ErrorAdjust: *errorAdjust, Prune: *prune}
 	reg := server.NewRegistry()
 	for _, spec := range models {
 		m, err := loadModel(spec, *threshold, kdeOpt, *noCheckpoint)

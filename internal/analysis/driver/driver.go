@@ -16,6 +16,7 @@ import (
 	"udm/internal/analysis/detfloat"
 	"udm/internal/analysis/errsentinel"
 	"udm/internal/analysis/faultpoint"
+	"udm/internal/analysis/hotalloc"
 	"udm/internal/analysis/load"
 	"udm/internal/analysis/nakedgo"
 	"udm/internal/analysis/rngsource"
@@ -29,6 +30,7 @@ var All = []*analysis.Analyzer{
 	detfloat.Analyzer,
 	errsentinel.Analyzer,
 	faultpoint.Analyzer,
+	hotalloc.Analyzer,
 	nakedgo.Analyzer,
 	rngsource.Analyzer,
 	spanend.Analyzer,

@@ -1,0 +1,132 @@
+// Package hotalloc keeps per-element allocations out of the KDE hot
+// path.
+//
+// The batch density engine's performance contract (BENCH_kde.json,
+// DESIGN.md §13) rests on steady-state evaluation doing zero
+// allocations: scratch comes from a sync.Pool, columns are laid out
+// once at construction, and the inner loops run over flat []float64.
+// An allocation that sneaks inside a loop in these packages — a make
+// per query, an append per kernel — is invisible to unit tests but
+// shows up as GC pressure exactly where the profile is hottest.
+//
+// The rule is syntactic and deliberately blunt: inside any for or
+// range body in internal/kde or internal/kernel, `make`, `new`,
+// `append`, and composite literals are findings. Constructor-shaped
+// functions (New*, new*, Build*, build*, Make*, make*) are exempt —
+// building an estimator allocates by design; evaluating one must not.
+// Cold loops that legitimately allocate (cross-validation folds, grid
+// assembly) carry a //lint:allow hotalloc directive with the reason.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"udm/internal/analysis"
+)
+
+// hotPkgs are the package-path suffixes whose loops the analyzer
+// guards: the density engine and the kernel primitives it evaluates.
+var hotPkgs = []string{
+	"internal/kde",
+	"internal/kernel",
+}
+
+// ctorPrefixes mark construction-phase functions, exempt wholesale:
+// they run once per estimator, not once per query.
+var ctorPrefixes = []string{"New", "new", "Build", "build", "Make", "make"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid per-element allocations (make, new, append, composite literals) inside loops in the KDE " +
+		"hot-path packages: steady-state batch evaluation must allocate nothing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	hot := false
+	for _, suffix := range hotPkgs {
+		if analysis.PathHasSuffix(pass.PkgPath, suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && !isCtor(fn.Name.Name) {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func isCtor(name string) bool {
+	for _, p := range ctorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one function body and reports allocations nested
+// anywhere inside a for/range statement's body (including inside
+// function literals the loop creates — a closure allocated per
+// iteration is itself a per-element allocation).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			reportAllocs(pass, loop.Body)
+			return false // reportAllocs descends; avoid double reports
+		case *ast.RangeStmt:
+			reportAllocs(pass, loop.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func reportAllocs(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(pass.TypesInfo, n); ok {
+				switch name {
+				case "make", "new":
+					pass.Reportf(n.Pos(), "%s inside a hot-path loop: hoist the allocation out of the loop or draw it from the engine's scratch pool", name)
+				case "append":
+					pass.Reportf(n.Pos(), "append inside a hot-path loop can reallocate per element: preallocate the slice to its final length outside the loop")
+				}
+			}
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "composite literal inside a hot-path loop allocates per iteration: hoist it or reuse scratch")
+			return false // the literal's elements don't need separate reports
+		case *ast.FuncLit:
+			// A closure created each iteration allocates; its body is
+			// inspected as part of this walk, so just keep descending.
+		}
+		return true
+	})
+}
+
+// builtinName reports whether call invokes a builtin, returning its
+// name. Builtins resolve to types.Builtin objects (or appear in
+// Uses/Defs as predeclared), so a user-defined function shadowing
+// `make` does not count.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}

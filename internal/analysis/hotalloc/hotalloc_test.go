@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", hotalloc.Analyzer,
+		"udmfixture/internal/kde")
+}

@@ -1,0 +1,62 @@
+// Package kde holds the golden cases for the hotalloc analyzer: its
+// import path ends in internal/kde, so it sits inside the analyzer's
+// hot-path scope.
+package kde
+
+// Densities allocates per element every way the analyzer forbids.
+func Densities(xs [][]float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		q := make([]float64, len(x)) // want "make inside a hot-path loop"
+		copy(q, x)
+		dims := []int{0} // want "composite literal inside a hot-path loop"
+		_ = dims
+		s := new(float64) // want "new inside a hot-path loop"
+		for _, v := range q {
+			*s += v
+		}
+		out = append(out, *s) // want "append inside a hot-path loop"
+	}
+	return out
+}
+
+// Closured allocates inside a closure the loop spawns per iteration.
+func Closured(n int) []func() int {
+	fns := make([]func() int, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func() int {
+			buf := make([]int, 4) // want "make inside a hot-path loop"
+			return len(buf)
+		}
+	}
+	return fns
+}
+
+// NewTable is constructor-shaped, so its loop allocations are exempt.
+func NewTable(n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, 8)
+	}
+	return rows
+}
+
+// ColdFold pins the suppression path: a documented cold loop.
+func ColdFold(k int) [][]int {
+	var folds [][]int
+	for i := 0; i < k; i++ {
+		folds = append(folds, []int{i}) //lint:allow hotalloc cross-validation folds run once per fit, not per query
+	}
+	return folds
+}
+
+// Hoisted is the sanctioned shape: one allocation, reused.
+func Hoisted(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	q := make([]float64, 8)
+	for i, x := range xs {
+		copy(q, x)
+		out[i] = q[0]
+	}
+	return out
+}

@@ -21,12 +21,19 @@ type QEstimator interface {
 
 // DensityBatch evaluates est at every row of X over the dimension
 // subset dims (nil means all dimensions), fanning the rows out over up
-// to parallel.Workers(workers) goroutines. Each query is evaluated by
-// exactly the same serial code as est.DensitySub, and every result is
-// written to its own slot, so the output is bit-for-bit identical for
-// every worker count. Estimators are read-only after construction and
-// therefore safe to share across the workers. Cancelling ctx (nil =
+// to parallel.Workers(workers) goroutines. Every result is written to
+// its own slot, so the output is bit-for-bit identical for every worker
+// count. Estimators are read-only after construction and therefore safe
+// to share across the workers. Cancelling ctx (nil =
 // context.Background()) aborts the batch and returns ctx.Err().
+//
+// Gaussian-kernel estimators run on the SoA column engine, which in
+// exact mode with Options.Prune == 0 performs the scalar DensitySub's
+// floating-point operations in the same order — batch results stay
+// bit-identical to the per-query path. With Prune > 0 far subtrees are
+// truncated within the configured relative budget; a non-exact
+// AccuracyMode additionally swaps in the bounded-error fast
+// exponential. Other kernels take the scalar fallback.
 //
 // Unlike the per-query methods, malformed input surfaces as an error,
 // not a panic: rows and dims are validated up front.
@@ -43,9 +50,32 @@ func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int,
 		return nil, err
 	}
 	sp.Attr("points", len(X)).Attr("dims", len(dims))
+	if e := fastEngine(est); e != nil {
+		return parallel.MapChunks(ctx, len(X), workers, func(start, end int, out []float64) error {
+			sc := e.scratch()
+			defer e.release(sc)
+			for i := start; i < end; i++ {
+				out[i-start] = e.density(X[i], dims, sc)
+			}
+			return nil
+		})
+	}
 	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
 		return est.DensitySub(X[i], dims), nil
 	})
+}
+
+// fastEngine returns est's SoA engine, or nil when the estimator has
+// none (non-Gaussian kernel, or an estimator type from outside this
+// package).
+func fastEngine(est Estimator) *engine {
+	switch k := est.(type) {
+	case *PointKDE:
+		return k.eng
+	case *ClusterKDE:
+		return k.eng
+	}
+	return nil
 }
 
 // DensityQBatch is the uncertain-query variant of DensityBatch: row i
@@ -73,6 +103,20 @@ func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dim
 		if er != nil && len(er) != est.Dims() {
 			return nil, fmt.Errorf("kde: query-error row %d has %d dims, estimator has %d: %w", i, len(er), est.Dims(), udmerr.ErrDimensionMismatch)
 		}
+	}
+	if e := fastEngine(est); e != nil {
+		return parallel.MapChunks(ctx, len(X), workers, func(start, end int, out []float64) error {
+			sc := e.scratch()
+			defer e.release(sc)
+			for i := start; i < end; i++ {
+				var qe []float64
+				if Qerr != nil {
+					qe = Qerr[i]
+				}
+				out[i-start] = e.densityQ(X[i], qe, dims, sc)
+			}
+			return nil
+		})
 	}
 	return parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
 		if Qerr == nil {

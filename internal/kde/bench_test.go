@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"udm/internal/dataset"
+	"udm/internal/kernel"
 	"udm/internal/microcluster"
 	"udm/internal/rng"
 )
@@ -76,6 +78,58 @@ func BenchmarkDensityBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := est.DensityBatch(d.X, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// blobGrid builds n points spread over a g×g grid of well-separated
+// Gaussian blobs (spacing 20, blob σ 0.5, per-entry error e) — the
+// clustered regime where far-field pruning should shine, since every
+// query sees all but its own blob's kernels as negligible.
+func blobGrid(n, g int, e float64, seed int64) *dataset.Dataset {
+	r := rng.New(seed)
+	d := dataset.New("x", "y")
+	for i := 0; i < n; i++ {
+		cell := i % (g * g)
+		cx, cy := float64(cell%g)*20, float64(cell/g)*20
+		row := []float64{r.Norm(cx, 0.5), r.Norm(cy, 0.5)}
+		var er []float64
+		if e > 0 {
+			er = []float64{e, e}
+		}
+		_ = d.Append(row, er, dataset.Unlabeled)
+	}
+	return d
+}
+
+// BenchmarkDensityBatchPruned measures the far-field pruning win on
+// clustered data: the same all-pairs batch as BenchmarkDensityBatch,
+// over a 4×4 blob grid, in exact mode (Prune=0), pruned exact mode
+// (Prune=1e-6, result within 1e-6 relative of exact), and pruned
+// approximate mode (Approx(1e-6) fast exponential on top). The
+// bandwidths are pinned to a CV-scale value so the run is deterministic
+// and the bench gate's exact/pruned ratio is machine-independent.
+func BenchmarkDensityBatchPruned(b *testing.B) {
+	d := blobGrid(2000, 4, 0.2, 11)
+	modes := []struct {
+		name string
+		opt  Options
+	}{
+		{"mode=exact", Options{ErrorAdjust: true, Bandwidths: []float64{0.35, 0.35}}},
+		{"mode=pruned", Options{ErrorAdjust: true, Bandwidths: []float64{0.35, 0.35}, Prune: 1e-6}},
+		{"mode=approx", Options{ErrorAdjust: true, Bandwidths: []float64{0.35, 0.35}, Prune: 1e-6, Accuracy: kernel.Approx(1e-6)}},
+	}
+	for _, m := range modes {
+		est, err := NewPoint(d, m.opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.DensityBatch(d.X, nil, 1); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -73,8 +73,8 @@ func CVBandwidthsContext(ctx context.Context, ds *dataset.Dataset, errorAdjust b
 	base := make([]float64, d)
 	rule := kernel.Bandwidth{Rule: kernel.Silverman}
 	for j := 0; j < d; j++ {
-		col := make([]float64, ds.Len())
-		errs := make([]float64, ds.Len())
+		col := make([]float64, ds.Len())  //lint:allow hotalloc one column per dimension at fit time, not per query
+		errs := make([]float64, ds.Len()) //lint:allow hotalloc one column per dimension at fit time, not per query
 		for i := range ds.X {
 			col[i] = ds.X[i][j]
 			if errorAdjust && ds.Err != nil {

@@ -1,12 +1,29 @@
 package kde
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Grid1D evaluates the joint density of a single dimension j on an evenly
 // spaced grid of n+1 points spanning [lo, hi]. The returned xs are the
 // grid coordinates and ys the densities. The query vector's other
 // coordinates are irrelevant because the subspace {j} ignores them.
+// It is Grid1DContext under context.Background().
 func Grid1D(e Estimator, j int, lo, hi float64, n int) (xs, ys []float64) {
+	xs, ys, err := Grid1DContext(context.Background(), e, j, lo, hi, n)
+	if err != nil {
+		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels
+	}
+	return xs, ys
+}
+
+// Grid1DContext is Grid1D with cancellation. Evaluation goes through
+// DensityBatch, so a Gaussian estimator's SoA engine — including any
+// Prune / Accuracy configured in its Options — applies; in the default
+// exact configuration the values are bit-identical to per-point
+// DensitySub calls.
+func Grid1DContext(ctx context.Context, e Estimator, j int, lo, hi float64, n int) (xs, ys []float64, err error) {
 	if n < 1 {
 		panic(fmt.Sprintf("kde: grid with n=%d steps", n))
 	}
@@ -14,17 +31,20 @@ func Grid1D(e Estimator, j int, lo, hi float64, n int) (xs, ys []float64) {
 		panic(fmt.Sprintf("kde: grid range [%v, %v]", lo, hi))
 	}
 	xs = make([]float64, n+1)
-	ys = make([]float64, n+1)
-	q := make([]float64, e.Dims())
+	rows := make([][]float64, n+1)
+	backing := make([]float64, (n+1)*e.Dims())
 	step := (hi - lo) / float64(n)
-	dims := []int{j}
 	for i := 0; i <= n; i++ {
 		x := lo + float64(i)*step
 		xs[i] = x
-		q[j] = x
-		ys[i] = e.DensitySub(q, dims)
+		rows[i] = backing[i*e.Dims() : (i+1)*e.Dims()]
+		rows[i][j] = x
 	}
-	return xs, ys
+	ys, err = DensityBatch(ctx, e, rows, []int{j}, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return xs, ys, nil
 }
 
 // Mass1D integrates the single-dimension density of dimension j over
@@ -41,26 +61,46 @@ func Mass1D(e Estimator, j int, lo, hi float64, n int) float64 {
 }
 
 // Grid2D evaluates the joint density of dimensions (jx, jy) on an
-// (nx+1)×(ny+1) grid. The result is indexed [iy][ix].
+// (nx+1)×(ny+1) grid. The result is indexed [iy][ix]. It is
+// Grid2DContext under context.Background().
 func Grid2D(e Estimator, jx, jy int, loX, hiX, loY, hiY float64, nx, ny int) [][]float64 {
+	out, err := Grid2DContext(context.Background(), e, jx, jy, loX, hiX, loY, hiY, nx, ny)
+	if err != nil {
+		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels
+	}
+	return out
+}
+
+// Grid2DContext is Grid2D with cancellation. Like Grid1DContext, the
+// evaluation runs through DensityBatch and so honors the estimator's
+// Prune / Accuracy configuration.
+func Grid2DContext(ctx context.Context, e Estimator, jx, jy int, loX, hiX, loY, hiY float64, nx, ny int) ([][]float64, error) {
 	if nx < 1 || ny < 1 {
 		panic(fmt.Sprintf("kde: grid with nx=%d, ny=%d", nx, ny))
 	}
 	if hiX <= loX || hiY <= loY {
 		panic("kde: empty grid range")
 	}
-	out := make([][]float64, ny+1)
-	q := make([]float64, e.Dims())
-	dims := []int{jx, jy}
+	rows := make([][]float64, (ny+1)*(nx+1))
+	backing := make([]float64, len(rows)*e.Dims())
 	stepX := (hiX - loX) / float64(nx)
 	stepY := (hiY - loY) / float64(ny)
 	for iy := 0; iy <= ny; iy++ {
-		out[iy] = make([]float64, nx+1)
-		q[jy] = loY + float64(iy)*stepY
+		y := loY + float64(iy)*stepY
 		for ix := 0; ix <= nx; ix++ {
-			q[jx] = loX + float64(ix)*stepX
-			out[iy][ix] = e.DensitySub(q, dims)
+			r := backing[(iy*(nx+1)+ix)*e.Dims() : (iy*(nx+1)+ix+1)*e.Dims()]
+			r[jx] = loX + float64(ix)*stepX
+			r[jy] = y
+			rows[iy*(nx+1)+ix] = r
 		}
 	}
-	return out
+	ds, err := DensityBatch(ctx, e, rows, []int{jx, jy}, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, ny+1)
+	for iy := range out {
+		out[iy] = ds[iy*(nx+1) : (iy+1)*(nx+1)]
+	}
+	return out, nil
 }

@@ -54,11 +54,39 @@ type Options struct {
 	// parameter per dimension and overrides the Bandwidth rule — e.g.
 	// the output of CVBandwidths. All entries must be positive.
 	Bandwidths []float64
+	// Prune, when positive, enables far-field truncation on the batch
+	// density paths: subtrees of kernel centers whose total possible
+	// contribution is below Prune times the density are skipped, so the
+	// relative error of every batch result is at most Prune. Zero (the
+	// default) disables pruning and keeps batches bit-identical to the
+	// per-query methods. The per-query methods (Density, DensitySub,
+	// DensityQ, leave-one-out) always stay exact regardless of Prune.
+	// Requires the Gaussian kernel.
+	Prune float64
+	// Accuracy selects exact kernel evaluation (the zero value) or the
+	// bounded-error fast-exponential surrogate (kernel.Approx(ε)) on
+	// the batch density paths. Like Prune, it never affects the
+	// per-query methods. Requires the Gaussian kernel when non-exact.
+	Accuracy kernel.AccuracyMode
 }
 
 func (o Options) validate() error {
 	if o.ErrorAdjust && o.Kernel != kernel.Gaussian {
 		return fmt.Errorf("kde: error adjustment requires the Gaussian kernel, got %v: %w", o.Kernel, udmerr.ErrBadOption)
+	}
+	if o.Prune != 0 {
+		if !(o.Prune > 0) || math.IsInf(o.Prune, 0) {
+			return fmt.Errorf("kde: prune tolerance %v must be a finite value in [0, inf): %w", o.Prune, udmerr.ErrBadOption)
+		}
+		if o.Kernel != kernel.Gaussian {
+			return fmt.Errorf("kde: pruning requires the Gaussian kernel, got %v: %w", o.Kernel, udmerr.ErrBadOption)
+		}
+	}
+	if !o.Accuracy.Valid() {
+		return fmt.Errorf("kde: invalid accuracy %v: %w", o.Accuracy, udmerr.ErrBadOption)
+	}
+	if !o.Accuracy.IsExact() && o.Kernel != kernel.Gaussian {
+		return fmt.Errorf("kde: approximate accuracy requires the Gaussian kernel, got %v: %w", o.Kernel, udmerr.ErrBadOption)
 	}
 	return nil
 }
@@ -86,6 +114,7 @@ type PointKDE struct {
 	errs [][]float64 // nil when the data has no error information
 	h    []float64   // per-dimension bandwidth
 	opt  Options
+	eng  *engine // SoA batch engine; nil when no fast path applies
 }
 
 var _ Estimator = (*PointKDE)(nil)
@@ -115,7 +144,41 @@ func NewPoint(ds *dataset.Dataset, opt Options) (*PointKDE, error) {
 	if opt.ErrorAdjust && ds.HasErrors() {
 		k.errs = ds.Err
 	}
+	k.eng, err = newEngine(opt, h, float64(len(ds.X)), ds.X, k.errs, nil, false)
+	if err != nil {
+		return nil, fmt.Errorf("kde: building spatial index: %w", err)
+	}
 	return k, nil
+}
+
+// WithAccuracy returns a shallow copy of the estimator whose batch
+// density paths run under the given accuracy mode; the underlying data,
+// bandwidths and spatial index are shared with the receiver, so the
+// copy is cheap enough for per-request use. Per-query methods stay
+// exact. Non-exact modes require the Gaussian kernel.
+func (k *PointKDE) WithAccuracy(m kernel.AccuracyMode) (*PointKDE, error) {
+	if err := accuracyFor(m, k.opt.Kernel); err != nil {
+		return nil, err
+	}
+	c := *k
+	c.opt.Accuracy = m
+	if k.eng != nil {
+		e := *k.eng
+		e.acc = m
+		c.eng = &e
+	}
+	return &c, nil
+}
+
+// accuracyFor validates a per-estimator accuracy override.
+func accuracyFor(m kernel.AccuracyMode, kt kernel.Type) error {
+	if !m.Valid() {
+		return fmt.Errorf("kde: invalid accuracy %v: %w", m, udmerr.ErrBadOption)
+	}
+	if !m.IsExact() && kt != kernel.Gaussian {
+		return fmt.Errorf("kde: approximate accuracy requires the Gaussian kernel, got %v: %w", kt, udmerr.ErrBadOption)
+	}
+	return nil
 }
 
 // Dims returns the data dimensionality.
@@ -284,6 +347,7 @@ type ClusterKDE struct {
 	total   float64     // N = Σ n(C_i)
 	h       []float64
 	opt     Options
+	eng     *engine // SoA batch engine; nil when no fast path applies
 }
 
 var _ Estimator = (*ClusterKDE)(nil)
@@ -327,7 +391,28 @@ func NewCluster(s *microcluster.Summarizer, opt Options) (*ClusterKDE, error) {
 		k.deltas = append(k.deltas, delta)
 		k.weights = append(k.weights, float64(f.N))
 	}
+	k.eng, err = newEngine(opt, h, k.total, k.cents, k.deltas, k.weights, true)
+	if err != nil {
+		return nil, fmt.Errorf("kde: building spatial index: %w", err)
+	}
 	return k, nil
+}
+
+// WithAccuracy returns a shallow copy of the estimator whose batch
+// density paths run under the given accuracy mode, sharing all data
+// with the receiver. Per-query methods stay exact.
+func (k *ClusterKDE) WithAccuracy(m kernel.AccuracyMode) (*ClusterKDE, error) {
+	if err := accuracyFor(m, k.opt.Kernel); err != nil {
+		return nil, err
+	}
+	c := *k
+	c.opt.Accuracy = m
+	if k.eng != nil {
+		e := *k.eng
+		e.acc = m
+		c.eng = &e
+	}
+	return &c, nil
 }
 
 // Dims returns the data dimensionality.

@@ -16,6 +16,8 @@ var (
 		"batch density evaluations started", "op", "loo")
 	kernelEvals = obs.Default().Counter("udm_kde_kernel_evals_total",
 		"kernel evaluations implied by batch calls (queries x training points)")
+	kernelEvalsPruned = obs.Default().Counter("udm_kde_kernel_evals_pruned_total",
+		"implied kernel evaluations skipped by far-field subtree pruning")
 	cvCells = obs.Default().Counter("udm_kde_cv_cells_total",
 		"leave-one-out grid cells evaluated by CV bandwidth selection")
 	cvScores = obs.Default().Counter("udm_kde_cv_scores_total",

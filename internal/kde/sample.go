@@ -27,7 +27,7 @@ func (k *PointKDE) Sample(n int, r *rng.Source) ([][]float64, error) {
 		if k.errs != nil {
 			er = k.errs[i]
 		}
-		row := make([]float64, len(k.h))
+		row := make([]float64, len(k.h)) //lint:allow hotalloc each sampled row is returned to the caller; allocation is the output itself
 		for j := range row {
 			sigma := k.h[j]
 			if er != nil {
@@ -52,7 +52,7 @@ func (k *ClusterKDE) Sample(n int, r *rng.Source) ([][]float64, error) {
 	out := make([][]float64, n)
 	for s := 0; s < n; s++ {
 		i := r.Categorical(k.weights)
-		row := make([]float64, len(k.h))
+		row := make([]float64, len(k.h)) //lint:allow hotalloc each sampled row is returned to the caller; allocation is the output itself
 		for j := range row {
 			d := k.deltas[i][j]
 			sigma := math.Sqrt(k.h[j]*k.h[j] + d*d)

@@ -1,0 +1,134 @@
+package kdtree
+
+import "fmt"
+
+// Subtrees carries per-subtree aggregates for pruned traversals: the
+// bounding box of every node's subtree, optional per-dimension min/max
+// of an auxiliary matrix (the KDE engine passes per-point standard
+// errors, so a traversal can bound the widened kernel without visiting
+// the points), optional subtree weight sums (micro-cluster sizes), and
+// a preorder permutation that makes every subtree a contiguous span.
+//
+// Fields are exported flat arrays rather than methods so the KDE inner
+// loop can walk them without call overhead; the structure is immutable
+// after Annotate and safe for concurrent readers, like the Tree.
+type Subtrees struct {
+	// Perm lists point indices in depth-first preorder (node, left
+	// subtree, right subtree). Node n's subtree is exactly
+	// Perm[Lo[n]:Hi[n]], so an accepted subtree is one contiguous scan.
+	Perm []int32
+	// Lo and Hi bound node n's span in Perm.
+	Lo, Hi []int32
+	// Count is the number of points in node n's subtree (Hi-Lo).
+	Count []int32
+	// Min and Max hold the subtree bounding box, indexed [n*Dims()+j].
+	Min, Max []float64
+	// AuxMin and AuxMax hold the subtree-wide min/max of the auxiliary
+	// rows, indexed [n*Dims()+j]. Nil when Annotate got no aux.
+	AuxMin, AuxMax []float64
+	// WSum is the subtree weight sum. Nil when Annotate got no weights;
+	// pruning bounds then use Count.
+	WSum []float64
+}
+
+// Annotate computes subtree aggregates for pruned traversal. aux, when
+// non-nil, must have one row per indexed point with Dims() entries
+// (per-point, per-dimension standard errors in the KDE use); weights,
+// when non-nil, must have one entry per point. The tree itself is not
+// modified.
+func (t *Tree) Annotate(aux [][]float64, weights []float64) (*Subtrees, error) {
+	n, d := len(t.pts), t.dims
+	if aux != nil {
+		if len(aux) != n {
+			return nil, fmt.Errorf("kdtree: %d aux rows for %d points", len(aux), n)
+		}
+		for i, a := range aux {
+			if len(a) != d {
+				return nil, fmt.Errorf("kdtree: aux row %d has %d dims, want %d", i, len(a), d)
+			}
+		}
+	}
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("kdtree: %d weights for %d points", len(weights), n)
+	}
+	s := &Subtrees{
+		Perm:  make([]int32, 0, n),
+		Lo:    make([]int32, len(t.nodes)),
+		Hi:    make([]int32, len(t.nodes)),
+		Count: make([]int32, len(t.nodes)),
+		Min:   make([]float64, len(t.nodes)*d),
+		Max:   make([]float64, len(t.nodes)*d),
+	}
+	if aux != nil {
+		s.AuxMin = make([]float64, len(t.nodes)*d)
+		s.AuxMax = make([]float64, len(t.nodes)*d)
+	}
+	if weights != nil {
+		s.WSum = make([]float64, len(t.nodes))
+	}
+	s.annotate(t, t.root, aux, weights)
+	return s, nil
+}
+
+// annotate fills node ni's aggregates bottom-up while emitting the
+// preorder permutation top-down, so every subtree lands contiguous.
+func (s *Subtrees) annotate(t *Tree, ni int, aux [][]float64, weights []float64) {
+	if ni < 0 {
+		return
+	}
+	nd := t.nodes[ni]
+	d := t.dims
+	s.Lo[ni] = int32(len(s.Perm))
+	s.Perm = append(s.Perm, int32(nd.idx))
+	// Seed the aggregates with the node's own point.
+	p := t.pts[nd.idx]
+	for j := 0; j < d; j++ {
+		s.Min[ni*d+j], s.Max[ni*d+j] = p[j], p[j]
+	}
+	if aux != nil {
+		a := aux[nd.idx]
+		for j := 0; j < d; j++ {
+			s.AuxMin[ni*d+j], s.AuxMax[ni*d+j] = a[j], a[j]
+		}
+	}
+	if weights != nil {
+		s.WSum[ni] = weights[nd.idx]
+	}
+	for _, child := range [2]int{nd.left, nd.right} {
+		if child < 0 {
+			continue
+		}
+		s.annotate(t, child, aux, weights)
+		for j := 0; j < d; j++ {
+			if v := s.Min[child*d+j]; v < s.Min[ni*d+j] {
+				s.Min[ni*d+j] = v
+			}
+			if v := s.Max[child*d+j]; v > s.Max[ni*d+j] {
+				s.Max[ni*d+j] = v
+			}
+			if aux != nil {
+				if v := s.AuxMin[child*d+j]; v < s.AuxMin[ni*d+j] {
+					s.AuxMin[ni*d+j] = v
+				}
+				if v := s.AuxMax[child*d+j]; v > s.AuxMax[ni*d+j] {
+					s.AuxMax[ni*d+j] = v
+				}
+			}
+		}
+		if weights != nil {
+			s.WSum[ni] += s.WSum[child]
+		}
+	}
+	s.Hi[ni] = int32(len(s.Perm))
+	s.Count[ni] = s.Hi[ni] - s.Lo[ni]
+}
+
+// Root returns the root node index for manual traversals.
+func (t *Tree) Root() int { return t.root }
+
+// Node exposes vertex ni for manual traversals: the index of its
+// point, its splitting axis, and its child node indices (-1 = none).
+func (t *Tree) Node(ni int) (pt, axis, left, right int) {
+	n := &t.nodes[ni]
+	return n.idx, n.axis, n.left, n.right
+}

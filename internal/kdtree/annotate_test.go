@@ -1,0 +1,139 @@
+package kdtree
+
+import (
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func annotatedTree(t *testing.T, n, d int, withAux, withWeights bool) (*Tree, *Subtrees, [][]float64, [][]float64, []float64) {
+	t.Helper()
+	r := rng.New(7)
+	pts := make([][]float64, n)
+	var aux [][]float64
+	var wts []float64
+	if withAux {
+		aux = make([][]float64, n)
+	}
+	if withWeights {
+		wts = make([]float64, n)
+	}
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Norm(0, 10)
+		}
+		if withAux {
+			aux[i] = make([]float64, d)
+			for j := range aux[i] {
+				aux[i][j] = r.Float64()
+			}
+		}
+		if withWeights {
+			wts[i] = 1 + r.Float64()*5
+		}
+	}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tree.Annotate(aux, wts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, sub, pts, aux, wts
+}
+
+func TestAnnotateAggregates(t *testing.T) {
+	tree, sub, pts, aux, wts := annotatedTree(t, 257, 3, true, true)
+	d := tree.Dims()
+
+	// The permutation must be a bijection over the points.
+	if len(sub.Perm) != len(pts) {
+		t.Fatalf("Perm has %d entries for %d points", len(sub.Perm), len(pts))
+	}
+	seen := make([]bool, len(pts))
+	for _, i := range sub.Perm {
+		if seen[i] {
+			t.Fatalf("point %d appears twice in Perm", i)
+		}
+		seen[i] = true
+	}
+
+	// Every node: the span is exactly its subtree, the box bounds every
+	// member, aux ranges bound every member's aux row, WSum adds up.
+	var checkNode func(ni int)
+	checkNode = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		lo, hi := sub.Lo[ni], sub.Hi[ni]
+		if int32(sub.Count[ni]) != hi-lo {
+			t.Fatalf("node %d: Count %d != span %d", ni, sub.Count[ni], hi-lo)
+		}
+		var wsum float64
+		for t2 := lo; t2 < hi; t2++ {
+			i := sub.Perm[t2]
+			wsum += wts[i]
+			for j := 0; j < d; j++ {
+				if pts[i][j] < sub.Min[ni*d+j] || pts[i][j] > sub.Max[ni*d+j] {
+					t.Fatalf("node %d: point %d dim %d outside box", ni, i, j)
+				}
+				if aux[i][j] < sub.AuxMin[ni*d+j] || aux[i][j] > sub.AuxMax[ni*d+j] {
+					t.Fatalf("node %d: aux %d dim %d outside range", ni, i, j)
+				}
+			}
+		}
+		if diff := wsum - sub.WSum[ni]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("node %d: WSum %v, members sum to %v", ni, sub.WSum[ni], wsum)
+		}
+		// Preorder: the node's own point leads its span, children's
+		// spans partition the rest.
+		pt, _, left, right := tree.Node(ni)
+		if int(sub.Perm[lo]) != pt {
+			t.Fatalf("node %d: own point %d not at span start (%d)", ni, pt, sub.Perm[lo])
+		}
+		next := lo + 1
+		for _, child := range []int{left, right} {
+			if child < 0 {
+				continue
+			}
+			if sub.Lo[child] != next {
+				t.Fatalf("node %d: child %d span starts at %d, want %d", ni, child, sub.Lo[child], next)
+			}
+			next = sub.Hi[child]
+			checkNode(child)
+		}
+		if next != hi {
+			t.Fatalf("node %d: children end at %d, span ends at %d", ni, next, hi)
+		}
+	}
+	checkNode(tree.Root())
+}
+
+func TestAnnotateOptionalInputs(t *testing.T) {
+	tree, sub, _, _, _ := annotatedTree(t, 64, 2, false, false)
+	if sub.AuxMin != nil || sub.AuxMax != nil || sub.WSum != nil {
+		t.Fatal("nil aux/weights must leave the optional aggregates nil")
+	}
+	if sub.Count[tree.Root()] != 64 {
+		t.Fatalf("root count %d, want 64", sub.Count[tree.Root()])
+	}
+}
+
+func TestAnnotateRejectsMismatchedInputs(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	tree, err := Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Annotate([][]float64{{0, 0}}, nil); err == nil {
+		t.Error("short aux accepted")
+	}
+	if _, err := tree.Annotate([][]float64{{0}, {0}, {0}}, nil); err == nil {
+		t.Error("wrong-dim aux row accepted")
+	}
+	if _, err := tree.Annotate(nil, []float64{1}); err == nil {
+		t.Error("short weights accepted")
+	}
+}

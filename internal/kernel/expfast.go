@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the bounded-error exponential surrogate behind
+// the Approx accuracy mode. The KDE hot loop spends most of its cycles
+// inside math.Exp; ExpFast trades a guaranteed-tiny relative error for
+// a substantially cheaper evaluation, and AccuracyMode is the explicit
+// contract (Charikar & Siminelakis, arXiv:1808.10530, argue that cheap
+// surrogate kernel evaluations behind an accuracy contract are the
+// right interface for fast KDE).
+
+// ExpFastMaxRelErr bounds the relative error of ExpFast against
+// math.Exp over the entire non-overflowing domain: a degree-7 Taylor
+// evaluation on the Cody–Waite-reduced argument r ∈ [-ln2/2, ln2/2]
+// has truncation error below 6e-9 and the Horner rounding noise stays
+// within a few ulps, so 2e-8 holds with a wide margin (the property
+// test asserts an order of magnitude tighter than this bound).
+const ExpFastMaxRelErr = 2e-8
+
+// Cody–Waite split of ln 2: ln2Hi+ln2Lo reproduces ln 2 to ~90 bits so
+// the range reduction r = x - k·ln2 stays exact where it matters.
+const (
+	expLog2E = 1.4426950408889634074 // 1/ln 2
+	expLn2Hi = 6.93147180369123816490e-01
+	expLn2Lo = 1.90821492927058770002e-10
+)
+
+// ExpFast returns e**x with relative error at most ExpFastMaxRelErr.
+// It follows the standard exp skeleton — reduce x to r = x - k·ln2
+// with |r| ≤ ln2/2, evaluate a degree-7 Taylor polynomial of e**r, and
+// scale by 2**k through direct exponent-bit construction — but skips
+// the final Newton polish and the subnormal slow path that make
+// math.Exp correctly rounded. Arguments that would underflow return 0
+// and arguments that would overflow return +Inf; NaN propagates.
+func ExpFast(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return x
+	case x > 709.0 || x < -708.396418532264106224:
+		// Near overflow the biased exponent k+1023 would wrap, and near
+		// underflow the result goes subnormal where the 2**k bit trick
+		// cannot carry a relative-error guarantee. Neither region is ever
+		// hot — defer to math.Exp (which itself overflows to +Inf and
+		// underflows to 0 at the IEEE boundaries).
+		return math.Exp(x)
+	}
+	// Range reduction: k = round(x/ln2), r = x - k·ln2 in two steps.
+	kf := math.Floor(x*expLog2E + 0.5)
+	r := x - kf*expLn2Hi
+	r -= kf * expLn2Lo
+	// Degree-7 Taylor of e**r on |r| ≤ ln2/2 ≈ 0.3466, Horner form.
+	p := 1.0 + r*(1.0+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720+r*(1.0/5040)))))))
+	// Scale by 2**k: build the biased exponent directly. |k| ≤ 1025
+	// here, so the shifted field never wraps.
+	k := int64(kf)
+	return p * math.Float64frombits(uint64(k+1023)<<52)
+}
+
+// AccuracyMode selects between exact kernel evaluation and the
+// bounded-error surrogate. The zero value is Exact. Modes are plain
+// values: they thread through kde.Options, the udm facade, and the
+// serving layer's per-request API without allocation.
+type AccuracyMode struct {
+	eps float64
+}
+
+// Exact requests exact evaluation: every exponential goes through
+// math.Exp and results are bit-identical to the reference scalar
+// engine (given the same pruning setting). This is the zero value.
+func Exact() AccuracyMode { return AccuracyMode{} }
+
+// Approx requests surrogate evaluation with relative density error at
+// most eps. Implementations fall back to exact evaluation when eps is
+// tighter than the surrogate can guarantee for the query's
+// dimensionality, so the contract holds for every eps > 0. An eps that
+// is zero, negative, NaN or Inf is rejected by Options validation.
+func Approx(eps float64) AccuracyMode { return AccuracyMode{eps: eps} }
+
+// IsExact reports whether the mode requests exact evaluation.
+func (m AccuracyMode) IsExact() bool { return m.eps == 0 }
+
+// Epsilon returns the relative error budget (0 in exact mode).
+func (m AccuracyMode) Epsilon() float64 { return m.eps }
+
+// Valid reports whether the mode is well formed: exact, or approximate
+// with a positive finite budget.
+func (m AccuracyMode) Valid() bool {
+	return m.eps == 0 || (m.eps > 0 && !math.IsInf(m.eps, 0) && !math.IsNaN(m.eps))
+}
+
+// UsesFastExp reports whether a product kernel over dims dimensions
+// may use ExpFast under this mode: the per-evaluation error compounds
+// roughly linearly across the product, so the surrogate is used only
+// when dims·ExpFastMaxRelErr fits in half the budget (the other half
+// absorbs summation effects). Exact mode never uses it.
+func (m AccuracyMode) UsesFastExp(dims int) bool {
+	if m.eps == 0 || dims < 1 {
+		return false
+	}
+	return m.eps >= 2*float64(dims)*ExpFastMaxRelErr
+}
+
+// String renders the mode for logs, headers and cache keys: "exact" or
+// "approx(1e-06)".
+func (m AccuracyMode) String() string {
+	if m.eps == 0 {
+		return "exact"
+	}
+	return fmt.Sprintf("approx(%g)", m.eps)
+}
+
+// ParseAccuracy maps the serving-layer wire form to a mode: "" or
+// "exact" is Exact; "approx" is Approx(eps), with eps defaulting to
+// DefaultApproxEps when zero. Unknown names, invalid budgets, and the
+// contradictory exact-with-epsilon combination return false rather
+// than silently dropping part of the request.
+func ParseAccuracy(name string, eps float64) (AccuracyMode, bool) {
+	switch name {
+	case "", "exact":
+		return Exact(), eps == 0
+	case "approx":
+		if eps == 0 {
+			eps = DefaultApproxEps
+		}
+		m := Approx(eps)
+		return m, m.Valid() && !m.IsExact()
+	}
+	return AccuracyMode{}, false
+}
+
+// DefaultApproxEps is the relative error budget used when a caller
+// requests approximate evaluation without naming one: comfortably
+// tighter than any statistical use of a density cares about, loose
+// enough to keep the surrogate engaged in every realistic
+// dimensionality.
+const DefaultApproxEps = 1e-6

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+// relErr is |got-want|/|want| with exact-zero handling.
+func relErr(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	if want == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestExpFastWithinBound(t *testing.T) {
+	r := rng.New(42)
+	check := func(x float64) {
+		t.Helper()
+		got, want := ExpFast(x), math.Exp(x)
+		if re := relErr(got, want); re > ExpFastMaxRelErr {
+			t.Fatalf("ExpFast(%v) = %v, want %v (rel err %.3g > %.3g)", x, got, want, re, ExpFastMaxRelErr)
+		}
+	}
+	// Dense sweep over the KDE-relevant range and the full finite domain.
+	for x := -60.0; x <= 5.0; x += 0.0137 {
+		check(x)
+	}
+	for x := -708.0; x <= 709.5; x += 1.37 {
+		check(x)
+	}
+	// Random corpus, concentrated near zero where the reduction r is
+	// largest relative to x.
+	for i := 0; i < 200000; i++ {
+		check((r.Float64()*2 - 1) * 710)
+		check((r.Float64()*2 - 1) * 2)
+	}
+}
+
+func TestExpFastEdgeCases(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, math.Ln2 / 2, -math.Ln2 / 2,
+		709, 709.4, 709.7, 709.782712893384, // overflow threshold region
+		710, 1000, math.Inf(1),
+		-708.3, -708.4, -745, -746, -1000, math.Inf(-1), // underflow region
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	}
+	for _, x := range cases {
+		got, want := ExpFast(x), math.Exp(x)
+		if math.IsInf(want, 1) || want == 0 {
+			// At the extremes we require exact agreement with math.Exp.
+			if got != want {
+				t.Errorf("ExpFast(%v) = %v, want %v", x, got, want)
+			}
+			continue
+		}
+		if re := relErr(got, want); re > ExpFastMaxRelErr {
+			t.Errorf("ExpFast(%v) = %v, want %v (rel err %.3g)", x, got, want, re)
+		}
+	}
+	if !math.IsNaN(ExpFast(math.NaN())) {
+		t.Errorf("ExpFast(NaN) = %v, want NaN", ExpFast(math.NaN()))
+	}
+}
+
+func TestAccuracyMode(t *testing.T) {
+	if !Exact().IsExact() || Exact().Epsilon() != 0 || !Exact().Valid() {
+		t.Fatal("Exact() is not the exact zero value")
+	}
+	var zero AccuracyMode
+	if !zero.IsExact() {
+		t.Fatal("zero AccuracyMode must be exact")
+	}
+	m := Approx(1e-6)
+	if m.IsExact() || m.Epsilon() != 1e-6 || !m.Valid() {
+		t.Fatalf("Approx(1e-6) broken: %+v", m)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if Approx(bad).Valid() {
+			t.Errorf("Approx(%v) should be invalid", bad)
+		}
+	}
+	if Exact().String() != "exact" {
+		t.Errorf("Exact().String() = %q", Exact().String())
+	}
+	if got := Approx(1e-6).String(); got != "approx(1e-06)" {
+		t.Errorf("Approx(1e-6).String() = %q", got)
+	}
+	// The surrogate engages only when the compounded per-dimension error
+	// fits in half the budget.
+	if Exact().UsesFastExp(2) {
+		t.Error("exact mode must never use the fast exponential")
+	}
+	if !Approx(1e-6).UsesFastExp(2) {
+		t.Error("Approx(1e-6) should use the fast exponential in 2-D")
+	}
+	if Approx(3 * ExpFastMaxRelErr).UsesFastExp(2) {
+		t.Error("a budget below 2·dims·maxRelErr must fall back to exact")
+	}
+}
+
+func TestParseAccuracy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eps  float64
+		want AccuracyMode
+		ok   bool
+	}{
+		{"", 0, Exact(), true},
+		{"exact", 0, Exact(), true},
+		{"approx", 0, Approx(DefaultApproxEps), true},
+		{"approx", 1e-3, Approx(1e-3), true},
+		{"exact", 0.5, AccuracyMode{}, false},
+		{"", 1e-3, AccuracyMode{}, false},
+		{"approx", -1, AccuracyMode{}, false},
+		{"approx", math.NaN(), AccuracyMode{}, false},
+		{"fast", 0, AccuracyMode{}, false},
+	} {
+		got, ok := ParseAccuracy(tc.name, tc.eps)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseAccuracy(%q, %v) = %v, %v; want %v, %v", tc.name, tc.eps, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -177,6 +177,25 @@ func Map[T any](ctx context.Context, n, p int, fn func(i int) (T, error)) ([]T, 
 	return out, nil
 }
 
+// MapChunks is Map with chunk-granular dispatch: fn receives the
+// half-open index range [start, end) it owns and the corresponding
+// window of the output slice (out[i-start] is the slot for index i).
+// Seeing the whole chunk lets fn amortize per-chunk setup — scratch
+// buffers from a pool, column-major layouts — across every index in
+// it, which per-index Map cannot offer. Chunk boundaries depend only
+// on (n, workers) and every slot is written by exactly one chunk, so
+// the output remains bit-for-bit identical for every worker count.
+func MapChunks[T any](ctx context.Context, n, p int, fn func(start, end int, out []T) error) ([]T, error) {
+	out := make([]T, n)
+	err := For(ctx, n, p, func(start, end int) error {
+		return fn(start, end, out[start:end])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Sum evaluates term(i) for every index in [0, n) in parallel and
 // returns the compensated sum (internal/num.Sum) of all terms taken in
 // index order. Because the reduction order is fixed — terms are

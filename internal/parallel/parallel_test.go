@@ -186,3 +186,57 @@ func TestSumMatchesCompensatedSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestMapChunksMatchesMap: the chunk-granular variant must produce the
+// same output as per-index Map for every worker count, with each out
+// window aliasing exactly its [start, end) slots.
+func TestMapChunksMatchesMap(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, p := range []int{1, 2, 8} {
+			want, err := Map(context.Background(), n, p, func(i int) (int, error) {
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MapChunks(context.Background(), n, p, func(start, end int, out []int) error {
+				if len(out) != end-start {
+					return fmt.Errorf("window len %d for chunk [%d,%d)", len(out), start, end)
+				}
+				for i := start; i < end; i++ {
+					out[i-start] = i * i
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d p=%d: %d results, want %d", n, p, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d p=%d slot %d: %d != %d", n, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMapChunksError: a failing chunk discards results and surfaces
+// the error.
+func TestMapChunksError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := MapChunks(context.Background(), 100, 4, func(start, end int, _ []int) error {
+		if start >= 50 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Fatal("partial results returned on error")
+	}
+}

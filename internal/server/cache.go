@@ -80,18 +80,22 @@ func (c *lruCache) len() int {
 }
 
 // cacheKey builds the density-cache key for (model, model version,
-// dimension subset, quantized query point). With quantum ≤ 0 the point
-// is keyed by its exact float64 bits, so a hit can only come from a
-// bit-identical query and cached answers equal direct library calls
-// bit for bit. A positive quantum buckets each coordinate to the
-// nearest multiple — higher hit rates at the cost of answering nearby
-// queries with the neighbor's density.
-func cacheKey(model string, version uint64, dims []int, x []float64, quantum float64) string {
+// accuracy mode, dimension subset, quantized query point). mode is the
+// accuracy mode's String() — exact and approximate answers for the same
+// point must never share an entry, and different ε budgets are distinct
+// answers too. With quantum ≤ 0 the point is keyed by its exact float64
+// bits, so a hit can only come from a bit-identical query and cached
+// answers equal direct library calls bit for bit. A positive quantum
+// buckets each coordinate to the nearest multiple — higher hit rates at
+// the cost of answering nearby queries with the neighbor's density.
+func cacheKey(model string, version uint64, mode string, dims []int, x []float64, quantum float64) string {
 	var b strings.Builder
-	b.Grow(len(model) + 8 + 20*(len(dims)+len(x)))
+	b.Grow(len(model) + len(mode) + 9 + 20*(len(dims)+len(x)))
 	b.WriteString(model)
 	b.WriteByte('@')
 	b.WriteString(strconv.FormatUint(version, 16))
+	b.WriteByte('|')
+	b.WriteString(mode)
 	b.WriteByte('|')
 	if dims == nil {
 		b.WriteByte('*')

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 
+	"udm/internal/kernel"
 	"udm/internal/obs"
 	"udm/internal/outlier"
 	"udm/internal/udmerr"
@@ -276,6 +277,11 @@ type densityRequest struct {
 	Point  []float64   `json:"point,omitempty"`
 	Points [][]float64 `json:"points,omitempty"`
 	Dims   []int       `json:"dims,omitempty"`
+	// Accuracy selects the evaluation mode: "" or "exact" (default) for
+	// bit-exact densities, "approx" for the bounded-error fast path with
+	// relative error at most Epsilon (default 1e-6 when omitted).
+	Accuracy string  `json:"accuracy,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
 }
 
 type densityResponse struct {
@@ -309,8 +315,15 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	acc, ok := kernel.ParseAccuracy(req.Accuracy, req.Epsilon)
+	if !ok {
+		s.fail(w, fmt.Errorf("server: accuracy %q with epsilon %v is not a valid mode (want \"exact\" or \"approx\" with epsilon > 0): %w",
+			req.Accuracy, req.Epsilon, udmerr.ErrBadOption))
+		return
+	}
+	w.Header().Set("X-UDM-Accuracy", acc.String())
 	if single {
-		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims)
+		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims, acc)
 		if err != nil {
 			s.fail(w, err)
 			return
@@ -322,7 +335,7 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ds, err := evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]float64, error) {
-		est, _, err := m.estimator()
+		est, err := m.estimatorAt(acc)
 		if err != nil {
 			return nil, err
 		}
@@ -342,14 +355,17 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 const staleVersion = ^uint64(0)
 
 // densityOne serves one density query through the LRU cache and, for
-// full-dimensional queries, the micro-batcher. Subset queries bypass
-// coalescing (one batch shares one dims slice) but still hit the cache.
-// When the model's circuit breaker refuses the evaluation, the stale
-// cache answers instead (degraded=true); with no stale entry either,
-// the request fails with ErrDegraded.
-func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int) (d float64, cached, degraded bool, err error) {
-	key := cacheKey(m.Name(), m.version(), dims, x, s.opt.CacheQuantum)
-	skey := cacheKey(m.Name(), staleVersion, dims, x, s.opt.CacheQuantum)
+// full-dimensional exact queries, the micro-batcher. Subset and
+// approximate queries bypass coalescing (one batch shares one dims
+// slice and one accuracy mode) but still hit the cache, keyed by
+// accuracy so exact and approximate answers never alias. When the
+// model's circuit breaker refuses the evaluation, the stale cache
+// answers instead (degraded=true); with no stale entry either, the
+// request fails with ErrDegraded.
+func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int, acc kernel.AccuracyMode) (d float64, cached, degraded bool, err error) {
+	mode := acc.String()
+	key := cacheKey(m.Name(), m.version(), mode, dims, x, s.opt.CacheQuantum)
+	skey := cacheKey(m.Name(), staleVersion, mode, dims, x, s.opt.CacheQuantum)
 	if ferr := cacheGetFault.Hit(ctx); ferr == nil {
 		if d, ok := s.cache.get(key); ok {
 			s.metrics.CacheHits.Add(1)
@@ -357,11 +373,11 @@ func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []i
 		}
 		s.metrics.CacheMisses.Add(1)
 	} // an unavailable cache is a miss, never a failure
-	if dims == nil {
+	if dims == nil && acc.IsExact() {
 		d, err = s.batchers[m.Name()].density.do(ctx, x)
 	} else {
 		d, err = evalRetry(ctx, s, m.Name(), func(ctx context.Context) (float64, error) {
-			est, _, err := m.estimator()
+			est, err := m.estimatorAt(acc)
 			if err != nil {
 				return 0, err
 			}

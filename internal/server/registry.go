@@ -15,6 +15,7 @@ import (
 
 	"udm/internal/core"
 	"udm/internal/kde"
+	"udm/internal/kernel"
 	"udm/internal/microcluster"
 	"udm/internal/stream"
 )
@@ -162,6 +163,26 @@ func (m *Model) estimator() (*kde.ClusterKDE, uint64, error) {
 	}
 	m.est, m.sum, m.estVersion = est, s, v
 	return est, v, nil
+}
+
+// estimatorAt returns the current estimator with the per-request
+// accuracy mode applied. Exact requests share the cached estimator
+// unchanged; approximate requests get a shallow copy that shares the
+// underlying columns, spatial index, and scratch pool, so the override
+// costs one small allocation, not a rebuild.
+func (m *Model) estimatorAt(acc kernel.AccuracyMode) (*kde.ClusterKDE, error) {
+	est, _, err := m.estimator()
+	if err != nil {
+		return nil, err
+	}
+	if acc.IsExact() {
+		return est, nil
+	}
+	est, err = est.WithAccuracy(acc)
+	if err != nil {
+		return nil, fmt.Errorf("server: model %q: %w", m.name, err)
+	}
+	return est, nil
 }
 
 // summarizer returns the micro-cluster summary backing /outliers,

@@ -301,6 +301,94 @@ func TestDensityCacheAndBitIdentity(t *testing.T) {
 	}
 }
 
+func TestDensityAccuracyModes(t *testing.T) {
+	s := testServer(t, Options{}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/models/blobs/density"
+
+	post := func(body any) (*http.Response, densityResponse) {
+		t.Helper()
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out densityResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	x := []float64{-1.5, 0.5}
+	exactResp, exact := post(map[string]any{"point": x})
+	if exactResp.StatusCode != 200 {
+		t.Fatalf("exact density = %d, want 200", exactResp.StatusCode)
+	}
+	if got := exactResp.Header.Get("X-UDM-Accuracy"); got != "exact" {
+		t.Errorf("X-UDM-Accuracy = %q, want \"exact\"", got)
+	}
+
+	const eps = 1e-6
+	approxResp, approx := post(map[string]any{"point": x, "accuracy": "approx", "epsilon": eps})
+	if approxResp.StatusCode != 200 {
+		t.Fatalf("approx density = %d, want 200", approxResp.StatusCode)
+	}
+	if got := approxResp.Header.Get("X-UDM-Accuracy"); got != "approx(1e-06)" {
+		t.Errorf("X-UDM-Accuracy = %q, want \"approx(1e-06)\"", got)
+	}
+	// The approx answer must honor the relative-error contract, and must
+	// not have been served from the exact query's cache entry: the exact
+	// point was just cached, so a shared key would return cached=true.
+	if approx.Cached {
+		t.Error("approx query hit the exact cache entry (accuracy missing from key)")
+	}
+	rel := (*approx.Density - *exact.Density) / *exact.Density
+	if rel < -eps || rel > eps {
+		t.Errorf("approx density %v vs exact %v: rel error %v exceeds %v",
+			*approx.Density, *exact.Density, rel, eps)
+	}
+
+	// Repeat approx query hits its own cache entry.
+	if _, again := post(map[string]any{"point": x, "accuracy": "approx", "epsilon": eps}); !again.Cached {
+		t.Error("repeat approx query not served from cache")
+	}
+
+	// Batch requests honor the mode too.
+	batchResp, batch := post(map[string]any{
+		"points": [][]float64{x, {2.0, 0.0}}, "accuracy": "approx",
+	})
+	if batchResp.StatusCode != 200 || len(batch.Densities) != 2 {
+		t.Fatalf("approx batch = %d with %d densities", batchResp.StatusCode, len(batch.Densities))
+	}
+	rel = (batch.Densities[0] - *exact.Density) / *exact.Density
+	if rel < -eps || rel > eps {
+		t.Errorf("approx batch density %v vs exact %v: rel error %v", batch.Densities[0], *exact.Density, rel)
+	}
+
+	// "approx" with no epsilon defaults rather than failing.
+	defResp, _ := post(map[string]any{"point": x, "accuracy": "approx"})
+	if defResp.StatusCode != 200 || defResp.Header.Get("X-UDM-Accuracy") != "approx(1e-06)" {
+		t.Errorf("default-epsilon approx: %d / %q", defResp.StatusCode, defResp.Header.Get("X-UDM-Accuracy"))
+	}
+
+	for _, bad := range []map[string]any{
+		{"point": x, "accuracy": "fast"},
+		{"point": x, "accuracy": "approx", "epsilon": -1.0},
+		{"point": x, "accuracy": "exact", "epsilon": 0.5},
+	} {
+		status, code := errCode(t, url, bad)
+		if status != 400 || code != "bad_option" {
+			t.Errorf("accuracy %v: got %d/%q, want 400/bad_option", bad, status, code)
+		}
+	}
+}
+
 func TestOutliersEndpoint(t *testing.T) {
 	s := testServer(t, Options{}, "")
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,33 @@
+# bench_lib.sh — shared helpers for the benchmark gate scripts.
+# Source from a bash script; requires awk. Not executable on its own.
+
+# best_ns_per_op FILE REGEX — scan `go test -bench` output in FILE for
+# benchmark lines whose name matches the awk REGEX and echo the best
+# (minimum) time per op, normalized to nanoseconds.
+#
+# Robust to the report unit: instead of assuming the time sits in field
+# 3 (true today, but broken the moment a benchmark grows a custom
+# metric or the tooling switches to µs/op for slow benchmarks, as
+# benchstat already does), this looks for the field *labelled* with a
+# time-per-op unit and converts it. Exits non-zero if no matching line
+# carries a time.
+best_ns_per_op() {
+  local file="$1" regex="$2"
+  awk -v re="$regex" '
+    $1 ~ re {
+      for (i = 2; i < NF; i++) {
+        unit = $(i + 1)
+        if (unit !~ /^(ns|us|µs|ms|s)\/op$/) continue
+        v = $i + 0
+        if (unit == "us/op" || unit == "µs/op") v *= 1e3
+        else if (unit == "ms/op") v *= 1e6
+        else if (unit == "s/op") v *= 1e9
+        if (!found || v < best) { best = v; found = 1 }
+        break
+      }
+    }
+    END {
+      if (!found) { print "no time/op found for " re > "/dev/stderr"; exit 1 }
+      printf "%.0f\n", best
+    }' "$file"
+}

@@ -18,6 +18,10 @@
 # Run via `make bench-snapshot` or directly from the repository root.
 set -euo pipefail
 
+cd "$(dirname "$0")/.."
+# shellcheck source=scripts/bench_lib.sh
+source scripts/bench_lib.sh
+
 MAX_PCT="${BENCH_SNAPSHOT_MAX_PCT:-5}"
 COUNT="${BENCH_SNAPSHOT_COUNT:-5}"
 BENCHTIME="${BENCH_SNAPSHOT_BENCHTIME:-1s}"
@@ -26,16 +30,14 @@ OUT="BENCH_obs.json"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-# run_side LABEL UDM_OBS-VALUE — run the benchmark, echo best ns/op.
+# run_side LABEL UDM_OBS-VALUE — run the benchmark, echo best ns/op
+# (parsed unit-robustly by bench_lib.sh rather than assuming field 3).
 run_side() {
   local label="$1" mode="$2"
   echo "bench-snapshot: running $label (UDM_OBS=$mode, count=$COUNT, benchtime=$BENCHTIME)" >&2
   UDM_OBS="$mode" go test -run '^$' -bench "$BENCH" \
     -benchtime "$BENCHTIME" -count "$COUNT" ./internal/kde >"$TMP/$label.txt"
-  awk '/^BenchmarkDensityBatch\// { if (best == 0 || $3 < best) best = $3 } END {
-    if (best == 0) { print "no benchmark output" > "/dev/stderr"; exit 1 }
-    print best
-  }' "$TMP/$label.txt"
+  best_ns_per_op "$TMP/$label.txt" '^BenchmarkDensityBatch/'
 }
 
 off_ns="$(run_side off off)"

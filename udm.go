@@ -221,7 +221,22 @@ type (
 	KernelType = kernel.Type
 	// BandwidthRule names a bandwidth selection rule.
 	BandwidthRule = kernel.BandwidthRule
+	// AccuracyMode selects exact kernel evaluation or the bounded-error
+	// fast-exponential surrogate on the batch density paths; set it via
+	// DensityOptions.Accuracy or per estimator with WithAccuracy. The
+	// zero value is exact.
+	AccuracyMode = kernel.AccuracyMode
 )
+
+// Exact requests exact kernel evaluation (the AccuracyMode zero value):
+// batch densities are bit-identical to the per-query methods when
+// DensityOptions.Prune is zero.
+func Exact() AccuracyMode { return kernel.Exact() }
+
+// Approx requests approximate kernel evaluation with relative density
+// error at most eps; implementations fall back to exact evaluation when
+// eps is tighter than the surrogate can guarantee.
+func Approx(eps float64) AccuracyMode { return kernel.Approx(eps) }
 
 // Kernel shapes.
 const (
@@ -269,9 +284,12 @@ func (o BatchOptions) ctx() context.Context {
 // DensityBatch evaluates any density estimator at every row of X over
 // the dimension subset dims (nil = all dimensions), fanned out over up
 // to BatchWorkers(workers) goroutines. Results are bit-for-bit
-// identical to the serial row-by-row loop for every worker count; see
-// also the DensityBatch/DensityQBatch methods on PointDensity and
-// ClusterDensity.
+// identical for every worker count, and — in exact mode with
+// DensityOptions.Prune zero — bit-identical to the serial per-query
+// loop; Prune > 0 trades a bounded relative error for far-field
+// truncation, and a non-exact AccuracyMode additionally enables the
+// fast-exponential surrogate. See also the DensityBatch/DensityQBatch
+// methods on PointDensity and ClusterDensity.
 //
 // Deprecated-style positional form: prefer DensityBatchOpts, which
 // accepts a context for cancellation.
