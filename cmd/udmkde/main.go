@@ -1,7 +1,8 @@
 // Command udmkde evaluates error-adjusted kernel densities from a CSV
 // data set: a 1-D grid (values or ASCII plot) or a 2-D ASCII heat map,
-// from exact point kernels or from a micro-cluster compression, with
-// Silverman or likelihood-CV bandwidths.
+// from exact point kernels, a micro-cluster compression, or one of the
+// approximate density backends (hbe, grid, micro), with Silverman or
+// likelihood-CV bandwidths.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	udmkde -in data.csv -dim age -plot
 //	udmkde -in data.csv -dim x -dim2 y -grid 30
 //	udmkde -in data.csv -dim v -q 200 -cv
+//	udmkde -in data.csv -dim v -backend hbe
+//	udmkde -in data.csv -dim v -eval backend=grid,epsilon=0.05,cells=256
 package main
 
 import (
@@ -17,7 +20,9 @@ import (
 	"os"
 
 	"udm/internal/dataset"
+	"udm/internal/density"
 	"udm/internal/eval"
+	"udm/internal/evalopt"
 	"udm/internal/kde"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
@@ -34,15 +39,40 @@ func main() {
 		cv      = flag.Bool("cv", false, "select bandwidths by leave-one-out likelihood instead of Silverman")
 		noAdj   = flag.Bool("no-adjust", false, "ignore error columns")
 		plot    = flag.Bool("plot", false, "render the 1-D curve as an ASCII chart instead of values")
-		seed    = flag.Int64("seed", 1, "random seed (micro-cluster ordering)")
+		seed    = flag.Int64("seed", 1, "random seed (micro-cluster ordering, randomized backends)")
 		prune   = flag.Float64("prune", 0, "far-field truncation tolerance (relative error bound; 0 = exact)")
 		approx  = flag.Float64("approx", 0, "bounded-error fast-exp budget epsilon (0 = exact; Gaussian kernel only)")
+		backend = flag.String("backend", "", "density backend: exact (default), hbe, grid or micro")
+		evalStr = flag.String("eval", "", "unified evaluation options, e.g. backend=hbe,epsilon=0.05 (see evalopt grammar; individual flags fill unset keys)")
 	)
 	flag.Parse()
 	if *in == "" || *dimName == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ev, err := evalopt.Parse(*evalStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *backend != "" {
+		bk, err := evalopt.ParseBackend(*backend)
+		if err != nil {
+			fatal(err)
+		}
+		ev.Backend = bk
+	}
+	// The legacy stand-alone flags fill in whatever the -eval string left
+	// unset, so existing invocations keep their exact meaning.
+	if ev.Prune == 0 {
+		ev.Prune = *prune
+	}
+	if ev.Accuracy.IsExact() && *approx > 0 {
+		ev.Accuracy = kernel.Approx(*approx)
+	}
+	if ev.Seed == 0 {
+		ev.Seed = *seed
+	}
+
 	ds, err := dataset.LoadCSV(*in)
 	if err != nil {
 		fatal(err)
@@ -53,10 +83,7 @@ func main() {
 	}
 	adjust := !*noAdj && ds.HasErrors()
 
-	opt := kde.Options{ErrorAdjust: adjust, Prune: *prune}
-	if *approx > 0 {
-		opt.Accuracy = kernel.Approx(*approx)
-	}
+	opt := kde.Options{ErrorAdjust: adjust, Eval: ev}
 	if *cv {
 		h, err := kde.CVBandwidths(ds, adjust, nil)
 		if err != nil {
@@ -66,20 +93,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "udmkde: CV bandwidths %v\n", h)
 	}
 
-	var est kde.Estimator
+	// Every configuration routes through the density-backend layer; the
+	// default (exact) backend wraps the same point/cluster estimators as
+	// before, bit-identically.
+	var b density.Backend
 	if *q > 0 {
-		s := microcluster.Build(ds, *q, rng.New(*seed))
-		est, err = kde.NewCluster(s, opt)
+		s := microcluster.Build(ds, *q, rng.New(ev.EffSeed()))
+		b, err = density.FromSummarizer(s, opt)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "udmkde: %d rows compressed into %d micro-clusters\n", ds.Len(), s.Len())
 	} else {
-		est, err = kde.NewPoint(ds, opt)
+		b, err = density.New(ds, opt)
 		if err != nil {
 			fatal(err)
 		}
 	}
+	if info := b.Info(); !info.Exact {
+		fmt.Fprintf(os.Stderr, "udmkde: backend %s\n", info)
+	}
+	est := kde.Estimator(b)
+	bopt := kde.BatchOptions{Workers: 1, Eval: ev}
 
 	lo, hi := ds.MinMax()
 	span := func(j int) (float64, float64) {
@@ -101,7 +136,10 @@ func main() {
 		if cells > 120 {
 			cells = 120
 		}
-		g := kde.Grid2D(est, j, j2, loX, hiX, loY, hiY, cells, cells/2)
+		g, err := kde.Grid2DOpts(est, j, j2, loX, hiX, loY, hiY, cells, cells/2, bopt)
+		if err != nil {
+			fatal(err)
+		}
 		var peak float64
 		for _, row := range g {
 			for _, v := range row {
@@ -123,7 +161,10 @@ func main() {
 	}
 
 	loX, hiX := span(j)
-	xs, ys := kde.Grid1D(est, j, loX, hiX, *grid)
+	xs, ys, err := kde.Grid1DOpts(est, j, loX, hiX, *grid, bopt)
+	if err != nil {
+		fatal(err)
+	}
 	if *plot {
 		tab, err := eval.NewTable(
 			fmt.Sprintf("density of %s", *dimName), *dimName,

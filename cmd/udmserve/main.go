@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"udm/internal/core"
+	"udm/internal/evalopt"
 	"udm/internal/faultinject"
 	"udm/internal/kde"
 	"udm/internal/microcluster"
@@ -105,6 +106,7 @@ func main() {
 		threshold    = flag.Float64("a", 0, "classifier accuracy threshold for transform models (0 = default)")
 		errorAdjust  = flag.Bool("error-adjust", true, "use the error-adjusted kernel for density and outliers")
 		prune        = flag.Float64("prune", 0, "far-field truncation tolerance for batched densities (relative error bound; 0 = no pruning)")
+		evalStr      = flag.String("eval", "", "unified evaluation defaults for every model, e.g. prune=0.01,epsilon=0.05,seed=7 (evalopt grammar; requests still pick backend/accuracy per call)")
 		maxBatch     = flag.Int("max-batch", 0, "max coalesced requests per batched call (0 = default 64)")
 		batchDelay   = flag.Duration("batch-delay", 0, "micro-batching window (0 = default 2ms; -1ns disables)")
 		timeout      = flag.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
@@ -136,7 +138,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	kdeOpt := kde.Options{ErrorAdjust: *errorAdjust, Prune: *prune}
+	ev, err := evalopt.Parse(*evalStr)
+	if err != nil {
+		fatal(err)
+	}
+	// The stand-alone -prune flag fills in when the -eval string left it
+	// unset, so existing invocations keep their meaning. The Epsilon /
+	// Delta / cells / q / seed defaults parsed here configure the
+	// approximate backends that requests select per call.
+	if ev.Prune == 0 {
+		ev.Prune = *prune
+	}
+	kdeOpt := kde.Options{ErrorAdjust: *errorAdjust, Eval: ev}
 	reg := server.NewRegistry()
 	for _, spec := range models {
 		m, err := loadModel(spec, *threshold, kdeOpt, *noCheckpoint)

@@ -1,0 +1,105 @@
+// Package depapi flags in-tree calls to the deprecated batch-evaluation
+// forms that PR 7 collapsed into the canonical options-taking API.
+//
+// PR 1 and PR 2 grew a four-way batch surface — positional
+// DensityBatch(est, X, dims, workers) package functions, per-type method
+// twins, and ...Context variants of each. DensityBatchOpts (and its
+// DensityQBatchOpts / LeaveOneOutBatchOpts siblings) replaced them; the
+// old forms survive as thin `// Deprecated:` wrappers for out-of-tree
+// callers, but new in-tree code must not grow back onto them. The Go
+// toolchain only surfaces deprecation marks through editors, so this
+// analyzer makes the migration mechanical to enforce.
+//
+// The rule distinguishes the deprecated forms from the one legitimate
+// look-alike: the Batcher delegation hook (and the pluggable density
+// backends implementing it) spells DensityBatch as a context-first
+// method, so a method call whose first parameter is context.Context is
+// canonical, not deprecated. Calls inside the package that declares the
+// wrappers are exempt — the wrappers delegate among themselves.
+package depapi
+
+import (
+	"go/ast"
+	"go/types"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "depapi",
+	Doc: "flag in-tree calls to the deprecated batch-evaluation forms (DensityBatch positional and " +
+		"...Context variants): new code must use the BatchOptions-taking canonical API",
+	Run: run,
+}
+
+// bare names the context-free deprecated forms and their replacements.
+// A method spelled with a leading context.Context parameter is the
+// Batcher delegation hook, not a deprecated form.
+var bare = map[string]string{
+	"DensityBatch":     "DensityBatchOpts",
+	"DensityQBatch":    "DensityQBatchOpts",
+	"LeaveOneOutBatch": "LeaveOneOutBatchOpts",
+}
+
+// ctxVariants names the ...Context twins, deprecated in every spelling.
+var ctxVariants = map[string]string{
+	"DensityBatchContext":     "DensityBatchOpts with BatchOptions.Ctx",
+	"DensityQBatchContext":    "DensityQBatchOpts with BatchOptions.Ctx",
+	"LeaveOneOutBatchContext": "LeaveOneOutBatchOpts with BatchOptions.Ctx",
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := analysis.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		// The deprecated surface lives in the kde engine package and the
+		// module-root facade; same-named functions elsewhere are not ours.
+		if !analysis.PathHasSuffix(path, "kde") && !analysis.PathHasSuffix(path, "udm") {
+			return
+		}
+		// The declaring package's wrappers delegate among themselves.
+		if path == pass.PkgPath {
+			return
+		}
+		name := fn.Name()
+		if repl, ok := ctxVariants[name]; ok {
+			pass.Reportf(call.Pos(), "deprecated batch form %s: use %s", name, repl)
+			return
+		}
+		repl, ok := bare[name]
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		// Context-first methods are the canonical Batcher delegation hook.
+		if sig.Recv() != nil && firstParamIsContext(sig) {
+			return
+		}
+		pass.Reportf(call.Pos(), "deprecated batch form %s: use %s", name, repl)
+	})
+	return nil
+}
+
+// firstParamIsContext reports whether the signature's first parameter is
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

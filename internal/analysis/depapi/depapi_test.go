@@ -1,0 +1,13 @@
+package depapi_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/depapi"
+)
+
+func TestDepapi(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", depapi.Analyzer,
+		"udmfixture/depapi", "udmfixture/udm")
+}

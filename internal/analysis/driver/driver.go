@@ -13,6 +13,7 @@ import (
 
 	"udm/internal/analysis"
 	"udm/internal/analysis/ctxflow"
+	"udm/internal/analysis/depapi"
 	"udm/internal/analysis/detfloat"
 	"udm/internal/analysis/errsentinel"
 	"udm/internal/analysis/faultpoint"
@@ -27,6 +28,7 @@ import (
 // listed and run.
 var All = []*analysis.Analyzer{
 	ctxflow.Analyzer,
+	depapi.Analyzer,
 	detfloat.Analyzer,
 	errsentinel.Analyzer,
 	faultpoint.Analyzer,

@@ -1,0 +1,36 @@
+// Package depapi holds the golden cases for the depapi analyzer: every
+// deprecated batch form called from outside its declaring package, plus
+// the canonical spellings that must stay silent.
+package depapi
+
+import (
+	"context"
+
+	"udmfixture/internal/kde"
+	"udmfixture/udm"
+)
+
+// Legacy calls every deprecated form.
+func Legacy(ctx context.Context, est kde.Est, X [][]float64) {
+	_, _ = kde.DensityBatch(ctx, est, X, nil, 4)        // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+	_, _ = kde.DensityQBatch(ctx, est, X, nil, nil, 4)  // want "deprecated batch form DensityQBatch: use DensityQBatchOpts"
+	_, _ = est.DensityBatch(X, nil, 4)                  // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+	_, _ = est.DensityBatchContext(ctx, X, nil, 4)      // want "deprecated batch form DensityBatchContext: use DensityBatchOpts with BatchOptions.Ctx"
+	_, _ = est.LeaveOneOutBatch(nil, 4)                 // want "deprecated batch form LeaveOneOutBatch: use LeaveOneOutBatchOpts"
+	_, _ = udm.DensityBatch(est, X, nil, 4)             // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+}
+
+// Canonical calls the Opts forms and the context-first Batcher hook —
+// none may be flagged.
+func Canonical(ctx context.Context, est kde.Est, b kde.Batcher, X [][]float64) {
+	_, _ = kde.DensityBatchOpts(est, X, nil, kde.BatchOptions{Ctx: ctx, Workers: 4})
+	_, _ = est.LeaveOneOutBatchOpts(nil, kde.BatchOptions{Workers: 4})
+	_, _ = udm.DensityBatchOpts(est, X, nil, kde.BatchOptions{})
+	_, _ = b.DensityBatch(ctx, X, nil, 4)
+}
+
+// Suppressed pins the //lint:allow escape hatch for sanctioned legacy
+// call sites (e.g. a compatibility shim's own tests).
+func Suppressed(est kde.Est, X [][]float64) {
+	_, _ = est.DensityBatch(X, nil, 1) //lint:allow depapi compatibility shim retained for out-of-tree callers
+}

@@ -1,0 +1,57 @@
+// Golden API shapes for the depapi analyzer: the deprecated batch
+// forms, their canonical Opts replacements, and the context-first
+// Batcher look-alike that must NOT be flagged. The wrapper bodies
+// delegate among themselves, pinning the declaring-package exemption.
+package kde
+
+import "context"
+
+// BatchOptions mirrors the real package's options value.
+type BatchOptions struct {
+	Workers int
+	Ctx     context.Context
+}
+
+// Est mirrors an estimator carrying the deprecated method twins.
+type Est struct{}
+
+// DensityBatchOpts is the canonical form.
+func DensityBatchOpts(est Est, X [][]float64, dims []int, opt BatchOptions) ([]float64, error) {
+	return nil, nil
+}
+
+// Deprecated: use DensityBatchOpts.
+func DensityBatch(_ context.Context, est Est, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatchOpts(est, X, dims, BatchOptions{Workers: workers})
+}
+
+// Deprecated: use DensityQBatchOpts.
+func DensityQBatch(_ context.Context, est Est, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	return nil, nil
+}
+
+// Deprecated: use DensityBatchOpts.
+func (Est) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
+	return nil, nil
+}
+
+// Deprecated: use DensityBatchOpts with BatchOptions.Ctx.
+func (Est) DensityBatchContext(_ context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return nil, nil
+}
+
+// Deprecated: use LeaveOneOutBatchOpts.
+func (Est) LeaveOneOutBatch(dims []int, workers int) ([]float64, error) {
+	return nil, nil
+}
+
+// LeaveOneOutBatchOpts is the canonical form.
+func (Est) LeaveOneOutBatchOpts(dims []int, opt BatchOptions) ([]float64, error) {
+	return nil, nil
+}
+
+// Batcher is the delegation hook: its DensityBatch is context-first and
+// canonical, despite sharing the deprecated name.
+type Batcher interface {
+	DensityBatch(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error)
+}

@@ -1,0 +1,22 @@
+// Package udm mirrors the module-root facade: its import path ends in
+// "udm", so its deprecated batch wrapper sits inside the depapi
+// analyzer's scope.
+package udm
+
+import "udmfixture/internal/kde"
+
+// DensityBatchOpts is the canonical facade form.
+func DensityBatchOpts(est kde.Est, X [][]float64, dims []int, opt kde.BatchOptions) ([]float64, error) {
+	return kde.DensityBatchOpts(est, X, dims, opt)
+}
+
+// Deprecated: use DensityBatchOpts.
+func DensityBatch(est kde.Est, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatchOpts(est, X, dims, kde.BatchOptions{Workers: workers})
+}
+
+// Compat calls the deprecated same-package wrapper; the
+// declaring-package exemption keeps it silent.
+func Compat(est kde.Est, X [][]float64) ([]float64, error) {
+	return DensityBatch(est, X, nil, 1)
+}

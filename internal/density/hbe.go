@@ -1,0 +1,512 @@
+package density
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"udm/internal/dataset"
+	"udm/internal/evalopt"
+	"udm/internal/kde"
+	"udm/internal/kernel"
+	"udm/internal/microcluster"
+	"udm/internal/num"
+	"udm/internal/obs"
+	"udm/internal/parallel"
+	"udm/internal/rng"
+	"udm/internal/udmerr"
+)
+
+// The hbe backend is a hashing-based estimator in the style of
+// Charikar & Siminelakis (arXiv:1808.10530): importance sampling whose
+// proposal is guided by locality-sensitive hashing, with an adaptive
+// empirical-Bernstein stopping rule delivering a per-query (ε, δ)
+// relative-error contract.
+//
+// Build time hashes every kernel center into hbeTables random-offset
+// axis-aligned grids with cell width proportional to the bandwidth —
+// centers that share a bucket with the query are near it in bandwidth
+// units, which is where the kernel mass is. A query is evaluated in
+// two strata:
+//
+//   - Near field: the union of the query's buckets across all tables
+//     is summed exactly. This stratum holds the kernel's mass and,
+//     crucially, all the large contributions, so no sampling variance
+//     is spent on it.
+//   - Far field: the complement is estimated by uniform draws over all
+//     centers (near members contribute zero), an unbiased estimator of
+//     the remaining mass whose summands are small — near-query centers
+//     only reach the far stratum when they miss the query's bucket in
+//     every table, which decays geometrically in the table count.
+//
+// Sampling stops when an empirical-Bernstein bound certifies relative
+// error ≤ ε at confidence 1−δ on the combined estimate, or when the
+// sample budget (half the center count) is exhausted — at which point
+// the query falls back to the exact sum, so an exhausted budget can
+// never degrade accuracy below exact. One deliberate deviation from
+// the textbook bound: the range term uses the largest far-field weight
+// observed so far rather than the a priori bound M·wmax·Π_j
+// 1/(√(2π)h_j)/N. The a priori range belongs to a near-query center,
+// i.e. to the stratum that is summed exactly; charging it against the
+// far field would cost more samples than the exact sum and the
+// estimator would never sample. The observed-range rule is a standard
+// practical surrogate: the variance term stays rigorous, and the
+// advertised (ε, δ) contract is enforced empirically by the seeded
+// contract suite. Subspace (dims ⊂ all) queries always evaluate
+// exactly: the hash keys are computed over the full dimensionality.
+//
+// Determinism: the per-query sampler is seeded by an FNV-64 hash of
+// the build seed and the query's coordinate bits, so results are
+// independent of batch composition, evaluation order and worker count.
+
+const (
+	// hbeTables is the number of independent hash tables in the
+	// proposal mixture. The sampler's variance is dominated by
+	// near-query centers that land outside the query's bucket in every
+	// table (they fall to the uniform branch with a large importance
+	// weight); the miss probability decays geometrically in the table
+	// count, so more tables buy variance directly.
+	hbeTables = 6
+	// hbeCellScale is the hash cell width in bandwidth units. Wide
+	// cells put essentially all of the kernel's mass in the exactly
+	// summed near field, leaving the sampled far field with small
+	// summands.
+	hbeCellScale = 4.0
+	// hbeMinPoints is the center count below which sampling cannot
+	// beat the exact sum; smaller inputs evaluate exactly.
+	hbeMinPoints = 256
+	// hbeBatch is the first sampling round size; rounds double so the
+	// number of adaptive stopping checks stays logarithmic.
+	hbeBatch = 256
+	// hbeMinCertify is the smallest sample count at which the stopping
+	// rule may fire — warm-up for the observed-range term.
+	hbeMinCertify = 1024
+)
+
+// hbeBackend implements Backend by LSH-guided importance sampling.
+type hbeBackend struct {
+	inner kde.Estimator // exact estimator over the same input: fallback + bandwidths
+	pts   [][]float64   // kernel centers (rows or cluster centroids)
+	psis  [][]float64   // per-center per-dimension widening; nil = none
+	wts   []float64     // per-center weights; nil = unweighted
+	total float64       // N = Σ weights (= len(pts) when unweighted)
+	h     []float64     // per-dimension bandwidths (match inner)
+	inv   []float64     // m×d row-major: per-center per-dim 1/(2σ²), σ² = h²+ψ²
+	nrm   []float64     // per-center weight / Π_j √(2π)σ_j
+	eps   float64       // relative-error budget
+	delta float64       // per-query failure probability
+	seed  int64
+	tabs  []hbeTable
+	info  Info
+	pool  sync.Pool // *hbeScratch, stamps sized to len(pts)
+}
+
+// hbeScratch is per-worker query state: an epoch-stamped membership
+// array over the centers, reused across queries to keep the near-field
+// dedup allocation-free.
+type hbeScratch struct {
+	stamp []int64
+	epoch int64
+}
+
+func (b *hbeBackend) scratch() *hbeScratch {
+	return b.pool.Get().(*hbeScratch)
+}
+
+func (b *hbeBackend) release(sc *hbeScratch) { b.pool.Put(sc) }
+
+type hbeTable struct {
+	off  []float64 // per-dimension cell offset
+	r    []float64 // per-dimension cell width
+	bkts map[uint64][]int32
+}
+
+// newHBEFromRows builds the sampler over raw rows.
+func newHBEFromRows(ds *dataset.Dataset, opt kde.Options) (Backend, error) {
+	if err := hbeSupports(opt); err != nil {
+		return nil, err
+	}
+	inner, err := kde.NewPoint(ds, opt)
+	if err != nil {
+		return nil, err
+	}
+	var psis [][]float64
+	if opt.ErrorAdjust && ds.HasErrors() {
+		psis = ds.Err
+	}
+	return newHBE(inner, ds.X, psis, nil, float64(ds.Len()), opt)
+}
+
+// newHBEFromSummarizer builds the sampler over the summary's weighted
+// pseudo-points, mirroring kde.NewCluster's centroid/Δ/weight
+// derivation so the fallback and the sampled sum describe the same
+// estimate.
+func newHBEFromSummarizer(s *microcluster.Summarizer, opt kde.Options) (Backend, error) {
+	if err := hbeSupports(opt); err != nil {
+		return nil, err
+	}
+	inner, err := kde.NewCluster(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	d := s.Dims()
+	cents := make([][]float64, s.Len())
+	deltas := make([][]float64, s.Len())
+	wts := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		f := s.Feature(i)
+		cents[i] = f.Centroid(nil)
+		delta := make([]float64, d)
+		for j := 0; j < d; j++ {
+			v := f.Variance(j)
+			if opt.ErrorAdjust {
+				v += f.MeanErr2(j)
+			}
+			delta[j] = math.Sqrt(v)
+		}
+		deltas[i] = delta
+		wts[i] = float64(f.N)
+	}
+	return newHBE(inner, cents, deltas, wts, float64(s.Count()), opt)
+}
+
+// hbeSupports rejects configurations the sampler cannot honor.
+func hbeSupports(opt kde.Options) error {
+	if opt.Kernel != kernel.Gaussian {
+		return fmt.Errorf("density: hbe requires the Gaussian kernel, got %v: %w", opt.Kernel, udmerr.ErrBadOption)
+	}
+	if opt.PaperKernel {
+		return fmt.Errorf("density: hbe does not support the paper (unnormalized) kernel: %w", udmerr.ErrBadOption)
+	}
+	if m := effAccuracy(opt); !m.IsExact() {
+		return fmt.Errorf("density: hbe manages its own approximation; kernel accuracy must be exact, got %v: %w", m, udmerr.ErrBadOption)
+	}
+	return nil
+}
+
+func newHBE(inner kde.Estimator, pts, psis [][]float64, wts []float64, total float64, opt kde.Options) (Backend, error) {
+	d := inner.Dims()
+	h := make([]float64, d)
+	for j := 0; j < d; j++ {
+		h[j] = bandwidthOf(inner, j)
+	}
+	b := &hbeBackend{
+		inner: inner,
+		pts:   pts,
+		psis:  psis,
+		wts:   wts,
+		total: total,
+		h:     h,
+		eps:   opt.Eval.EffEpsilon(),
+		delta: opt.Eval.EffDelta(),
+		seed:  opt.Eval.EffSeed(),
+	}
+	b.pool.New = func() any { return &hbeScratch{stamp: make([]int64, len(pts))} }
+	// Fuse each center's product kernel into one exponential: every
+	// factor is a normal PDF with σ_j = √(h_j²+ψ_j²), so the product is
+	// nrm·exp(−Σ_j (x_j−c_j)²/(2σ_j²)) with both the normalization and
+	// the inverse variances precomputable per center. This turns the
+	// per-sample cost from d Sqrt+Exp calls into d fused multiply-adds
+	// and a single Exp.
+	b.inv = make([]float64, len(pts)*d)
+	b.nrm = make([]float64, len(pts))
+	for i := range pts {
+		w := 1.0
+		if wts != nil {
+			w = wts[i]
+		}
+		row := b.inv[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			sig := h[j]
+			if psis != nil && psis[i] != nil && psis[i][j] != 0 {
+				sig = math.Sqrt(h[j]*h[j] + psis[i][j]*psis[i][j])
+			}
+			row[j] = 1 / (2 * sig * sig)
+			w *= num.InvSqrt2Pi / sig
+		}
+		b.nrm[i] = w
+	}
+	// Hash every center into the proposal tables.
+	src := rng.New(b.seed).Split("density.hbe.lsh")
+	b.tabs = make([]hbeTable, hbeTables)
+	for t := range b.tabs {
+		tab := hbeTable{
+			off:  make([]float64, d),
+			r:    make([]float64, d),
+			bkts: make(map[uint64][]int32, len(pts)/4+1),
+		}
+		for j := 0; j < d; j++ {
+			tab.r[j] = hbeCellScale * h[j]
+			tab.off[j] = src.Float64() * tab.r[j]
+		}
+		for i, x := range pts {
+			k := tab.key(x)
+			tab.bkts[k] = append(tab.bkts[k], int32(i))
+		}
+		b.tabs[t] = tab
+	}
+	prune := effPrune(opt)
+	b.info = Info{
+		Backend: evalopt.BackendHBE,
+		Epsilon: b.eps + prune,
+		Delta:   b.delta,
+		Contract: fmt.Sprintf("rel err ≤ %g with prob ≥ %g per full-dimensional query "+
+			"(LSH importance sampling, exact fallback); subspace queries exact", b.eps+prune, 1-b.delta),
+	}
+	return b, nil
+}
+
+// bandwidthOf reads the per-dimension bandwidth off either estimator
+// type.
+func bandwidthOf(est kde.Estimator, j int) float64 {
+	switch k := est.(type) {
+	case *kde.PointKDE:
+		return k.BandwidthFor(j)
+	case *kde.ClusterKDE:
+		return k.BandwidthFor(j)
+	}
+	panic(fmt.Sprintf("density: no bandwidths on %T", est))
+}
+
+// key hashes a point's per-dimension cell ids into a bucket key.
+func (t *hbeTable) key(x []float64) uint64 {
+	hsh := fnv.New64a()
+	var buf [8]byte
+	for j, v := range x {
+		id := int64(math.Floor((v - t.off[j]) / t.r[j]))
+		binary.LittleEndian.PutUint64(buf[:], uint64(id))
+		hsh.Write(buf[:])
+	}
+	return hsh.Sum64()
+}
+
+func (b *hbeBackend) Dims() int  { return b.inner.Dims() }
+func (b *hbeBackend) Count() int { return b.inner.Count() }
+func (b *hbeBackend) Info() Info { return b.info }
+
+// Density returns the sampled estimate at x over all dimensions.
+func (b *hbeBackend) Density(x []float64) float64 {
+	if len(x) != b.Dims() {
+		panic(fmt.Sprintf("density: query point has %d dims, estimator has %d", len(x), b.Dims()))
+	}
+	if v, ok := b.evalFull(x); ok {
+		return v
+	}
+	return b.exact(x)
+}
+
+// DensitySub evaluates over a dimension subset: sampled when dims
+// covers the full dimensionality, exact otherwise (the hash keys only
+// exist for the full product kernel).
+func (b *hbeBackend) DensitySub(x []float64, dims []int) float64 {
+	if fullDims(dims, b.Dims()) {
+		return b.Density(x)
+	}
+	return b.inner.DensitySub(x, dims)
+}
+
+// DensityBatch evaluates every row independently; per-query seeding
+// keeps results bit-identical for every worker count and batch
+// composition.
+func (b *hbeBackend) DensityBatch(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !fullDims(dims, b.Dims()) {
+		return kde.DensityBatchOpts(b.inner, X, dims, kde.BatchOptions{Ctx: ctx, Workers: workers})
+	}
+	ctx, sp := obs.StartSpan(ctx, "density.HBEBatch")
+	defer sp.End()
+	sp.Attr("points", len(X))
+	d := b.Dims()
+	for i, x := range X {
+		if len(x) != d {
+			return nil, fmt.Errorf("density: query row %d has %d dims, estimator has %d: %w", i, len(x), d, udmerr.ErrDimensionMismatch)
+		}
+	}
+	out, err := parallel.Map(ctx, len(X), workers, func(i int) (float64, error) {
+		if v, ok := b.evalFull(X[i]); ok {
+			return v, nil
+		}
+		return math.NaN(), nil // sentinel: needs the exact fallback
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Batch the exact fallbacks through the SoA engine in one call —
+	// far cheaper than per-query scalar sums, and bit-identical to the
+	// canonical exact path by the SoA determinism contract. Densities
+	// are never NaN, so the sentinel cannot collide with a real value.
+	var miss []int
+	for i, v := range out {
+		if math.IsNaN(v) {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) > 0 {
+		Xf := make([][]float64, len(miss))
+		for k, i := range miss {
+			Xf[k] = X[i]
+		}
+		fb, err := kde.DensityBatchOpts(b.inner, Xf, nil, kde.BatchOptions{Ctx: ctx, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range miss {
+			out[i] = fb[k]
+		}
+	}
+	return out, nil
+}
+
+// WithAccuracy accepts only the exact kernel mode: the sampler manages
+// its own approximation budget.
+func (b *hbeBackend) WithAccuracy(m kernel.AccuracyMode) (Backend, error) {
+	if m.IsExact() {
+		return b, nil
+	}
+	return nil, fmt.Errorf("density: hbe manages its own approximation; kernel accuracy must be exact, got %v: %w", m, udmerr.ErrBadOption)
+}
+
+// evalFull runs the stratified estimator for one full-dimensional
+// query: the near field (the union of the query's hash buckets, which
+// carries the kernel mass and all the large weights) is summed
+// exactly, and only the far-field complement is sampled. ok=false
+// means the caller must evaluate exactly (tiny input or exhausted
+// sample budget); batch callers aggregate those into one SoA pass.
+func (b *hbeBackend) evalFull(x []float64) (v float64, ok bool) {
+	m := len(b.pts)
+	if m < hbeMinPoints {
+		return 0, false
+	}
+	// Near field, exact. Deduplication across tables happens in a
+	// deterministic order (tables, then bucket storage order), so the
+	// floating-point sum is reproducible.
+	sc := b.scratch()
+	defer b.release(sc)
+	sc.epoch++
+	ep := sc.epoch
+	nearCount := 0
+	var s float64
+	for t := range b.tabs {
+		tab := &b.tabs[t]
+		for _, i := range tab.bkts[tab.key(x)] {
+			if sc.stamp[i] == ep {
+				continue
+			}
+			sc.stamp[i] = ep
+			nearCount++
+			s += b.g(int(i), x)
+		}
+	}
+	nearDensity := s / b.total
+	if nearCount == m {
+		return nearDensity, true
+	}
+	// Far field: uniform draws over all centers with zero contribution
+	// for near members — an unbiased estimate of the complement's share.
+	r := rng.New(b.querySeed(x))
+	// The stopping rule is checked once per round; rounds double in
+	// size, so a δ/16 budget per check union-bounds the ≤ log₂(M/256)
+	// checks a query can make well under δ.
+	ln3d := math.Log(48 / b.delta)
+	scale := float64(m) / b.total
+	budget := m / 2
+	batch := hbeBatch
+	var n, mean, m2, zmax float64
+	for int(n) < budget {
+		take := batch
+		if left := budget - int(n); take > left {
+			take = left
+		}
+		batch *= 2
+		for k := 0; k < take; k++ {
+			i := r.Intn(m)
+			var z float64
+			if sc.stamp[i] != ep {
+				z = scale * b.g(i, x)
+			}
+			if z > zmax {
+				zmax = z
+			}
+			// Welford update.
+			n++
+			d1 := z - mean
+			mean += d1 / n
+			m2 += d1 * (z - mean)
+		}
+		// Empirical-Bernstein: |mean − f_far| ≤ eb with prob ≥ 1−δ, so
+		// eb ≤ ε·(est − eb) ≤ ε·f certifies the relative contract on
+		// the full estimate. The range term uses the largest observed
+		// weight (see the package comment for why the a priori bound
+		// is unusable).
+		if int(n) < hbeMinCertify {
+			continue
+		}
+		v := m2 / (n - 1)
+		eb := math.Sqrt(2*v*ln3d/n) + 3*zmax*ln3d/n
+		est := nearDensity + mean
+		if est > 0 && eb <= b.eps*(est-eb) {
+			return est, true
+		}
+	}
+	// Budget exhausted (flat tail or hostile variance): the exact sum
+	// now costs no more than continuing to sample.
+	return 0, false
+}
+
+// exact is the full-precision fallback, identical to the exact backend
+// over the same input.
+func (b *hbeBackend) exact(x []float64) float64 {
+	return b.inner.Density(x)
+}
+
+// g returns center i's weighted product-kernel contribution at x via
+// the fused form precomputed at build time: one Exp per center instead
+// of one per dimension.
+func (b *hbeBackend) g(i int, x []float64) float64 {
+	pt := b.pts[i]
+	inv := b.inv[i*len(x) : i*len(x)+len(x)]
+	var e float64
+	for j, v := range x {
+		dx := v - pt[j]
+		e += dx * dx * inv[j]
+	}
+	if e > 745 { // exp(−745) is already subnormal; skip the Exp
+		return 0
+	}
+	return b.nrm[i] * math.Exp(-e)
+}
+
+// querySeed derives the per-query sampler seed from the build seed and
+// the query's coordinate bits — order-independent determinism.
+func (b *hbeBackend) querySeed(x []float64) int64 {
+	hsh := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(b.seed))
+	hsh.Write(buf[:])
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		hsh.Write(buf[:])
+	}
+	return int64(hsh.Sum64())
+}
+
+// fullDims reports whether dims denotes the full dimensionality.
+func fullDims(dims []int, d int) bool {
+	if dims == nil {
+		return true
+	}
+	if len(dims) != d {
+		return false
+	}
+	for j, v := range dims {
+		if v != j {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package density
+
+import (
+	"context"
+	"testing"
+
+	"udm/internal/datagen"
+	"udm/internal/evalopt"
+	"udm/internal/kde"
+	"udm/internal/rng"
+	"udm/internal/uncertain"
+)
+
+// TestHBESamplingNontrivial guards the hbe backend against regressing
+// into a trivial wrapper: at a size where sampling should engage, a
+// substantial fraction of queries must return a sampled (≠ exact)
+// value, and every sampled value must stay within the advertised
+// relative-error bound. Without this, the contract suite could pass
+// purely through the exact fallback.
+func TestHBESamplingNontrivial(t *testing.T) {
+	ds0, err := datagen.TwoBlobs(4).Generate(30000, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := uncertain.Perturb(ds0, 0.15, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q := ds.X[:400]
+	ref, err := kde.NewPoint(ds, kde.Options{ErrorAdjust: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := kde.DensityBatchOpts(ref, Q, nil, kde.BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(ds, kde.Options{ErrorAdjust: true, Eval: evalopt.Options{Backend: evalopt.BackendHBE}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.DensityBatch(context.Background(), Q, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, worst := 0, 0.0
+	for i := range got {
+		if got[i] != want[i] {
+			sampled++
+			re := (got[i] - want[i]) / want[i]
+			if re < 0 {
+				re = -re
+			}
+			if re > worst {
+				worst = re
+			}
+		}
+	}
+	t.Logf("%d/%d queries sampled, worst rel err %.4g (advertised %g)", sampled, len(got), worst, b.Info().Epsilon)
+	if sampled < len(got)/4 {
+		t.Errorf("only %d/%d queries sampled: hbe is degenerating to the exact fallback", sampled, len(got))
+	}
+	if eps := b.Info().Epsilon; worst > eps {
+		t.Errorf("worst rel err %g exceeds advertised %g", worst, eps)
+	}
+}

@@ -1,0 +1,218 @@
+package evalopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"udm/internal/kernel"
+	"udm/internal/udmerr"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendDefault, true},
+		{"exact", BackendExact, true},
+		{"hbe", BackendHBE, true},
+		{"grid", BackendGrid, true},
+		{"micro", BackendMicro, true},
+		{"  HBE ", BackendHBE, true}, // case/space insensitive wire form
+		{"forest", BackendDefault, false},
+		{"exactish", BackendDefault, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v, nil", c.in, got, err, c.want)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseBackend(%q): want error", c.in)
+			} else if !errors.Is(err, udmerr.ErrBadOption) {
+				t.Errorf("ParseBackend(%q) error %v does not wrap ErrBadOption", c.in, err)
+			}
+		}
+	}
+}
+
+func TestParseGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Options
+	}{
+		{"", Options{}},
+		{"backend=hbe", Options{Backend: BackendHBE}},
+		{"hbe", Options{Backend: BackendHBE}}, // bare-name shorthand
+		{"backend=grid,cells=64", Options{Backend: BackendGrid, GridCells: 64}},
+		{"backend=micro,q=200,seed=7", Options{Backend: BackendMicro, MicroClusters: 200, Seed: 7}},
+		{
+			"backend=hbe,epsilon=0.05,delta=0.01,workers=4",
+			Options{Backend: BackendHBE, Epsilon: 0.05, Delta: 0.01, Workers: 4},
+		},
+		{"eps=0.2", Options{Epsilon: 0.2}}, // eps alias
+		{"prune=1e-3", Options{Prune: 1e-3}},
+		{"accuracy=exact", Options{}},
+		{"accuracy=approx", Options{Accuracy: kernel.Approx(kernel.DefaultApproxEps)}},
+		{"accuracy=approx(1e-6)", Options{Accuracy: kernel.Approx(1e-6)}},
+		{" backend = hbe , epsilon = 0.1 ", Options{Backend: BackendHBE, Epsilon: 0.1}},
+		{"backend=grid,backend=hbe", Options{Backend: BackendHBE}}, // later key wins
+		{"workers=-1", Options{Workers: -1}},                       // ≤0 = all cores, legal
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"backend=forest",        // unknown backend
+		"turbo=1",               // unknown key
+		"epsilon=fast",          // malformed float
+		"epsilon=-0.1",          // out of domain
+		"delta=1.5",             // out of domain
+		"delta=x",               // malformed
+		"prune=-1",              // out of domain
+		"accuracy=approx(",      // malformed accuracy
+		"accuracy=approx(-1)",   // invalid budget
+		"accuracy=sloppy",       // unknown mode
+		"workers=three",         // malformed int
+		"seed=1.5",              // malformed int64
+		"cells=-2",              // out of domain
+		"cells=1000000",         // above cap
+		"q=-3",                  // out of domain
+		"backend",               // bare token that is not a backend... actually "backend" is not a valid backend name
+		"epsilon",               // bare token, not a backend
+		"backend=hbe,epsilon=x", // error in later field still surfaces
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		} else if !errors.Is(err, udmerr.ErrBadOption) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrBadOption", s, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []Options{
+		{},
+		{Backend: BackendHBE},
+		{Backend: BackendHBE, Epsilon: 0.05, Delta: 0.01},
+		{Backend: BackendGrid, GridCells: 64, Workers: 8},
+		{Backend: BackendMicro, MicroClusters: 140, Seed: 42},
+		{Prune: 1e-3, Accuracy: kernel.Approx(1e-6)},
+	}
+	for _, o := range cases {
+		s := o.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(String(%+v) = %q): %v", o, s, err)
+			continue
+		}
+		if back != o {
+			t.Errorf("round trip %+v → %q → %+v", o, s, back)
+		}
+	}
+	if s := (Options{}).String(); s != "" {
+		t.Errorf("zero Options renders %q, want empty", s)
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	// Equal configurations must render equal strings regardless of the
+	// order keys were supplied in — String is used in cache keys.
+	a, err := Parse("epsilon=0.05,backend=hbe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("backend=hbe,epsilon=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("key order changes rendering: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Options{
+		{},
+		{Backend: BackendExact},
+		{Backend: BackendHBE, Epsilon: 0.1, Delta: 0.01},
+		{Prune: 0.5, Workers: -3},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", o, err)
+		}
+	}
+	bad := []Options{
+		{Backend: "forest"},
+		{Epsilon: -1},
+		{Epsilon: math.NaN()},
+		{Epsilon: math.Inf(1)},
+		{Delta: 2},
+		{Delta: -0.1},
+		{Prune: math.Inf(1)},
+		{Prune: -0.5},
+		{Accuracy: kernel.Approx(math.NaN())},
+		{GridCells: -1},
+		{GridCells: MaxGridCells + 1},
+		{MicroClusters: -1},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", o)
+		} else if !errors.Is(err, udmerr.ErrBadOption) {
+			t.Errorf("Validate(%+v) error %v does not wrap ErrBadOption", o, err)
+		}
+	}
+}
+
+func TestEffDefaults(t *testing.T) {
+	var o Options
+	if got := o.EffEpsilon(); got != DefaultEpsilon {
+		t.Errorf("EffEpsilon zero = %v, want %v", got, DefaultEpsilon)
+	}
+	if got := o.EffDelta(); got != DefaultDelta {
+		t.Errorf("EffDelta zero = %v, want %v", got, DefaultDelta)
+	}
+	if got := o.EffSeed(); got != DefaultSeed {
+		t.Errorf("EffSeed zero = %v, want %v", got, DefaultSeed)
+	}
+	if got := o.EffMicroClusters(); got != DefaultMicroClusters {
+		t.Errorf("EffMicroClusters zero = %v, want %v", got, DefaultMicroClusters)
+	}
+	o = Options{Epsilon: 0.2, Delta: 0.05, Seed: 9, MicroClusters: 50}
+	if o.EffEpsilon() != 0.2 || o.EffDelta() != 0.05 || o.EffSeed() != 9 || o.EffMicroClusters() != 50 {
+		t.Errorf("Eff* ignores explicit values: %+v", o)
+	}
+}
+
+func TestBackendsLadder(t *testing.T) {
+	ladder := Backends()
+	if len(ladder) != 4 || ladder[0] != BackendExact {
+		t.Fatalf("Backends() = %v", ladder)
+	}
+	seen := map[Backend]bool{}
+	for _, b := range ladder {
+		if seen[b] {
+			t.Fatalf("duplicate backend %q in ladder", b)
+		}
+		seen[b] = true
+		if _, err := ParseBackend(string(b)); err != nil {
+			t.Errorf("ladder entry %q does not parse: %v", b, err)
+		}
+	}
+}

@@ -4,11 +4,16 @@ import (
 	"context"
 	"fmt"
 
-	"udm/internal/kernel"
 	"udm/internal/obs"
 	"udm/internal/parallel"
 	"udm/internal/udmerr"
 )
+
+// This file holds the batch-evaluation engines plus the deprecated
+// positional/context API surface they used to be exposed through. The
+// canonical entry points are the BatchOptions-taking forms in
+// batchopts.go; everything exported here is a thin wrapper kept for
+// compatibility and flagged in-tree by the depapi analyzer.
 
 // QEstimator is an Estimator that can also evaluate the expected
 // density at an uncertain query point (a query with its own per-
@@ -19,25 +24,14 @@ type QEstimator interface {
 	DensityQ(x, qerr []float64, dims []int) float64
 }
 
-// DensityBatch evaluates est at every row of X over the dimension
-// subset dims (nil means all dimensions), fanning the rows out over up
-// to parallel.Workers(workers) goroutines. Every result is written to
-// its own slot, so the output is bit-for-bit identical for every worker
-// count. Estimators are read-only after construction and therefore safe
-// to share across the workers. Cancelling ctx (nil =
-// context.Background()) aborts the batch and returns ctx.Err().
-//
-// Gaussian-kernel estimators run on the SoA column engine, which in
-// exact mode with Options.Prune == 0 performs the scalar DensitySub's
-// floating-point operations in the same order — batch results stay
-// bit-identical to the per-query path. With Prune > 0 far subtrees are
-// truncated within the configured relative budget; a non-exact
-// AccuracyMode additionally swaps in the bounded-error fast
-// exponential. Other kernels take the scalar fallback.
-//
-// Unlike the per-query methods, malformed input surfaces as an error,
-// not a panic: rows and dims are validated up front.
-func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int, workers int) ([]float64, error) {
+// densityBatch is the engine behind DensityBatchOpts: it fans the rows
+// of X out over up to parallel.Workers(workers) goroutines, through
+// the SoA column engine when est carries one and the scalar DensitySub
+// fallback otherwise. Every result is written to its own slot, so the
+// output is bit-for-bit identical for every worker count. Estimators
+// are read-only after construction and therefore safe to share across
+// the workers. Cancelling ctx aborts the batch and returns ctx.Err().
+func densityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int, workers int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -65,6 +59,17 @@ func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int,
 	})
 }
 
+// DensityBatch evaluates est at every row of X over the dimension
+// subset dims (nil means all dimensions) with up to
+// parallel.Workers(workers) goroutines, under ctx (nil =
+// context.Background()).
+//
+// Deprecated: use DensityBatchOpts, which carries context, workers and
+// the unified evaluation options in one BatchOptions value.
+func DensityBatch(ctx context.Context, est Estimator, X [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityBatchOpts(est, X, dims, BatchOptions{Ctx: ctx, Workers: workers})
+}
+
 // fastEngine returns est's SoA engine, or nil when the estimator has
 // none (non-Gaussian kernel, or an estimator type from outside this
 // package).
@@ -78,12 +83,12 @@ func fastEngine(est Estimator) *engine {
 	return nil
 }
 
-// DensityQBatch is the uncertain-query variant of DensityBatch: row i
-// is evaluated with per-dimension query errors Qerr[i] folded into
-// every kernel. Qerr may be nil (all queries certain, reducing to
-// DensityBatch) and individual Qerr rows may be nil (that query is
+// densityQBatch is the engine behind DensityQBatchOpts: row i is
+// evaluated with per-dimension query errors Qerr[i] folded into every
+// kernel. Qerr may be nil (all queries certain, reducing to
+// densityBatch) and individual Qerr rows may be nil (that query is
 // certain). Results are bit-for-bit identical for every worker count.
-func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+func densityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -126,6 +131,14 @@ func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dim
 	})
 }
 
+// DensityQBatch is the uncertain-query variant of DensityBatch.
+//
+// Deprecated: use DensityQBatchOpts, which carries context, workers
+// and the unified evaluation options in one BatchOptions value.
+func DensityQBatch(ctx context.Context, est QEstimator, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
+	return DensityQBatchOpts(est, X, Qerr, dims, BatchOptions{Ctx: ctx, Workers: workers})
+}
+
 // batchDims validates the query rows and the dimension subset for a
 // batch evaluation, resolving a nil dims to all dimensions.
 func batchDims(est Estimator, X [][]float64, dims []int) ([]int, error) {
@@ -146,74 +159,78 @@ func batchDims(est Estimator, X [][]float64, dims []int) ([]int, error) {
 	return dims, nil
 }
 
-// DensityBatchContext is DensityBatch under a caller-supplied context:
-// cancelling ctx aborts chunks that have not started and returns
-// ctx.Err(). Results are bit-for-bit identical to the serial loop for
-// every worker count.
+// DensityBatchContext evaluates the estimate at every row of X under a
+// caller-supplied context.
+//
+// Deprecated: use DensityBatchOpts with BatchOptions.Ctx.
 func (k *PointKDE) DensityBatchContext(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityBatch(ctx, k, X, dims, workers)
+	return DensityBatchOpts(k, X, dims, BatchOptions{Ctx: ctx, Workers: workers})
 }
 
 // DensityBatch evaluates the estimate at every row of X over dims (nil
 // = all dimensions) using up to parallel.Workers(workers) goroutines.
-// Results are bit-for-bit identical to calling DensitySub row by row.
-// It is DensityBatchContext under context.Background(); prefer the
-// context form in code that must honor cancellation.
+//
+// Deprecated: use DensityBatchOpts.
 func (k *PointKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
-	return k.DensityBatchContext(context.Background(), X, dims, workers)
+	return DensityBatchOpts(k, X, dims, BatchOptions{Workers: workers})
 }
 
-// DensityQBatchContext is DensityQBatch under a caller-supplied
-// context. It requires the Gaussian kernel when Qerr is non-nil, like
-// DensityQ.
+// DensityQBatchContext evaluates the expected density at every
+// uncertain query row under a caller-supplied context. It requires the
+// Gaussian kernel when Qerr is non-nil, like DensityQ.
+//
+// Deprecated: use DensityQBatchOpts with BatchOptions.Ctx.
 func (k *PointKDE) DensityQBatchContext(ctx context.Context, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	if Qerr != nil && k.opt.Kernel != kernel.Gaussian {
-		return nil, fmt.Errorf("kde: DensityQBatch requires the Gaussian kernel, got %v: %w", k.opt.Kernel, udmerr.ErrBadOption)
-	}
-	return DensityQBatch(ctx, k, X, Qerr, dims, workers)
+	return DensityQBatchOpts(k, X, Qerr, dims, BatchOptions{Ctx: ctx, Workers: workers})
 }
 
 // DensityQBatch evaluates the expected density at every uncertain query
 // row of X (query errors Qerr, nil rows = certain) in parallel. It
-// requires the Gaussian kernel, like DensityQ. It is
-// DensityQBatchContext under context.Background().
+// requires the Gaussian kernel, like DensityQ.
+//
+// Deprecated: use DensityQBatchOpts.
 func (k *PointKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	return k.DensityQBatchContext(context.Background(), X, Qerr, dims, workers)
+	return DensityQBatchOpts(k, X, Qerr, dims, BatchOptions{Workers: workers})
 }
 
-// DensityBatchContext is DensityBatch under a caller-supplied context:
-// cancelling ctx aborts chunks that have not started and returns
-// ctx.Err().
+// DensityBatchContext evaluates the estimate at every row of X under a
+// caller-supplied context.
+//
+// Deprecated: use DensityBatchOpts with BatchOptions.Ctx.
 func (k *ClusterKDE) DensityBatchContext(ctx context.Context, X [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityBatch(ctx, k, X, dims, workers)
+	return DensityBatchOpts(k, X, dims, BatchOptions{Ctx: ctx, Workers: workers})
 }
 
 // DensityBatch evaluates the estimate at every row of X over dims (nil
 // = all dimensions) using up to parallel.Workers(workers) goroutines.
-// Results are bit-for-bit identical to calling DensitySub row by row.
-// It is DensityBatchContext under context.Background().
+//
+// Deprecated: use DensityBatchOpts.
 func (k *ClusterKDE) DensityBatch(X [][]float64, dims []int, workers int) ([]float64, error) {
-	return k.DensityBatchContext(context.Background(), X, dims, workers)
+	return DensityBatchOpts(k, X, dims, BatchOptions{Workers: workers})
 }
 
-// DensityQBatchContext is DensityQBatch under a caller-supplied
-// context.
+// DensityQBatchContext evaluates the expected density at every
+// uncertain query row under a caller-supplied context.
+//
+// Deprecated: use DensityQBatchOpts with BatchOptions.Ctx.
 func (k *ClusterKDE) DensityQBatchContext(ctx context.Context, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	return DensityQBatch(ctx, k, X, Qerr, dims, workers)
+	return DensityQBatchOpts(k, X, Qerr, dims, BatchOptions{Ctx: ctx, Workers: workers})
 }
 
 // DensityQBatch evaluates the expected density at every uncertain query
-// row of X (query errors Qerr, nil rows = certain) in parallel. It is
-// DensityQBatchContext under context.Background().
+// row of X (query errors Qerr, nil rows = certain) in parallel.
+//
+// Deprecated: use DensityQBatchOpts.
 func (k *ClusterKDE) DensityQBatch(X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
-	return k.DensityQBatchContext(context.Background(), X, Qerr, dims, workers)
+	return DensityQBatchOpts(k, X, Qerr, dims, BatchOptions{Workers: workers})
 }
 
-// LeaveOneOutBatchContext returns LeaveOneOutDensity for every training
-// index in parallel under a caller-supplied context — the hot inner
-// loop of outlier detection and likelihood cross-validation. Results
-// are bit-for-bit identical to the serial loop for every worker count.
-func (k *PointKDE) LeaveOneOutBatchContext(ctx context.Context, dims []int, workers int) ([]float64, error) {
+// leaveOneOutBatch is the engine behind LeaveOneOutBatchOpts: it
+// returns LeaveOneOutDensity for every training index in parallel —
+// the hot inner loop of outlier detection and likelihood cross-
+// validation. Results are bit-for-bit identical to the serial loop for
+// every worker count.
+func (k *PointKDE) leaveOneOutBatch(ctx context.Context, dims []int, workers int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -236,8 +253,17 @@ func (k *PointKDE) LeaveOneOutBatchContext(ctx context.Context, dims []int, work
 	})
 }
 
-// LeaveOneOutBatch is LeaveOneOutBatchContext under
-// context.Background().
+// LeaveOneOutBatchContext returns LeaveOneOutDensity for every training
+// index in parallel under a caller-supplied context.
+//
+// Deprecated: use LeaveOneOutBatchOpts with BatchOptions.Ctx.
+func (k *PointKDE) LeaveOneOutBatchContext(ctx context.Context, dims []int, workers int) ([]float64, error) {
+	return k.LeaveOneOutBatchOpts(dims, BatchOptions{Ctx: ctx, Workers: workers})
+}
+
+// LeaveOneOutBatch is the no-context form of LeaveOneOutBatchContext.
+//
+// Deprecated: use LeaveOneOutBatchOpts.
 func (k *PointKDE) LeaveOneOutBatch(dims []int, workers int) ([]float64, error) {
-	return k.LeaveOneOutBatchContext(context.Background(), dims, workers)
+	return k.LeaveOneOutBatchOpts(dims, BatchOptions{Workers: workers})
 }

@@ -9,21 +9,29 @@ import (
 // spaced grid of n+1 points spanning [lo, hi]. The returned xs are the
 // grid coordinates and ys the densities. The query vector's other
 // coordinates are irrelevant because the subspace {j} ignores them.
-// It is Grid1DContext under context.Background().
+// It is Grid1DOpts under default options.
 func Grid1D(e Estimator, j int, lo, hi float64, n int) (xs, ys []float64) {
-	xs, ys, err := Grid1DContext(context.Background(), e, j, lo, hi, n)
+	xs, ys, err := Grid1DOpts(e, j, lo, hi, n, BatchOptions{Workers: 1})
 	if err != nil {
-		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels
+		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels and default options are valid
 	}
 	return xs, ys
 }
 
-// Grid1DContext is Grid1D with cancellation. Evaluation goes through
-// DensityBatch, so a Gaussian estimator's SoA engine — including any
-// Prune / Accuracy configured in its Options — applies; in the default
-// exact configuration the values are bit-identical to per-point
-// DensitySub calls.
+// Grid1DContext is Grid1D with cancellation. It is Grid1DOpts with the
+// context as the only non-default option.
 func Grid1DContext(ctx context.Context, e Estimator, j int, lo, hi float64, n int) (xs, ys []float64, err error) {
+	return Grid1DOpts(e, j, lo, hi, n, BatchOptions{Ctx: ctx, Workers: 1})
+}
+
+// Grid1DOpts evaluates the 1-D grid under explicit BatchOptions.
+// Evaluation goes through DensityBatchOpts, so the whole unified
+// configuration applies: a Gaussian estimator's SoA engine with its
+// Prune / Accuracy settings (plus any opt.Eval.Accuracy override), a
+// pluggable density backend's own batch evaluation, and opt's context
+// and worker fan-out. In the default exact configuration the values
+// are bit-identical to per-point DensitySub calls.
+func Grid1DOpts(e Estimator, j int, lo, hi float64, n int, opt BatchOptions) (xs, ys []float64, err error) {
 	if n < 1 {
 		panic(fmt.Sprintf("kde: grid with n=%d steps", n))
 	}
@@ -40,7 +48,7 @@ func Grid1DContext(ctx context.Context, e Estimator, j int, lo, hi float64, n in
 		rows[i] = backing[i*e.Dims() : (i+1)*e.Dims()]
 		rows[i][j] = x
 	}
-	ys, err = DensityBatch(ctx, e, rows, []int{j}, 1)
+	ys, err = DensityBatchOpts(e, rows, []int{j}, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -62,19 +70,26 @@ func Mass1D(e Estimator, j int, lo, hi float64, n int) float64 {
 
 // Grid2D evaluates the joint density of dimensions (jx, jy) on an
 // (nx+1)×(ny+1) grid. The result is indexed [iy][ix]. It is
-// Grid2DContext under context.Background().
+// Grid2DOpts under default options.
 func Grid2D(e Estimator, jx, jy int, loX, hiX, loY, hiY float64, nx, ny int) [][]float64 {
-	out, err := Grid2DContext(context.Background(), e, jx, jy, loX, hiX, loY, hiY, nx, ny)
+	out, err := Grid2DOpts(e, jx, jy, loX, hiX, loY, hiY, nx, ny, BatchOptions{Workers: 1})
 	if err != nil {
-		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels
+		panic(fmt.Sprintf("kde: grid evaluation: %v", err)) // unreachable: the background context never cancels and default options are valid
 	}
 	return out
 }
 
-// Grid2DContext is Grid2D with cancellation. Like Grid1DContext, the
-// evaluation runs through DensityBatch and so honors the estimator's
-// Prune / Accuracy configuration.
+// Grid2DContext is Grid2D with cancellation. It is Grid2DOpts with the
+// context as the only non-default option.
 func Grid2DContext(ctx context.Context, e Estimator, jx, jy int, loX, hiX, loY, hiY float64, nx, ny int) ([][]float64, error) {
+	return Grid2DOpts(e, jx, jy, loX, hiX, loY, hiY, nx, ny, BatchOptions{Ctx: ctx, Workers: 1})
+}
+
+// Grid2DOpts evaluates the 2-D grid under explicit BatchOptions. Like
+// Grid1DOpts, the evaluation runs through DensityBatchOpts and so
+// honors the estimator's full evaluation configuration — including a
+// pluggable backend's own batch path — plus opt's context and workers.
+func Grid2DOpts(e Estimator, jx, jy int, loX, hiX, loY, hiY float64, nx, ny int, opt BatchOptions) ([][]float64, error) {
 	if nx < 1 || ny < 1 {
 		panic(fmt.Sprintf("kde: grid with nx=%d, ny=%d", nx, ny))
 	}
@@ -94,7 +109,7 @@ func Grid2DContext(ctx context.Context, e Estimator, jx, jy int, loX, hiX, loY, 
 			rows[iy*(nx+1)+ix] = r
 		}
 	}
-	ds, err := DensityBatch(ctx, e, rows, []int{jx, jy}, 1)
+	ds, err := DensityBatchOpts(e, rows, []int{jx, jy}, opt)
 	if err != nil {
 		return nil, err
 	}

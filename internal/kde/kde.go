@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"udm/internal/dataset"
+	"udm/internal/evalopt"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
 	"udm/internal/udmerr"
@@ -68,6 +69,29 @@ type Options struct {
 	// the batch density paths. Like Prune, it never affects the
 	// per-query methods. Requires the Gaussian kernel when non-exact.
 	Accuracy kernel.AccuracyMode
+	// Eval is the unified evaluation configuration (one value parseable
+	// from the shared CLI/wire grammar). At construction its Prune and
+	// Accuracy fields, when set, take precedence over the legacy
+	// stand-alone fields above. Backend and the approximate-backend
+	// knobs (Epsilon, Delta, sizing) are consumed one layer up by
+	// internal/density — this package always builds the exact engine.
+	Eval evalopt.Options
+}
+
+// normalized folds Eval into the legacy stand-alone fields it
+// supersedes, validating it first. Constructors call this before
+// validate so both spellings configure the same engine.
+func (o Options) normalized() (Options, error) {
+	if err := o.Eval.Validate(); err != nil {
+		return o, err
+	}
+	if o.Eval.Prune != 0 {
+		o.Prune = o.Eval.Prune
+	}
+	if !o.Eval.Accuracy.IsExact() {
+		o.Accuracy = o.Eval.Accuracy
+	}
+	return o, nil
 }
 
 func (o Options) validate() error {
@@ -123,6 +147,10 @@ var _ Estimator = (*PointKDE)(nil)
 // Bandwidths are computed per dimension from the data using the
 // configured rule (Silverman by default, as in the paper).
 func NewPoint(ds *dataset.Dataset, opt Options) (*PointKDE, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -361,6 +389,10 @@ var _ Estimator = (*ClusterKDE)(nil)
 // within-cluster variance — that spread is real data spread, not
 // measurement error — but the EF2 error statistics are ignored.
 func NewCluster(s *microcluster.Summarizer, opt Options) (*ClusterKDE, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}

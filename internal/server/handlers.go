@@ -8,6 +8,8 @@ import (
 	"math"
 	"net/http"
 
+	"udm/internal/evalopt"
+	"udm/internal/kde"
 	"udm/internal/kernel"
 	"udm/internal/obs"
 	"udm/internal/outlier"
@@ -282,6 +284,12 @@ type densityRequest struct {
 	// relative error at most Epsilon (default 1e-6 when omitted).
 	Accuracy string  `json:"accuracy,omitempty"`
 	Epsilon  float64 `json:"epsilon,omitempty"`
+	// Backend selects the density backend: "" or "exact" (default) for
+	// the bit-exact engine, or "hbe", "grid", "micro" for the bounded-
+	// error approximate rungs. The X-UDM-Backend request header is the
+	// fallback when this field is empty; the JSON field wins when both
+	// are set.
+	Backend string `json:"backend,omitempty"`
 }
 
 type densityResponse struct {
@@ -321,9 +329,25 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 			req.Accuracy, req.Epsilon, udmerr.ErrBadOption))
 		return
 	}
+	// Backend selection: JSON field first, X-UDM-Backend header as the
+	// fallback. Responses echo the backend header only when one was
+	// explicitly requested, so default responses stay byte-identical to
+	// the pre-backend wire format.
+	bkName := req.Backend
+	if bkName == "" {
+		bkName = r.Header.Get("X-UDM-Backend")
+	}
+	bk, err := evalopt.ParseBackend(bkName)
+	if err != nil {
+		s.fail(w, fmt.Errorf("server: %w", err))
+		return
+	}
 	w.Header().Set("X-UDM-Accuracy", acc.String())
+	if bkName != "" {
+		w.Header().Set("X-UDM-Backend", string(bk))
+	}
 	if single {
-		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims, acc)
+		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims, bk, acc)
 		if err != nil {
 			s.fail(w, err)
 			return
@@ -335,11 +359,11 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ds, err := evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]float64, error) {
-		est, err := m.estimatorAt(acc)
+		est, err := m.backendAt(bk, acc)
 		if err != nil {
 			return nil, err
 		}
-		return est.DensityBatchContext(ctx, rows, req.Dims, s.opt.Workers)
+		return kde.DensityBatchOpts(est, rows, req.Dims, kde.BatchOptions{Ctx: ctx, Workers: s.opt.Workers})
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -355,15 +379,22 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 const staleVersion = ^uint64(0)
 
 // densityOne serves one density query through the LRU cache and, for
-// full-dimensional exact queries, the micro-batcher. Subset and
-// approximate queries bypass coalescing (one batch shares one dims
-// slice and one accuracy mode) but still hit the cache, keyed by
-// accuracy so exact and approximate answers never alias. When the
-// model's circuit breaker refuses the evaluation, the stale cache
+// full-dimensional exact queries on the exact backend, the
+// micro-batcher. Subset, approximate, and non-default-backend queries
+// bypass coalescing (one batch shares one dims slice, one accuracy
+// mode, and one backend) but still hit the cache. Cache keys are
+// segmented by accuracy and by backend so answers from different rungs
+// never alias; the default and explicit-exact backends share the
+// pre-backend key format (they are bit-identical by contract). When
+// the model's circuit breaker refuses the evaluation, the stale cache
 // answers instead (degraded=true); with no stale entry either, the
 // request fails with ErrDegraded.
-func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int, acc kernel.AccuracyMode) (d float64, cached, degraded bool, err error) {
+func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int, bk evalopt.Backend, acc kernel.AccuracyMode) (d float64, cached, degraded bool, err error) {
+	exactBackend := bk == evalopt.BackendDefault || bk == evalopt.BackendExact
 	mode := acc.String()
+	if !exactBackend {
+		mode = string(bk) + ":" + mode
+	}
 	key := cacheKey(m.Name(), m.version(), mode, dims, x, s.opt.CacheQuantum)
 	skey := cacheKey(m.Name(), staleVersion, mode, dims, x, s.opt.CacheQuantum)
 	if ferr := cacheGetFault.Hit(ctx); ferr == nil {
@@ -373,15 +404,15 @@ func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []i
 		}
 		s.metrics.CacheMisses.Add(1)
 	} // an unavailable cache is a miss, never a failure
-	if dims == nil && acc.IsExact() {
+	if exactBackend && dims == nil && acc.IsExact() {
 		d, err = s.batchers[m.Name()].density.do(ctx, x)
 	} else {
 		d, err = evalRetry(ctx, s, m.Name(), func(ctx context.Context) (float64, error) {
-			est, err := m.estimatorAt(acc)
+			est, err := m.backendAt(bk, acc)
 			if err != nil {
 				return 0, err
 			}
-			ds, err := est.DensityBatchContext(ctx, [][]float64{x}, dims, 1)
+			ds, err := kde.DensityBatchOpts(est, [][]float64{x}, dims, kde.BatchOptions{Ctx: ctx, Workers: 1})
 			if err != nil {
 				return 0, err
 			}

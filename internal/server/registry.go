@@ -14,6 +14,8 @@ import (
 	"sync"
 
 	"udm/internal/core"
+	"udm/internal/density"
+	"udm/internal/evalopt"
 	"udm/internal/kde"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
@@ -54,6 +56,12 @@ type Model struct {
 	est        *kde.ClusterKDE
 	sum        *microcluster.Summarizer
 	estVersion uint64 // engine row count the estimator was built at
+
+	// backends lazily caches non-default density backends over the
+	// current summary, one per rung; rebuilt wholesale whenever
+	// ingestion advances the model version.
+	backends        map[evalopt.Backend]density.Backend
+	backendsVersion uint64
 }
 
 // NewTransformModel wraps a trained transform: the classifier serves
@@ -183,6 +191,50 @@ func (m *Model) estimatorAt(acc kernel.AccuracyMode) (*kde.ClusterKDE, error) {
 		return nil, fmt.Errorf("server: model %q: %w", m.name, err)
 	}
 	return est, nil
+}
+
+// backendAt returns an estimator for the requested density backend and
+// accuracy mode. The default (and explicit exact) backend takes the
+// exact same path as before backends existed — the shared ClusterKDE,
+// bit-identical answers — while the approximate rungs are built lazily
+// over the current summary and cached per backend until ingestion
+// advances the model. The accuracy switch is applied last, as a cheap
+// per-request view.
+func (m *Model) backendAt(bk evalopt.Backend, acc kernel.AccuracyMode) (kde.Estimator, error) {
+	if bk == evalopt.BackendDefault || bk == evalopt.BackendExact {
+		return m.estimatorAt(acc)
+	}
+	// Refresh the summary (and version) first; stream models rebuild it
+	// here when ingestion has advanced.
+	_, v, err := m.estimator()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.backends == nil || m.backendsVersion != v {
+		m.backends = make(map[evalopt.Backend]density.Backend)
+		m.backendsVersion = v
+	}
+	b, ok := m.backends[bk]
+	if !ok {
+		opt := m.kdeOpt
+		opt.Eval.Backend = bk
+		b, err = density.FromSummarizer(m.sum, opt)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("server: model %q: %w", m.name, err)
+		}
+		m.backends[bk] = b
+	}
+	m.mu.Unlock()
+	if acc.IsExact() {
+		return b, nil
+	}
+	bv, err := b.WithAccuracy(acc)
+	if err != nil {
+		return nil, fmt.Errorf("server: model %q: %w", m.name, err)
+	}
+	return bv, nil
 }
 
 // summarizer returns the micro-cluster summary backing /outliers,

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"udm/internal/kde"
 	"udm/internal/obs"
 )
 
@@ -239,7 +240,7 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 					if err != nil {
 						return nil, err
 					}
-					return est.DensityBatchContext(ctx, reqs, nil, opt.Workers)
+					return kde.DensityBatchOpts(est, reqs, nil, kde.BatchOptions{Ctx: ctx, Workers: opt.Workers})
 				})
 			})
 		s.batchers[name] = mb

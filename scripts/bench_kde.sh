@@ -7,6 +7,13 @@
 # takes the best of -count runs for each, and appends a dated entry to
 # the BENCH_kde.json trajectory array at the repository root.
 #
+# It also runs BenchmarkBackendDensityBatch in internal/density — the
+# exact/micro/grid/hbe backend ladder over one data set and query batch
+# — and records the per-backend series (backend_*_ns) in the same
+# entry. The backend series are informational trajectory data: the two
+# gates below apply only to the exact/pruned pair, so adding a backend
+# can never fail CI on its own.
+#
 # Two gates, both computed within this run so they are machine-relative:
 #   1. speedup: exact_ns / pruned_ns must be at least
 #      BENCH_KDE_MIN_SPEEDUP — the whole point of the spatial index.
@@ -45,10 +52,19 @@ go test -run '^$' \
   -bench '^BenchmarkDensityBatch(Pruned)?$/^(workers=1$|mode=)' \
   -benchtime "$BENCHTIME" -count "$COUNT" ./internal/kde >"$TMP/bench.txt"
 
+echo "bench-kde: running backend ladder benchmarks" >&2
+go test -run '^$' \
+  -bench '^BenchmarkBackendDensityBatch$' \
+  -benchtime "$BENCHTIME" -count "$COUNT" ./internal/density >"$TMP/backend.txt"
+
 exact_ns="$(best_ns_per_op "$TMP/bench.txt" '^BenchmarkDensityBatchPruned/mode=exact')"
 pruned_ns="$(best_ns_per_op "$TMP/bench.txt" '^BenchmarkDensityBatchPruned/mode=pruned')"
 approx_ns="$(best_ns_per_op "$TMP/bench.txt" '^BenchmarkDensityBatchPruned/mode=approx')"
 batch_ns="$(best_ns_per_op "$TMP/bench.txt" '^BenchmarkDensityBatch/workers=1')"
+backend_exact_ns="$(best_ns_per_op "$TMP/backend.txt" '^BenchmarkBackendDensityBatch/backend=exact')"
+backend_micro_ns="$(best_ns_per_op "$TMP/backend.txt" '^BenchmarkBackendDensityBatch/backend=micro')"
+backend_grid_ns="$(best_ns_per_op "$TMP/backend.txt" '^BenchmarkBackendDensityBatch/backend=grid')"
+backend_hbe_ns="$(best_ns_per_op "$TMP/backend.txt" '^BenchmarkBackendDensityBatch/backend=hbe')"
 
 speedup_pruned="$(awk -v a="$exact_ns" -v b="$pruned_ns" 'BEGIN { printf "%.2f", a / b }')"
 speedup_approx="$(awk -v a="$exact_ns" -v b="$approx_ns" 'BEGIN { printf "%.2f", a / b }')"
@@ -69,6 +85,10 @@ entry="$(cat <<EOF
     "pruned_ns": $pruned_ns,
     "approx_ns": $approx_ns,
     "batch_workers1_ns": $batch_ns,
+    "backend_exact_ns": $backend_exact_ns,
+    "backend_micro_ns": $backend_micro_ns,
+    "backend_grid_ns": $backend_grid_ns,
+    "backend_hbe_ns": $backend_hbe_ns,
     "speedup_pruned": $speedup_pruned,
     "speedup_approx": $speedup_approx
   }
@@ -86,6 +106,7 @@ else
 fi
 
 echo "bench-kde: exact ${exact_ns} ns/op, pruned ${pruned_ns} ns/op (${speedup_pruned}x), approx ${approx_ns} ns/op (${speedup_approx}x)"
+echo "bench-kde: backends exact ${backend_exact_ns} / micro ${backend_micro_ns} / grid ${backend_grid_ns} / hbe ${backend_hbe_ns} ns/op"
 echo "bench-kde: appended entry to $OUT"
 
 fail=0

@@ -91,7 +91,9 @@ import (
 	"udm/internal/core"
 	"udm/internal/datagen"
 	"udm/internal/dataset"
+	"udm/internal/density"
 	"udm/internal/eval"
+	"udm/internal/evalopt"
 	"udm/internal/kde"
 	"udm/internal/kernel"
 	"udm/internal/microcluster"
@@ -259,26 +261,61 @@ func NewPointDensity(ds *Dataset, opt DensityOptions) (*PointDensity, error) {
 	return kde.NewPoint(ds, opt)
 }
 
-// BatchOptions configure a batch evaluation. It is the preferred way to
-// pass execution knobs to the facade's batch functions — new APIs take
-// a BatchOptions instead of a positional workers int, and the
-// positional forms are retained as thin wrappers.
-type BatchOptions struct {
-	// Workers caps the goroutines fanned out over (≤ 0 =
-	// runtime.GOMAXPROCS(0), 1 = serial). Results are bit-for-bit
-	// identical for every worker count.
-	Workers int
-	// Ctx cancels the batch: work chunks that have not started are
-	// skipped and Ctx.Err() is returned. nil means context.Background().
-	Ctx context.Context
+// BatchOptions carries every per-call knob of a batch evaluation —
+// context, worker cap, and the unified evaluation options. It is the
+// preferred way to pass execution knobs to the facade's batch
+// functions: new APIs take a BatchOptions instead of a positional
+// workers int, and the positional forms are retained as thin wrappers.
+type BatchOptions = kde.BatchOptions
+
+// EvalOptions is the one home for every evaluation knob: backend
+// selection, the approximate backends' ε/δ budgets, far-field pruning,
+// the kernel accuracy mode, worker cap and seed. Set it on
+// DensityOptions.Eval to govern construction, or on BatchOptions.Eval
+// to govern one batch call. The zero value means exact evaluation with
+// default behavior everywhere.
+type EvalOptions = evalopt.Options
+
+// ParseEvalOptions parses the shared wire/flag form of EvalOptions —
+// a comma-separated key=value list ("backend=hbe,epsilon=0.05,
+// workers=4"), with a bare backend name accepted as shorthand. It is
+// the grammar the udmkde -eval flag and the serving layer's eval
+// request field speak.
+var ParseEvalOptions = evalopt.Parse
+
+// DensityBackendKind names a density-evaluation backend.
+type DensityBackendKind = evalopt.Backend
+
+// The density-backend accuracy ladder, most to least exact. The
+// default (empty) backend is exact.
+const (
+	BackendExact = evalopt.BackendExact
+	BackendHBE   = evalopt.BackendHBE
+	BackendGrid  = evalopt.BackendGrid
+	BackendMicro = evalopt.BackendMicro
+)
+
+// DensityBackend is a pluggable density estimator: a DensityEstimator
+// that evaluates whole batches itself, describes its own accuracy
+// contract, and supports cheap per-request accuracy switching. The
+// batch facade functions delegate to it transparently.
+type DensityBackend = density.Backend
+
+// BackendInfo is a backend's self-description: which rung of the
+// accuracy ladder it is and what accuracy it promises.
+type BackendInfo = density.Info
+
+// NewDensityBackend builds the density backend selected by
+// opt.Eval.Backend over raw rows. The default is exact — bit-identical
+// to NewPointDensity.
+func NewDensityBackend(ds *Dataset, opt DensityOptions) (DensityBackend, error) {
+	return density.New(ds, opt)
 }
 
-func (o BatchOptions) ctx() context.Context {
-	if o.Ctx == nil {
-		//lint:allow ctxflow nil BatchOptions.Ctx means Background by documented contract
-		return context.Background()
-	}
-	return o.Ctx
+// DensityBackendFromSummarizer builds the selected backend over a
+// micro-cluster summary (the serving layer's native input).
+func DensityBackendFromSummarizer(s *Summarizer, opt DensityOptions) (DensityBackend, error) {
+	return density.FromSummarizer(s, opt)
 }
 
 // DensityBatch evaluates any density estimator at every row of X over
@@ -288,20 +325,20 @@ func (o BatchOptions) ctx() context.Context {
 // DensityOptions.Prune zero — bit-identical to the serial per-query
 // loop; Prune > 0 trades a bounded relative error for far-field
 // truncation, and a non-exact AccuracyMode additionally enables the
-// fast-exponential surrogate. See also the DensityBatch/DensityQBatch
-// methods on PointDensity and ClusterDensity.
+// fast-exponential surrogate.
 //
-// Deprecated-style positional form: prefer DensityBatchOpts, which
-// accepts a context for cancellation.
+// Deprecated: use DensityBatchOpts, which carries context, workers and
+// the unified evaluation options in one BatchOptions value.
 func DensityBatch(est DensityEstimator, X [][]float64, dims []int, workers int) ([]float64, error) {
 	return DensityBatchOpts(est, X, dims, BatchOptions{Workers: workers})
 }
 
-// DensityBatchOpts is DensityBatch under explicit BatchOptions: opt.Ctx
-// cancels the batch and opt.Workers caps the fan-out. It is the
-// context-first replacement for the positional form.
+// DensityBatchOpts is the canonical batch evaluation: opt.Ctx cancels
+// the batch, opt.Workers caps the fan-out, and opt.Eval selects
+// backend and accuracy. Estimators that are themselves a
+// DensityBackend evaluate the batch under their own contract.
 func DensityBatchOpts(est DensityEstimator, X [][]float64, dims []int, opt BatchOptions) ([]float64, error) {
-	return kde.DensityBatch(opt.ctx(), est, X, dims, opt.Workers)
+	return kde.DensityBatchOpts(est, X, dims, opt)
 }
 
 // BatchWorkers resolves a workers argument the way every *Batch API in
