@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot bench-kde ci
+.PHONY: check build vet fmt test race lint lint-udm lint-fix-check lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot bench-kde ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -36,9 +36,20 @@ race:
 ## lint: project analyzers (always) + staticcheck/govulncheck (when installed)
 lint: lint-udm lint-staticcheck lint-vuln
 
-## lint-udm: the in-tree multichecker — no external deps, never skipped
+## lint-udm: the in-tree multichecker — no external deps, never skipped.
+## -cache makes warm repeat runs nearly instant (packages whose content
+## hash is unchanged are served from .udmlint-cache/). Each run appends
+## its timing line to lint-timing.txt, which the CI lint job uploads.
 lint-udm:
-	$(GO) run ./cmd/udmlint ./...
+	@code=0; $(GO) run ./cmd/udmlint -cache ./... 2>lint-timing.run || code=$$?; \
+	cat lint-timing.run >&2; cat lint-timing.run >> lint-timing.txt; rm -f lint-timing.run; \
+	exit $$code
+
+## lint-fix-check: prove `udmlint -fix` is safe — apply fixes to a copy
+## of the tree, require it to still build and pass tests, and require a
+## second -fix run to apply nothing (idempotence)
+lint-fix-check:
+	bash scripts/lint_fix_check.sh
 
 # staticcheck and govulncheck are external binaries; offline
 # environments without them skip with a notice instead of failing.
@@ -72,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDist2 -fuzztime=10s -run='^Fuzz' ./internal/microcluster
 	$(GO) test -fuzz=FuzzFeatureMerge -fuzztime=10s -run='^Fuzz' ./internal/microcluster
 	$(GO) test -fuzz=FuzzPrometheusExposition -fuzztime=10s -run='^Fuzz' ./internal/obs
+	$(GO) test -fuzz=FuzzParseEvalOptions -fuzztime=10s -run='^Fuzz' ./internal/evalopt
 
 ## faults: the failure-path gate — the fault-matrix and resilience suite
 ## under -race, plus a longer -race fuzz burn of the newest targets

@@ -21,6 +21,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"udm/internal/analysis/cfg"
 )
 
 // An Analyzer describes one invariant check over a type-checked package.
@@ -76,6 +78,10 @@ type Pass struct {
 
 	// parents is built lazily by ParentOf.
 	parents map[ast.Node]ast.Node
+
+	// cfgs caches control-flow graphs per function body, built lazily
+	// by CFG and shared by every analyzer of the pass's package.
+	cfgs map[*ast.BlockStmt]*cfg.Graph
 }
 
 // IsMainPkg reports whether the package under analysis is a main
@@ -85,6 +91,29 @@ func (p *Pass) IsMainPkg() bool { return p.Pkg != nil && p.Pkg.Name() == "main" 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic — the entry point for
+// analyzers that attach suggested fixes. The Analyzer field is stamped
+// by the pass.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// CFG returns the control-flow graph of the given function body, built
+// on first use and cached for the lifetime of the pass (so every
+// analyzer of one package shares one graph per function).
+func (p *Pass) CFG(body *ast.BlockStmt) *cfg.Graph {
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = map[*ast.BlockStmt]*cfg.Graph{}
+	}
+	g := cfg.New(body)
+	p.cfgs[body] = g
+	return g
 }
 
 // ParentOf returns the syntactic parent of n within the package's
@@ -97,58 +126,133 @@ func (p *Pass) ParentOf(n ast.Node) ast.Node {
 	return p.parents[n]
 }
 
+// A TextEdit replaces the source range [Pos, End) with NewText. Edits
+// within one SuggestedFix must not overlap.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is one self-contained remediation of a diagnostic:
+// applying its edits (and gofmt'ing the result) makes the diagnostic
+// go away. Fixes are textual and mechanical by design — an analyzer
+// only attaches one when the rewrite is behavior-preserving.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // A Diagnostic is one finding of one analyzer.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
+}
+
+// An Edit is a TextEdit resolved to a file and byte offsets — the
+// serializable form the driver applies under -fix and the lint cache
+// stores.
+type Edit struct {
+	Filename string
+	Offset   int // byte offset of the start of the replaced range
+	End      int // byte offset one past the end of the replaced range
+	NewText  string
+}
+
+// A Fix is a SuggestedFix resolved to concrete file offsets.
+type Fix struct {
+	Message string
+	Edits   []Edit
 }
 
 // A Finding is a Diagnostic resolved to a concrete file position, the
-// unit the driver prints and tests assert on.
+// unit the driver prints and tests assert on. A Finding covered by a
+// //lint:allow directive is carried with Suppressed set rather than
+// dropped, so the -json mode can surface the audit trail; every other
+// consumer filters on the flag.
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool  `json:",omitempty"`
+	Fixes      []Fix `json:",omitempty"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to every package, filters the diagnostics
-// through //lint:allow suppressions (see suppress.go), and returns the
-// surviving findings sorted by file, line, column, and analyzer name.
+// sameSite reports whether two findings are duplicates (position,
+// analyzer, and message all equal); fixes do not participate.
+func sameSite(a, b Finding) bool {
+	return a.Pos == b.Pos && a.Analyzer == b.Analyzer && a.Message == b.Message && a.Suppressed == b.Suppressed
+}
+
+// RunPackage applies every analyzer to one package and returns its
+// findings unsorted, with suppressed findings flagged rather than
+// dropped. It is the unit of work the incremental lint cache keys on.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	sup, findings := suppressions(pkg.Fset, pkg.Syntax)
+	var diags []Diagnostic
+	pass := &Pass{
+		PkgPath:   pkg.PkgPath,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	for _, a := range analyzers {
+		pass.Analyzer = a
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		f := Finding{
+			Pos:        pos,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: sup.allows(d.Analyzer, pos),
+		}
+		for _, fix := range d.Fixes {
+			rf := Fix{Message: fix.Message}
+			for _, e := range fix.Edits {
+				p, q := pkg.Fset.Position(e.Pos), pkg.Fset.Position(e.End)
+				rf.Edits = append(rf.Edits, Edit{Filename: p.Filename, Offset: p.Offset, End: q.Offset, NewText: e.NewText})
+			}
+			f.Fixes = append(f.Fixes, rf)
+		}
+		findings = append(findings, f)
+	}
+	return findings, nil
+}
+
+// Run applies every analyzer to every package, flags the diagnostics
+// covered by //lint:allow suppressions (see suppress.go), and returns
+// the findings sorted by file, line, column, and analyzer name.
 // Malformed suppression directives are themselves reported as findings
 // of the pseudo-analyzer "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
-		sup, bad := suppressions(pkg.Fset, pkg.Syntax)
-		findings = append(findings, bad...)
-		var diags []Diagnostic
-		pass := &Pass{
-			PkgPath:   pkg.PkgPath,
-			Fset:      pkg.Fset,
-			Files:     pkg.Syntax,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			report:    func(d Diagnostic) { diags = append(diags, d) },
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
 		}
-		for _, a := range analyzers {
-			pass.Analyzer = a
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
-			}
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			if sup.allows(d.Analyzer, pos) {
-				continue
-			}
-			findings = append(findings, Finding{Pos: pos, Analyzer: d.Analyzer, Message: d.Message})
-		}
+		findings = append(findings, fs...)
 	}
+	return Sort(findings), nil
+}
+
+// Sort orders findings by file, line, column, analyzer, and message,
+// and drops exact duplicates: nested expressions can satisfy two
+// trigger patterns of one rule (e.g. time.Now inside both rand.New and
+// rand.NewSource) and one finding per site is enough.
+func Sort(findings []Finding) []Finding {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,17 +269,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	// Drop exact duplicates: nested expressions can satisfy two trigger
-	// patterns of one rule (e.g. time.Now inside both rand.New and
-	// rand.NewSource) and one finding per site is enough.
 	deduped := findings[:0]
 	for i, f := range findings {
-		if i > 0 && f == findings[i-1] {
+		if i > 0 && sameSite(f, findings[i-1]) {
 			continue
 		}
 		deduped = append(deduped, f)
 	}
-	return deduped, nil
+	return deduped
 }
 
 // Preorder calls f for every node in every file in depth-first

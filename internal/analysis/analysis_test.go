@@ -67,6 +67,49 @@ func b() {}
 	}
 }
 
+func TestSuppressionsMultilineStatement(t *testing.T) {
+	fset, f := parseOne(t, `package x
+
+func a(p int) int {
+	//lint:allow fake wrapped statement covered in full
+	v := p +
+		p +
+		p
+	return v
+}
+
+func b(p int) {
+	//lint:allow fake control statements never widen
+	if p > 0 {
+		_ = p
+	}
+}
+`)
+	set, bad := suppressions(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", bad)
+	}
+	// The directive above the wrapped assignment covers every line of
+	// the statement (5-7), but not the statement after it.
+	for line := 5; line <= 7; line++ {
+		if !set.allows("fake", token.Position{Filename: "x.go", Line: line}) {
+			t.Errorf("directive does not cover line %d of the multi-line statement", line)
+		}
+	}
+	if set.allows("fake", token.Position{Filename: "x.go", Line: 8}) {
+		t.Error("directive leaked past the end of the statement")
+	}
+	// A directive above an if covers the if line only: control
+	// statements are excluded from widening so one directive can never
+	// blanket a body.
+	if !set.allows("fake", token.Position{Filename: "x.go", Line: 13}) {
+		t.Error("directive does not cover the if line")
+	}
+	if set.allows("fake", token.Position{Filename: "x.go", Line: 14}) {
+		t.Error("directive widened into the if body")
+	}
+}
+
 func TestSuppressionsAll(t *testing.T) {
 	fset, f := parseOne(t, `package x
 

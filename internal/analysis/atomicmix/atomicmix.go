@@ -1,0 +1,118 @@
+// Package atomicmix flags variables that are accessed through
+// sync/atomic in one place and with plain loads or stores in another.
+//
+// An atomic counter is only a counter while EVERY access goes through
+// the atomic API: a single plain `c.n++` or `v := c.n` alongside
+// atomic.AddInt64(&c.n, 1) is a data race the race detector only
+// catches when the interleaving happens to occur under -race. The
+// check is package-global and cross-function by construction — the
+// plain access and the atomic one almost never sit in the same
+// function, which is exactly why review misses the mix.
+//
+// Composite-literal keys (Counter{n: 0}) are exempt: initialization
+// before the value is shared is not an access. The durable fix the
+// message points at is the typed atomic.Int64/atomic.Bool API, which
+// makes the plain access unrepresentable.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag variables accessed via sync/atomic in one function and with plain reads/writes in " +
+		"another: mixed access is a data race — use the typed atomic.Int64-style API",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: every variable that is the target of a sync/atomic call
+	// (atomic.AddInt64(&x, ...)), with one representative site, and the
+	// identifiers that belong to those calls (so pass 2 can skip them).
+	atomicSite := map[types.Object]ast.Node{}
+	inAtomicCall := map[*ast.Ident]bool{}
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass.TypesInfo, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			if obj := addressedVar(pass.TypesInfo, un.X); obj != nil {
+				if _, seen := atomicSite[obj]; !seen {
+					atomicSite[obj] = call
+				}
+				markIdents(un.X, inAtomicCall)
+			}
+		}
+	})
+	if len(atomicSite) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those variables is a plain access.
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || inAtomicCall[id] {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return
+		}
+		site, mixed := atomicSite[obj]
+		if !mixed {
+			return
+		}
+		if kv, ok := pass.ParentOf(id).(*ast.KeyValueExpr); ok && kv.Key == id {
+			return // composite-literal initialization, not a shared access
+		}
+		pos := pass.Fset.Position(site.Pos())
+		pass.Reportf(id.Pos(), "%s is accessed with sync/atomic at %s:%d but plainly here: mixed access is a data race — use atomic loads/stores everywhere, or the typed atomic.Int64-style API",
+			obj.Name(), pos.Filename, pos.Line)
+	})
+	return nil
+}
+
+// isAtomicCall reports whether call resolves to a function in
+// sync/atomic (the free functions; the typed API has no raw pointers).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := analysis.Callee(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &expr's operand to the variable (field,
+// package-level, or local) whose address feeds the atomic call.
+func addressedVar(info *types.Info, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// markIdents records every identifier under n as belonging to an
+// atomic call's address operand.
+func markIdents(n ast.Node, set map[*ast.Ident]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}

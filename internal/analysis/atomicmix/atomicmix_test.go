@@ -1,0 +1,20 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", atomicmix.Analyzer, "udmfixture/atomicmix")
+}
+
+// TestMultiLineSuppression runs the analyzer over the suppressml
+// fixture, which pins that a //lint:allow directive above a multi-line
+// statement covers every line of the statement (the finding sits on
+// the statement's last line).
+func TestMultiLineSuppression(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", atomicmix.Analyzer, "udmfixture/suppressml")
+}

@@ -1,0 +1,302 @@
+// Worklist dataflow solvers and the two helper analyses the project's
+// analyzers lean on: path reachability with kill nodes (the "reaching"
+// query behind ctxleak and lockguard) and classic backward liveness.
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Forward runs a forward worklist analysis to fixpoint and returns the
+// entry and exit fact of every block.
+//
+//   - entry is the boundary fact at the graph's Entry block.
+//   - bottom is the initial fact of every other block (the identity of
+//     join: an empty set for may-analyses, the universal set for
+//     must-analyses).
+//   - join merges the exit facts of a block's predecessors.
+//   - transfer maps a block's entry fact to its exit fact; it must be
+//     monotone for the iteration to terminate.
+//   - equal reports fact equality, the convergence test.
+func Forward[F any](g *Graph, entry, bottom F, join func(F, F) F, transfer func(*Block, F) F, equal func(F, F) bool) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b], out[b] = bottom, transfer(b, bottom)
+	}
+	in[g.Entry] = entry
+	out[g.Entry] = transfer(g.Entry, entry)
+
+	work := append([]*Block(nil), g.Blocks...)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		fact := in[b]
+		if b != g.Entry {
+			first := true
+			for _, p := range b.Preds {
+				if first {
+					fact, first = out[p], false
+				} else {
+					fact = join(fact, out[p])
+				}
+			}
+			if first { // unreachable block: keep bottom
+				fact = in[b]
+			}
+		}
+		newOut := transfer(b, fact)
+		if equal(fact, in[b]) && equal(newOut, out[b]) {
+			continue
+		}
+		in[b], out[b] = fact, newOut
+		for _, s := range b.Succs {
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, out
+}
+
+// Backward is the mirror of Forward: facts flow from Exit to Entry,
+// join merges successor entry facts, and transfer maps a block's exit
+// fact to its entry fact. Returns the entry (in) and exit (out) fact
+// of every block, where for a backward analysis "in" is the fact at
+// the block's end and "out" the fact at its start.
+func Backward[F any](g *Graph, exit, bottom F, join func(F, F) F, transfer func(*Block, F) F, equal func(F, F) bool) (atEnd, atStart map[*Block]F) {
+	atEnd = make(map[*Block]F, len(g.Blocks))
+	atStart = make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		atEnd[b], atStart[b] = bottom, transfer(b, bottom)
+	}
+	atEnd[g.Exit] = exit
+	atStart[g.Exit] = transfer(g.Exit, exit)
+
+	work := append([]*Block(nil), g.Blocks...)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		fact := atEnd[b]
+		if b != g.Exit {
+			first := true
+			for _, s := range b.Succs {
+				if first {
+					fact, first = atStart[s], false
+				} else {
+					fact = join(fact, atStart[s])
+				}
+			}
+			if first {
+				fact = atEnd[b]
+			}
+		}
+		newStart := transfer(b, fact)
+		if equal(fact, atEnd[b]) && equal(newStart, atStart[b]) {
+			continue
+		}
+		atEnd[b], atStart[b] = fact, newStart
+		for _, p := range b.Preds {
+			if !queued[p.Index] {
+				queued[p.Index] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return atEnd, atStart
+}
+
+// BlockOf returns the block whose Nodes contain n (by identity), or
+// nil when n is not recorded in the graph (e.g. a node nested inside a
+// composite statement's body).
+func (g *Graph) BlockOf(n ast.Node) *Block {
+	for _, b := range g.Blocks {
+		for _, m := range b.Nodes {
+			if m == n {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// ExistsPath reports whether some execution path leads from src to dst
+// along which no node satisfies kill. Within src only the nodes
+// strictly after the `after` node are considered (pass nil to consider
+// all of src); dst is considered reached at its top, before its own
+// nodes run. A block containing a kill node cannot be passed through.
+//
+// This is the workhorse query behind the path-sensitive analyzers:
+// "is there a path from the Lock to the function exit that never
+// Unlocks?" is ExistsPath(lockBlock, g.Exit, lockStmt, isUnlock).
+func (g *Graph) ExistsPath(src, dst *Block, after ast.Node, kill func(ast.Node) bool) bool {
+	// The straight-line tail of src after the anchor node.
+	start := 0
+	if after != nil {
+		for i, n := range src.Nodes {
+			if n == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	for _, n := range src.Nodes[start:] {
+		if kill(n) {
+			return false
+		}
+	}
+	if src == dst && after == nil {
+		return true
+	}
+
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	push := func(b *Block) {
+		if !seen[b.Index] {
+			seen[b.Index] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, s := range src.Succs {
+		push(s)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == dst {
+			return true
+		}
+		blocked := false
+		for _, n := range b.Nodes {
+			if kill(n) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return false
+}
+
+// Liveness computes, for every block, the set of local variables live
+// at its entry: a backward may-analysis with the classic
+// use ∪ (liveOut − def) transfer. Only objects recorded in info
+// (package-local *types.Var uses and defs) participate.
+func Liveness(g *Graph, info *types.Info) map[*Block]map[types.Object]bool {
+	use := make(map[*Block]map[types.Object]bool, len(g.Blocks))
+	def := make(map[*Block]map[types.Object]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		u, d := map[types.Object]bool{}, map[types.Object]bool{}
+		for _, n := range b.Nodes {
+			nodeUseDef(n, info, u, d)
+		}
+		use[b], def[b] = u, d
+	}
+
+	join := func(a, b map[types.Object]bool) map[types.Object]bool {
+		m := make(map[types.Object]bool, len(a)+len(b))
+		for o := range a {
+			m[o] = true
+		}
+		for o := range b {
+			m[o] = true
+		}
+		return m
+	}
+	equal := func(a, b map[types.Object]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for o := range a {
+			if !b[o] {
+				return false
+			}
+		}
+		return true
+	}
+	transfer := func(b *Block, liveOut map[types.Object]bool) map[types.Object]bool {
+		m := make(map[types.Object]bool, len(liveOut)+len(use[b]))
+		for o := range liveOut {
+			if !def[b][o] {
+				m[o] = true
+			}
+		}
+		for o := range use[b] {
+			m[o] = true
+		}
+		return m
+	}
+	_, atStart := Backward(g, map[types.Object]bool{}, map[types.Object]bool{}, join, transfer, equal)
+	return atStart
+}
+
+// nodeUseDef accumulates the variables node uses and defines. An
+// identifier written by a plain assignment both defines the variable
+// (its old value dies) and, on compound forms (x += y), uses it; a :=
+// define is a pure definition. Uses that happen before the block's own
+// definition still count as uses — the per-block approximation errs
+// toward liveness, which is the safe direction for a may-analysis.
+func nodeUseDef(node ast.Node, info *types.Info, use, def map[types.Object]bool) {
+	record := func(n ast.Node, asDef bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				if asDef {
+					def[obj] = true
+				} else if !def[obj] {
+					use[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if asg, ok := node.(*ast.AssignStmt); ok {
+		for _, rhs := range asg.Rhs {
+			record(rhs, false)
+		}
+		for _, lhs := range asg.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if asg.Tok.String() != "=" && asg.Tok.String() != ":=" {
+					record(id, false) // compound assignment reads too
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && !v.IsField() {
+					def[obj] = true
+				}
+				continue
+			}
+			record(lhs, false) // *p, s[i], x.f: the base is read
+		}
+		return
+	}
+	record(node, false)
+}

@@ -20,6 +20,7 @@
 package ctxflow
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -169,7 +170,17 @@ func checkDroppedCtx(pass *analysis.Pass, fn *ast.FuncDecl) {
 				return !used
 			})
 			if !used {
-				pass.Reportf(name.Pos(), "context parameter %s is never used: thread it to downstream calls (the dropped-context bug class)", name.Name)
+				pass.Report(analysis.Diagnostic{
+					Pos:     name.Pos(),
+					Message: fmt.Sprintf("context parameter %s is never used: thread it to downstream calls (the dropped-context bug class)", name.Name),
+					Fixes: []analysis.SuggestedFix{{
+						// Renaming to _ makes the drop explicit and visible at
+						// the signature; actually threading the context is a
+						// judgment call the fix cannot make.
+						Message: "rename the unused context parameter to _",
+						Edits:   []analysis.TextEdit{{Pos: name.Pos(), End: name.End(), NewText: "_"}},
+					}},
+				})
 			}
 		}
 	}

@@ -1,0 +1,207 @@
+// Package ctxleak proves, path by path, that every cancel function
+// minted by context.WithCancel / WithTimeout / WithDeadline (and their
+// ...Cause variants) is released on every way out of the function that
+// created it.
+//
+// A cancel func that is never called leaks the context's done channel
+// and timer until the parent context ends — in the serving layer that
+// is a per-request leak that survives the request. go vet's lostcancel
+// catches the "never mentioned again" case; this analyzer goes further
+// with the CFG layer: a cancel that IS called, but only on the happy
+// path, is exactly the leak that code review misses:
+//
+//	ctx, cancel := context.WithTimeout(ctx, d)
+//	if err := warm(ctx); err != nil {
+//		return err // leak: cancel not called on this path
+//	}
+//	cancel()
+//
+// The analyzer runs the ExistsPath query over the function's CFG: a
+// diagnostic is reported when some path from the WithCancel site to
+// the function exit encounters neither a call to the cancel variable
+// nor a defer of it. A cancel that escapes the function's direct
+// control — captured by a closure, passed as an argument, stored, or
+// returned — is assumed managed by the receiver, because its call
+// sites are beyond intraprocedural reach; the assignment shapes the
+// analyzer cannot track (multi-assign, struct fields) are likewise
+// skipped rather than guessed at.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc: "require the cancel func of context.WithCancel/WithTimeout/WithDeadline to be called or " +
+		"deferred on every path out of the creating function (CFG-backed)",
+	Run: run,
+}
+
+// cancelMakers are the context constructors whose second result is a
+// CancelFunc (or CancelCauseFunc) the caller must release.
+var cancelMakers = map[string]bool{
+	"WithCancel":        true,
+	"WithCancelCause":   true,
+	"WithTimeout":       true,
+	"WithTimeoutCause":  true,
+	"WithDeadline":      true,
+	"WithDeadlineCause": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody inspects one function body's own statements (not nested
+// function literals — those are visited as functions in their own
+// right, and a cancel crossing into one is an escape).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ownStmts(body, func(asg *ast.AssignStmt) {
+		if len(asg.Rhs) != 1 || len(asg.Lhs) != 2 {
+			return
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isCancelMaker(pass.TypesInfo, call) {
+			return
+		}
+		id, ok := asg.Lhs[1].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if id.Name == "_" {
+			pass.Reportf(asg.Pos(), "cancel func of %s is discarded: the context leaks until its parent ends", calleeName(call))
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id] // plain = assignment to an existing var
+		}
+		if obj == nil {
+			return
+		}
+		if escapes(pass, body, asg, obj) {
+			return // managed elsewhere; beyond intraprocedural reach
+		}
+		g := pass.CFG(body)
+		src := g.BlockOf(asg)
+		if src == nil {
+			return
+		}
+		kill := func(n ast.Node) bool { return releasesCancel(pass.TypesInfo, n, obj) }
+		if g.ExistsPath(src, g.Exit, asg, kill) {
+			pass.Reportf(asg.Pos(), "cancel func %s from %s is not called on every path out of the function: call it or `defer %s()` right after this line", id.Name, calleeName(call), id.Name)
+		}
+	})
+}
+
+// ownStmts calls f for every assignment in body that belongs to this
+// function, skipping statements inside nested function literals.
+func ownStmts(body *ast.BlockStmt, f func(*ast.AssignStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			f(n)
+		}
+		return true
+	})
+}
+
+// escapes reports whether the cancel variable leaves the function's
+// direct control: used inside a nested function literal, passed as a
+// call argument, returned, assigned onward, or taken address of. Only
+// direct calls (cancel()) and defers (defer cancel()) are "releases";
+// everything else transfers responsibility.
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, def *ast.AssignStmt, obj types.Object) bool {
+	escaped := false
+	var inspect func(n ast.Node, inFuncLit bool) bool
+	inspect = func(n ast.Node, inFuncLit bool) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool { return inspect(m, true) })
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || (pass.TypesInfo.Uses[id] != obj) {
+			return true
+		}
+		if inFuncLit {
+			escaped = true // captured by a closure
+			return true
+		}
+		// A use is a release only when it is the callee of a direct
+		// call expression; that call may itself sit under a defer or go
+		// statement, which is fine. Any other use escapes.
+		if call, ok := pass.ParentOf(id).(*ast.CallExpr); ok && call.Fun == id {
+			return true
+		}
+		if asg, ok := pass.ParentOf(id).(*ast.AssignStmt); ok && asg == def {
+			return true // the defining assignment itself
+		}
+		escaped = true
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return inspect(n, false) })
+	return escaped
+}
+
+// releasesCancel reports whether the CFG node calls or defers the
+// cancel variable.
+func releasesCancel(info *types.Info, n ast.Node, obj types.Object) bool {
+	call := directCall(n)
+	if call == nil {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// directCall unwraps the call expression of an expression statement or
+// defer statement, the two node shapes that release a cancel func.
+func directCall(n ast.Node) *ast.CallExpr {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, _ := ast.Unparen(n.X).(*ast.CallExpr)
+		return call
+	case *ast.DeferStmt:
+		return n.Call
+	}
+	return nil
+}
+
+func isCancelMaker(info *types.Info, call *ast.CallExpr) bool {
+	obj := analysis.Callee(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && cancelMakers[obj.Name()]
+}
+
+func calleeName(call *ast.CallExpr) string {
+	obj := ast.Unparen(call.Fun)
+	if sel, ok := obj.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	if id, ok := obj.(*ast.Ident); ok {
+		return "context." + id.Name
+	}
+	return "context.WithCancel"
+}

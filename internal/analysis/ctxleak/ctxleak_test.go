@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/ctxleak"
+)
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", ctxleak.Analyzer, "udmfixture/ctxleak")
+}

@@ -19,8 +19,13 @@
 package depapi
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
 	"go/types"
+	"strconv"
+	"strings"
 
 	"udm/internal/analysis"
 )
@@ -69,15 +74,15 @@ func run(pass *analysis.Pass) error {
 			return
 		}
 		name := fn.Name()
+		sig, sigOK := fn.Type().(*types.Signature)
+		if !sigOK {
+			return
+		}
 		if repl, ok := ctxVariants[name]; ok {
-			pass.Reportf(call.Pos(), "deprecated batch form %s: use %s", name, repl)
+			report(pass, call, fn, sig, name, repl)
 			return
 		}
 		repl, ok := bare[name]
-		if !ok {
-			return
-		}
-		sig, ok := fn.Type().(*types.Signature)
 		if !ok {
 			return
 		}
@@ -85,9 +90,150 @@ func run(pass *analysis.Pass) error {
 		if sig.Recv() != nil && firstParamIsContext(sig) {
 			return
 		}
-		pass.Reportf(call.Pos(), "deprecated batch form %s: use %s", name, repl)
+		report(pass, call, fn, sig, name, repl)
 	})
 	return nil
+}
+
+// report emits the diagnostic, attaching a mechanical rewrite to the
+// Opts form when one can be constructed for this call shape.
+func report(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, sig *types.Signature, name, repl string) {
+	d := analysis.Diagnostic{
+		Pos:     call.Pos(),
+		Message: fmt.Sprintf("deprecated batch form %s: use %s", name, repl),
+	}
+	if newText, ok := optsRewrite(pass, call, fn, sig, name); ok {
+		d.Fixes = []analysis.SuggestedFix{{
+			Message: "rewrite to the BatchOptions-taking form",
+			Edits:   []analysis.TextEdit{{Pos: call.Pos(), End: call.End(), NewText: newText}},
+		}}
+	}
+	pass.Report(d)
+}
+
+// optsRewrite renders the canonical Opts spelling of a deprecated batch
+// call, or reports that no mechanical rewrite exists for its shape.
+//
+//	kde.DensityBatch(ctx, est, X, dims, w) → kde.DensityBatchOpts(est, X, dims, kde.BatchOptions{Ctx: ctx, Workers: w})
+//	udm.DensityBatch(est, X, dims, w)      → udm.DensityBatchOpts(est, X, dims, udm.BatchOptions{Workers: w})
+//	k.DensityBatchContext(ctx, X, dims, w) → kde.DensityBatchOpts(k, X, dims, kde.BatchOptions{Ctx: ctx, Workers: w})
+//	k.LeaveOneOutBatch(dims, w)            → k.LeaveOneOutBatchOpts(dims, kde.BatchOptions{Workers: w})
+func optsRewrite(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, sig *types.Signature, name string) (string, bool) {
+	if call.Ellipsis.IsValid() || len(call.Args) < 2 {
+		return "", false
+	}
+	base := strings.TrimSuffix(name, "Context")
+
+	// Split the argument list into the context (when the deprecated form
+	// leads with one), the pass-through middle, and the trailing workers.
+	args := call.Args
+	var ctxArg ast.Expr
+	if firstParamIsContext(sig) {
+		ctxArg, args = args[0], args[1:]
+	}
+	if len(args) == 0 {
+		return "", false
+	}
+	workersArg, mid := args[len(args)-1], args[:len(args)-1]
+
+	// The BatchOptions literal and the Opts entry point live in fn's
+	// package; find how this file spells that package.
+	qual, ok := packageQualifier(pass, call, fn)
+	if !ok {
+		return "", false
+	}
+	var opts strings.Builder
+	opts.WriteString(qual + "BatchOptions{")
+	if ctxArg != nil {
+		opts.WriteString("Ctx: " + render(pass, ctxArg) + ", ")
+	}
+	opts.WriteString("Workers: " + render(pass, workersArg) + "}")
+
+	var parts []string
+	var callee string
+	if sig.Recv() == nil {
+		// Package function: same spelling, Opts name.
+		callee = qual + base + "Opts"
+	} else if base == "LeaveOneOutBatch" {
+		// The one canonical method form.
+		sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !okSel {
+			return "", false
+		}
+		callee = render(pass, sel.X) + ".LeaveOneOutBatchOpts"
+	} else {
+		// Method twin: the canonical form is the package function with
+		// the receiver as first argument.
+		sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !okSel {
+			return "", false
+		}
+		callee = qual + base + "Opts"
+		parts = append(parts, render(pass, sel.X))
+	}
+	for _, a := range mid {
+		parts = append(parts, render(pass, a))
+	}
+	parts = append(parts, opts.String())
+	return callee + "(" + strings.Join(parts, ", ") + ")", true
+}
+
+// packageQualifier returns the spelling (including trailing dot, empty
+// for a dot-import) under which the call site's file can name fn's
+// package. For a package-function call that spelling is the call's own
+// selector base; for a method call it is resolved from the file's
+// imports, and absence means no fix.
+func packageQualifier(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) (string, bool) {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			return render(pass, f.X) + ".", true
+		case *ast.Ident:
+			return "", true // dot-imported
+		}
+		return "", false
+	}
+	file := enclosingFile(pass, call)
+	if file == nil {
+		return "", false
+	}
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != fn.Pkg().Path() {
+			continue
+		}
+		if imp.Name != nil {
+			switch imp.Name.Name {
+			case ".":
+				return "", true
+			case "_":
+				continue
+			default:
+				return imp.Name.Name + ".", true
+			}
+		}
+		return fn.Pkg().Name() + ".", true
+	}
+	return "", false
+}
+
+func enclosingFile(pass *analysis.Pass, n ast.Node) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= n.Pos() && n.Pos() <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// render prints a source expression back to text.
+func render(pass *analysis.Pass, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, n); err != nil {
+		return ""
+	}
+	return buf.String()
 }
 
 // firstParamIsContext reports whether the signature's first parameter is

@@ -1,0 +1,120 @@
+// The incremental lint cache: per-package findings keyed by a content
+// hash, so a warm run skips parsing, type-checking, and analyzing every
+// package whose inputs are byte-identical to a previous run.
+//
+// The key covers everything a diagnostic can depend on:
+//
+//   - Version (bumped whenever any analyzer's behavior changes) and the
+//     names of the analyzers selected for the run, so -only runs and
+//     full runs cache independently;
+//   - the package's import path and the bytes of each of its Go files
+//     (which also covers //lint:allow suppression edits);
+//   - the export data of every transitive dependency, hashed by
+//     content, so a dependency's API change invalidates its importers
+//     but an unrelated rebuild does not.
+//
+// Values are JSON-encoded []analysis.Finding files under
+// <module>/.udmlint-cache/, one per key; findings carry their fixes, so
+// -fix works identically from a warm cache.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"udm/internal/analysis"
+	"udm/internal/analysis/load"
+)
+
+// Version participates in every cache key. Bump it when an analyzer's
+// behavior changes in a way content hashing cannot see.
+const Version = "udmlint-cache-v1"
+
+// cacheDirName is the cache directory, created under the -C module
+// directory (and pinned in .gitignore).
+const cacheDirName = ".udmlint-cache"
+
+// fileHashes memoizes content hashes within one run: dependency export
+// files are shared by many packages and need hashing once, not once per
+// importer.
+type fileHashes map[string][sha256.Size]byte
+
+func (fh fileHashes) hash(path string) ([sha256.Size]byte, error) {
+	if h, ok := fh[path]; ok {
+		return h, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	fh[path] = sum
+	return sum, nil
+}
+
+// cacheKey computes the content hash naming t's cache entry for a run
+// with the given analyzers.
+func cacheKey(t *load.Target, analyzers []*analysis.Analyzer, fh fileHashes) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", Version, t.ImportPath)
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	for _, path := range t.GoFiles {
+		sum, err := fh.hash(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %x\n", filepath.Base(path), sum)
+	}
+	for _, path := range t.DepExports {
+		sum, err := fh.hash(path)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %x\n", sum)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// readCache returns the cached findings for key, if present and intact.
+func readCache(dir, key string) ([]analysis.Finding, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var entry struct{ Findings []analysis.Finding }
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return nil, false
+	}
+	return entry.Findings, true
+}
+
+// writeCache stores findings under key, creating the cache directory on
+// first use. Failures are deliberately silent: the cache is an
+// accelerator, never a correctness dependency.
+func writeCache(dir, key string, findings []analysis.Finding) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(struct{ Findings []analysis.Finding }{findings})
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

@@ -2,8 +2,15 @@ package driver
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/format"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"udm/internal/analysis"
 )
 
 // TestFixtureTreeFails is the negative smoke test: the multichecker
@@ -78,5 +85,190 @@ func TestList(t *testing.T) {
 		if !strings.Contains(stdout.String(), a.Name) {
 			t.Errorf("-list output missing %s", a.Name)
 		}
+	}
+}
+
+// copyFixture clones the fixture module into a temp dir so tests can
+// mutate it (-fix) or populate a lint cache without touching testdata.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	src := "../testdata/fixture"
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture tree: %v", err)
+	}
+	return dst
+}
+
+// TestJSONOutput is the golden test for -json: one JSON document per
+// line, suppressed findings included and flagged, no summary line, and
+// the exit code still driven by unsuppressed findings only.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Run(&stdout, &stderr, []string{"-C", "../testdata/fixture", "-json", "-only", "nakedgo", "udmfixture/suppress"})
+	if code != ExitFindings {
+		t.Fatalf("exit code %d, want %d (stderr: %s)", code, ExitFindings, stderr.String())
+	}
+	var got []analysis.Finding
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var f analysis.Finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not a JSON finding: %q: %v", line, err)
+		}
+		got = append(got, f)
+	}
+	// The suppress fixture pins the full audit trail: three suppressed
+	// nakedgo sites and two live ones, in file order.
+	wantSuppressed := []bool{true, true, false, false, true}
+	if len(got) != len(wantSuppressed) {
+		t.Fatalf("got %d JSON findings, want %d:\n%s", len(got), len(wantSuppressed), stdout.String())
+	}
+	for i, f := range got {
+		if f.Pos.Filename != filepath.Join("suppress", "suppress.go") {
+			t.Errorf("finding %d filename = %q, want suppress/suppress.go", i, f.Pos.Filename)
+		}
+		if f.Pos.Line == 0 || f.Analyzer != "nakedgo" || f.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, f)
+		}
+		if f.Suppressed != wantSuppressed[i] {
+			t.Errorf("finding %d (line %d) suppressed = %v, want %v", i, f.Pos.Line, f.Suppressed, wantSuppressed[i])
+		}
+	}
+	if strings.Contains(stdout.String(), "finding(s) across") {
+		t.Error("-json output contains the human summary line")
+	}
+}
+
+// TestCacheWarmRun checks the incremental cache end to end: a cold run
+// analyzes every package, a warm run serves every package from cache,
+// and both emit identical findings.
+func TestCacheWarmRun(t *testing.T) {
+	dir := copyFixture(t)
+	var cold, warm, stderrCold, stderrWarm bytes.Buffer
+	if code := Run(&cold, &stderrCold, []string{"-C", dir, "-cache", "./..."}); code != ExitFindings {
+		t.Fatalf("cold run exit %d, want %d\n%s", code, ExitFindings, stderrCold.String())
+	}
+	if !strings.Contains(stderrCold.String(), ", 0 from cache") {
+		t.Errorf("cold run should hit nothing: %s", stderrCold.String())
+	}
+	if code := Run(&warm, &stderrWarm, []string{"-C", dir, "-cache", "./..."}); code != ExitFindings {
+		t.Fatalf("warm run exit %d, want %d\n%s", code, ExitFindings, stderrWarm.String())
+	}
+	if !strings.Contains(stderrWarm.String(), " 0 analyzed") {
+		t.Errorf("warm run should analyze nothing: %s", stderrWarm.String())
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("cold and warm findings differ:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	// Editing one file must invalidate exactly that package: the next
+	// run re-analyzes it (and only it) and still reports correctly.
+	target := filepath.Join(dir, "suppress", "suppress.go")
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(target, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var edited, stderrEdited bytes.Buffer
+	if code := Run(&edited, &stderrEdited, []string{"-C", dir, "-cache", "./..."}); code != ExitFindings {
+		t.Fatalf("post-edit run exit %d, want %d\n%s", code, ExitFindings, stderrEdited.String())
+	}
+	if !strings.Contains(stderrEdited.String(), " 1 analyzed") {
+		t.Errorf("editing one package should re-analyze exactly one: %s", stderrEdited.String())
+	}
+	if edited.String() != cold.String() {
+		t.Errorf("findings changed after a comment-only edit:\n%s\nvs\n%s", edited.String(), cold.String())
+	}
+}
+
+// TestFixConvergesAndIsIdempotent drives -fix over a fixture copy: the
+// first run applies fixes and converges, every touched file is
+// gofmt-clean, and a second -fix run has nothing left to apply.
+func TestFixConvergesAndIsIdempotent(t *testing.T) {
+	dir := copyFixture(t)
+	before := map[string][]byte{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		before[path] = data
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout1, stderr1 bytes.Buffer
+	if code := Run(&stdout1, &stderr1, []string{"-C", dir, "-fix", "./..."}); code != ExitFindings {
+		t.Fatalf("first -fix run exit %d, want %d (unfixable findings remain)\nstdout:\n%s\nstderr:\n%s",
+			code, ExitFindings, stdout1.String(), stderr1.String())
+	}
+	if !strings.Contains(stderr1.String(), "applied") {
+		t.Fatalf("first -fix run applied nothing: %s", stderr1.String())
+	}
+
+	changed := 0
+	for path, orig := range before {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(data, orig) {
+			continue
+		}
+		changed++
+		formatted, err := format.Source(data)
+		if err != nil {
+			t.Errorf("%s does not parse after -fix: %v", path, err)
+			continue
+		}
+		if !bytes.Equal(formatted, data) {
+			t.Errorf("%s is not gofmt-clean after -fix", path)
+		}
+	}
+	if changed == 0 {
+		t.Fatal("-fix changed no files on the fixture tree")
+	}
+
+	// The fixed findings must be gone: no fixable diagnostic survives.
+	// (ctxflow's root-context findings and spanend's unbound-result
+	// finding carry no fix and legitimately remain.)
+	for _, line := range strings.Split(stdout1.String(), "\n") {
+		for _, msg := range []string{"is never used", "must be ended by", "deprecated batch form"} {
+			if strings.Contains(line, msg) {
+				t.Errorf("fixable finding survived -fix: %s", line)
+			}
+		}
+	}
+
+	var stdout2, stderr2 bytes.Buffer
+	if code := Run(&stdout2, &stderr2, []string{"-C", dir, "-fix", "./..."}); code != ExitFindings {
+		t.Fatalf("second -fix run exit %d, want %d\n%s", code, ExitFindings, stderr2.String())
+	}
+	if strings.Contains(stderr2.String(), "applied") {
+		t.Errorf("second -fix run applied more fixes (not idempotent): %s", stderr2.String())
+	}
+	if stdout1.String() != stdout2.String() {
+		t.Errorf("findings differ between -fix runs:\nfirst:\n%s\nsecond:\n%s", stdout1.String(), stdout2.String())
 	}
 }

@@ -1,0 +1,68 @@
+// Package floateq flags == and != between computed floating-point
+// values.
+//
+// The density pipeline is floating-point end to end, and exact
+// equality between two computed floats is almost never the intended
+// predicate: `kde.At(x) == grid.At(x)` holds or fails depending on
+// summation order, FMA contraction, and -accuracy mode. The durable
+// comparison is an epsilon band: math.Abs(a-b) <= eps (internal/num
+// owns the project's tolerances).
+//
+// Two idioms are deliberately exempt, both load-bearing in this
+// repository:
+//
+//   - comparison against a compile-time constant: `o.Epsilon != 0`,
+//     `w == 1.0` — sentinel and flag checks on values that were
+//     assigned, not computed, are exact by construction;
+//   - self-comparison `x != x`, the stdlib-sanctioned NaN probe.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"udm/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid == and != between computed float values: rounding makes exact equality flaky — " +
+		"compare within an epsilon (math.Abs(a-b) <= eps); constant sentinels and x != x NaN probes are exempt",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return
+		}
+		if !isFloat(pass.TypesInfo.TypeOf(bin.X)) || !isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+			return
+		}
+		// Constant operands are sentinels, not computed values.
+		if isConst(pass.TypesInfo, bin.X) || isConst(pass.TypesInfo, bin.Y) {
+			return
+		}
+		// x != x is the NaN probe.
+		if types.ExprString(ast.Unparen(bin.X)) == types.ExprString(ast.Unparen(bin.Y)) {
+			return
+		}
+		pass.Reportf(bin.Pos(), "%s between computed float values is rounding-sensitive: compare within an epsilon (math.Abs(a-b) <= eps)", bin.Op)
+	})
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", floateq.Analyzer, "udmfixture/floateq")
+}

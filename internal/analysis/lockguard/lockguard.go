@@ -1,0 +1,402 @@
+// Package lockguard enforces the project's mutex-hygiene contract with
+// three checks, two of them path-sensitive on the CFG layer:
+//
+//  1. Copy-by-value: a sync.Mutex/sync.RWMutex (or any struct that
+//     transitively contains one) must never be copied — a copy shares
+//     no lock state, so the guarded invariant silently evaporates.
+//     Flagged shapes: by-value parameters and receivers, assignments
+//     that copy an existing lock-bearing lvalue, by-value call
+//     arguments, and range-value copies.
+//  2. Unlock-on-every-path: after x.Lock() (or x.RLock()) every path
+//     out of the function must pass a matching x.Unlock()
+//     (x.RUnlock()) or arm a `defer x.Unlock()`. The early-return that
+//     skips the unlock is the deadlock nobody reproduces locally; the
+//     ExistsPath query over the CFG finds it statically.
+//  3. No blocking under a lock, in the concurrent-surface packages
+//     (internal/server, internal/parallel, internal/stream): a channel
+//     receive or send, a WaitGroup/Cond Wait, or a time.Sleep executed
+//     while a mutex is held stalls every other goroutine contending
+//     for that lock — the serving-tier latency cliff. Channel
+//     operations that are select-clause guards are exempt (select
+//     semantics make them the idiomatic non-blocking form), as is
+//     anything after the unlock. `defer x.Unlock()` deliberately does
+//     NOT end the held region: the lock really is held until return.
+//
+// Functions that hand a locked mutex to their caller on purpose (lock
+// helpers returning an unlock closure) are expected to carry a
+// //lint:allow lockguard directive — the shape is rare and worth an
+// audit trail.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"udm/internal/analysis"
+	"udm/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "forbid copying sync.Mutex/RWMutex by value, Lock without Unlock on some path out of the " +
+		"function, and blocking (channel ops, Wait, Sleep) while a lock is held in server/parallel/stream packages",
+	Run: run,
+}
+
+// blockingScopes are the package-path suffixes where check 3 applies:
+// the packages that own the project's concurrent surface.
+var blockingScopes = []string{"internal/server", "internal/parallel", "internal/stream"}
+
+func run(pass *analysis.Pass) error {
+	checkCopies(pass)
+	inScope := false
+	for _, s := range blockingScopes {
+		if analysis.PathHasSuffix(pass.PkgPath, s) {
+			inScope = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockPaths(pass, body, inScope)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- check 1: copy-by-value ----
+
+func checkCopies(pass *analysis.Pass) {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				checkFieldList(pass, n.Recv, "receiver")
+			}
+			checkFieldList(pass, n.Type.Params, "parameter")
+		case *ast.FuncLit:
+			checkFieldList(pass, n.Type.Params, "parameter")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if isLockCopySource(pass, rhs) {
+					pass.Reportf(rhs.Pos(), "assignment copies %s by value: a copy shares no lock state — use a pointer", lockTypeName(pass.TypesInfo.TypeOf(rhs)))
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if isLockCopySource(pass, arg) {
+					pass.Reportf(arg.Pos(), "call passes %s by value: the callee locks a private copy — pass a pointer", lockTypeName(pass.TypesInfo.TypeOf(arg)))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypesInfo.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range value copies %s by value per iteration: range over indices or pointers instead", lockTypeName(t))
+				}
+			}
+		}
+	})
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		pass.Reportf(f.Type.Pos(), "%s takes %s by value: every call copies the lock — use a pointer", kind, lockTypeName(t))
+	}
+}
+
+// isLockCopySource reports whether expr is an existing lvalue of a
+// lock-containing value type — the copy shapes that duplicate a
+// possibly-used lock. Fresh values (composite literals, calls) and
+// pointers are fine.
+func isLockCopySource(pass *analysis.Pass, expr ast.Expr) bool {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(expr)
+	return t != nil && containsLock(t)
+}
+
+// containsLock reports whether t holds a sync.Mutex or sync.RWMutex by
+// value, directly or through nested structs and arrays.
+func containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isLockType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem())
+	}
+	return false
+}
+
+func isLockType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockTypeName renders the offending type for the message, preferring
+// the concrete sync type when the copy IS the lock.
+func lockTypeName(t types.Type) string {
+	if t == nil {
+		return "a sync.Mutex"
+	}
+	if isLockType(t) {
+		return t.String()
+	}
+	return t.String() + " (contains a sync.Mutex)"
+}
+
+// ---- checks 2 and 3: lock/unlock paths over the CFG ----
+
+// lockCall describes one x.Lock()/x.RLock() statement.
+type lockCall struct {
+	stmt ast.Node // the ExprStmt in the CFG
+	recv string   // the receiver spelling ("s.mu"), the pairing key
+	read bool     // RLock (pairs with RUnlock) vs Lock (pairs with Unlock)
+}
+
+func checkLockPaths(pass *analysis.Pass, body *ast.BlockStmt, blockingScope bool) {
+	var locks []lockCall
+	selectComms := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions are their own scope
+		case *ast.SelectStmt:
+			for _, cs := range n.Body.List {
+				if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+					selectComms[cc.Comm] = true
+				}
+			}
+		case *ast.ExprStmt:
+			if recv, name, ok := mutexMethod(pass, n.X); ok && (name == "Lock" || name == "RLock") {
+				locks = append(locks, lockCall{stmt: n, recv: recv, read: name == "RLock"})
+			}
+		}
+		return true
+	})
+	if len(locks) == 0 {
+		return
+	}
+	g := pass.CFG(body)
+	for _, lc := range locks {
+		src := g.BlockOf(lc.stmt)
+		if src == nil {
+			continue
+		}
+		unlock := "Unlock"
+		if lc.read {
+			unlock = "RUnlock"
+		}
+		kill := func(n ast.Node) bool { return isUnlockOf(pass, n, lc.recv, unlock) }
+		if g.ExistsPath(src, g.Exit, lc.stmt, kill) {
+			lock := "Lock"
+			if lc.read {
+				lock = "RLock"
+			}
+			pass.Reportf(lc.stmt.Pos(), "%s.%s() has no matching %s() on some path out of the function: unlock on every path or `defer %s.%s()`",
+				lc.recv, lock, unlock, lc.recv, unlock)
+		}
+		if blockingScope {
+			// Blocking node reachable strictly under the lock: a defer of
+			// the unlock does not end the held region, so only a direct
+			// unlock call kills the walk.
+			directKill := func(n ast.Node) bool {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					return false
+				}
+				return isUnlockOf(pass, n, lc.recv, unlock)
+			}
+			if n, what := firstBlockingUnder(g, src, lc.stmt, directKill, selectComms, pass); n != nil {
+				pass.Reportf(n.Pos(), "%s is blocked on while %s is locked: %s under a lock stalls every contender — release the lock first",
+					what, lc.recv, what)
+			}
+		}
+	}
+}
+
+// mutexMethod matches expr against a sync.Mutex/RWMutex method call
+// and returns the receiver spelling and method name.
+func mutexMethod(pass *analysis.Pass, expr ast.Expr) (recv, name string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// isUnlockOf reports whether node n unlocks recv with the given unlock
+// method, either directly or via defer.
+func isUnlockOf(pass *analysis.Pass, n ast.Node, recv, unlock string) bool {
+	var call ast.Expr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call = n.X
+	case *ast.DeferStmt:
+		call = n.Call
+	default:
+		return false
+	}
+	r, name, ok := mutexMethod(pass, call)
+	return ok && r == recv && name == unlock
+}
+
+// firstBlockingUnder walks the CFG from the lock statement and returns
+// the first node that blocks while the lock is still held, with a
+// human name for it.
+func firstBlockingUnder(g *cfg.Graph, src *cfg.Block, lock ast.Node, kill func(ast.Node) bool, selectComms map[ast.Node]bool, pass *analysis.Pass) (ast.Node, string) {
+	scan := func(nodes []ast.Node) (ast.Node, string, bool) {
+		for _, n := range nodes {
+			if kill(n) {
+				return nil, "", true // lock released; stop this route
+			}
+			if b, what := blockingNode(pass, n, selectComms); b != nil {
+				return b, what, true
+			}
+		}
+		return nil, "", false
+	}
+
+	// Tail of the lock's own block.
+	start := 0
+	for i, n := range src.Nodes {
+		if n == lock {
+			start = i + 1
+			break
+		}
+	}
+	if n, what, stop := scan(src.Nodes[start:]); n != nil || stop {
+		return n, what
+	}
+
+	seen := make([]bool, len(g.Blocks))
+	stack := append([]*cfg.Block(nil), src.Succs...)
+	for _, b := range src.Succs {
+		seen[b.Index] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, what, stop := scan(b.Nodes)
+		if n != nil {
+			return n, what
+		}
+		if stop {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return nil, ""
+}
+
+// blockingNode classifies CFG nodes that park the goroutine: channel
+// receives and sends (outside select clauses), WaitGroup/Cond Wait,
+// and time.Sleep.
+func blockingNode(pass *analysis.Pass, n ast.Node, selectComms map[ast.Node]bool) (ast.Node, string) {
+	if selectComms[n] {
+		return nil, ""
+	}
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return n, "a channel send"
+	case *ast.ExprStmt:
+		if b, what := blockingExpr(pass, n.X); b != nil {
+			return b, what
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			if b, what := blockingExpr(pass, rhs); b != nil {
+				return b, what
+			}
+		}
+	case ast.Expr:
+		if b, what := blockingExpr(pass, n); b != nil {
+			return b, what
+		}
+	}
+	return nil, ""
+}
+
+func blockingExpr(pass *analysis.Pass, expr ast.Expr) (ast.Node, string) {
+	var found ast.Node
+	var what string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found, what = n, "a channel receive"
+				return false
+			}
+		case *ast.CallExpr:
+			if obj := analysis.Callee(pass.TypesInfo, n); obj != nil && obj.Pkg() != nil {
+				switch {
+				case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+					found, what = n, "a sync Wait"
+					return false
+				case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+					found, what = n, "a time.Sleep"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, what
+}

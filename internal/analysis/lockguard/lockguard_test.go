@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"udm/internal/analysis/analysistest"
+	"udm/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "../testdata/fixture", lockguard.Analyzer,
+		"udmfixture/lockguard", "udmfixture/internal/stream")
+}

@@ -15,6 +15,7 @@
 package spanend
 
 import (
+	"fmt"
 	"go/ast"
 
 	"udm/internal/analysis"
@@ -39,7 +40,24 @@ func run(pass *analysis.Pass) error {
 			return
 		}
 		if !deferredEndFollows(pass, sp) {
-			pass.Reportf(call.Pos(), "span %s must be ended by `defer %s.End()` immediately after obs.StartSpan", sp.Name, sp.Name)
+			d := analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: fmt.Sprintf("span %s must be ended by `defer %s.End()` immediately after obs.StartSpan", sp.Name, sp.Name),
+			}
+			// Span.End is idempotent (a CompareAndSwap guard), so
+			// inserting the deferred End is safe even when a manual End
+			// survives further down the function.
+			if asg, ok := pass.ParentOf(sp).(*ast.AssignStmt); ok && inStmtList(pass, asg) {
+				d.Fixes = []analysis.SuggestedFix{{
+					Message: fmt.Sprintf("insert `defer %s.End()` after the assignment", sp.Name),
+					Edits: []analysis.TextEdit{{
+						Pos:     asg.End(),
+						End:     asg.End(),
+						NewText: "\ndefer " + sp.Name + ".End()",
+					}},
+				}}
+			}
+			pass.Report(d)
 		}
 	})
 	return nil
@@ -76,6 +94,17 @@ func deferredEndFollows(pass *analysis.Pass, sp *ast.Ident) bool {
 	}
 	recv, ok := sel.X.(*ast.Ident)
 	return ok && recv.Name == sp.Name
+}
+
+// inStmtList reports whether stmt sits directly in a statement list —
+// the only placement where a statement can be inserted after it (an
+// assignment in an if-init clause, say, cannot take the fix).
+func inStmtList(pass *analysis.Pass, stmt ast.Stmt) bool {
+	switch pass.ParentOf(stmt).(type) {
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
 }
 
 // nextStmt returns the statement following stmt in its enclosing

@@ -16,6 +16,14 @@ import (
 // that site. The reason is mandatory: a suppression with no
 // justification is itself reported as a finding of the pseudo-analyzer
 // "lint", so exceptions stay auditable.
+//
+// A directive covers the whole simple statement it anchors to, even
+// when that statement spans several lines — a finding reported on the
+// second line of a wrapped call is still suppressed by the directive
+// directly above the statement. Control statements (if/for/switch/
+// select and blocks) are deliberately excluded from that widening:
+// a directive above an `if` covers the if line only, never the body,
+// so one suppression can't silently blanket dozens of statements.
 
 const allowPrefix = "lint:allow"
 
@@ -43,6 +51,7 @@ func suppressions(fset *token.FileSet, files []*ast.File) (suppressSet, []Findin
 	var bad []Finding
 	for _, file := range files {
 		code := codeLines(fset, file)
+		spans := stmtSpans(fset, file)
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
@@ -59,17 +68,56 @@ func suppressions(fset *token.FileSet, files []*ast.File) (suppressSet, []Findin
 					})
 					continue
 				}
-				// A trailing directive covers the code on its own line;
-				// a standalone directive covers the line below it.
+				// A trailing directive anchors to the code on its own
+				// line; a standalone directive anchors to the line below
+				// it. Either way the directive covers every line of the
+				// simple statement starting at the anchor, so wrapped
+				// multi-line statements are suppressed in full.
 				line := pos.Line
 				if !code[line] {
 					line++
 				}
-				set[suppressKey{pos.Filename, line, fields[0]}] = true
+				last := line
+				if end, ok := spans[line]; ok && end > last {
+					last = end
+				}
+				for l := line; l <= last; l++ {
+					set[suppressKey{pos.Filename, l, fields[0]}] = true
+				}
 			}
 		}
 	}
 	return set, bad
+}
+
+// stmtSpans maps the start line of every simple statement (and
+// non-import declaration group) to the last line of the outermost such
+// node starting there. Control statements and blocks are excluded so a
+// directive anchored on them never widens into their bodies.
+func stmtSpans(fset *token.FileSet, file *ast.File) map[int]int {
+	spans := map[int]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > spans[start] {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+			return true // never widen into a body
+		case *ast.GenDecl:
+			if n.Tok != token.IMPORT {
+				record(n)
+			}
+		case ast.Stmt:
+			record(n)
+		}
+		return true
+	})
+	return spans
 }
 
 // codeLines reports which lines of file hold non-comment syntax, so a

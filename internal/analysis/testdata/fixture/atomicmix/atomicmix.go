@@ -1,0 +1,52 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer:
+// a variable touched by sync/atomic anywhere must be touched by it
+// everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+// Metrics mixes a correctly-atomic field with a mixed-access one.
+type Metrics struct {
+	hits   int64
+	misses int64
+	name   string
+}
+
+// RecordHit is the atomic side of the race.
+func (m *Metrics) RecordHit() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+// Snapshot reads hits plainly: the other side of the race.
+func (m *Metrics) Snapshot() int64 {
+	return m.hits // want "hits is accessed with sync/atomic at .*:.* but plainly here"
+}
+
+// Reset writes hits plainly, same race, store flavor.
+func (m *Metrics) Reset() {
+	m.hits = 0 // want "hits is accessed with sync/atomic at .*:.* but plainly here"
+}
+
+// Misses is all-atomic: no finding on any access.
+func (m *Metrics) RecordMiss()      { atomic.AddInt64(&m.misses, 1) }
+func (m *Metrics) MissCount() int64 { return atomic.LoadInt64(&m.misses) }
+
+// Name is never atomic: plain access is fine.
+func (m *Metrics) Name() string { return m.name }
+
+// NewMetrics initializes via composite-literal keys, which are exempt:
+// the value is not shared yet.
+func NewMetrics() *Metrics {
+	return &Metrics{hits: 0, misses: 0, name: "metrics"}
+}
+
+// flips is a package-level variable with the same mix.
+var flips int64
+
+// Flip is atomic.
+func Flip() { atomic.AddInt64(&flips, 1) }
+
+// Flips reads it plainly.
+func Flips() int64 {
+	return flips // want "flips is accessed with sync/atomic at .*:.* but plainly here"
+}

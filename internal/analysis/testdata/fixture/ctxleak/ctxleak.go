@@ -1,0 +1,104 @@
+// Package ctxleak is the golden fixture for the ctxleak analyzer: the
+// cancel func of a derived context must be released on every path out
+// of the creating function.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) error { _ = ctx; return nil }
+
+// DeferredImmediately is the canonical shape: no finding.
+func DeferredImmediately(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return use(ctx)
+}
+
+// AllPathsCall cancels explicitly on both arms: no finding.
+func AllPathsCall(ctx context.Context, c bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	if c {
+		err := use(ctx)
+		cancel()
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// LeakOnError is the classic miss: the error return path never
+// cancels.
+func LeakOnError(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // want "cancel func cancel from context.WithCancel is not called on every path"
+	if err := use(ctx); err != nil {
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// LeakTimeout leaks a timer too, same path bug, deadline flavor.
+func LeakTimeout(ctx context.Context, c bool) error {
+	ctx, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want "cancel func cancel from context.WithDeadline is not called on every path"
+	if c {
+		cancel()
+	}
+	return use(ctx)
+}
+
+// Discarded throws the cancel func away outright.
+func Discarded(ctx context.Context) error {
+	ctx, _ = context.WithCancel(ctx) // want "cancel func of context.WithCancel is discarded"
+	return use(ctx)
+}
+
+// EscapesToCallee hands the cancel func to another function, which
+// owns it from then on: no finding.
+func EscapesToCallee(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	register(cancel)
+	return use(ctx)
+}
+
+func register(f context.CancelFunc) { f() }
+
+// EscapesToClosure is the AfterFunc shape from the server batcher: the
+// closure owns the release.
+func EscapesToClosure(ctx context.Context, done chan struct{}) error {
+	ctx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return use(ctx)
+}
+
+// EscapesByReturn transfers the obligation to the caller.
+func EscapesByReturn(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	return ctx, cancel
+}
+
+// ZeroIterationLoop cancels only inside a loop that may not run.
+func ZeroIterationLoop(ctx context.Context, n int) error {
+	ctx, cancel := context.WithCancel(ctx) // want "cancel func cancel from context.WithCancel is not called on every path"
+	for i := 0; i < n; i++ {
+		cancel()
+	}
+	return use(ctx)
+}
+
+// SwitchAllArms releases on every case including default: no finding.
+func SwitchAllArms(ctx context.Context, n int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	switch n {
+	case 0:
+		cancel()
+	default:
+		defer cancel()
+	}
+	return use(ctx)
+}

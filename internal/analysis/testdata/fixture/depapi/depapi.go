@@ -12,12 +12,12 @@ import (
 
 // Legacy calls every deprecated form.
 func Legacy(ctx context.Context, est kde.Est, X [][]float64) {
-	_, _ = kde.DensityBatch(ctx, est, X, nil, 4)        // want "deprecated batch form DensityBatch: use DensityBatchOpts"
-	_, _ = kde.DensityQBatch(ctx, est, X, nil, nil, 4)  // want "deprecated batch form DensityQBatch: use DensityQBatchOpts"
-	_, _ = est.DensityBatch(X, nil, 4)                  // want "deprecated batch form DensityBatch: use DensityBatchOpts"
-	_, _ = est.DensityBatchContext(ctx, X, nil, 4)      // want "deprecated batch form DensityBatchContext: use DensityBatchOpts with BatchOptions.Ctx"
-	_, _ = est.LeaveOneOutBatch(nil, 4)                 // want "deprecated batch form LeaveOneOutBatch: use LeaveOneOutBatchOpts"
-	_, _ = udm.DensityBatch(est, X, nil, 4)             // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+	_, _ = kde.DensityBatch(ctx, est, X, nil, 4)       // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+	_, _ = kde.DensityQBatch(ctx, est, X, nil, nil, 4) // want "deprecated batch form DensityQBatch: use DensityQBatchOpts"
+	_, _ = est.DensityBatch(X, nil, 4)                 // want "deprecated batch form DensityBatch: use DensityBatchOpts"
+	_, _ = est.DensityBatchContext(ctx, X, nil, 4)     // want "deprecated batch form DensityBatchContext: use DensityBatchOpts with BatchOptions.Ctx"
+	_, _ = est.LeaveOneOutBatch(nil, 4)                // want "deprecated batch form LeaveOneOutBatch: use LeaveOneOutBatchOpts"
+	_, _ = udm.DensityBatch(est, X, nil, 4)            // want "deprecated batch form DensityBatch: use DensityBatchOpts"
 }
 
 // Canonical calls the Opts forms and the context-first Batcher hook —

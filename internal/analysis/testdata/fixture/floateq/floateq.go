@@ -1,0 +1,55 @@
+// Package floateq is the golden fixture for the floateq analyzer:
+// exact equality between computed floats is flagged, sentinel and NaN
+// idioms are not.
+package floateq
+
+import "math"
+
+const eps = 1e-9
+
+// SameDensity is the bug the analyzer exists for.
+func SameDensity(a, b float64) bool {
+	return a == b // want "== between computed float values is rounding-sensitive"
+}
+
+// Changed is the != flavor, on computed expressions.
+func Changed(xs []float64) bool {
+	var s1, s2 float64
+	for _, x := range xs {
+		s1 += x
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		s2 += xs[i]
+	}
+	return s1 != s2 // want "!= between computed float values is rounding-sensitive"
+}
+
+// Float32 is covered too.
+func Float32(a, b float32) bool {
+	return a*2 == b // want "== between computed float values is rounding-sensitive"
+}
+
+// SentinelZero compares against a constant: exempt.
+func SentinelZero(epsilon float64) bool {
+	return epsilon != 0
+}
+
+// SentinelNamed compares against a named constant: exempt.
+func SentinelNamed(w float64) bool {
+	return w == eps
+}
+
+// NaNProbe is the stdlib-sanctioned self-comparison: exempt.
+func NaNProbe(x float64) bool {
+	return x != x
+}
+
+// EpsilonBand is the sanctioned comparison: no equality operator.
+func EpsilonBand(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// IntEquality is not a float comparison: exempt.
+func IntEquality(a, b int) bool {
+	return a == b
+}

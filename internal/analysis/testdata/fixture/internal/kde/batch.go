@@ -25,6 +25,11 @@ func DensityBatch(_ context.Context, est Est, X [][]float64, dims []int, workers
 	return DensityBatchOpts(est, X, dims, BatchOptions{Workers: workers})
 }
 
+// DensityQBatchOpts is the canonical uncertain-batch form.
+func DensityQBatchOpts(est Est, X, Qerr [][]float64, dims []int, opt BatchOptions) ([]float64, error) {
+	return nil, nil
+}
+
 // Deprecated: use DensityQBatchOpts.
 func DensityQBatch(_ context.Context, est Est, X, Qerr [][]float64, dims []int, workers int) ([]float64, error) {
 	return nil, nil

@@ -1,0 +1,65 @@
+// Package stream is a fixture stand-in for the real module's
+// internal/stream: its import path puts it inside lockguard's
+// blocking-check scope, so this file pins the "no blocking while a
+// lock is held" rule.
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// Hub fans values between goroutines under a mutex.
+type Hub struct {
+	mu   sync.Mutex
+	last float64
+}
+
+// ReceiveUnderLock parks on a channel while holding the lock.
+func (h *Hub) ReceiveUnderLock(ch chan float64) {
+	h.mu.Lock()
+	h.last = <-ch // want "a channel receive is blocked on while h.mu is locked"
+	h.mu.Unlock()
+}
+
+// SendUnderLock parks on a send while holding the lock.
+func (h *Hub) SendUnderLock(ch chan float64) {
+	h.mu.Lock()
+	ch <- h.last // want "a channel send is blocked on while h.mu is locked"
+	h.mu.Unlock()
+}
+
+// WaitUnderDeferredUnlock shows that a deferred unlock does not end
+// the held region: the WaitGroup parks with the lock still taken.
+func (h *Hub) WaitUnderDeferredUnlock(wg *sync.WaitGroup) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	wg.Wait() // want "a sync Wait is blocked on while h.mu is locked"
+}
+
+// SleepUnderLock stalls every contender for the duration.
+func (h *Hub) SleepUnderLock() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want "a time.Sleep is blocked on while h.mu is locked"
+	h.mu.Unlock()
+}
+
+// UnlockThenBlock is the clean ordering: release first, park after.
+func (h *Hub) UnlockThenBlock(ch chan float64) {
+	h.mu.Lock()
+	v := h.last
+	h.mu.Unlock()
+	ch <- v
+}
+
+// SelectUnderLock uses select-with-default, the idiomatic non-blocking
+// form: comm clauses are exempt.
+func (h *Hub) SelectUnderLock(ch chan float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case v := <-ch:
+		h.last = v
+	default:
+	}
+}

@@ -1,0 +1,35 @@
+// Package suppressml pins the multi-line statement scope of the
+// //lint:allow directive: a directive on the line above a statement
+// that wraps across several lines covers every line of the statement,
+// not just the first. The findings here come from atomicmix, which
+// reports at the offending identifier — deliberately placed on the
+// LAST line of each wrapped statement.
+package suppressml
+
+import "sync/atomic"
+
+// counter is accessed atomically in Bump, so every plain access below
+// is an atomicmix finding.
+var counter int64
+
+// Bump is the atomic side of the mix.
+func Bump() { atomic.AddInt64(&counter, 1) }
+
+// MultiLineSuppressed is the regression case: the finding fires on the
+// statement's final line, two lines below the directive.
+func MultiLineSuppressed(pad int64) int64 {
+	//lint:allow atomicmix fixture pins whole-statement directive coverage
+	total := pad +
+		pad +
+		counter
+	return total
+}
+
+// MultiLineUnsuppressed is the control: identical shape, no directive,
+// so the finding on the last line must still fire.
+func MultiLineUnsuppressed(pad int64) int64 {
+	total := pad +
+		pad +
+		counter // want "counter is accessed with sync/atomic"
+	return total
+}

@@ -5,6 +5,10 @@ package udm
 
 import "udmfixture/internal/kde"
 
+// BatchOptions re-exports the engine's options value, as the real
+// facade does.
+type BatchOptions = kde.BatchOptions
+
 // DensityBatchOpts is the canonical facade form.
 func DensityBatchOpts(est kde.Est, X [][]float64, dims []int, opt kde.BatchOptions) ([]float64, error) {
 	return kde.DensityBatchOpts(est, X, dims, opt)

@@ -255,15 +255,16 @@ func XOR(n int, sep float64, noiseDims int, r *rng.Source) (*dataset.Dataset, er
 	ds.ClassNames = []string{"same-sign", "opposite-sign"}
 	row := make([]float64, len(names))
 	for i := 0; i < n; i++ {
+		neg0, neg1 := r.Bool(0.5), r.Bool(0.5)
 		s0, s1 := 1.0, 1.0
-		if r.Bool(0.5) {
+		if neg0 {
 			s0 = -1
 		}
-		if r.Bool(0.5) {
+		if neg1 {
 			s1 = -1
 		}
 		label := 0
-		if s0 != s1 {
+		if neg0 != neg1 {
 			label = 1
 		}
 		row[0] = r.Norm(s0*sep, 1)

@@ -43,7 +43,9 @@ func NewTable(title, xlabel string, series ...Series) (*Table, error) {
 			return nil, fmt.Errorf("eval: series %q length %d != %d", s.Name, len(s.X), len(series[0].X))
 		}
 		for i := range s.X {
-			if s.X[i] != series[0].X[i] {
+			// The shared X grid must be bit-identical across series, per
+			// the determinism contract; bit comparison says so exactly.
+			if math.Float64bits(s.X[i]) != math.Float64bits(series[0].X[i]) {
 				return nil, fmt.Errorf("eval: series %q X[%d]=%v differs from %v", s.Name, i, s.X[i], series[0].X[i])
 			}
 		}
@@ -188,10 +190,10 @@ func (t *Table) PlotASCII(w io.Writer, width, height int) error {
 	if first {
 		return fmt.Errorf("eval: nothing to plot in %q", t.Title)
 	}
-	if hiX == loX {
+	if hiX-loX == 0 {
 		hiX = loX + 1
 	}
-	if hiY == loY {
+	if hiY-loY == 0 {
 		hiY = loY + 1
 	}
 	grid := make([][]byte, height)
@@ -250,7 +252,7 @@ func (t *Table) PlotASCII(w io.Writer, width, height int) error {
 func formatFloat(x float64) string {
 	a := math.Abs(x)
 	switch {
-	case x == math.Trunc(x) && a < 1e7:
+	case math.Mod(x, 1) == 0 && a < 1e7:
 		return strconv.FormatFloat(x, 'f', 0, 64)
 	case a >= 0.01 && a < 1e6:
 		return strconv.FormatFloat(x, 'f', 4, 64)

@@ -49,7 +49,9 @@ func ROC(scores []float64, positive []bool) ([]ROCPoint, error) {
 		// Consume all instances tied at this score together so the curve
 		// is threshold-consistent.
 		s := scores[idx[i]]
-		for i < len(idx) && scores[idx[i]] == s {
+		// Ties are bit-identical scores: identical inputs produce
+		// identical bits under the determinism contract.
+		for i < len(idx) && math.Float64bits(scores[idx[i]]) == math.Float64bits(s) {
 			if positive[idx[i]] {
 				tp++
 			} else {
@@ -82,7 +84,7 @@ func AUC(scores []float64, positive []bool) (float64, error) {
 	ranks := make([]float64, len(scores))
 	for i := 0; i < len(idx); {
 		j := i
-		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+		for j < len(idx) && math.Float64bits(scores[idx[j]]) == math.Float64bits(scores[idx[i]]) {
 			j++
 		}
 		mean := float64(i+j+1) / 2 // ranks are 1-based

@@ -1,0 +1,53 @@
+package evalopt
+
+import "testing"
+
+// FuzzParseEvalOptions fuzzes the option grammar shared by the udmkde
+// -eval flag and the udmserve wire API. The properties under test:
+// Parse never panics on any input, every accepted input's canonical
+// String form reparses to the identical Options, and the canonical
+// form is a fixed point (String of the reparse equals the first
+// String). Rejections are fine — the contract is only that accepted
+// configurations round-trip losslessly.
+func FuzzParseEvalOptions(f *testing.F) {
+	seeds := []string{
+		"",
+		"hbe",
+		"backend=exact",
+		"backend=grid,cells=64",
+		"backend=micro,q=140",
+		"backend=hbe,epsilon=0.05,delta=1e-4,seed=42",
+		"eps=0.2,prune=1e-9",
+		"accuracy=approx(1e-6),workers=4",
+		"accuracy=exact",
+		" backend = hbe , seed = -7 ",
+		"epsilon=0.1,epsilon=0.2",
+		"backend=nosuch",
+		"workers=many",
+		"accuracy=approx(",
+		"q=-1",
+		"seed=9223372036854775807",
+		"epsilon=1e308,delta=0.999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		o, err := Parse(s)
+		if err != nil {
+			// Rejected inputs only need to not panic.
+			return
+		}
+		canon := o.String()
+		o2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but its String %q does not reparse: %v", s, canon, err)
+		}
+		if o2 != o {
+			t.Fatalf("round-trip changed the options:\ninput  %q -> %+v\ncanon  %q -> %+v", s, o, canon, o2)
+		}
+		if again := o2.String(); again != canon {
+			t.Fatalf("canonical form is not a fixed point: %q then %q", canon, again)
+		}
+	})
+}

@@ -9,6 +9,7 @@ package kdtree
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"udm/internal/num"
@@ -70,7 +71,7 @@ func (t *Tree) build(idx []int, depth int) int {
 	mid := len(idx) / 2
 	// Ensure the split point is the first of any ties so the left
 	// subtree holds strictly-smaller-or-equal values consistently.
-	for mid > 0 && t.pts[idx[mid-1]][axis] == t.pts[idx[mid]][axis] {
+	for mid > 0 && math.Float64bits(t.pts[idx[mid-1]][axis]) == math.Float64bits(t.pts[idx[mid]][axis]) {
 		mid--
 	}
 	n := node{idx: idx[mid], axis: axis, left: -1, right: -1}

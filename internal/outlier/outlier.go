@@ -211,7 +211,7 @@ func flag(scores []float64, contamination float64) *Result {
 		if flagged >= k {
 			break
 		}
-		if !out.Outlier[i] && s == threshold {
+		if !out.Outlier[i] && math.Float64bits(s) == math.Float64bits(threshold) {
 			out.Outlier[i] = true
 			flagged++
 		}
