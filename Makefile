@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-fix-check lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke bench bench-snapshot bench-kde ci
+.PHONY: check build vet fmt test race lint lint-udm lint-fix-check lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke proxy-smoke bench bench-snapshot bench-kde ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -90,12 +90,18 @@ fuzz-smoke:
 faults:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -race -run 'TestFault|TestBatcher|TestRetr|TestBreaker' ./internal/server
+	$(GO) test -race -run 'TestFault' ./internal/distrib
 	$(GO) test -race -fuzz=FuzzFeatureMerge -fuzztime=30s -run='^Fuzz' ./internal/microcluster
 	$(GO) test -race -fuzz=FuzzPrometheusExposition -fuzztime=30s -run='^Fuzz' ./internal/obs
 
 ## serve-smoke: end-to-end udmserve check (train, serve, curl, shut down)
 serve-smoke:
-	bash scripts/serve_smoke.sh
+	bash scripts/serve_smoke.sh serve
+
+## proxy-smoke: end-to-end sharded serving check (2 shards + udmproxy,
+## fan-out metrics, degraded answer with one shard killed)
+proxy-smoke:
+	bash scripts/serve_smoke.sh proxy
 
 ## bench: the real benchmark suite (slow; use for EXPERIMENTS.md numbers)
 bench:
@@ -111,4 +117,4 @@ bench-kde:
 	bash scripts/bench_kde.sh
 
 ## ci: the full pipeline, serially
-ci: check lint race bench-smoke fuzz-smoke faults serve-smoke
+ci: check lint race bench-smoke fuzz-smoke faults serve-smoke proxy-smoke

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"udm/internal/core"
+	"udm/internal/distrib"
 	"udm/internal/evalopt"
 	"udm/internal/faultinject"
 	"udm/internal/kde"
@@ -56,6 +57,28 @@ func (f *faultFlags) Set(v string) error {
 		return fmt.Errorf("want site=spec, got %q", v)
 	}
 	*f = append(*f, v)
+	return nil
+}
+
+// joinFlags collects repeated -join name=url flags: stream models to
+// replicate from a running shard at startup (checkpoint pull + tail
+// replay via internal/distrib) instead of loading from disk.
+type joinFlags []struct{ name, url string }
+
+func (j *joinFlags) String() string {
+	parts := make([]string, len(*j))
+	for i, s := range *j {
+		parts[i] = s.name + "=" + s.url
+	}
+	return strings.Join(parts, ",")
+}
+
+func (j *joinFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*j = append(*j, struct{ name, url string }{name, url})
 	return nil
 }
 
@@ -99,6 +122,8 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var models modelFlags
 	flag.Var(&models, "model", "model to serve, name=kind:path (repeatable; kinds: transform, summarizer, stream)")
+	var joins joinFlags
+	flag.Var(&joins, "join", "replicate a stream model from a running shard, name=url (repeatable; not checkpointed on shutdown)")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault-injection site, site=spec (repeatable; e.g. server.model.eval=error,times=3; testing only)")
 	var (
@@ -132,8 +157,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "udmserve: armed fault %s\n", f)
 	}
-	if len(models) == 0 {
-		fmt.Fprintln(os.Stderr, "udmserve: at least one -model name=kind:path is required")
+	if len(models) == 0 && len(joins) == 0 {
+		fmt.Fprintln(os.Stderr, "udmserve: at least one -model name=kind:path (or -join name=url) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -161,6 +186,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "udmserve: loaded %s model %q (%d dims) from %s\n",
 			spec.kind, spec.name, m.Dims(), spec.path)
+	}
+	for _, j := range joins {
+		c := distrib.NewShardClient(0, distrib.Shard{Name: j.name, URL: j.url},
+			distrib.Options{}, obs.NewRegistry())
+		eng, err := distrib.CatchUp(context.Background(), c, j.name, 0)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := server.NewStreamModel(j.name, eng, kdeOpt, "")
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Add(m); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "udmserve: joined stream model %q from %s (%d records)\n",
+			j.name, j.url, eng.Count())
 	}
 
 	srv := server.New(reg, server.Options{

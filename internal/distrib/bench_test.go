@@ -1,0 +1,63 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"udm/internal/server"
+)
+
+// BenchmarkFanoutDensity measures a 64-point density batch through the
+// proxy against 1/2/4/8 in-process shards — the fan-out scaling table
+// in EXPERIMENTS.md / BENCH_serve.json. Alongside ns/op it reports the
+// proxy latency histogram's p50/p99 (µs; upper bucket bounds).
+func BenchmarkFanoutDensity(b *testing.B) {
+	rows := testRows(b, 800, 99)
+	queries := testQueries(64, 123)
+	body, err := json.Marshal(server.DensityRequest{Points: queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			engines := splitEngines(b, rows, k)
+			shards := startShards(b, engines)
+			p, err := NewProxy(shards, []ModelConfig{
+				{Name: "live", Mode: ModePartitioned, Dims: 2, KDE: testKDE},
+			}, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			px := httptest.NewServer(p.Handler())
+			b.Cleanup(px.Close)
+			url := px.URL + "/v1/models/live/density"
+			do := func() {
+				resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					b.Fatalf("density status %d", resp.StatusCode)
+				}
+			}
+			do() // prime the head outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				do()
+			}
+			b.StopTimer()
+			lat := p.Metrics().Latency
+			b.ReportMetric(lat.Quantile(0.5)*1e6, "p50-µs")
+			b.ReportMetric(lat.Quantile(0.99)*1e6, "p99-µs")
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+
+	"udm/internal/stream"
+)
+
+// CatchUp builds a local replica of a shard's stream model: pull a
+// checkpoint (the existing stream.Save/LoadEngine gob format — float64
+// bits round-trip exactly, so the restored summary is bit-identical),
+// then tail the records ingested after the checkpoint and replay them
+// through Engine.Add until the replica's count reaches the primary's.
+// Because replay applies the same (x, err, ts) sequence through the
+// same code path, the caught-up replica's features match the primary's
+// to the bit (regression-tested in internal/stream).
+//
+// A tail whose window no longer reaches back to the replica's ordinal
+// (primary answered 410 tail_expired, or any other tail failure) falls
+// back to pulling a fresh checkpoint and trying again. maxRounds
+// bounds the chase (≤ 0 means 16); a primary ingesting faster than the
+// replica can pull will exhaust it.
+func CatchUp(ctx context.Context, c *ShardClient, model string, maxRounds int) (*stream.Engine, error) {
+	eng, err := c.Checkpoint(ctx, model)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: catch-up of %q: %w", model, err)
+	}
+	return CatchUpFrom(ctx, c, model, eng, maxRounds)
+}
+
+// CatchUpFrom resumes catch-up from an existing replica engine — e.g.
+// one restored from a local checkpoint file after a replica restart —
+// pulling only the tail instead of a full checkpoint. See CatchUp for
+// the protocol and the bit-identity argument.
+func CatchUpFrom(ctx context.Context, c *ShardClient, model string, eng *stream.Engine, maxRounds int) (*stream.Engine, error) {
+	if maxRounds <= 0 {
+		maxRounds = 16
+	}
+	for round := 0; round < maxRounds; round++ {
+		tr, err := c.Tail(ctx, model, int64(eng.Count()))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			// Window expired (or the tail call failed): restart from a
+			// fresh checkpoint rather than giving up.
+			eng, err = c.Checkpoint(ctx, model)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: catch-up of %q (round %d): %w", model, round, err)
+			}
+			continue
+		}
+		for _, rec := range tr.Records {
+			eng.Add(rec.X, rec.Err, rec.TS)
+		}
+		if int64(eng.Count()) >= tr.Count {
+			return eng, nil
+		}
+	}
+	return nil, fmt.Errorf("distrib: replica of %q still behind after %d rounds (have %d records)",
+		model, maxRounds, eng.Count())
+}

@@ -1,0 +1,130 @@
+package distrib
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"udm/internal/kde"
+	"udm/internal/obs"
+	"udm/internal/server"
+	"udm/internal/stream"
+)
+
+func startStreamShard(t testing.TB, eng *stream.Engine) *ShardClient {
+	t.Helper()
+	reg := server.NewRegistry()
+	m, err := server.NewStreamModel("live", eng, kde.Options{ErrorAdjust: true}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return NewShardClient(0, Shard{Name: "primary", URL: ts.URL}, Options{}, obs.NewRegistry())
+}
+
+// enginesEqual asserts the two engines' summaries match to the bit:
+// same cluster count, and every feature's statistics are float64-
+// identical in order.
+func enginesEqual(t testing.TB, got, want *stream.Engine) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("replica holds %d records, primary %d", got.Count(), want.Count())
+	}
+	gs, err := got.Summarizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := want.Summarizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Len() != ws.Len() {
+		t.Fatalf("replica has %d clusters, primary %d", gs.Len(), ws.Len())
+	}
+	gf, wf := gs.Features(), ws.Features()
+	for i := range gf {
+		g, w := gf[i], wf[i]
+		if g.N != w.N || g.FirstT != w.FirstT || g.LastT != w.LastT {
+			t.Fatalf("cluster %d counters: got (N=%d %d..%d), want (N=%d %d..%d)",
+				i, g.N, g.FirstT, g.LastT, w.N, w.FirstT, w.LastT)
+		}
+		for j := range g.CF1 {
+			if math.Float64bits(g.CF1[j]) != math.Float64bits(w.CF1[j]) ||
+				math.Float64bits(g.CF2[j]) != math.Float64bits(w.CF2[j]) ||
+				math.Float64bits(g.EF2[j]) != math.Float64bits(w.EF2[j]) {
+				t.Fatalf("cluster %d dim %d statistics differ", i, j)
+			}
+		}
+	}
+}
+
+// TestCatchUpBitIdentity: a replica built from checkpoint + tail
+// replay matches the primary to the bit, and CatchUpFrom resumes an
+// existing replica across later ingests.
+func TestCatchUpBitIdentity(t *testing.T) {
+	rows := testRows(t, 357, 41)
+	primary, err := stream.NewEngine(stream.Options{MicroClusters: 12, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range rows[:300] {
+		primary.Add(x, nil, int64(i+1))
+	}
+	c := startStreamShard(t, primary)
+
+	replica, err := CatchUp(context.Background(), c, "live", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginesEqual(t, replica, primary)
+
+	// The primary moves on; the replica resumes from where it stands,
+	// pulling only the tail.
+	for i, x := range rows[300:] {
+		primary.Add(x, nil, int64(301+i))
+	}
+	replica, err = CatchUpFrom(context.Background(), c, "live", replica, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.Count() != 357 {
+		t.Fatalf("replica count %d after resume, want 357", replica.Count())
+	}
+	enginesEqual(t, replica, primary)
+}
+
+// TestCatchUpTailExpired: a replica whose ordinal has fallen out of the
+// primary's tail window recovers by re-pulling a checkpoint instead of
+// failing.
+func TestCatchUpTailExpired(t *testing.T) {
+	rows := testRows(t, 150, 43)
+	primary, err := stream.NewEngine(stream.Options{MicroClusters: 12, Dims: 2, TailWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range rows[:100] {
+		primary.Add(x, nil, int64(i+1))
+	}
+	c := startStreamShard(t, primary)
+	replica, err := CatchUp(context.Background(), c, "live", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginesEqual(t, replica, primary)
+
+	// 50 more records with only 8 tail slots: the replica's from=100 is
+	// long expired, so CatchUpFrom must fall back to a fresh checkpoint.
+	for i, x := range rows[100:] {
+		primary.Add(x, nil, int64(101+i))
+	}
+	replica, err = CatchUpFrom(context.Background(), c, "live", replica, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginesEqual(t, replica, primary)
+}

@@ -1,0 +1,227 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"udm/internal/faultinject"
+	"udm/internal/microcluster"
+	"udm/internal/obs"
+	"udm/internal/server"
+	"udm/internal/stream"
+)
+
+// shardRPC fires once per shard RPC attempt (inside the retry loop, so
+// a Times-bounded plan can kill exactly the first attempt and let the
+// retry succeed — or, with retries disabled, kill the shard for the
+// whole fan-out). The fault-matrix suite uses it to take a shard down
+// mid-query.
+var shardRPC = faultinject.NewPoint("distrib.shard.rpc")
+
+// Shard names one backend udmserve instance.
+type Shard struct {
+	Name string // stable identity, used in metrics labels and errors
+	URL  string // base URL, e.g. http://127.0.0.1:8081
+}
+
+// ShardClient speaks the serving wire protocol to one shard, each RPC
+// running under the shard's own retry budget and circuit breaker — the
+// exact resilience stack the single-node server wraps around model
+// evaluations, reused via server.Guard. Remote error codes map back to
+// the module's sentinel errors (server.SentinelFor), so callers
+// classify shard failures with errors.Is, never by matching strings.
+type ShardClient struct {
+	shard   Shard
+	index   int
+	hc      *http.Client
+	guard   *server.Guard
+	timeout time.Duration
+
+	errors  *obs.Counter   // udm_proxy_shard_errors_total{shard=...}
+	latency *obs.Histogram // udm_proxy_shard_latency_seconds{shard=...}
+}
+
+// NewShardClient builds a client for one shard. opt supplies the
+// per-RPC timeout and the retry/breaker configuration; reg receives
+// the shard-labeled metrics.
+func NewShardClient(index int, sh Shard, opt Options, reg *obs.Registry) *ShardClient {
+	opt = opt.withDefaults()
+	return &ShardClient{
+		shard:   sh,
+		index:   index,
+		hc:      &http.Client{},
+		guard:   server.NewGuard("shard:"+sh.Name, opt.Server, reg),
+		timeout: opt.ShardTimeout,
+		errors: reg.Counter("udm_proxy_shard_errors_total",
+			"failed shard RPC attempts", "shard", sh.Name),
+		latency: reg.Histogram("udm_proxy_shard_latency_seconds",
+			"shard RPC latency", obs.ExpBuckets(1e-5, 2, 22), "shard", sh.Name),
+	}
+}
+
+// Name returns the shard's configured name.
+func (c *ShardClient) Name() string { return c.shard.Name }
+
+// Index returns the shard's position in the fan-out order.
+func (c *ShardClient) Index() int { return c.index }
+
+// Open reports whether the shard's circuit breaker currently refuses
+// admission.
+func (c *ShardClient) Open() bool { return c.guard.Open() }
+
+// rpc runs one guarded RPC: breaker admission, retry budget, the
+// distrib.shard.rpc fault site, a per-attempt timeout, and latency /
+// error accounting. handle consumes a 200 response's body.
+func (c *ShardClient) rpc(ctx context.Context, method, path string, in any, handle func(*http.Response) error) error {
+	_, err := server.GuardDo(ctx, c.guard, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, c.attempt(ctx, method, path, in, handle)
+	})
+	return err
+}
+
+func (c *ShardClient) attempt(ctx context.Context, method, path string, in any, handle func(*http.Response) error) error {
+	if err := shardRPC.Hit(ctx); err != nil {
+		c.errors.Inc()
+		return fmt.Errorf("distrib: shard %s: %s %s: %w", c.shard.Name, method, path, err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var body *bytes.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("distrib: shard %s: encoding %s body: %w", c.shard.Name, path, err)
+		}
+		body = bytes.NewReader(buf)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.shard.URL+path, body)
+	if err != nil {
+		return fmt.Errorf("distrib: shard %s: %s %s: %w", c.shard.Name, method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := c.hc.Do(req)
+	c.latency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.errors.Inc()
+		return fmt.Errorf("distrib: shard %s: %s %s: %w", c.shard.Name, method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.errors.Inc()
+		return c.statusErr(resp, method, path)
+	}
+	return handle(resp)
+}
+
+// statusErr turns a non-200 reply into an error wrapping the sentinel
+// its wire code stands for, preserving the errors.Is contract across
+// the network hop.
+func (c *ShardClient) statusErr(resp *http.Response, method, path string) error {
+	var eb server.ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	if sent := server.SentinelFor(eb.Error.Code); sent != nil {
+		return fmt.Errorf("distrib: shard %s: %s %s: %s: %w",
+			c.shard.Name, method, path, eb.Error.Message, sent)
+	}
+	return fmt.Errorf("distrib: shard %s: %s %s: status %d (%s: %s)",
+		c.shard.Name, method, path, resp.StatusCode, eb.Error.Code, eb.Error.Message)
+}
+
+func jsonHandle(out any) func(*http.Response) error {
+	return func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+}
+
+// Summary pulls the shard's current micro-cluster summary and the
+// model version it reflects.
+func (c *ShardClient) Summary(ctx context.Context, model string) (*microcluster.Summarizer, uint64, error) {
+	var sum *microcluster.Summarizer
+	var version uint64
+	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/summary", nil, func(resp *http.Response) error {
+		v, err := strconv.ParseUint(resp.Header.Get(server.VersionHeader), 10, 64)
+		if err != nil {
+			return fmt.Errorf("distrib: shard %s: summary version header %q: %w",
+				c.shard.Name, resp.Header.Get(server.VersionHeader), err)
+		}
+		s, err := microcluster.Load(resp.Body)
+		if err != nil {
+			return fmt.Errorf("distrib: shard %s: decoding summary: %w", c.shard.Name, err)
+		}
+		sum, version = s, v
+		return nil
+	})
+	return sum, version, err
+}
+
+// Partial evaluates per-cluster density terms on the shard under the
+// coordinator's global bandwidths, pinned to the coordinator's model
+// version.
+func (c *ShardClient) Partial(ctx context.Context, model string, req server.PartialRequest) (server.PartialResponse, error) {
+	var out server.PartialResponse
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/partial", req, jsonHandle(&out))
+	return out, err
+}
+
+// Checkpoint pulls a stream model's engine checkpoint and restores it
+// — the first half of replica catch-up.
+func (c *ShardClient) Checkpoint(ctx context.Context, model string) (*stream.Engine, error) {
+	var eng *stream.Engine
+	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/checkpoint", nil, func(resp *http.Response) error {
+		e, err := stream.LoadEngine(resp.Body)
+		if err != nil {
+			return fmt.Errorf("distrib: shard %s: decoding checkpoint: %w", c.shard.Name, err)
+		}
+		eng = e
+		return nil
+	})
+	return eng, err
+}
+
+// Tail pulls the raw records ingested after ordinal from — the second
+// half of replica catch-up.
+func (c *ShardClient) Tail(ctx context.Context, model string, from int64) (server.TailResponse, error) {
+	var out server.TailResponse
+	path := "/v1/models/" + model + "/tail?from=" + strconv.FormatInt(from, 10)
+	err := c.rpc(ctx, http.MethodGet, path, nil, jsonHandle(&out))
+	return out, err
+}
+
+// Classify forwards a classify request (replicated models).
+func (c *ShardClient) Classify(ctx context.Context, model string, req server.ClassifyRequest) (server.ClassifyResponse, error) {
+	var out server.ClassifyResponse
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/classify", req, jsonHandle(&out))
+	return out, err
+}
+
+// Density forwards a density request (replicated models).
+func (c *ShardClient) Density(ctx context.Context, model string, req server.DensityRequest) (server.DensityResponse, error) {
+	var out server.DensityResponse
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/density", req, jsonHandle(&out))
+	return out, err
+}
+
+// Outliers forwards an outliers request (replicated models).
+func (c *ShardClient) Outliers(ctx context.Context, model string, req server.OutliersRequest) (server.OutliersResponse, error) {
+	var out server.OutliersResponse
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/outliers", req, jsonHandle(&out))
+	return out, err
+}
+
+// Ingest sends records to the shard's stream model (partitioned
+// models; the proxy routes each record here by consistent hash).
+func (c *ShardClient) Ingest(ctx context.Context, model string, req server.IngestRequest) (server.IngestResponse, error) {
+	var out server.IngestResponse
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/ingest", req, jsonHandle(&out))
+	return out, err
+}

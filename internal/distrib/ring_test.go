@@ -1,0 +1,82 @@
+package distrib
+
+import "testing"
+
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(4, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRing(4, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for k := uint64(0); k < 4096; k++ {
+		key := fnvUint64(fnvOffset, k) // spread the probes over the ring
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("same seed, different owner for key %d", key)
+		}
+		if a.Owner(key) != other.Owner(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed has no effect on the ring layout")
+	}
+}
+
+func TestRingCoverage(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		r, err := NewRing(shards, 0, 1) // 0 → default vnodes
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+		}
+		seen := make([]int, shards)
+		for k := uint64(0); k < 8192; k++ {
+			o := r.Owner(fnvUint64(fnvOffset, k))
+			if o < 0 || o >= shards {
+				t.Fatalf("owner %d out of range [0,%d)", o, shards)
+			}
+			seen[o]++
+		}
+		for s, n := range seen {
+			if n == 0 {
+				t.Fatalf("%d shards: shard %d owns no keys", shards, s)
+			}
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(0, 64, 1); err == nil {
+		t.Fatal("ring with zero shards built")
+	}
+}
+
+func TestKeyPointBitSensitive(t *testing.T) {
+	a := KeyPoint([]float64{1.0, 2.0})
+	b := KeyPoint([]float64{1.0, 2.0})
+	if a != b {
+		t.Fatal("identical points hash differently")
+	}
+	c := KeyPoint([]float64{1.0, 2.0000000001})
+	if a == c {
+		t.Fatal("distinct points collide on the test probe")
+	}
+	// Routing goes through the same function.
+	r, err := NewRing(3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OwnerPoint([]float64{1.0, 2.0}) != r.Owner(a) {
+		t.Fatal("OwnerPoint disagrees with Owner(KeyPoint(x))")
+	}
+}

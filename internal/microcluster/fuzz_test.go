@@ -46,6 +46,13 @@ func FuzzFeatureMerge(f *testing.F) {
 	f.Add(1.0, 0.5, 2.0, 0.25, -3.0, 1.0, 4.0, 0.0, 2, int64(100))
 	f.Add(-1e6, 10.0, 1e6, 10.0, 0.0, 0.0, 7.5, 2.5, 0, int64(-5))
 	f.Add(0.125, 0.0, 0.25, 0.5, 0.375, 0.25, 0.5, 0.125, 4, int64(0))
+	// Multi-way ordered-merge seeds: every split point of the four-point
+	// set, with magnitudes that expose reassociation (the distributed
+	// fan-out merges partial summaries this way, shard by shard in index
+	// order).
+	f.Add(1e12, 1.0, -1e12, 1.0, 1.0, 0.5, -1.0, 0.5, 1, int64(1))
+	f.Add(3.5, 0.25, -7.25, 0.5, 11.125, 0.125, 0.0625, 0.0, 2, int64(42))
+	f.Add(1e-9, 1e-9, 1e9, 1e-3, -1e-9, 1e-9, -1e9, 1e-3, 3, int64(7))
 	f.Fuzz(func(t *testing.T, x0, e0, x1, e1, x2, e2, x3, e3 float64, split int, ts0 int64) {
 		vals := []float64{x0, x1, x2, x3}
 		errs := []float64{e0, e1, e2, e3}
@@ -108,6 +115,21 @@ func FuzzFeatureMerge(f *testing.F) {
 		}
 		if d2 := ab.Delta2(0); d2 < 0 || math.IsNaN(d2) {
 			t.Fatalf("merged Delta2 = %v", d2)
+		}
+		// Multi-way ordered merge: folding the four singleton features
+		// left-to-right runs the same float-add sequence as the one-pass
+		// summary, so the two must agree to the bit — the property the
+		// distributed fan-out relies on when it merges per-shard partial
+		// summaries in fixed shard-index order.
+		multi := NewFeature(1)
+		for i := range vals {
+			one := NewFeature(1)
+			one.Add([]float64{vals[i]}, []float64{errs[i]}, ts0+int64(i))
+			multi.Merge(one)
+		}
+		if multi.CF1[0] != all.CF1[0] || multi.CF2[0] != all.CF2[0] || multi.EF2[0] != all.EF2[0] ||
+			multi.N != all.N || multi.FirstT != all.FirstT || multi.LastT != all.LastT {
+			t.Fatalf("ordered multi-way merge %+v != one-pass %+v", multi, all)
 		}
 		// Merging an empty feature is a bit-exact no-op.
 		solo := all.Clone()

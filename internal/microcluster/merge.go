@@ -1,0 +1,42 @@
+package microcluster
+
+import "fmt"
+
+// MergeSummarizers merges partial summaries computed over disjoint data
+// partitions into one summary equivalent to summarizing the union —
+// the distributed-serving payoff of Definition 1's additivity, lifted
+// from single clusters (Feature.Merge) to whole cluster sets.
+//
+// The merge is exact by construction: the result's feature list is the
+// concatenation of the parts' feature lists in argument order, with
+// every feature deep-copied. No floating-point arithmetic happens at
+// all, so the merged summary's statistics are bit-identical to the
+// per-partition ones, and any estimator built over the merge (e.g.
+// kde.NewCluster) sees exactly the union of the partial cluster sets
+// in a deterministic order. Callers that need one fixed answer across
+// runs must therefore pass the parts in a fixed order — the
+// distribution layer uses shard-index order.
+//
+// Empty features inside a part are dropped (as in FromFeatures); a nil
+// part or a dimensionality disagreement is an error, as is a merge
+// with no non-empty features.
+func MergeSummarizers(parts ...*Summarizer) (*Summarizer, error) {
+	var feats []*Feature
+	d := 0
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("microcluster: nil part %d", i)
+		}
+		if d == 0 {
+			d = p.Dims()
+		}
+		if p.Dims() != d {
+			return nil, fmt.Errorf("microcluster: part %d has %d dims, want %d", i, p.Dims(), d)
+		}
+		feats = append(feats, p.Features()...)
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("microcluster: no parts to merge")
+	}
+	return FromFeatures(feats)
+}

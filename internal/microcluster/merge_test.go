@@ -1,0 +1,141 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+// mergeRows generates n deterministic 2-D rows with error bars.
+func mergeRows(seed int64, n int) (xs, errs [][]float64) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		xs = append(xs, []float64{r.Norm(0, 1), r.Norm(3, 2)})
+		errs = append(errs, []float64{math.Abs(r.Norm(0, 0.1)), math.Abs(r.Norm(0, 0.2))})
+	}
+	return xs, errs
+}
+
+// buildParts summarizes rows round-robin across k partial summarizers,
+// modeling a sharded ingest of one stream.
+func buildParts(xs, errs [][]float64, k, q int) []*Summarizer {
+	parts := make([]*Summarizer, k)
+	for i := range parts {
+		parts[i] = NewSummarizer(q, len(xs[0]))
+	}
+	for i := range xs {
+		parts[i%k].AddAt(xs[i], errs[i], int64(i+1))
+	}
+	return parts
+}
+
+func featureBitsEqual(a, b *Feature) bool {
+	if a.N != b.N || a.FirstT != b.FirstT || a.LastT != b.LastT {
+		return false
+	}
+	for j := range a.CF1 {
+		if math.Float64bits(a.CF1[j]) != math.Float64bits(b.CF1[j]) ||
+			math.Float64bits(a.CF2[j]) != math.Float64bits(b.CF2[j]) ||
+			math.Float64bits(a.EF2[j]) != math.Float64bits(b.EF2[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeSummarizersExact checks the distribution contract: the merge
+// is a pure concatenation of the parts' features in argument order,
+// bit-identical and with exact bookkeeping, for every shard count the
+// fan-out layer uses.
+func TestMergeSummarizersExact(t *testing.T) {
+	xs, errs := mergeRows(7, 400)
+	for _, k := range []int{1, 2, 4, 8} {
+		parts := buildParts(xs, errs, k, 5)
+		merged, err := MergeSummarizers(parts...)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if merged.Count() != len(xs) {
+			t.Fatalf("k=%d: merged count %d, want %d", k, merged.Count(), len(xs))
+		}
+		// Features appear in part order, then within-part order, each a
+		// bit-exact deep copy.
+		i := 0
+		for pi, p := range parts {
+			for fi := 0; fi < p.Len(); fi++ {
+				if !featureBitsEqual(merged.Feature(i), p.Feature(fi)) {
+					t.Fatalf("k=%d: merged feature %d != part %d feature %d", k, i, pi, fi)
+				}
+				if merged.Feature(i) == p.Feature(fi) {
+					t.Fatalf("k=%d: merged feature %d aliases its part", k, i)
+				}
+				i++
+			}
+		}
+		if i != merged.Len() {
+			t.Fatalf("k=%d: merged has %d features, parts total %d", k, merged.Len(), i)
+		}
+		// Determinism: merging the same parts again is bit-identical.
+		again, err := MergeSummarizers(parts...)
+		if err != nil {
+			t.Fatalf("k=%d: re-merge: %v", k, err)
+		}
+		for j := 0; j < merged.Len(); j++ {
+			if !featureBitsEqual(merged.Feature(j), again.Feature(j)) {
+				t.Fatalf("k=%d: re-merge differs at feature %d", k, j)
+			}
+		}
+	}
+}
+
+// TestMergeSummarizersTotal checks Definition-1 additivity at the
+// cluster-set level: the merged TotalFeature equals the bit-exact
+// left-to-right merge of the parts' totals (both are the same sequence
+// of float adds over the same features in the same order).
+func TestMergeSummarizersTotal(t *testing.T) {
+	xs, errs := mergeRows(11, 300)
+	parts := buildParts(xs, errs, 3, 4)
+	merged, err := MergeSummarizers(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewFeature(2)
+	for _, p := range parts {
+		for _, f := range p.Features() {
+			want.Merge(f)
+		}
+	}
+	if got := merged.TotalFeature(); !featureBitsEqual(got, want) {
+		t.Fatalf("merged total %+v != ordered part total %+v", got, want)
+	}
+}
+
+func TestMergeSummarizersErrors(t *testing.T) {
+	if _, err := MergeSummarizers(); err == nil {
+		t.Fatal("no parts: want error")
+	}
+	if _, err := MergeSummarizers(nil); err == nil {
+		t.Fatal("nil part: want error")
+	}
+	a := NewSummarizer(2, 2)
+	a.Add([]float64{1, 2}, nil)
+	b := NewSummarizer(2, 3)
+	b.Add([]float64{1, 2, 3}, nil)
+	if _, err := MergeSummarizers(a, b); err == nil {
+		t.Fatal("dims mismatch: want error")
+	}
+	empty := NewSummarizer(2, 2)
+	if _, err := MergeSummarizers(empty); err == nil {
+		t.Fatal("all-empty parts: want error")
+	}
+	// An empty part alongside a populated one is fine: it contributes
+	// nothing.
+	m, err := MergeSummarizers(a, NewSummarizer(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 1 {
+		t.Fatalf("count %d, want 1", m.Count())
+	}
+}

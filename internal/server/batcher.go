@@ -31,6 +31,12 @@ type batcher[Req, Res any] struct {
 	maxDelay time.Duration
 	metrics  *Metrics
 
+	// drainNow flips on when the owning server starts draining: pending
+	// items flush immediately instead of waiting out the coalescing
+	// window, so graceful shutdown never strands an in-flight waiter
+	// behind a timer that may outlive the listener.
+	drainNow atomic.Bool
+
 	mu      sync.Mutex
 	pending []batchWaiter[Req, Res]
 	timer   *time.Timer
@@ -77,10 +83,11 @@ func (b *batcher[Req, Res]) do(ctx context.Context, req Req) (Res, error) {
 			b.timer = time.AfterFunc(b.maxDelay, b.flushTimer)
 		}
 		b.mu.Unlock()
-		if b.maxDelay <= 0 {
-			// No coalescing window configured: flush whatever is pending
-			// immediately (degenerates to per-request batches of 1 unless
-			// arrivals race).
+		if b.maxDelay <= 0 || b.drainNow.Load() {
+			// No coalescing window configured — or the server is
+			// draining: flush whatever is pending immediately
+			// (degenerates to per-request batches of 1 unless arrivals
+			// race).
 			b.flushTimer()
 		}
 	}
@@ -100,6 +107,17 @@ func (b *batcher[Req, Res]) do(ctx context.Context, req Req) (Res, error) {
 		var zero Res
 		return zero, ctx.Err()
 	}
+}
+
+// drain puts the batcher in drain mode and flushes whatever is pending:
+// items already waiting ride out immediately, and items admitted while
+// the listener winds down skip the coalescing window. Part of graceful
+// shutdown — without it, a request coalesced just before SIGTERM could
+// sit on the max-delay timer while the HTTP server's drain deadline
+// expires under it (observed as rare lost-batch 503s).
+func (b *batcher[Req, Res]) drain() {
+	b.drainNow.Store(true)
+	b.flushTimer()
 }
 
 // takeLocked detaches the pending batch and disarms the timer. Callers

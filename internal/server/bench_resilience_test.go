@@ -24,7 +24,7 @@ func BenchmarkResilienceOverhead(b *testing.B) {
 		}
 	})
 	b.Run("retry", func(b *testing.B) {
-		r := newRetrier(Options{}.withDefaults(), newMetrics())
+		r := newRetrier(Options{}.withDefaults(), newMetrics().Retries)
 		for i := 0; i < b.N; i++ {
 			if _, err := retryDo(ctx, r, nil, op); err != nil {
 				b.Fatal(err)
@@ -34,7 +34,7 @@ func BenchmarkResilienceOverhead(b *testing.B) {
 	b.Run("retry-breaker", func(b *testing.B) {
 		opt := Options{}.withDefaults()
 		m := newMetrics()
-		r := newRetrier(opt, m)
+		r := newRetrier(opt, m.Retries)
 		br := newBreaker("bench", opt, m.reg)
 		for i := 0; i < b.N; i++ {
 			if _, err := retryDo(ctx, r, br, op); err != nil {

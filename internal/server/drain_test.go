@@ -1,0 +1,95 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatcherDrainOnShutdown is the regression test for the graceful-
+// drain gap: Shutdown used to flip readiness and close listeners but
+// never flushed the coalescing batchers, so a single-point request
+// parked on a long BatchDelay timer could outlive the drain deadline
+// (observed as rare lost-batch 503s in the fault matrix). Shutdown
+// must now flush in-flight coalesced work immediately.
+func TestBatcherDrainOnShutdown(t *testing.T) {
+	// A batch window far longer than the test: without the drain, the
+	// parked request completes only when the 30s timer fires.
+	s := testServer(t, Options{BatchDelay: 30 * time.Second, MaxBatch: 64}, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		resp   densityResponse
+	}
+	resc := make(chan result, 1)
+	go func() {
+		var r result
+		r.status = postJSON(t, ts.URL+"/v1/models/blobs/density",
+			densityRequest{Point: []float64{0, 0}}, &r.resp)
+		resc <- r
+	}()
+	// Let the request reach the batcher and park on the delay timer.
+	time.Sleep(200 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v; drain should flush the batcher immediately", d)
+	}
+	select {
+	case r := <-resc:
+		if r.status != 200 {
+			t.Fatalf("parked request got %d, want 200", r.status)
+		}
+		if r.resp.Density == nil {
+			t.Fatal("parked request got no density")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked request never completed; batcher was not drained")
+	}
+}
+
+// TestBatcherDrainAdmitsLateItems checks the second half of the drain
+// contract: items submitted to a draining batcher skip the coalescing
+// window entirely instead of arming a fresh long timer.
+func TestBatcherDrainAdmitsLateItems(t *testing.T) {
+	b := newBatcher(context.Background(), 64, 30*time.Second, nil,
+		func(_ context.Context, reqs []int) ([]int, error) {
+			out := make([]int, len(reqs))
+			for i, v := range reqs {
+				out[i] = v * 2
+			}
+			return out, nil
+		})
+	b.drain()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 1; i <= 4; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			got, err := b.do(context.Background(), v)
+			if err != nil {
+				t.Errorf("do(%d): %v", v, err)
+				return
+			}
+			if got != 2*v {
+				t.Errorf("do(%d) = %d, want %d", v, got, 2*v)
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-drain submissions waited on the coalescing window")
+	}
+}

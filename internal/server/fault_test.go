@@ -417,7 +417,7 @@ func TestBatcherLateErrorDoesNotMaskCancellation(t *testing.T) {
 func TestRetrierBackoffDeterministic(t *testing.T) {
 	schedule := func(seed int64) []time.Duration {
 		opt := Options{RetrySeed: seed, RetryBase: time.Millisecond, RetryCap: 50 * time.Millisecond}.withDefaults()
-		r := newRetrier(opt, newMetrics())
+		r := newRetrier(opt, newMetrics().Retries)
 		prev := r.base
 		out := make([]time.Duration, 16)
 		for i := range out {

@@ -50,6 +50,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "no_errors"
 	case errors.Is(err, udmerr.ErrUntrained):
 		return http.StatusConflict, "untrained"
+	case errors.Is(err, udmerr.ErrStaleVersion):
+		return http.StatusConflict, "stale_version"
 	case errors.Is(err, udmerr.ErrCircuitOpen):
 		return http.StatusServiceUnavailable, "circuit_open"
 	case errors.Is(err, udmerr.ErrDegraded):
@@ -300,6 +302,11 @@ type densityResponse struct {
 	// breaker was open; such responses also carry the X-UDM-Degraded
 	// header. Absent on every healthy response.
 	Degraded bool `json:"degraded,omitempty"`
+	// Coverage is set by the distributed front tier on degraded partial
+	// answers: the fraction of the model's summarized mass the
+	// surviving shards contributed, in (0, 1). Absent on every complete
+	// answer.
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
 func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {

@@ -39,10 +39,13 @@ type Metrics struct {
 	Canceled *obs.Counter // clients that disconnected mid-request
 
 	// Per-endpoint request counts (labeled series of one family).
+	// PartialRequests (the shard-side fan-out endpoint) is
+	// Prometheus-only: the JSON /metrics key set is frozen.
 	ClassifyRequests *obs.Counter
 	DensityRequests  *obs.Counter
 	OutlierRequests  *obs.Counter
 	IngestRequests   *obs.Counter
+	PartialRequests  *obs.Counter
 
 	// Micro-batching.
 	BatchFlushes *obs.Counter   // coalesced batch executions
@@ -81,6 +84,7 @@ func newMetrics() *Metrics {
 		DensityRequests:  reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "density"),
 		OutlierRequests:  reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "outliers"),
 		IngestRequests:   reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "ingest"),
+		PartialRequests:  reg.Counter("udm_server_endpoint_requests_total", "requests by endpoint", "endpoint", "partial"),
 
 		BatchFlushes: reg.Counter("udm_server_batch_flushes_total", "coalesced batch executions"),
 		BatchedItems: reg.Counter("udm_server_batched_items_total", "single-point requests that rode a batch"),

@@ -8,7 +8,9 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -62,6 +64,14 @@ type Model struct {
 	// ingestion advances the model version.
 	backends        map[evalopt.Backend]density.Backend
 	backendsVersion uint64
+
+	// partial caches the shard-side estimator of the distributed
+	// density protocol: the current summary under coordinator-supplied
+	// explicit bandwidths, rebuilt when ingestion advances the version
+	// or a fan-out arrives with different bandwidths.
+	partial        *kde.ClusterKDE
+	partialVersion uint64
+	partialKey     string
 }
 
 // NewTransformModel wraps a trained transform: the classifier serves
@@ -235,6 +245,61 @@ func (m *Model) backendAt(bk evalopt.Backend, acc kernel.AccuracyMode) (kde.Esti
 		return nil, fmt.Errorf("server: model %q: %w", m.name, err)
 	}
 	return bv, nil
+}
+
+// SummarySnapshot returns the model's current micro-cluster summary
+// and the version it reflects — the coordinator-side entry point of
+// the distributed density protocol (GET .../summary). Static models
+// return their construction-time summary at version 0; stream models
+// return a deep snapshot that later ingestion cannot mutate. The
+// returned summarizer must be treated as read-only.
+func (m *Model) SummarySnapshot() (*microcluster.Summarizer, uint64, error) {
+	if m.eng == nil {
+		return m.sum, 0, nil
+	}
+	if _, _, err := m.estimator(); err != nil {
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sum, m.estVersion, nil
+}
+
+// partialEstimator returns an estimator over the current summary with
+// the coordinator's explicit bandwidths in place of the local
+// bandwidth rule, plus the version it reflects — the shard-side half
+// of the distributed density protocol. The last build is cached per
+// (version, bandwidths), so steady-state fan-outs hit a ready
+// estimator.
+func (m *Model) partialEstimator(h []float64) (*kde.ClusterKDE, uint64, error) {
+	sum, v, err := m.SummarySnapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	key := bandwidthKey(h)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.partial != nil && m.partialVersion == v && m.partialKey == key {
+		return m.partial, v, nil
+	}
+	opt := m.kdeOpt
+	opt.Bandwidths = h
+	est, err := kde.NewCluster(sum, opt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: model %q: %w", m.name, err)
+	}
+	m.partial, m.partialVersion, m.partialKey = est, v, key
+	return est, v, nil
+}
+
+// bandwidthKey folds explicit bandwidths into a cache key on their
+// exact bits.
+func bandwidthKey(h []float64) string {
+	b := make([]byte, 0, 8*len(h))
+	for _, v := range h {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return string(b)
 }
 
 // summarizer returns the micro-cluster summary backing /outliers,

@@ -48,7 +48,8 @@ func retryable(err error) bool {
 		errors.Is(err, udmerr.ErrUntrained),
 		errors.Is(err, udmerr.ErrBadData),
 		errors.Is(err, udmerr.ErrCircuitOpen),
-		errors.Is(err, udmerr.ErrDegraded):
+		errors.Is(err, udmerr.ErrDegraded),
+		errors.Is(err, udmerr.ErrStaleVersion):
 		return false
 	}
 	return true
@@ -73,12 +74,12 @@ type retrier struct {
 	sleep func(context.Context, time.Duration) error
 }
 
-func newRetrier(opt Options, m *Metrics) *retrier {
+func newRetrier(opt Options, retries *obs.Counter) *retrier {
 	return &retrier{
 		max:     opt.RetryMax,
 		base:    opt.RetryBase,
 		cap:     opt.RetryCap,
-		retries: m.Retries,
+		retries: retries,
 		rng:     rng.New(opt.RetrySeed),
 		sleep:   sleepCtx,
 	}

@@ -202,7 +202,7 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 		breakers: make(map[string]*breaker),
 		stale:    newLRUCache(opt.CacheSize),
 	}
-	s.retry = newRetrier(opt, s.metrics)
+	s.retry = newRetrier(opt, s.metrics.Retries)
 	s.metrics.reg.GaugeFunc("udm_server_cache_entries", "live density-cache entries",
 		func() float64 { return float64(s.cache.len()) })
 	if opt.Debug {
@@ -281,11 +281,21 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains the server gracefully: readiness flips to 503 (so
-// load balancers stop routing here), in-flight requests run to
+// load balancers stop routing here), the coalescing batchers flush
+// their in-flight queues (so no waiter is stranded behind a max-delay
+// timer that outlives the listener), in-flight requests run to
 // completion (bounded by ctx), and every stream model is checkpointed
 // via its engine's Save. It returns the first error encountered.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
+	for _, mb := range s.batchers {
+		if mb.classify != nil {
+			mb.classify.drain()
+		}
+		if mb.density != nil {
+			mb.density.drain()
+		}
+	}
 	var first error
 	if s.httpSrv != nil {
 		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
@@ -309,6 +319,12 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/models/{model}/density", s.guard("density", s.metrics.DensityRequests, s.handleDensity))
 	mux.HandleFunc("POST /v1/models/{model}/outliers", s.guard("outliers", s.metrics.OutlierRequests, s.handleOutliers))
 	mux.HandleFunc("POST /v1/models/{model}/ingest", s.guard("ingest", s.metrics.IngestRequests, s.handleIngest))
+	// Distributed-serving protocol (internal/distrib): summary pull,
+	// partial-term fan-out, and replica catch-up.
+	mux.HandleFunc("GET /v1/models/{model}/summary", s.handleSummary)
+	mux.HandleFunc("GET /v1/models/{model}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/models/{model}/tail", s.handleTail)
+	mux.HandleFunc("POST /v1/models/{model}/partial", s.guard("partial", s.metrics.PartialRequests, s.handlePartial))
 	if s.opt.Debug {
 		mux.HandleFunc("GET /debug/traces", s.handleTraces)
 		mux.HandleFunc("GET /debug/slow", s.handleSlow)

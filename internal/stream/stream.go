@@ -53,7 +53,18 @@ type Options struct {
 	// half is dropped, so recent history stays fine-grained and old
 	// history coarse — a simplified pyramidal time frame.
 	MaxSnapshots int
+	// TailWindow bounds the in-memory ring of recent raw records kept
+	// for replica catch-up (TailSince): default 4096, negative disables
+	// tailing. The ring is volatile — it is not part of the checkpoint
+	// wire format — so a restarted engine serves catch-up only from its
+	// checkpoint onward.
+	TailWindow int
 }
+
+// defaultTailWindow is the records retained for TailSince when
+// Options.TailWindow is zero, and the capacity a checkpoint-restored
+// engine starts with (the option is not persisted).
+const defaultTailWindow = 4096
 
 // Engine ingests a stream of error-bearing records.
 type Engine struct {
@@ -64,6 +75,7 @@ type Engine struct {
 	snaps   []Snapshot
 	n       int
 	lastTS  int64
+	tail    *tailRing // recent raw records for replica catch-up; nil = disabled
 }
 
 // NewEngine returns an Engine with the given options.
@@ -86,10 +98,14 @@ func NewEngine(opt Options) (*Engine, error) {
 	if opt.MaxSnapshots < 2 {
 		return nil, fmt.Errorf("stream: MaxSnapshots %d, need ≥ 2: %w", opt.MaxSnapshots, udmerr.ErrBadOption)
 	}
+	if opt.TailWindow == 0 {
+		opt.TailWindow = defaultTailWindow
+	}
 	return &Engine{
 		s:       microcluster.NewSummarizer(opt.MicroClusters, opt.Dims),
 		every:   opt.SnapshotEvery,
 		maxKeep: opt.MaxSnapshots,
+		tail:    newTailRing(opt.TailWindow),
 	}, nil
 }
 
@@ -102,6 +118,14 @@ func (e *Engine) Add(x, err []float64, ts int64) {
 	e.s.AddAt(x, err, ts)
 	e.n++
 	e.lastTS = ts
+	if e.tail != nil {
+		// Deep-copy: callers may reuse their row buffers between Adds.
+		rec := Record{TS: ts, Seq: int64(e.n), X: append([]float64(nil), x...)}
+		if err != nil {
+			rec.Err = append([]float64(nil), err...)
+		}
+		e.tail.add(rec)
+	}
 	recordsIngested.Inc()
 	if e.n%e.every == 0 {
 		e.takeSnapshotLocked()
@@ -294,6 +318,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		maxKeep: snap.MaxKeep,
 		n:       snap.N,
 		lastTS:  snap.LastTS,
+		// The tail ring is not checkpointed; a restored engine starts
+		// with an empty default-capacity window.
+		tail: newTailRing(defaultTailWindow),
 	}
 	var prevAt int64
 	for i, wire := range snap.Snaps {

@@ -1,0 +1,105 @@
+package stream
+
+// Replica catch-up support: alongside the micro-cluster summary, the
+// engine retains a bounded in-memory ring of the most recent raw
+// records, each tagged with its ingest ordinal (1-based record count at
+// ingest time). A joining replica pulls a checkpoint of the primary
+// (Save/LoadEngine — the gob round-trip is bit-exact for float64), asks
+// for the tail of records past the checkpoint's count, and replays them
+// through Add: the same inputs through the same code path reproduce the
+// primary's summary bit for bit. The checkpoint wire format is
+// unchanged — the tail ring is volatile by design (a restarted primary
+// serves catch-up from its checkpoint onward).
+
+// Record is one raw ingested record as retained by the tail ring.
+type Record struct {
+	// X and Err are the record's values and per-dimension errors (Err
+	// nil when the record had none).
+	X, Err []float64
+	// TS is the record's ingest timestamp.
+	TS int64
+	// Seq is the record's ingest ordinal: the engine's record count
+	// after this record was folded in (1-based, strictly increasing).
+	Seq int64
+}
+
+// tailRing is a fixed-capacity overwrite-oldest buffer of Records.
+// Methods are called with the engine lock held.
+type tailRing struct {
+	buf  []Record
+	next int   // slot the next record lands in
+	size int   // live records (≤ cap)
+	last int64 // Seq of the newest record, 0 when empty
+}
+
+func newTailRing(capacity int) *tailRing {
+	if capacity <= 0 {
+		return nil
+	}
+	return &tailRing{buf: make([]Record, capacity)}
+}
+
+// add appends one record, overwriting the oldest when full. A nil ring
+// ignores the record.
+func (r *tailRing) add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.last = rec.Seq
+}
+
+// since returns copies of every retained record with Seq > from, oldest
+// first, and whether the ring reaches back far enough: ok is false when
+// records in (from, oldest) have already been overwritten (or the ring
+// is disabled), in which case the caller must fall back to a fresh
+// checkpoint. A from at or past the newest record returns (nil, true).
+func (r *tailRing) since(from int64) ([]Record, bool) {
+	if r == nil {
+		return nil, false
+	}
+	if from >= r.last {
+		return nil, true
+	}
+	oldestIdx := (r.next - r.size + len(r.buf)) % len(r.buf)
+	oldest := r.buf[oldestIdx].Seq
+	if r.size == 0 || from < oldest-1 {
+		return nil, false
+	}
+	out := make([]Record, 0, r.size)
+	for i := 0; i < r.size; i++ {
+		rec := r.buf[(oldestIdx+i)%len(r.buf)]
+		if rec.Seq > from {
+			out = append(out, rec)
+		}
+	}
+	return out, true
+}
+
+// TailSince returns copies of the raw records ingested after ordinal
+// from (the engine's Count at some earlier instant), oldest first. The
+// second result reports whether the retained window reaches back to
+// from: when false, records have aged out of the ring (or tailing is
+// disabled) and the caller must restart from a fresh checkpoint. The
+// returned records share no memory with the engine.
+func (e *Engine) TailSince(from int64) ([]Record, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	recs, ok := e.tail.since(from)
+	if !ok {
+		return nil, false
+	}
+	out := make([]Record, len(recs))
+	for i, rec := range recs {
+		cp := Record{TS: rec.TS, Seq: rec.Seq, X: append([]float64(nil), rec.X...)}
+		if rec.Err != nil {
+			cp.Err = append([]float64(nil), rec.Err...)
+		}
+		out[i] = cp
+	}
+	return out, true
+}

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"udm/internal/rng"
+)
+
+func tailEngine(t *testing.T, window int) *Engine {
+	t.Helper()
+	e, err := NewEngine(Options{MicroClusters: 4, Dims: 2, TailWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func tailAdd(e *Engine, r *rng.Source, n int) {
+	for i := 0; i < n; i++ {
+		x := []float64{r.Norm(0, 1), r.Norm(3, 2)}
+		var er []float64
+		if r.Bool(0.5) {
+			er = []float64{math.Abs(r.Norm(0, 0.1)), math.Abs(r.Norm(0, 0.2))}
+		}
+		e.Add(x, er, int64(e.Count()+1))
+	}
+}
+
+func TestTailSince(t *testing.T) {
+	e := tailEngine(t, 64)
+	tailAdd(e, rng.New(1), 10)
+	recs, ok := e.TailSince(0)
+	if !ok || len(recs) != 10 {
+		t.Fatalf("TailSince(0): ok=%v len=%d, want true, 10", ok, len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d has Seq %d", i, rec.Seq)
+		}
+		if len(rec.X) != 2 {
+			t.Fatalf("record %d has %d dims", i, len(rec.X))
+		}
+	}
+	recs, ok = e.TailSince(7)
+	if !ok || len(recs) != 3 || recs[0].Seq != 8 {
+		t.Fatalf("TailSince(7): ok=%v len=%d, want 3 records from Seq 8", ok, len(recs))
+	}
+	if recs, ok = e.TailSince(10); !ok || len(recs) != 0 {
+		t.Fatalf("TailSince(10): ok=%v len=%d, want caught-up empty", ok, len(recs))
+	}
+	// Returned records are copies: mutating them must not corrupt later
+	// reads.
+	recs, _ = e.TailSince(9)
+	recs[0].X[0] = 1e9
+	again, _ := e.TailSince(9)
+	if again[0].X[0] == 1e9 {
+		t.Fatal("TailSince returned memory shared with the ring")
+	}
+}
+
+func TestTailWindowExpiry(t *testing.T) {
+	e := tailEngine(t, 8)
+	tailAdd(e, rng.New(2), 20)
+	// Oldest retained ordinal is 13; anything before that has aged out.
+	if _, ok := e.TailSince(5); ok {
+		t.Fatal("TailSince(5) should report an expired window")
+	}
+	if _, ok := e.TailSince(11); ok {
+		t.Fatal("TailSince(11) should report an expired window")
+	}
+	recs, ok := e.TailSince(12)
+	if !ok || len(recs) != 8 || recs[0].Seq != 13 {
+		t.Fatalf("TailSince(12): ok=%v len=%d, want the full 8-record window", ok, len(recs))
+	}
+	recs, ok = e.TailSince(15)
+	if !ok || len(recs) != 5 || recs[0].Seq != 16 {
+		t.Fatalf("TailSince(15): ok=%v len=%d first=%v", ok, len(recs), recs)
+	}
+}
+
+func TestTailDisabled(t *testing.T) {
+	e := tailEngine(t, -1)
+	tailAdd(e, rng.New(3), 5)
+	if _, ok := e.TailSince(0); ok {
+		t.Fatal("TailSince on a disabled ring should report no window")
+	}
+}
+
+// TestTailCatchUp is the replica catch-up protocol in miniature: a
+// checkpoint taken mid-stream plus a TailSince replay reproduces the
+// primary's summary bit for bit (gob round-trips float64 exactly, and
+// replaying identical records through Add runs identical float ops).
+func TestTailCatchUp(t *testing.T) {
+	primary := tailEngine(t, 1024)
+	r := rng.New(4)
+	tailAdd(primary, r, 300)
+	var ckpt bytes.Buffer
+	if err := primary.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ckptCount := int64(primary.Count())
+	tailAdd(primary, r, 200)
+
+	replica, err := LoadEngine(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, ok := primary.TailSince(ckptCount)
+	if !ok {
+		t.Fatal("tail window should cover the checkpoint")
+	}
+	if len(recs) != 200 {
+		t.Fatalf("%d tail records, want 200", len(recs))
+	}
+	for _, rec := range recs {
+		replica.Add(rec.X, rec.Err, rec.TS)
+	}
+	if replica.Count() != primary.Count() {
+		t.Fatalf("replica count %d != primary %d", replica.Count(), primary.Count())
+	}
+	ps, err := primary.Summarizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := replica.Summarizer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != rs.Len() {
+		t.Fatalf("replica has %d clusters, primary %d", rs.Len(), ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		pf, rf := ps.Feature(i), rs.Feature(i)
+		if pf.N != rf.N || pf.FirstT != rf.FirstT || pf.LastT != rf.LastT {
+			t.Fatalf("cluster %d bookkeeping differs: %+v vs %+v", i, pf, rf)
+		}
+		for j := range pf.CF1 {
+			if math.Float64bits(pf.CF1[j]) != math.Float64bits(rf.CF1[j]) ||
+				math.Float64bits(pf.CF2[j]) != math.Float64bits(rf.CF2[j]) ||
+				math.Float64bits(pf.EF2[j]) != math.Float64bits(rf.EF2[j]) {
+				t.Fatalf("cluster %d dim %d statistics differ after catch-up", i, j)
+			}
+		}
+	}
+}

@@ -32,6 +32,9 @@
 //     operation was refused without touching the backend. Retry later.
 //   - ErrDegraded: degraded mode (stale answers while the breaker is
 //     open) had nothing cached for this request. Retry later.
+//   - ErrStaleVersion: a distributed partial evaluation was requested
+//     against a model version the shard has moved past (or not yet
+//     reached). Refresh the coordinating summary and retry.
 //
 // The package sits below every other internal package so any layer can
 // wrap the sentinels without import cycles.
@@ -80,4 +83,13 @@ var (
 	// answer for this request (no stale value available). Retry after
 	// the breaker's cooldown.
 	ErrDegraded = errors.New("degraded mode cannot serve request")
+
+	// ErrStaleVersion reports a distributed partial evaluation pinned
+	// to a model version the shard no longer (or does not yet) hold —
+	// concurrent ingestion advanced the shard between the coordinator's
+	// summary pull and its fan-out. The coordinator refreshes its
+	// merged summary and retries; the error is deterministic for a
+	// fixed version token, so the low-level retry layer never retries
+	// it.
+	ErrStaleVersion = errors.New("stale model version")
 )
