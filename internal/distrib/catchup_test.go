@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"bytes"
 	"context"
 	"math"
 	"net/http/httptest"
@@ -96,6 +97,44 @@ func TestCatchUpBitIdentity(t *testing.T) {
 		t.Fatalf("replica count %d after resume, want 357", replica.Count())
 	}
 	enginesEqual(t, replica, primary)
+}
+
+// TestCatchUpRestartedPrimary: the primary restarts from its
+// checkpoint, so its volatile tail ring is empty while its record count
+// is not. A behind replica resuming via CatchUpFrom must be told the
+// window expired (410) and recover through a fresh checkpoint — not
+// spin on vacuously-empty "caught up" tails until maxRounds.
+func TestCatchUpRestartedPrimary(t *testing.T) {
+	rows := testRows(t, 150, 47)
+	primary, err := stream.NewEngine(stream.Options{MicroClusters: 12, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range rows {
+		primary.Add(x, nil, int64(i+1))
+	}
+	var ckpt bytes.Buffer
+	if err := primary.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := stream.LoadEngine(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startStreamShard(t, restarted)
+
+	replica, err := stream.NewEngine(stream.Options{MicroClusters: 12, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range rows[:100] {
+		replica.Add(x, nil, int64(i+1))
+	}
+	caught, err := CatchUpFrom(context.Background(), c, "live", replica, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginesEqual(t, caught, restarted)
 }
 
 // TestCatchUpTailExpired: a replica whose ordinal has fallen out of the

@@ -3,10 +3,13 @@ package distrib
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"udm/internal/faultinject"
@@ -14,6 +17,7 @@ import (
 	"udm/internal/obs"
 	"udm/internal/server"
 	"udm/internal/stream"
+	"udm/internal/udmerr"
 )
 
 // shardRPC fires once per shard RPC attempt (inside the retry loop, so
@@ -76,21 +80,38 @@ func (c *ShardClient) Open() bool { return c.guard.Open() }
 
 // rpc runs one guarded RPC: breaker admission, retry budget, the
 // distrib.shard.rpc fault site, a per-attempt timeout, and latency /
-// error accounting. handle consumes a 200 response's body.
-func (c *ShardClient) rpc(ctx context.Context, method, path string, in any, handle func(*http.Response) error) error {
+// error accounting. hdr carries extra request headers (nil for none);
+// handle consumes a 200 response's body.
+func (c *ShardClient) rpc(ctx context.Context, method, path string, in any, hdr http.Header, handle func(*http.Response) error) error {
 	_, err := server.GuardDo(ctx, c.guard, func(ctx context.Context) (struct{}, error) {
-		return struct{}{}, c.attempt(ctx, method, path, in, handle)
+		return struct{}{}, c.attempt(ctx, method, path, in, hdr, handle)
 	})
 	return err
 }
 
-func (c *ShardClient) attempt(ctx context.Context, method, path string, in any, handle func(*http.Response) error) error {
+// attempt runs one RPC attempt under its own deadline. A failure caused
+// by that attempt-local deadline — while the caller's own context is
+// still live — is reported as udmerr.ErrShardTimeout, not the raw
+// context error: context.DeadlineExceeded means "the caller is out of
+// time, stop", which the retry layer rightly never retries, whereas one
+// slow or hung attempt is exactly the transient fault the retry budget
+// and the shard's breaker exist for.
+func (c *ShardClient) attempt(parent context.Context, method, path string, in any, hdr http.Header, handle func(*http.Response) error) error {
+	ctx, cancel := context.WithTimeout(parent, c.timeout)
+	defer cancel()
+	err := c.do(ctx, method, path, in, hdr, handle)
+	if err != nil && ctx.Err() != nil && parent.Err() == nil {
+		return fmt.Errorf("distrib: shard %s: %s %s: attempt exceeded %v: %w",
+			c.shard.Name, method, path, c.timeout, udmerr.ErrShardTimeout)
+	}
+	return err
+}
+
+func (c *ShardClient) do(ctx context.Context, method, path string, in any, hdr http.Header, handle func(*http.Response) error) error {
 	if err := shardRPC.Hit(ctx); err != nil {
 		c.errors.Inc()
 		return fmt.Errorf("distrib: shard %s: %s %s: %w", c.shard.Name, method, path, err)
 	}
-	ctx, cancel := context.WithTimeout(ctx, c.timeout)
-	defer cancel()
 	var body *bytes.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -107,6 +128,11 @@ func (c *ShardClient) attempt(ctx context.Context, method, path string, in any, 
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
@@ -148,7 +174,7 @@ func jsonHandle(out any) func(*http.Response) error {
 func (c *ShardClient) Summary(ctx context.Context, model string) (*microcluster.Summarizer, uint64, error) {
 	var sum *microcluster.Summarizer
 	var version uint64
-	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/summary", nil, func(resp *http.Response) error {
+	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/summary", nil, nil, func(resp *http.Response) error {
 		v, err := strconv.ParseUint(resp.Header.Get(server.VersionHeader), 10, 64)
 		if err != nil {
 			return fmt.Errorf("distrib: shard %s: summary version header %q: %w",
@@ -169,7 +195,7 @@ func (c *ShardClient) Summary(ctx context.Context, model string) (*microcluster.
 // version.
 func (c *ShardClient) Partial(ctx context.Context, model string, req server.PartialRequest) (server.PartialResponse, error) {
 	var out server.PartialResponse
-	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/partial", req, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/partial", req, nil, jsonHandle(&out))
 	return out, err
 }
 
@@ -177,7 +203,7 @@ func (c *ShardClient) Partial(ctx context.Context, model string, req server.Part
 // — the first half of replica catch-up.
 func (c *ShardClient) Checkpoint(ctx context.Context, model string) (*stream.Engine, error) {
 	var eng *stream.Engine
-	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/checkpoint", nil, func(resp *http.Response) error {
+	err := c.rpc(ctx, http.MethodGet, "/v1/models/"+model+"/checkpoint", nil, nil, func(resp *http.Response) error {
 		e, err := stream.LoadEngine(resp.Body)
 		if err != nil {
 			return fmt.Errorf("distrib: shard %s: decoding checkpoint: %w", c.shard.Name, err)
@@ -193,35 +219,59 @@ func (c *ShardClient) Checkpoint(ctx context.Context, model string) (*stream.Eng
 func (c *ShardClient) Tail(ctx context.Context, model string, from int64) (server.TailResponse, error) {
 	var out server.TailResponse
 	path := "/v1/models/" + model + "/tail?from=" + strconv.FormatInt(from, 10)
-	err := c.rpc(ctx, http.MethodGet, path, nil, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodGet, path, nil, nil, jsonHandle(&out))
 	return out, err
 }
 
 // Classify forwards a classify request (replicated models).
 func (c *ShardClient) Classify(ctx context.Context, model string, req server.ClassifyRequest) (server.ClassifyResponse, error) {
 	var out server.ClassifyResponse
-	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/classify", req, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/classify", req, nil, jsonHandle(&out))
 	return out, err
 }
 
 // Density forwards a density request (replicated models).
 func (c *ShardClient) Density(ctx context.Context, model string, req server.DensityRequest) (server.DensityResponse, error) {
 	var out server.DensityResponse
-	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/density", req, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/density", req, nil, jsonHandle(&out))
 	return out, err
 }
 
 // Outliers forwards an outliers request (replicated models).
 func (c *ShardClient) Outliers(ctx context.Context, model string, req server.OutliersRequest) (server.OutliersResponse, error) {
 	var out server.OutliersResponse
-	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/outliers", req, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/outliers", req, nil, jsonHandle(&out))
 	return out, err
 }
 
+// ingestKeyPrefix makes idempotency keys unique across proxy processes
+// (a restarted proxy must never reuse a predecessor's keys for
+// different batches), ingestKeySeq across batches within one.
+var (
+	ingestKeyPrefix = func() string {
+		var b [12]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("distrib: reading process entropy for ingest keys: %v", err))
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ingestKeySeq atomic.Uint64
+)
+
 // Ingest sends records to the shard's stream model (partitioned
 // models; the proxy routes each record here by consistent hash).
+//
+// Ingest mutates the shard and records carry no identity, so the call
+// runs under a per-batch idempotency key: every retry of this logical
+// batch resends the same key, and the shard acknowledges an
+// already-applied key from its dedup window instead of re-applying
+// (server/idempotency.go). That is what makes it safe for Ingest to
+// share the guarded retry budget with the read-only RPCs — a response
+// lost after the shard committed the batch cannot double-count data.
 func (c *ShardClient) Ingest(ctx context.Context, model string, req server.IngestRequest) (server.IngestResponse, error) {
+	key := ingestKeyPrefix + "-" + strconv.FormatUint(ingestKeySeq.Add(1), 10)
+	hdr := http.Header{server.IdempotencyHeader: []string{key}}
 	var out server.IngestResponse
-	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/ingest", req, jsonHandle(&out))
+	err := c.rpc(ctx, http.MethodPost, "/v1/models/"+model+"/ingest", req, hdr, jsonHandle(&out))
 	return out, err
 }

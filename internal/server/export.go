@@ -57,6 +57,10 @@ func SentinelFor(code string) error {
 		return udmerr.ErrUntrained
 	case "stale_version":
 		return udmerr.ErrStaleVersion
+	case "tail_expired":
+		return udmerr.ErrTailExpired
+	case "shard_timeout":
+		return udmerr.ErrShardTimeout
 	case "circuit_open":
 		return udmerr.ErrCircuitOpen
 	case "degraded":

@@ -534,6 +534,8 @@ func TestRetryableClassification(t *testing.T) {
 		udmerr.ErrBadData:                             false,
 		udmerr.ErrCircuitOpen:                         false,
 		udmerr.ErrDegraded:                            false,
+		udmerr.ErrTailExpired:                         false,
+		udmerr.ErrShardTimeout:                        true,
 		fmt.Errorf("wrapped: %w", udmerr.ErrInjected): true,
 	} {
 		if got := retryable(err); got != want {

@@ -52,6 +52,10 @@ func statusFor(err error) (int, string) {
 		return http.StatusConflict, "untrained"
 	case errors.Is(err, udmerr.ErrStaleVersion):
 		return http.StatusConflict, "stale_version"
+	case errors.Is(err, udmerr.ErrTailExpired):
+		return http.StatusGone, "tail_expired"
+	case errors.Is(err, udmerr.ErrShardTimeout):
+		return http.StatusGatewayTimeout, "shard_timeout"
 	case errors.Is(err, udmerr.ErrCircuitOpen):
 		return http.StatusServiceUnavailable, "circuit_open"
 	case errors.Is(err, udmerr.ErrDegraded):
@@ -578,6 +582,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// A keyed batch already applied once (its response was lost and the
+	// client retried) is acknowledged again, never re-applied — see
+	// idempotency.go. Keys are scoped per model.
+	var dedupKey string
+	if key := r.Header.Get(IdempotencyHeader); key != "" {
+		dedupKey = m.Name() + "\x00" + key
+		if resp, dup := s.ingestSeen.get(dedupKey); dup {
+			s.metrics.IngestDeduped.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
 	base := int64(eng.Count())
 	for i, x := range rows {
 		var er []float64
@@ -591,5 +607,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		eng.Add(x, er, ts)
 	}
 	s.metrics.IngestedRows.Add(int64(len(rows)))
-	writeJSON(w, http.StatusOK, ingestResponse{Ingested: len(rows), Count: eng.Count()})
+	resp := ingestResponse{Ingested: len(rows), Count: eng.Count()}
+	if dedupKey != "" {
+		s.ingestSeen.put(dedupKey, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,64 @@
+package server
+
+import "sync"
+
+// Ingest is the one mutating RPC of the serving protocol, and it is not
+// naturally idempotent: records carry no identity, so a batch whose
+// response was lost after the engine applied it would be double-counted
+// by a transport-level retry — silently corrupting the stream model
+// while every layer reports success. The fix is an idempotency key: a
+// client that may retry attaches a unique key per logical batch
+// (IdempotencyHeader), and the server remembers the acknowledgement of
+// each recently applied key. A retried batch replays the stored
+// acknowledgement instead of re-applying the records.
+//
+// The window is bounded FIFO: retries arrive within the client's retry
+// budget (seconds), so a few thousand entries dwarf any realistic
+// in-flight set. Keys are scoped per model by the caller. Concurrent
+// first deliveries of the same key are not serialized — the protocol's
+// only duplicate source is a sequential retry of a lost response, so a
+// check-before/record-after discipline suffices.
+
+// IdempotencyHeader names the ingest idempotency key header. A client
+// that retries ingest (internal/distrib's ShardClient) sends a fresh
+// key per logical batch and the same key on every retry of it.
+const IdempotencyHeader = "X-UDM-Idempotency-Key"
+
+// ingestDedupWindow bounds remembered ingest acknowledgements.
+const ingestDedupWindow = 4096
+
+// ingestDedup is the bounded key → acknowledgement memory.
+type ingestDedup struct {
+	mu   sync.Mutex
+	seen map[string]ingestResponse
+	fifo []string // insertion order, oldest first
+}
+
+func newIngestDedup() *ingestDedup {
+	return &ingestDedup{seen: make(map[string]ingestResponse)}
+}
+
+// get returns the stored acknowledgement for key, if any.
+func (d *ingestDedup) get(key string) (ingestResponse, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp, ok := d.seen[key]
+	return resp, ok
+}
+
+// put stores the acknowledgement for key, evicting the oldest entry
+// once the window is full.
+func (d *ingestDedup) put(key string, resp ingestResponse) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.seen[key]; dup {
+		d.seen[key] = resp
+		return
+	}
+	if len(d.fifo) >= ingestDedupWindow {
+		delete(d.seen, d.fifo[0])
+		d.fifo = d.fifo[1:]
+	}
+	d.seen[key] = resp
+	d.fifo = append(d.fifo, key)
+}

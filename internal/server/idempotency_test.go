@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"udm/internal/kde"
+	"udm/internal/stream"
+)
+
+// TestIngestIdempotencyKey: a keyed ingest batch replayed with the same
+// key (a retry of a lost response) is acknowledged identically without
+// re-applying records; distinct keys and unkeyed requests apply as
+// usual.
+func TestIngestIdempotencyKey(t *testing.T) {
+	eng, err := stream.NewEngine(stream.Options{MicroClusters: 8, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	sm, err := NewStreamModel("tiny", eng, kde.Options{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(sm); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const body = `{"points":[[0.5,1.5],[2.5,3.5]]}`
+	post := func(key string) ingestResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/models/tiny/ingest", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(IdempotencyHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+		var out ingestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := post("batch-1")
+	if first.Ingested != 2 || first.Count != 2 {
+		t.Fatalf("first ack = %+v, want 2 ingested, count 2", first)
+	}
+	if dup := post("batch-1"); dup != first {
+		t.Fatalf("retried key acked %+v, want replay of %+v", dup, first)
+	}
+	if eng.Count() != 2 {
+		t.Fatalf("engine holds %d records after a duplicate key, want 2 (batch re-applied)", eng.Count())
+	}
+	if s.metrics.IngestDeduped.Load() != 1 {
+		t.Fatalf("dedup counter %d, want 1", s.metrics.IngestDeduped.Load())
+	}
+	if second := post("batch-2"); second.Count != 4 {
+		t.Fatalf("fresh key count %d, want 4", second.Count)
+	}
+	if unkeyed := post(""); unkeyed.Count != 6 {
+		t.Fatalf("unkeyed count %d, want 6", unkeyed.Count)
+	}
+	if unkeyed := post(""); unkeyed.Count != 8 {
+		t.Fatalf("repeated unkeyed count %d, want 8 (unkeyed requests must never dedup)", unkeyed.Count)
+	}
+}
+
+// TestIngestDedupEviction pins the bounded-window contract: the oldest
+// key falls out once the window is full, newer keys stay.
+func TestIngestDedupEviction(t *testing.T) {
+	d := newIngestDedup()
+	for i := 0; i <= ingestDedupWindow; i++ {
+		d.put("k"+strconv.Itoa(i), ingestResponse{Ingested: i})
+	}
+	if _, ok := d.get("k0"); ok {
+		t.Fatal("oldest key survived a full window of newer keys")
+	}
+	if resp, ok := d.get("k1"); !ok || resp.Ingested != 1 {
+		t.Fatalf("second-oldest key: ok=%v resp=%+v, want retained", ok, resp)
+	}
+	if resp, ok := d.get("k" + strconv.Itoa(ingestDedupWindow)); !ok || resp.Ingested != ingestDedupWindow {
+		t.Fatalf("newest key: ok=%v resp=%+v, want retained", ok, resp)
+	}
+}

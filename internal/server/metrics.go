@@ -61,8 +61,9 @@ type Metrics struct {
 
 	// Resilience. These are Prometheus-only: the JSON /metrics document
 	// predates them and its key set is frozen.
-	Retries  *obs.Counter // model evaluations re-run after a transient failure
-	Degraded *obs.Counter // responses served from the stale cache while a breaker was open
+	Retries       *obs.Counter // model evaluations re-run after a transient failure
+	Degraded      *obs.Counter // responses served from the stale cache while a breaker was open
+	IngestDeduped *obs.Counter // retried ingest batches acknowledged from the dedup window
 
 	// Latency of served /v1 requests (excluding shed ones), seconds.
 	Latency *obs.Histogram
@@ -95,8 +96,9 @@ func newMetrics() *Metrics {
 
 		IngestedRows: reg.Counter("udm_server_ingested_rows_total", "stream records ingested via /ingest"),
 
-		Retries:  reg.Counter("udm_retry_total", "model evaluations retried after a transient failure"),
-		Degraded: reg.Counter("udm_server_degraded_total", "degraded responses served from the stale density cache"),
+		Retries:       reg.Counter("udm_retry_total", "model evaluations retried after a transient failure"),
+		Degraded:      reg.Counter("udm_server_degraded_total", "degraded responses served from the stale density cache"),
+		IngestDeduped: reg.Counter("udm_server_ingest_dedup_total", "retried ingest batches acknowledged without re-applying"),
 
 		Latency: reg.Histogram("udm_server_latency_seconds", "latency of served /v1 requests", latencyBuckets),
 	}

@@ -49,7 +49,8 @@ func retryable(err error) bool {
 		errors.Is(err, udmerr.ErrBadData),
 		errors.Is(err, udmerr.ErrCircuitOpen),
 		errors.Is(err, udmerr.ErrDegraded),
-		errors.Is(err, udmerr.ErrStaleVersion):
+		errors.Is(err, udmerr.ErrStaleVersion),
+		errors.Is(err, udmerr.ErrTailExpired):
 		return false
 	}
 	return true

@@ -156,6 +156,11 @@ type Server struct {
 	breakers map[string]*breaker
 	stale    *lruCache
 
+	// ingestSeen remembers recently acknowledged ingest batches by
+	// idempotency key so a retry of a lost response never re-applies
+	// records (idempotency.go).
+	ingestSeen *ingestDedup
+
 	httpSrv  *http.Server
 	batchers map[string]*modelBatchers
 }
@@ -196,11 +201,12 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 			SlowThreshold: opt.SlowRequest,
 			SlowLogf:      opt.SlowLogf,
 		}),
-		cache:    newLRUCache(opt.CacheSize),
-		inflight: make(chan struct{}, opt.MaxInflight),
-		batchers: make(map[string]*modelBatchers),
-		breakers: make(map[string]*breaker),
-		stale:    newLRUCache(opt.CacheSize),
+		cache:      newLRUCache(opt.CacheSize),
+		inflight:   make(chan struct{}, opt.MaxInflight),
+		batchers:   make(map[string]*modelBatchers),
+		breakers:   make(map[string]*breaker),
+		stale:      newLRUCache(opt.CacheSize),
+		ingestSeen: newIngestDedup(),
 	}
 	s.retry = newRetrier(opt, s.metrics.Retries)
 	s.metrics.reg.GaugeFunc("udm_server_cache_entries", "live density-cache entries",

@@ -134,8 +134,8 @@ func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
 	}
 	recs, ok := eng.TailSince(from)
 	if !ok {
-		writeError(w, s.metrics, http.StatusGone, "tail_expired",
-			fmt.Sprintf("records after ordinal %d have aged out of the tail window; pull a fresh checkpoint", from))
+		s.fail(w, fmt.Errorf("server: records after ordinal %d have aged out of the tail window; pull a fresh checkpoint: %w",
+			from, udmerr.ErrTailExpired))
 		return
 	}
 	resp := tailResponse{Records: make([]tailRecord, len(recs)), Count: int64(eng.Count())}

@@ -55,11 +55,15 @@ func (r *tailRing) add(rec Record) {
 
 // since returns copies of every retained record with Seq > from, oldest
 // first, and whether the ring reaches back far enough: ok is false when
-// records in (from, oldest) have already been overwritten (or the ring
-// is disabled), in which case the caller must fall back to a fresh
-// checkpoint. A from at or past the newest record returns (nil, true).
+// records in (from, oldest) have already been overwritten, the ring is
+// disabled, or the ring is empty — an empty ring retains nothing, so it
+// can vouch for no ordinal (a restarted primary's ring is empty while
+// its record count is not; deciding freshness off r.last here would
+// vacuously claim every caller is caught up). Callers that know the
+// engine's record count decide the caught-up case (from ≥ count) before
+// consulting the ring; see Engine.TailSince.
 func (r *tailRing) since(from int64) ([]Record, bool) {
-	if r == nil {
+	if r == nil || r.size == 0 {
 		return nil, false
 	}
 	if from >= r.last {
@@ -67,7 +71,7 @@ func (r *tailRing) since(from int64) ([]Record, bool) {
 	}
 	oldestIdx := (r.next - r.size + len(r.buf)) % len(r.buf)
 	oldest := r.buf[oldestIdx].Seq
-	if r.size == 0 || from < oldest-1 {
+	if from < oldest-1 {
 		return nil, false
 	}
 	out := make([]Record, 0, r.size)
@@ -86,9 +90,19 @@ func (r *tailRing) since(from int64) ([]Record, bool) {
 // from: when false, records have aged out of the ring (or tailing is
 // disabled) and the caller must restart from a fresh checkpoint. The
 // returned records share no memory with the engine.
+//
+// Up-to-dateness is decided against the engine's record count, never
+// the ring's own high-water mark: a from at or past the count is caught
+// up by definition (nothing to replay, even with tailing disabled),
+// while a from behind the count needs the ring to actually retain the
+// gap — a checkpoint-restored engine's empty ring reports an expired
+// window rather than vacuously claiming every replica is current.
 func (e *Engine) TailSince(from int64) ([]Record, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if from >= int64(e.n) {
+		return nil, true
+	}
 	recs, ok := e.tail.since(from)
 	if !ok {
 		return nil, false

@@ -80,6 +80,33 @@ func TestTailWindowExpiry(t *testing.T) {
 	}
 }
 
+// TestTailRestartedPrimary: a checkpoint-restored engine has records
+// but an empty volatile ring. It must not claim replicas behind its
+// count are caught up — that would strand catch-up in an endless
+// empty-but-ok loop — while an ordinal at or past the count is caught
+// up by definition.
+func TestTailRestartedPrimary(t *testing.T) {
+	e := tailEngine(t, 64)
+	tailAdd(e, rng.New(5), 10)
+	var ckpt bytes.Buffer
+	if err := e.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := LoadEngine(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restarted.TailSince(5); ok {
+		t.Fatal("restarted primary's empty ring vouched for ordinal 5")
+	}
+	if recs, ok := restarted.TailSince(10); !ok || len(recs) != 0 {
+		t.Fatalf("TailSince(count): ok=%v len=%d, want caught-up empty", ok, len(recs))
+	}
+	if recs, ok := restarted.TailSince(12); !ok || len(recs) != 0 {
+		t.Fatalf("TailSince past count: ok=%v len=%d, want caught-up empty", ok, len(recs))
+	}
+}
+
 func TestTailDisabled(t *testing.T) {
 	e := tailEngine(t, -1)
 	tailAdd(e, rng.New(3), 5)

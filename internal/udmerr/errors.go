@@ -35,6 +35,12 @@
 //   - ErrStaleVersion: a distributed partial evaluation was requested
 //     against a model version the shard has moved past (or not yet
 //     reached). Refresh the coordinating summary and retry.
+//   - ErrTailExpired: a replica catch-up tail no longer reaches back to
+//     the requested ordinal. Deterministic until the replica pulls a
+//     fresh checkpoint — never worth a blind retry.
+//   - ErrShardTimeout: one shard RPC attempt exceeded its per-attempt
+//     deadline while the caller's own deadline was still live. A
+//     transient slow-shard fault; the retry budget covers it.
 //
 // The package sits below every other internal package so any layer can
 // wrap the sentinels without import cycles.
@@ -92,4 +98,19 @@ var (
 	// fixed version token, so the low-level retry layer never retries
 	// it.
 	ErrStaleVersion = errors.New("stale model version")
+
+	// ErrTailExpired reports a replica catch-up tail request for records
+	// that have aged out of the primary's retained window (or a primary
+	// whose volatile tail ring restarted empty). The condition is
+	// deterministic for a fixed ordinal: retrying the same tail cannot
+	// succeed, the replica must restart from a fresh checkpoint.
+	ErrTailExpired = errors.New("tail window expired")
+
+	// ErrShardTimeout reports a single shard RPC attempt that exceeded
+	// its attempt-local deadline while the caller's own deadline was
+	// still live. Unlike a caller timeout (context.DeadlineExceeded,
+	// never retried) this is a transient backend fault: the retry layer
+	// re-runs the attempt and the failure counts against the shard's
+	// circuit breaker.
+	ErrShardTimeout = errors.New("shard attempt timed out")
 )
