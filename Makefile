@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check build vet fmt test race lint lint-udm lint-fix-check lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke proxy-smoke bench bench-snapshot bench-kde ci
+.PHONY: check build vet fmt test race lint lint-udm lint-fix-check lint-staticcheck lint-vuln tools bench-smoke fuzz-smoke faults serve-smoke proxy-smoke tenant-smoke loadtest bench bench-snapshot bench-kde ci
 
 ## check: everything the CI "check" job gates on (build+vet+fmt+test)
 check: build vet fmt test
@@ -103,6 +103,19 @@ serve-smoke:
 proxy-smoke:
 	bash scripts/serve_smoke.sh proxy
 
+## tenant-smoke: end-to-end multi-tenant check (namespaced routing,
+## default-tenant alias bit-identity, hot-swap promote/rollback, udmload)
+tenant-smoke:
+	bash scripts/serve_smoke.sh tenant
+
+## loadtest: the multi-tenant replay gate — 2 tenants x 1000 seeded
+## streams against udmserve, udmproxy, and a fault-injected server,
+## gating on zero isolation violations and appending the per-tenant
+## latency report to BENCH_serve.json (tune with LOADTEST_STREAMS /
+## LOADTEST_REQUESTS / LOADTEST_JSON)
+loadtest:
+	bash scripts/loadtest.sh
+
 ## bench: the real benchmark suite (slow; use for EXPERIMENTS.md numbers)
 bench:
 	$(GO) test -bench=. -benchtime=2s -run='^$$' .
@@ -117,4 +130,4 @@ bench-kde:
 	bash scripts/bench_kde.sh
 
 ## ci: the full pipeline, serially
-ci: check lint race bench-smoke fuzz-smoke faults serve-smoke proxy-smoke
+ci: check lint race bench-smoke fuzz-smoke faults serve-smoke proxy-smoke tenant-smoke loadtest

@@ -1,0 +1,194 @@
+// Command udmload replays a synthetic multi-tenant workload against a
+// running udmserve or udmproxy: N tenants × M seeded user streams of
+// density / classify / outlier / ingest traffic with exponential think
+// times and configurable bursts, all derived deterministically from
+// -seed (see internal/load). Per-tenant p50/p99/mean latency and
+// throughput are printed as a table, and the run actively checks the
+// tenancy contract from the outside — every response must echo the
+// tenant it was issued for, and read-only tenants' probe densities
+// must stay bit-for-bit identical for the whole run. Any violation
+// makes the process exit non-zero, which is what `make loadtest`
+// gates on.
+//
+//	udmload -base http://127.0.0.1:8080 -model live \
+//	    -tenants t1,t2 -streams 1000 -requests 20 \
+//	    -mix density=0.8,ingest=0.2 -write-tenants t1 \
+//	    -burst-prob 0.05 -burst-len 16 -think 2ms
+//
+// -json FILE appends the machine-readable report to a JSON-array
+// benchmark trajectory (BENCH_serve.json); -fault site=spec arms
+// client-side chaos (site load.request.send) for harness stress runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"udm/internal/faultinject"
+	"udm/internal/load"
+)
+
+// faultFlags collects repeated -fault flags (site=spec, armed after
+// flag parsing).
+type faultFlags []string
+
+func (f *faultFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *faultFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// csv splits a comma-separated flag into trimmed non-empty parts.
+func csv(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	base := flag.String("base", "", "base URL of the udmserve or udmproxy under test (required)")
+	model := flag.String("model", "live", "bare model name served under every tenant")
+	tenants := flag.String("tenants", "default", "comma-separated tenant ids to drive")
+	streams := flag.Int("streams", 8, "seeded user streams per tenant")
+	requests := flag.Int("requests", 32, "requests per stream")
+	workers := flag.Int("workers", 0, "concurrent streams (0: GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "workload seed (whole schedule is a pure function of it)")
+	think := flag.Duration("think", 0, "mean think time between requests (exponential; 0: none)")
+	burstProb := flag.Float64("burst-prob", 0, "per-step chance a stream enters a burst")
+	burstLen := flag.Int("burst-len", 8, "requests per burst (no think time inside)")
+	mixFlag := flag.String("mix", "density=1", "operation mix, e.g. density=0.7,classify=0.2,ingest=0.1")
+	writeTenants := flag.String("write-tenants", "", "tenants allowed to ingest (empty: all; others become read-only probe tenants)")
+	namespaced := flag.Bool("namespaced", true, "use /v1/t/{tenant}/ paths (false: legacy paths + X-UDM-Tenant header)")
+	probeEvery := flag.Int("probe-every", 16, "re-check bit-identity every that many requests per read-only stream")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	jsonOut := flag.String("json", "", "append the report to this JSON-array file (e.g. BENCH_serve.json)")
+	note := flag.String("note", "", "free-form note recorded with the -json entry")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "arm a client-side fault site=spec (repeatable; site load.request.send)")
+	flag.Parse()
+
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "udmload: -base is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mix, err := load.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udmload:", err)
+		os.Exit(2)
+	}
+	for _, f := range faults {
+		if err := faultinject.ArmFlag(f); err != nil {
+			fmt.Fprintln(os.Stderr, "udmload:", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := &load.Config{
+		BaseURL:      *base,
+		Model:        *model,
+		Tenants:      csv(*tenants),
+		Streams:      *streams,
+		Requests:     *requests,
+		Workers:      *workers,
+		Seed:         *seed,
+		Think:        *think,
+		BurstProb:    *burstProb,
+		BurstLen:     *burstLen,
+		Mix:          mix,
+		WriteTenants: csv(*writeTenants),
+		Namespaced:   *namespaced,
+		ProbeEvery:   *probeEvery,
+		Timeout:      *timeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udmload:", err)
+		os.Exit(1)
+	}
+	printReport(rep)
+	if *jsonOut != "" {
+		if err := appendReport(*jsonOut, rep, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "udmload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("appended report to %s\n", *jsonOut)
+	}
+	if rep.Violations > 0 {
+		fmt.Fprintf(os.Stderr, "udmload: FAIL: %d isolation violations\n", rep.Violations)
+		os.Exit(1)
+	}
+}
+
+// printReport renders the human-readable per-tenant table.
+func printReport(rep *load.Report) {
+	fmt.Printf("target %s  model %s  seed %d  %d tenants x %d streams x %d requests  wall %.2fs  %.0f req/s\n",
+		rep.Target, rep.Model, rep.Seed, rep.Tenants, rep.Streams, rep.PerStream,
+		rep.WallSeconds, rep.Throughput)
+	fmt.Printf("%-12s %9s %9s %7s %7s %10s %9s %9s %9s %11s\n",
+		"tenant", "requests", "ok", "shed", "errors", "violations", "p50(ms)", "p99(ms)", "mean(ms)", "req/s")
+	for _, t := range rep.PerTenant {
+		fmt.Printf("%-12s %9d %9d %7d %7d %10d %9.3f %9.3f %9.3f %11.1f\n",
+			t.Tenant, t.Requests, t.OK, t.Shed, t.Errors, t.Violations,
+			t.P50Ms, t.P99Ms, t.MeanMs, t.Throughput)
+	}
+	for _, s := range rep.Samples {
+		fmt.Printf("violation: %s\n", s)
+	}
+	for site, n := range rep.FaultsFired {
+		fmt.Printf("fault %s fired %d times\n", site, n)
+	}
+}
+
+// benchEntry is the shape appended to the BENCH_serve.json trajectory:
+// the load report plus the bookkeeping fields the other entries carry.
+type benchEntry struct {
+	Date      string `json:"date"`
+	Benchmark string `json:"benchmark"`
+	*load.Report
+	Note string `json:"note,omitempty"`
+}
+
+// appendReport appends the report to a JSON-array file, creating it if
+// missing — read-modify-write so no external JSON tooling is needed.
+func appendReport(path string, rep *load.Report, note string) error {
+	var entries []json.RawMessage
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("udmload: %s is not a JSON array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entry, err := json.MarshalIndent(benchEntry{
+		Date:      time.Now().Format("2006-01-02"),
+		Benchmark: "udmload",
+		Report:    rep,
+		Note:      note,
+	}, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -21,12 +21,19 @@
 // deterministic merge order and must match across proxy replicas (as
 // must -ring-seed and -vnodes). Each -model flag is
 // name=mode:dims where mode is partitioned (stream models, hash-routed
-// ingest) or replicated (identical artifacts on every shard).
+// ingest) or replicated (identical artifacts on every shard). The name
+// may be a qualified "tenant/name" reference (e.g. -model
+// t1/live=partitioned:2): the proxy then serves it under
+// /v1/t/{tenant}/... — mirroring udmserve's namespaces, including the
+// X-UDM-Tenant header on legacy paths — and addresses the matching
+// tenant namespace on every shard. Plain names stay in the default
+// tenant and keep their pre-tenancy routing keys bit-for-bit.
 //
 // Endpoints: GET /healthz /readyz /metrics /v1/models and POST
-// /v1/models/{name}/{classify,density,outliers,ingest}. /metrics
-// serves JSON by default and the Prometheus text exposition with
-// ?format=prometheus (including the udm_proxy_* fan-out series).
+// /v1/models/{name}/{classify,density,outliers,ingest}, each also
+// under the /v1/t/{tenant}/ prefix. /metrics serves JSON by default
+// and the Prometheus text exposition with ?format=prometheus
+// (including the udm_proxy_* fan-out series).
 package main
 
 import (
@@ -125,7 +132,7 @@ func main() {
 	var shards shardFlags
 	flag.Var(&shards, "shard", "backend shard, name=url (repeatable; order fixes the merge order)")
 	var models modelFlags
-	flag.Var(&models, "model", "model to front, name=mode:dims (repeatable; modes: partitioned, replicated)")
+	flag.Var(&models, "model", "model to front, name=mode:dims or tenant/name=mode:dims (repeatable; modes: partitioned, replicated)")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "arm a fault-injection site, site=spec (repeatable; e.g. distrib.shard.rpc=error,times=3; testing only)")
 	var (

@@ -82,9 +82,10 @@ func (j *joinFlags) Set(v string) error {
 	return nil
 }
 
-// modelSpec is one parsed -model flag.
+// modelSpec is one parsed -model flag. name may be qualified as
+// "tenant/name"; plain names land in the default tenant.
 type modelSpec struct {
-	name, kind, path string
+	tenant, name, kind, path string
 }
 
 // modelFlags collects repeated -model flags.
@@ -93,7 +94,7 @@ type modelFlags []modelSpec
 func (m *modelFlags) String() string {
 	parts := make([]string, len(*m))
 	for i, s := range *m {
-		parts[i] = fmt.Sprintf("%s=%s:%s", s.name, s.kind, s.path)
+		parts[i] = fmt.Sprintf("%s=%s:%s", qualify(s.tenant, s.name), s.kind, s.path)
 	}
 	return strings.Join(parts, ",")
 }
@@ -115,8 +116,26 @@ func (m *modelFlags) Set(v string) error {
 	default:
 		return fmt.Errorf("unknown kind %q (want transform, summarizer or stream)", kind)
 	}
-	*m = append(*m, modelSpec{name: name, kind: kind, path: path})
+	tenant, bare := splitTenant(name)
+	*m = append(*m, modelSpec{tenant: tenant, name: bare, kind: kind, path: path})
 	return nil
+}
+
+// splitTenant resolves an optionally-qualified "tenant/name" model
+// reference; plain names belong to the default tenant.
+func splitTenant(ref string) (tenant, name string) {
+	if t, n, ok := strings.Cut(ref, "/"); ok {
+		return t, n
+	}
+	return server.DefaultTenant, ref
+}
+
+// qualify renders a (tenant, name) pair back into its flag form.
+func qualify(tenant, name string) string {
+	if tenant == server.DefaultTenant {
+		return name
+	}
+	return tenant + "/" + name
 }
 
 func main() {
@@ -149,6 +168,9 @@ func main() {
 		retryCap     = flag.Duration("retry-cap", 0, "max retry backoff (0 = default 250ms)")
 		breakerAfter = flag.Int("breaker-threshold", 0, "consecutive failures that open a model's circuit breaker (0 = default 5; negative disables)")
 		breakerCool  = flag.Duration("breaker-cooldown", 0, "how long an open breaker refuses traffic before probing (0 = default 5s)")
+		tenantInfl   = flag.Int("tenant-inflight", 0, "per-tenant fair-share cap on admitted requests (0 = same as -max-inflight; negative = unlimited)")
+		tenantModels = flag.Int("tenant-models", 0, "per-tenant cap on registered models, active or staged (0 = unlimited)")
+		tenantPoints = flag.Int64("tenant-points", 0, "per-tenant cap on resident summarized points (0 = unlimited)")
 	)
 	flag.Parse()
 	for _, f := range faults {
@@ -181,24 +203,27 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := reg.Add(m); err != nil {
+		if err := reg.AddTenant(spec.tenant, m); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "udmserve: loaded %s model %q (%d dims) from %s\n",
-			spec.kind, spec.name, m.Dims(), spec.path)
+			spec.kind, qualify(spec.tenant, spec.name), m.Dims(), spec.path)
 	}
 	for _, j := range joins {
 		c := distrib.NewShardClient(0, distrib.Shard{Name: j.name, URL: j.url},
 			distrib.Options{}, obs.NewRegistry())
+		// The catch-up RPCs accept a qualified "tenant/name" reference and
+		// route through the matching namespace on the source shard.
 		eng, err := distrib.CatchUp(context.Background(), c, j.name, 0)
 		if err != nil {
 			fatal(err)
 		}
-		m, err := server.NewStreamModel(j.name, eng, kdeOpt, "")
+		tenant, bare := splitTenant(j.name)
+		m, err := server.NewStreamModel(bare, eng, kdeOpt, "")
 		if err != nil {
 			fatal(err)
 		}
-		if err := reg.Add(m); err != nil {
+		if err := reg.AddTenant(tenant, m); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "udmserve: joined stream model %q from %s (%d records)\n",
@@ -220,6 +245,15 @@ func main() {
 		RetryCap:         *retryCap,
 		BreakerThreshold: *breakerAfter,
 		BreakerCooldown:  *breakerCool,
+
+		TenantMaxInflight: *tenantInfl,
+		TenantMaxModels:   *tenantModels,
+		TenantMaxPoints:   *tenantPoints,
+
+		// Staged uploads (PUT .../models/{name}) evaluate under the same
+		// estimator policy as disk-loaded models.
+		ModelKDE:       kdeOpt,
+		ModelThreshold: *threshold,
 	})
 	if *debug {
 		stopSampler := obs.StartSampler(srv.Metrics().Registry(), *sample)
@@ -230,8 +264,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var served []string
+	for _, t := range reg.Tenants() {
+		for _, n := range reg.TenantNames(t) {
+			served = append(served, qualify(t, n))
+		}
+	}
 	fmt.Fprintf(os.Stderr, "udmserve: listening on %s (models: %s)\n",
-		l.Addr(), strings.Join(reg.Names(), ", "))
+		l.Addr(), strings.Join(served, ", "))
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()

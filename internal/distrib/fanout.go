@@ -440,8 +440,9 @@ func (c *Coordinator) Ingest(ctx context.Context, req server.IngestRequest) (ser
 	c.fanouts.Inc()
 	k := len(c.shards)
 	groups := make([]server.IngestRequest, k)
+	tenant := tenantOf(c.model)
 	for idx, x := range req.Points {
-		o := c.ring.OwnerPoint(x)
+		o := c.ring.OwnerPointTenant(tenant, x)
 		g := &groups[o]
 		g.Points = append(g.Points, x)
 		if req.Errors != nil {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,11 @@ import (
 // (KDE's bandwidth rule decides the merged head's global bandwidths,
 // so a mismatch breaks bit-identity).
 type ModelConfig struct {
+	// Name is the model's reference: a plain name lives in the default
+	// tenant, a qualified "tenant/name" in that tenant's namespace. The
+	// proxy addresses the shards through the matching namespace, so a
+	// qualified model must be registered under the same tenant on every
+	// shard.
 	Name string
 	Mode Mode
 	Dims int
@@ -159,8 +165,8 @@ func NewProxyContext(ctx context.Context, shards []Shard, models []ModelConfig, 
 	}
 	ctx = obs.WithTracer(ctx, p.tracer)
 	for _, cfg := range models {
-		if _, dup := p.models[cfg.Name]; dup || cfg.Name == "" {
-			return nil, fmt.Errorf("distrib: duplicate or empty model name %q", cfg.Name)
+		if _, dup := p.models[cfg.Name]; dup || !validModelRef(cfg.Name) {
+			return nil, fmt.Errorf("distrib: duplicate or invalid model reference %q", cfg.Name)
 		}
 		if cfg.Mode != ModePartitioned && cfg.Mode != ModeReplicated {
 			return nil, fmt.Errorf("distrib: model %q: mode %q is not %q or %q: %w",
@@ -253,12 +259,48 @@ func (p *Proxy) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", p.handleHealthz)
 	mux.HandleFunc("GET /readyz", p.handleReadyz)
 	mux.HandleFunc("GET /metrics", p.handleMetrics)
-	mux.HandleFunc("GET /v1/models", p.handleModels)
-	mux.HandleFunc("POST /v1/models/{model}/classify", p.guard("classify", p.handleClassify))
-	mux.HandleFunc("POST /v1/models/{model}/density", p.guard("density", p.handleDensity))
-	mux.HandleFunc("POST /v1/models/{model}/outliers", p.guard("outliers", p.handleOutliers))
-	mux.HandleFunc("POST /v1/models/{model}/ingest", p.guard("ingest", p.handleIngest))
+	// The proxy mirrors the server's tenant surface: namespaced
+	// /v1/t/{tenant}/... routes plus the legacy /v1/... alias resolving
+	// the tenant from X-UDM-Tenant (default tenant when absent).
+	for _, pre := range []string{"/v1", "/v1/t/{tenant}"} {
+		mux.HandleFunc("GET "+pre+"/models", p.handleModels)
+		mux.HandleFunc("POST "+pre+"/models/{model}/classify", p.guard("classify", p.handleClassify))
+		mux.HandleFunc("POST "+pre+"/models/{model}/density", p.guard("density", p.handleDensity))
+		mux.HandleFunc("POST "+pre+"/models/{model}/outliers", p.guard("outliers", p.handleOutliers))
+		mux.HandleFunc("POST "+pre+"/models/{model}/ingest", p.guard("ingest", p.handleIngest))
+	}
 	return mux
+}
+
+// validModelRef accepts a plain model name or a "tenant/name"
+// qualified reference, both parts under the server's identifier rules.
+func validModelRef(ref string) bool {
+	if tenant, name, ok := strings.Cut(ref, "/"); ok {
+		return server.ValidIdent(tenant) && server.ValidIdent(name)
+	}
+	return server.ValidIdent(ref)
+}
+
+// requestTenant mirrors the server's resolution order: path segment,
+// then X-UDM-Tenant, then the default tenant.
+func requestTenant(r *http.Request) (string, bool) {
+	t := r.PathValue("tenant")
+	if t == "" {
+		t = r.Header.Get(server.TenantHeader)
+	}
+	if t == "" {
+		return server.DefaultTenant, true
+	}
+	return t, server.ValidIdent(t)
+}
+
+// modelRef builds the registry key a (tenant, name) pair addresses:
+// default-tenant models are registered under their plain name.
+func modelRef(tenant, name string) string {
+	if tenant == server.DefaultTenant {
+		return name
+	}
+	return tenant + "/" + name
 }
 
 // guard mirrors the single-node server's admission middleware: request
@@ -271,6 +313,13 @@ func (p *Proxy) guard(endpoint string, h func(http.ResponseWriter, *http.Request
 	return func(w http.ResponseWriter, r *http.Request) {
 		p.metrics.Requests.Inc()
 		counter.Inc()
+		tenant, ok := requestTenant(r)
+		if !ok {
+			p.writeError(w, http.StatusBadRequest, "bad_tenant",
+				fmt.Sprintf("invalid tenant id %q (want 1-64 chars of [A-Za-z0-9._-])", r.PathValue("tenant")))
+			return
+		}
+		w.Header().Set(server.TenantHeader, tenant)
 		select {
 		case p.inflight <- struct{}{}:
 		default:
@@ -324,13 +373,21 @@ func (p *Proxy) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// model resolves the {model} path segment.
+// model resolves the request's (tenant, model) pair against the
+// configured model references. The guard already validated and echoed
+// the tenant.
 func (p *Proxy) model(w http.ResponseWriter, r *http.Request) (*proxyModel, bool) {
+	tenant, ok := requestTenant(r)
+	if !ok {
+		p.writeError(w, http.StatusBadRequest, "bad_tenant",
+			fmt.Sprintf("invalid tenant id %q", r.PathValue("tenant")))
+		return nil, false
+	}
 	name := r.PathValue("model")
-	pm, ok := p.models[name]
+	pm, ok := p.models[modelRef(tenant, name)]
 	if !ok {
 		p.writeError(w, http.StatusNotFound, "model_not_found",
-			fmt.Sprintf("no model named %q (have %v)", name, p.names))
+			fmt.Sprintf("no model named %q in tenant %q (have %v)", name, tenant, p.names))
 		return nil, false
 	}
 	return pm, true
@@ -384,7 +441,14 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, http.StatusOK, p.metrics.snapshot())
 }
 
-func (p *Proxy) handleModels(w http.ResponseWriter, _ *http.Request) {
+func (p *Proxy) handleModels(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := requestTenant(r)
+	if !ok {
+		p.writeError(w, http.StatusBadRequest, "bad_tenant",
+			fmt.Sprintf("invalid tenant id %q", r.PathValue("tenant")))
+		return
+	}
+	w.Header().Set(server.TenantHeader, tenant)
 	type info struct {
 		Name   string `json:"name"`
 		Kind   string `json:"kind"`
@@ -392,9 +456,16 @@ func (p *Proxy) handleModels(w http.ResponseWriter, _ *http.Request) {
 		Shards int    `json:"shards"`
 	}
 	out := make([]info, 0, len(p.names))
-	for _, n := range p.names {
-		pm := p.models[n]
-		out = append(out, info{Name: n, Kind: string(pm.cfg.Mode), Dims: pm.cfg.Dims, Shards: len(p.shards)})
+	for _, ref := range p.names {
+		refTenant, name, qualified := strings.Cut(ref, "/")
+		if !qualified {
+			refTenant, name = server.DefaultTenant, ref
+		}
+		if refTenant != tenant {
+			continue
+		}
+		pm := p.models[ref]
+		out = append(out, info{Name: name, Kind: string(pm.cfg.Mode), Dims: pm.cfg.Dims, Shards: len(p.shards)})
 	}
 	server.WriteJSON(w, http.StatusOK, map[string]any{"models": out})
 }

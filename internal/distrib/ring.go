@@ -60,6 +60,24 @@ func KeyPoint(x []float64) uint64 {
 	return h
 }
 
+// KeyPointTenant salts KeyPoint with the tenant id, so two tenants'
+// bit-equal points route independently — one tenant's hot spot cannot
+// pile onto the shard that happens to own another tenant's identical
+// coordinates. The empty and default tenants hash exactly like the
+// tenant-less KeyPoint, keeping every pre-tenancy layout (and its
+// bit-identity fixtures) unchanged.
+func KeyPointTenant(tenant string, x []float64) uint64 {
+	h := fnvOffset
+	if tenant != "" && tenant != "default" {
+		h = fnvBytes(h, []byte(tenant))
+		h = fnvBytes(h, []byte{0}) // unambiguous tenant/coords boundary
+	}
+	for _, v := range x {
+		h = fnvUint64(h, math.Float64bits(v))
+	}
+	return h
+}
+
 // Ring is a seeded consistent-hash ring: each shard owns VNodes
 // pseudo-random arc positions, and a key belongs to the shard owning
 // the first position at or clockwise after the key's hash. The layout
@@ -120,3 +138,8 @@ func (r *Ring) Owner(key uint64) int {
 
 // OwnerPoint routes a point by the hash of its exact coordinates.
 func (r *Ring) OwnerPoint(x []float64) int { return r.Owner(KeyPoint(x)) }
+
+// OwnerPointTenant routes a point by its tenant-salted hash.
+func (r *Ring) OwnerPointTenant(tenant string, x []float64) int {
+	return r.Owner(KeyPointTenant(tenant, x))
+}

@@ -1,0 +1,622 @@
+// Package load is the multi-tenant replay harness behind cmd/udmload:
+// it synthesizes N tenants × M seeded user streams of classify /
+// density / outlier / ingest traffic from internal/datagen profiles
+// and drives them against a running udmserve or udmproxy over plain
+// HTTP, measuring per-tenant latency quantiles and throughput while
+// actively checking the tenancy contract from the outside.
+//
+// Two isolation invariants are verified on every run and reported as
+// violations (the loadtest gate requires zero):
+//
+//   - tenant echo: every response must carry X-UDM-Tenant equal to the
+//     tenant the request was issued for — a mismatch means a request
+//     crossed a namespace boundary somewhere in the serving tier;
+//   - probe bit-identity: for read-only tenants (streams that never
+//     ingest), a fixed probe point's density must stay bit-for-bit
+//     identical from the first observation to the last, no matter how
+//     hard other tenants burst, swap models, or trip breakers.
+//
+// The workload is a pure function of Config.Seed: points, operation
+// mix, think times and burst positions are all drawn from
+// internal/rng sources split per (tenant, stream), so two runs against
+// the same server replay the identical request sequence regardless of
+// the worker count (only the interleaving differs). Concurrency runs
+// through internal/parallel like every other fan-out in the module.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"udm/internal/datagen"
+	"udm/internal/faultinject"
+	"udm/internal/parallel"
+	"udm/internal/rng"
+	"udm/internal/server"
+	"udm/internal/udmerr"
+)
+
+// sendFault injects client-side chaos (latency, drops) on the request
+// path, so the harness itself can be stressed and so loadtest chaos
+// stages can degrade the client independently of the server's sites.
+var sendFault = faultinject.NewPoint("load.request.send")
+
+// Op is one request kind the synthetic streams can issue.
+type Op string
+
+const (
+	OpDensity  Op = "density"
+	OpClassify Op = "classify"
+	OpOutliers Op = "outliers"
+	OpIngest   Op = "ingest"
+)
+
+// Mix holds the relative weights of the operation kinds. Weights are
+// normalized per draw; a zero weight disables the kind.
+type Mix struct {
+	Density  float64
+	Classify float64
+	Outliers float64
+	Ingest   float64
+}
+
+// ParseMix parses "density=0.7,ingest=0.3" into a Mix.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix term %q wants op=weight: %w", part, udmerr.ErrBadOption)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(val, "%g", &w); err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix weight %q: %w", val, udmerr.ErrBadOption)
+		}
+		switch Op(name) {
+		case OpDensity:
+			m.Density = w
+		case OpClassify:
+			m.Classify = w
+		case OpOutliers:
+			m.Outliers = w
+		case OpIngest:
+			m.Ingest = w
+		default:
+			return Mix{}, fmt.Errorf("load: unknown op %q in mix: %w", name, udmerr.ErrBadOption)
+		}
+	}
+	if m.Density+m.Classify+m.Outliers+m.Ingest <= 0 {
+		return Mix{}, fmt.Errorf("load: mix has no positive weight: %w", udmerr.ErrBadOption)
+	}
+	return m, nil
+}
+
+// Config describes one replay run.
+type Config struct {
+	// BaseURL is the server or proxy under test (e.g. http://127.0.0.1:8080).
+	BaseURL string
+	// Model is the bare model name served under every tenant.
+	Model string
+	// Tenants lists the tenant ids to drive.
+	Tenants []string
+	// Streams is the number of seeded user streams per tenant.
+	Streams int
+	// Requests is the number of requests each stream issues.
+	Requests int
+	// Workers bounds concurrently running streams (≤ 0: GOMAXPROCS).
+	Workers int
+	// Seed makes the whole workload reproducible.
+	Seed int64
+	// Think is the mean think time between requests (exponentially
+	// distributed; 0 disables pacing).
+	Think time.Duration
+	// BurstProb is the per-step chance a stream enters a burst of
+	// BurstLen back-to-back requests with no think time.
+	BurstProb float64
+	// BurstLen is the burst length (default 8 when BurstProb > 0).
+	BurstLen int
+	// Mix is the operation mix. Ingest weight applies only to tenants
+	// in WriteTenants (all tenants when the list is empty); for the
+	// others its weight folds into density and the tenant becomes a
+	// read-only probe tenant whose answers must stay bit-identical.
+	Mix Mix
+	// WriteTenants restricts which tenants may ingest.
+	WriteTenants []string
+	// Namespaced selects /v1/t/{tenant}/... paths; otherwise the legacy
+	// /v1/... paths are used with the X-UDM-Tenant header.
+	Namespaced bool
+	// ProbeEvery re-issues the bit-identity probe every that many
+	// requests per read-only stream (0: only before and after the run).
+	ProbeEvery int
+	// Timeout bounds each request (default 10s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("load: base URL required: %w", udmerr.ErrBadOption)
+	}
+	if !server.ValidIdent(c.Model) {
+		return fmt.Errorf("load: invalid model name %q: %w", c.Model, udmerr.ErrBadOption)
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("load: at least one tenant required: %w", udmerr.ErrBadOption)
+	}
+	for _, t := range c.Tenants {
+		if !server.ValidIdent(t) {
+			return fmt.Errorf("load: invalid tenant id %q: %w", t, udmerr.ErrBadOption)
+		}
+	}
+	if c.Streams <= 0 || c.Requests <= 0 {
+		return fmt.Errorf("load: streams and requests must be positive: %w", udmerr.ErrBadOption)
+	}
+	if c.Mix.Density+c.Mix.Classify+c.Mix.Outliers+c.Mix.Ingest <= 0 {
+		return fmt.Errorf("load: empty operation mix: %w", udmerr.ErrBadOption)
+	}
+	return nil
+}
+
+// writable reports whether tenant may issue ingest requests.
+func (c *Config) writable(tenant string) bool {
+	if len(c.WriteTenants) == 0 {
+		return true
+	}
+	for _, t := range c.WriteTenants {
+		if t == tenant {
+			return true
+		}
+	}
+	return false
+}
+
+// mixFor returns the effective mix for tenant: read-only tenants fold
+// the ingest weight into density so the request rate is comparable.
+func (c *Config) mixFor(tenant string) Mix {
+	m := c.Mix
+	if !c.writable(tenant) {
+		m.Density += m.Ingest
+		m.Ingest = 0
+	}
+	return m
+}
+
+// urlFor builds the endpoint URL for one tenant-scoped model call.
+func (c *Config) urlFor(tenant, endpoint string) string {
+	base := strings.TrimSuffix(c.BaseURL, "/")
+	if c.Namespaced {
+		return base + "/v1/t/" + tenant + "/models/" + c.Model + "/" + endpoint
+	}
+	return base + "/v1/models/" + c.Model + "/" + endpoint
+}
+
+// tenantSpec derives the synthetic data profile for the i-th tenant: a
+// two-blob mixture with tenant-shifted means, so tenants exercise
+// distinct regions of the space while staying in-distribution for a
+// two-blob-trained model.
+func tenantSpec(i int) *datagen.Spec {
+	s := datagen.TwoBlobs(5)
+	off := 0.2 * float64(i)
+	for ci := range s.Classes {
+		for ki := range s.Classes[ci].Components {
+			mean := s.Classes[ci].Components[ki].Mean
+			for d := range mean {
+				mean[d] += off
+			}
+		}
+	}
+	return s
+}
+
+// step is one planned request of a stream.
+type step struct {
+	op    Op
+	point []float64
+	think time.Duration
+	probe bool // verify the probe answer right after this step
+}
+
+// streamPlan deterministically expands the full request schedule of
+// one (tenant, stream) pair. The plan depends only on (cfg, tenant
+// index, stream index) — never on timing or worker count.
+func streamPlan(cfg *Config, ti, si int) ([]step, error) {
+	tenant := cfg.Tenants[ti]
+	src := rng.New(cfg.Seed).Split("load/" + tenant).Split(fmt.Sprintf("stream-%d", si))
+	spec := tenantSpec(ti)
+	ds, err := spec.Generate(cfg.Requests, src.Split("points"))
+	if err != nil {
+		return nil, err
+	}
+	mix := cfg.mixFor(tenant)
+	weights := []float64{mix.Density, mix.Classify, mix.Outliers, mix.Ingest}
+	ops := []Op{OpDensity, OpClassify, OpOutliers, OpIngest}
+	opSrc := src.Split("ops")
+	paceSrc := src.Split("pace")
+	burstLen := cfg.BurstLen
+	if burstLen <= 0 {
+		burstLen = 8
+	}
+	readOnly := !cfg.writable(tenant)
+
+	steps := make([]step, cfg.Requests)
+	burst := 0
+	meanSec := cfg.Think.Seconds()
+	for i := 0; i < cfg.Requests; i++ {
+		st := step{
+			op:    ops[opSrc.Categorical(weights)],
+			point: ds.X[i],
+		}
+		if burst == 0 && cfg.BurstProb > 0 && paceSrc.Bool(cfg.BurstProb) {
+			burst = burstLen
+		}
+		if burst > 0 {
+			burst--
+		} else if meanSec > 0 {
+			st.think = time.Duration(paceSrc.Exp(1/meanSec) * float64(time.Second))
+		}
+		if readOnly && cfg.ProbeEvery > 0 && (i+1)%cfg.ProbeEvery == 0 {
+			st.probe = true
+		}
+		steps[i] = st
+	}
+	return steps, nil
+}
+
+// streamResult accumulates one stream's observations. Streams own
+// disjoint result slots (parallel.For's range contract), so no locks.
+type streamResult struct {
+	durations  []time.Duration
+	ok         int
+	shed       int
+	errors     int
+	violations []string
+}
+
+// TenantReport is the per-tenant aggregate of a run.
+type TenantReport struct {
+	Tenant     string  `json:"tenant"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	Violations int     `json:"violations"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// Report is the outcome of one replay run.
+type Report struct {
+	Target        string           `json:"target"`
+	Model         string           `json:"model"`
+	Seed          int64            `json:"seed"`
+	Tenants       int              `json:"tenants"`
+	Streams       int              `json:"streams_per_tenant"`
+	PerStream     int              `json:"requests_per_stream"`
+	Namespaced    bool             `json:"namespaced"`
+	WallSeconds   float64          `json:"wall_seconds"`
+	TotalRequests int              `json:"total_requests"`
+	Throughput    float64          `json:"throughput_rps"`
+	PerTenant     []TenantReport   `json:"per_tenant"`
+	Violations    int              `json:"violations"`
+	Samples       []string         `json:"violation_samples,omitempty"`
+	FaultsFired   map[string]int64 `json:"faults_fired,omitempty"`
+}
+
+// runner is the per-run state shared by all streams.
+type runner struct {
+	cfg    *Config
+	client *http.Client
+
+	mu       sync.Mutex
+	baseline map[string]uint64 // tenant -> first probe density bits
+}
+
+// densityResponse is the subset of the wire answer the probe needs.
+type densityResponse struct {
+	Density   *float64  `json:"density"`
+	Densities []float64 `json:"densities"`
+}
+
+// post issues one tenant-scoped POST and returns the status code and
+// body. The tenant header rides on every request — harmless on
+// namespaced paths (path wins) and load-bearing on legacy ones.
+func (rn *runner) post(ctx context.Context, tenant, endpoint string, body any) (int, []byte, http.Header, error) {
+	if err := sendFault.Hit(ctx); err != nil {
+		return 0, nil, nil, err
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rn.cfg.urlFor(tenant, endpoint), bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TenantHeader, tenant)
+	resp, err := rn.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, raw, resp.Header, nil
+}
+
+// probePoint is the fixed coordinate whose density anchors the
+// bit-identity check; dims match the tenant specs (two-blob, 2-D).
+var probePoint = []float64{0.25, -0.25}
+
+// probe issues the bit-identity probe for tenant and compares against
+// the run's first observation. It returns a violation message or "".
+func (rn *runner) probe(ctx context.Context, tenant string) (string, error) {
+	status, raw, _, err := rn.post(ctx, tenant, "density", map[string]any{"point": probePoint})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK {
+		// Overload shedding (429) is a legitimate answer mid-burst; the
+		// probe simply learns nothing from it.
+		return "", nil
+	}
+	var dr densityResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		return "", err
+	}
+	if dr.Density == nil {
+		return fmt.Sprintf("tenant %s: probe answer missing density", tenant), nil
+	}
+	bits := math.Float64bits(*dr.Density)
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	prev, seen := rn.baseline[tenant]
+	if !seen {
+		rn.baseline[tenant] = bits
+		return "", nil
+	}
+	if bits != prev {
+		return fmt.Sprintf("tenant %s: probe density drifted: %x -> %x (read-only tenant must answer bit-identically)",
+			tenant, prev, bits), nil
+	}
+	return "", nil
+}
+
+// runStream replays one planned stream and records its observations.
+func (rn *runner) runStream(ctx context.Context, tenant string, steps []step, out *streamResult) error {
+	out.durations = make([]time.Duration, 0, len(steps))
+	for _, st := range steps {
+		if st.think > 0 {
+			select {
+			case <-time.After(st.think):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var body any
+		switch st.op {
+		case OpDensity:
+			body = map[string]any{"point": st.point}
+		case OpClassify:
+			body = map[string]any{"point": st.point}
+		case OpOutliers:
+			body = map[string]any{"points": [][]float64{st.point}}
+		case OpIngest:
+			body = map[string]any{"points": [][]float64{st.point}}
+		}
+		began := time.Now()
+		status, _, hdr, err := rn.post(ctx, tenant, string(st.op), body)
+		out.durations = append(out.durations, time.Since(began))
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			out.errors++
+		case status == http.StatusOK:
+			out.ok++
+			if echo := hdr.Get(server.TenantHeader); echo != tenant {
+				out.violations = append(out.violations,
+					fmt.Sprintf("tenant %s: response echoed %s=%q", tenant, server.TenantHeader, echo))
+			}
+		case status == http.StatusTooManyRequests:
+			out.shed++
+			// Shed answers must still identify the tenant they refused.
+			if echo := hdr.Get(server.TenantHeader); echo != "" && echo != tenant {
+				out.violations = append(out.violations,
+					fmt.Sprintf("tenant %s: 429 echoed %s=%q", tenant, server.TenantHeader, echo))
+			}
+		default:
+			out.errors++
+		}
+		if st.probe {
+			v, err := rn.probe(ctx, tenant)
+			if err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if v != "" {
+				out.violations = append(out.violations, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the configured replay and aggregates the report.
+func Run(ctx context.Context, cfg *Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := cfg.Client
+	if client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = parallel.Workers(cfg.Workers)
+		client = &http.Client{Timeout: timeout, Transport: tr}
+	}
+	rn := &runner{cfg: cfg, client: client, baseline: map[string]uint64{}}
+
+	// Anchor every read-only tenant's probe baseline before any load, so
+	// drift during the run is caught even by the first in-stream probe.
+	for _, tenant := range cfg.Tenants {
+		if cfg.writable(tenant) {
+			continue
+		}
+		if v, err := rn.probe(ctx, tenant); err != nil {
+			return nil, fmt.Errorf("load: baseline probe for tenant %s: %w", tenant, err)
+		} else if v != "" {
+			return nil, fmt.Errorf("load: baseline probe for tenant %s: %s: %w", tenant, v, udmerr.ErrDegraded)
+		}
+	}
+
+	n := len(cfg.Tenants) * cfg.Streams
+	results := make([]streamResult, n)
+	began := time.Now()
+	err := parallel.For(ctx, n, cfg.Workers, func(start, end int) error {
+		for i := start; i < end; i++ {
+			ti, si := i/cfg.Streams, i%cfg.Streams
+			steps, err := streamPlan(cfg, ti, si)
+			if err != nil {
+				return err
+			}
+			if err := rn.runStream(ctx, cfg.Tenants[ti], steps, &results[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	wall := time.Since(began)
+	if err != nil {
+		return nil, err
+	}
+
+	// Closing probe: the last word on bit-identity for read-only tenants.
+	closing := []string{}
+	for _, tenant := range cfg.Tenants {
+		if cfg.writable(tenant) {
+			continue
+		}
+		v, err := rn.probe(ctx, tenant)
+		if err != nil {
+			return nil, fmt.Errorf("load: closing probe for tenant %s: %w", tenant, err)
+		}
+		if v != "" {
+			closing = append(closing, v)
+		}
+	}
+
+	return assemble(cfg, results, closing, wall), nil
+}
+
+// assemble folds stream results into the report.
+func assemble(cfg *Config, results []streamResult, closing []string, wall time.Duration) *Report {
+	rep := &Report{
+		Target:      cfg.BaseURL,
+		Model:       cfg.Model,
+		Seed:        cfg.Seed,
+		Tenants:     len(cfg.Tenants),
+		Streams:     cfg.Streams,
+		PerStream:   cfg.Requests,
+		Namespaced:  cfg.Namespaced,
+		WallSeconds: wall.Seconds(),
+	}
+	wallSec := wall.Seconds()
+	for ti, tenant := range cfg.Tenants {
+		tr := TenantReport{Tenant: tenant}
+		var durs []time.Duration
+		for si := 0; si < cfg.Streams; si++ {
+			r := &results[ti*cfg.Streams+si]
+			tr.OK += r.ok
+			tr.Shed += r.shed
+			tr.Errors += r.errors
+			tr.Violations += len(r.violations)
+			for _, v := range r.violations {
+				if len(rep.Samples) < 8 {
+					rep.Samples = append(rep.Samples, v)
+				}
+			}
+			durs = append(durs, r.durations...)
+		}
+		for _, v := range closing {
+			if strings.HasPrefix(v, "tenant "+tenant+":") {
+				tr.Violations++
+				if len(rep.Samples) < 8 {
+					rep.Samples = append(rep.Samples, v)
+				}
+			}
+		}
+		tr.Requests = tr.OK + tr.Shed + tr.Errors
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		if len(durs) > 0 {
+			var sum time.Duration
+			for _, d := range durs {
+				sum += d
+			}
+			tr.MeanMs = sum.Seconds() * 1e3 / float64(len(durs))
+			tr.P50Ms = quantile(durs, 0.50).Seconds() * 1e3
+			tr.P99Ms = quantile(durs, 0.99).Seconds() * 1e3
+		}
+		if wallSec > 0 {
+			tr.Throughput = float64(tr.Requests) / wallSec
+		}
+		rep.TotalRequests += tr.Requests
+		rep.Violations += tr.Violations
+		rep.PerTenant = append(rep.PerTenant, tr)
+	}
+	if wallSec > 0 {
+		rep.Throughput = float64(rep.TotalRequests) / wallSec
+	}
+	if faultinject.Enabled() {
+		fired := map[string]int64{}
+		for _, site := range faultinject.Sites() {
+			if n := faultinject.Fired(site); n > 0 {
+				fired[site] = n
+			}
+		}
+		if len(fired) > 0 {
+			rep.FaultsFired = fired
+		}
+	}
+	return rep
+}
+
+// quantile returns the q-quantile of sorted durations (nearest-rank on
+// the sorted slice, the same convention the server's histograms use).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,310 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"udm/internal/server"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("density=0.7, ingest=0.2,classify=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Mix{Density: 0.7, Classify: 0.1, Ingest: 0.2}
+	if m != want {
+		t.Fatalf("ParseMix = %+v, want %+v", m, want)
+	}
+	for _, bad := range []string{"", "density", "density=-1", "density=x", "nope=1", "density=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func testConfig(url string) *Config {
+	return &Config{
+		BaseURL:    url,
+		Model:      "live",
+		Tenants:    []string{"t1", "t2"},
+		Streams:    3,
+		Requests:   10,
+		Workers:    4,
+		Seed:       7,
+		Mix:        Mix{Density: 0.6, Classify: 0.2, Ingest: 0.2},
+		Namespaced: true,
+		ProbeEvery: 4,
+	}
+}
+
+// TestStreamPlanDeterministic: the schedule is a pure function of
+// (config, tenant, stream) — worker count and timing play no part.
+func TestStreamPlanDeterministic(t *testing.T) {
+	cfg := testConfig("http://example")
+	cfg.BurstProb = 0.2
+	a, err := streamPlan(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := streamPlan(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("replaying the same (tenant, stream) produced a different plan")
+	}
+	c, err := streamPlan(cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("distinct streams produced identical plans")
+	}
+	cfg2 := *cfg
+	cfg2.Seed = 8
+	d, err := streamPlan(&cfg2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("distinct seeds produced identical plans")
+	}
+}
+
+// TestStreamPlanReadOnlyTenant: write-restricted configs fold ingest
+// away from read-only tenants and schedule their probes.
+func TestStreamPlanReadOnlyTenant(t *testing.T) {
+	cfg := testConfig("http://example")
+	cfg.WriteTenants = []string{"t1"}
+	probes := 0
+	for _, ti := range []int{0, 1} {
+		steps, err := streamPlan(cfg, ti, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range steps {
+			if st.op == OpIngest && cfg.Tenants[ti] == "t2" {
+				t.Fatal("read-only tenant t2 scheduled an ingest")
+			}
+			if st.probe {
+				if cfg.Tenants[ti] == "t1" {
+					t.Fatal("writable tenant t1 scheduled a probe")
+				}
+				probes++
+			}
+		}
+	}
+	if probes == 0 {
+		t.Fatal("read-only tenant scheduled no probes")
+	}
+}
+
+// stub is a minimal tenant-aware target: it echoes the tenant it
+// resolved and serves a per-tenant constant density.
+type stub struct {
+	mu       sync.Mutex
+	requests map[string]int              // tenant -> count
+	echo     func(tenant string) string  // header to echo (identity by default)
+	density  func(tenant string) float64 // probe answer
+}
+
+func newStub() *stub {
+	return &stub{
+		requests: map[string]int{},
+		echo:     func(tenant string) string { return tenant },
+		density:  func(string) float64 { return 0.5 },
+	}
+}
+
+func (st *stub) handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		tenant := r.PathValue("tenant")
+		if tenant == "" {
+			tenant = r.Header.Get(server.TenantHeader)
+		}
+		if tenant == "" {
+			tenant = server.DefaultTenant
+		}
+		st.mu.Lock()
+		st.requests[tenant]++
+		d := st.density(tenant)
+		st.mu.Unlock()
+		w.Header().Set(server.TenantHeader, st.echo(tenant))
+		fmt.Fprintf(w, `{"density": %g, "densities": [%g], "labels": [0], "ingested": 1, "count": 1}`, d, d)
+	}
+	for _, p := range []string{"/v1/models/{model}/{endpoint}", "/v1/t/{tenant}/models/{model}/{endpoint}"} {
+		mux.HandleFunc("POST "+p, handle)
+	}
+	return mux
+}
+
+// TestRunCleanTarget: a well-behaved target yields zero violations and
+// the planned request count per tenant.
+func TestRunCleanTarget(t *testing.T) {
+	st := newStub()
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.WriteTenants = []string{"t1"} // t2 becomes the probed read-only tenant
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("clean target reported %d violations: %v", rep.Violations, rep.Samples)
+	}
+	wantPerTenant := cfg.Streams * cfg.Requests
+	for _, tr := range rep.PerTenant {
+		if tr.Requests != wantPerTenant {
+			t.Errorf("tenant %s: %d stream requests, want %d", tr.Tenant, tr.Requests, wantPerTenant)
+		}
+		if tr.Errors != 0 || tr.Shed != 0 {
+			t.Errorf("tenant %s: errors=%d shed=%d on a clean target", tr.Tenant, tr.Errors, tr.Shed)
+		}
+		if tr.P99Ms < tr.P50Ms {
+			t.Errorf("tenant %s: p99 %.3f < p50 %.3f", tr.Tenant, tr.P99Ms, tr.P50Ms)
+		}
+	}
+	if rep.TotalRequests != 2*wantPerTenant {
+		t.Errorf("total %d, want %d", rep.TotalRequests, 2*wantPerTenant)
+	}
+	// The stub also saw the probes (baseline + in-stream + closing).
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.requests["t2"] <= wantPerTenant {
+		t.Errorf("read-only tenant saw %d requests, want > %d (probes ride on top)", st.requests["t2"], wantPerTenant)
+	}
+}
+
+// TestRunDetectsEchoViolation: a target that misattributes tenants is
+// caught by the echo check on every stream request.
+func TestRunDetectsEchoViolation(t *testing.T) {
+	st := newStub()
+	st.echo = func(tenant string) string {
+		if tenant == "t2" {
+			return "t1" // cross-tenant echo
+		}
+		return tenant
+	}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("cross-tenant echo went undetected")
+	}
+	if len(rep.Samples) == 0 || !strings.Contains(rep.Samples[0], "echoed") {
+		t.Fatalf("violation samples = %v, want echo violations", rep.Samples)
+	}
+}
+
+// TestRunDetectsProbeDrift: a read-only tenant whose density answer
+// changes mid-run breaks the bit-identity probe.
+func TestRunDetectsProbeDrift(t *testing.T) {
+	st := newStub()
+	seen := 0
+	st.density = func(tenant string) float64 {
+		if tenant != "t2" {
+			return 0.5
+		}
+		seen++ // st.mu is held by the handler
+		if seen > 1 {
+			return 0.25 // drift after the baseline observation
+		}
+		return 0.5
+	}
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.WriteTenants = []string{"t1"}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("probe drift went undetected")
+	}
+	found := false
+	for _, s := range rep.Samples {
+		if strings.Contains(s, "drifted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation samples = %v, want a probe drift violation", rep.Samples)
+	}
+}
+
+// TestRunLegacyPathsUseHeader: Namespaced=false drives the legacy
+// /v1 paths, with the tenant carried by the header alone.
+func TestRunLegacyPathsUseHeader(t *testing.T) {
+	st := newStub()
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.Namespaced = false
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("legacy-path run reported violations: %v", rep.Samples)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.requests["t1"] == 0 || st.requests["t2"] == 0 {
+		t.Fatalf("header-resolved tenants missing from stub counts: %v", st.requests)
+	}
+}
+
+// TestConfigValidate rejects the malformed configs the CLI can feed in.
+func TestConfigValidate(t *testing.T) {
+	good := testConfig("http://example")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Config{
+		{Model: "m", Tenants: []string{"a"}, Streams: 1, Requests: 1, Mix: Mix{Density: 1}},
+		{BaseURL: "x", Model: "..", Tenants: []string{"a"}, Streams: 1, Requests: 1, Mix: Mix{Density: 1}},
+		{BaseURL: "x", Model: "m", Streams: 1, Requests: 1, Mix: Mix{Density: 1}},
+		{BaseURL: "x", Model: "m", Tenants: []string{"a/b"}, Streams: 1, Requests: 1, Mix: Mix{Density: 1}},
+		{BaseURL: "x", Model: "m", Tenants: []string{"a"}, Streams: 0, Requests: 1, Mix: Mix{Density: 1}},
+		{BaseURL: "x", Model: "m", Tenants: []string{"a"}, Streams: 1, Requests: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+// TestReportJSONShape: the report marshals with the stable keys the
+// BENCH_serve.json trajectory and loadtest.sh grep for.
+func TestReportJSONShape(t *testing.T) {
+	rep := &Report{Target: "x", Model: "m", PerTenant: []TenantReport{{Tenant: "a"}}}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"per_tenant", "violations", "throughput_rps", "p99_ms", "wall_seconds"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report JSON missing key %q: %s", key, raw)
+		}
+	}
+}

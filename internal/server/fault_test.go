@@ -204,7 +204,7 @@ func TestFaultBreakerAndDegradedMode(t *testing.T) {
 	// Deterministic breaker clock.
 	var mu sync.Mutex
 	now := time.Unix(1_000_000, 0)
-	br := s.breakers["live"]
+	br := s.breakerFor(DefaultTenant, "live")
 	br.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
 	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
 

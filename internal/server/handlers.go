@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 
 	"udm/internal/evalopt"
 	"udm/internal/kde"
@@ -97,11 +98,11 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 }
 
 // evalRetry runs one direct (non-coalesced) model evaluation under the
-// eval fault point, the model's circuit breaker, and the server's retry
+// eval fault point, the slot's circuit breaker, and the server's retry
 // budget — the same resilience stack the batched paths get inside their
 // flush functions.
-func evalRetry[T any](ctx context.Context, s *Server, model string, op func(context.Context) (T, error)) (T, error) {
-	return retryDo(ctx, s.retry, s.breakers[model], func(ctx context.Context) (T, error) {
+func evalRetry[T any](ctx context.Context, s *Server, br *breaker, op func(context.Context) (T, error)) (T, error) {
+	return retryDo(ctx, s.retry, br, func(ctx context.Context) (T, error) {
 		if err := evalFault.Hit(ctx); err != nil {
 			var zero T
 			return zero, err
@@ -110,16 +111,27 @@ func evalRetry[T any](ctx context.Context, s *Server, model string, op func(cont
 	})
 }
 
-// model resolves the {model} path segment, writing 404 on a miss.
-func (s *Server) model(w http.ResponseWriter, r *http.Request) (*Model, bool) {
-	name := r.PathValue("model")
-	m, ok := s.reg.Get(name)
+// model resolves the request's (tenant, model) pair to the atomically
+// published (model, generation) — writing 400 on a bad tenant id and
+// 404 on a miss — and stamps the tenant and generation echo headers,
+// so every model response is pinned to exactly one version on the
+// wire.
+func (s *Server) model(w http.ResponseWriter, r *http.Request) (*servedModel, bool) {
+	tenant, ok := requestTenant(r)
 	if !ok {
-		writeError(w, s.metrics, http.StatusNotFound, "model_not_found",
-			fmt.Sprintf("no model named %q (have %v)", name, s.reg.Names()))
+		s.badTenant(w, r.PathValue("tenant"))
 		return nil, false
 	}
-	return m, true
+	w.Header().Set(TenantHeader, tenant)
+	name := r.PathValue("model")
+	sm, ok := s.reg.Resolve(tenant, name)
+	if !ok {
+		writeError(w, s.metrics, http.StatusNotFound, "model_not_found",
+			fmt.Sprintf("no model named %q in tenant %q (have %v)", name, tenant, s.reg.TenantNames(tenant)))
+		return nil, false
+	}
+	w.Header().Set(ModelVersionHeader, strconv.FormatUint(sm.gen, 10))
+	return sm, true
 }
 
 // decode parses a JSON request body, mapping malformed input to a 400.
@@ -202,19 +214,32 @@ func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
 }
 
 type modelInfo struct {
-	Name  string `json:"name"`
-	Kind  Kind   `json:"kind"`
-	Dims  int    `json:"dims"`
-	Count int    `json:"count,omitempty"`
+	Name   string `json:"name"`
+	Kind   Kind   `json:"kind"`
+	Dims   int    `json:"dims"`
+	Count  int    `json:"count,omitempty"`
+	Gen    uint64 `json:"gen,omitempty"`
+	Staged bool   `json:"staged,omitempty"` // a newer version awaits promote
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
-	out := make([]modelInfo, 0, len(s.reg.Names()))
-	for _, n := range s.reg.Names() {
-		m, _ := s.reg.Get(n)
-		info := modelInfo{Name: n, Kind: m.Kind(), Dims: m.Dims()}
-		if m.Engine() != nil {
-			info.Count = m.Engine().Count()
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := requestTenant(r)
+	if !ok {
+		s.badTenant(w, r.PathValue("tenant"))
+		return
+	}
+	w.Header().Set(TenantHeader, tenant)
+	names := s.reg.TenantNames(tenant)
+	out := make([]modelInfo, 0, len(names))
+	for _, n := range names {
+		sm, ok := s.reg.Resolve(tenant, n)
+		if !ok {
+			continue
+		}
+		info := modelInfo{Name: n, Kind: sm.m.Kind(), Dims: sm.m.Dims(),
+			Gen: sm.gen, Staged: s.reg.Staged(tenant, n)}
+		if sm.m.Engine() != nil {
+			info.Count = sm.m.Engine().Count()
 		}
 		out = append(out, info)
 	}
@@ -234,10 +259,11 @@ type classifyResponse struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	clf := m.Classifier()
 	if clf == nil {
 		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
@@ -257,14 +283,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if single {
 		// Coalesce concurrent single-point requests into one batched
 		// call on the worker pool.
-		label, err := s.batchers[m.Name()].classify.do(r.Context(), rows[0])
+		label, err := s.runtime(sm).classify.do(r.Context(), rows[0])
 		if err != nil {
 			s.fail(w, err)
 			return
 		}
 		labels = []int{label}
 	} else {
-		labels, err = evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]int, error) {
+		labels, err = evalRetry(r.Context(), s, s.breakerFor(sm.tenant, m.Name()), func(ctx context.Context) ([]int, error) {
 			return clf.ClassifyBatchContext(ctx, rows, s.opt.Workers)
 		})
 		if err != nil {
@@ -314,10 +340,11 @@ type densityResponse struct {
 }
 
 func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	var req densityRequest
 	if !decode(w, r, s.metrics, &req) {
 		return
@@ -358,7 +385,7 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-UDM-Backend", string(bk))
 	}
 	if single {
-		d, cached, degraded, err := s.densityOne(r.Context(), m, rows[0], req.Dims, bk, acc)
+		d, cached, degraded, err := s.densityOne(r.Context(), sm, rows[0], req.Dims, bk, acc)
 		if err != nil {
 			s.fail(w, err)
 			return
@@ -369,7 +396,7 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, densityResponse{Densities: []float64{d}, Density: &d, Cached: cached, Degraded: degraded})
 		return
 	}
-	ds, err := evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) ([]float64, error) {
+	ds, err := evalRetry(r.Context(), s, s.breakerFor(sm.tenant, m.Name()), func(ctx context.Context) ([]float64, error) {
 		est, err := m.backendAt(bk, acc)
 		if err != nil {
 			return nil, err
@@ -394,20 +421,25 @@ const staleVersion = ^uint64(0)
 // micro-batcher. Subset, approximate, and non-default-backend queries
 // bypass coalescing (one batch shares one dims slice, one accuracy
 // mode, and one backend) but still hit the cache. Cache keys are
-// segmented by accuracy and by backend so answers from different rungs
-// never alias; the default and explicit-exact backends share the
-// pre-backend key format (they are bit-identical by contract). When
+// segmented by tenant and activation generation (two tenants' — or two
+// versions' — identical float batches are different answers) and by
+// accuracy and backend so answers from different rungs never alias;
+// the default and explicit-exact backends share the pre-backend key
+// format (they are bit-identical by contract). The stale key drops the
+// generation along with the version — degraded continuity across swaps
+// is deliberate — but never the tenant. When
 // the model's circuit breaker refuses the evaluation, the stale cache
 // answers instead (degraded=true); with no stale entry either, the
 // request fails with ErrDegraded.
-func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []int, bk evalopt.Backend, acc kernel.AccuracyMode) (d float64, cached, degraded bool, err error) {
+func (s *Server) densityOne(ctx context.Context, sm *servedModel, x []float64, dims []int, bk evalopt.Backend, acc kernel.AccuracyMode) (d float64, cached, degraded bool, err error) {
+	m := sm.m
 	exactBackend := bk == evalopt.BackendDefault || bk == evalopt.BackendExact
 	mode := acc.String()
 	if !exactBackend {
 		mode = string(bk) + ":" + mode
 	}
-	key := cacheKey(m.Name(), m.version(), mode, dims, x, s.opt.CacheQuantum)
-	skey := cacheKey(m.Name(), staleVersion, mode, dims, x, s.opt.CacheQuantum)
+	key := cacheKey(sm.tenant, m.Name(), sm.gen, m.version(), mode, dims, x, s.opt.CacheQuantum)
+	skey := cacheKey(sm.tenant, m.Name(), 0, staleVersion, mode, dims, x, s.opt.CacheQuantum)
 	if ferr := cacheGetFault.Hit(ctx); ferr == nil {
 		if d, ok := s.cache.get(key); ok {
 			s.metrics.CacheHits.Add(1)
@@ -416,9 +448,9 @@ func (s *Server) densityOne(ctx context.Context, m *Model, x []float64, dims []i
 		s.metrics.CacheMisses.Add(1)
 	} // an unavailable cache is a miss, never a failure
 	if exactBackend && dims == nil && acc.IsExact() {
-		d, err = s.batchers[m.Name()].density.do(ctx, x)
+		d, err = s.runtime(sm).density.do(ctx, x)
 	} else {
-		d, err = evalRetry(ctx, s, m.Name(), func(ctx context.Context) (float64, error) {
+		d, err = evalRetry(ctx, s, s.breakerFor(sm.tenant, m.Name()), func(ctx context.Context) (float64, error) {
 			est, err := m.backendAt(bk, acc)
 			if err != nil {
 				return 0, err
@@ -462,10 +494,11 @@ type outliersResponse struct {
 }
 
 func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	var req outliersRequest
 	if !decode(w, r, s.metrics, &req) {
 		return
@@ -498,7 +531,7 @@ func (s *Server) handleOutliers(w http.ResponseWriter, r *http.Request) {
 		opt.UseQueryError = true
 		opt.KDE.ErrorAdjust = true
 	}
-	res, err := evalRetry(r.Context(), s, m.Name(), func(context.Context) (*outlier.Result, error) {
+	res, err := evalRetry(r.Context(), s, s.breakerFor(sm.tenant, m.Name()), func(context.Context) (*outlier.Result, error) {
 		return outlier.DetectStream(sum, rows, req.Errors, opt)
 	})
 	if err != nil {
@@ -546,10 +579,11 @@ type ingestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	eng := m.Engine()
 	if eng == nil {
 		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
@@ -582,12 +616,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The resident-point quota is checked against the tenant's current
+	// footprint plus this batch; a batch that would cross the cap is
+	// refused whole rather than partially applied.
+	if q := s.quotaFor(sm.tenant); q.MaxPoints > 0 &&
+		s.reg.Points(sm.tenant, "")+int64(len(rows)) > q.MaxPoints {
+		writeError(w, s.metrics, http.StatusTooManyRequests, "quota_exceeded",
+			fmt.Sprintf("ingesting %d points would exceed tenant %q point quota (%d)",
+				len(rows), sm.tenant, q.MaxPoints))
+		return
+	}
 	// A keyed batch already applied once (its response was lost and the
 	// client retried) is acknowledged again, never re-applied — see
-	// idempotency.go. Keys are scoped per model.
+	// idempotency.go. Keys are scoped per (tenant, model).
 	var dedupKey string
 	if key := r.Header.Get(IdempotencyHeader); key != "" {
-		dedupKey = m.Name() + "\x00" + key
+		dedupKey = sm.tenant + "\x00" + m.Name() + "\x00" + key
 		if resp, dup := s.ingestSeen.get(dedupKey); dup {
 			s.metrics.IngestDeduped.Add(1)
 			writeJSON(w, http.StatusOK, resp)

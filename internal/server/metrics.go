@@ -65,6 +65,13 @@ type Metrics struct {
 	Degraded      *obs.Counter // responses served from the stale cache while a breaker was open
 	IngestDeduped *obs.Counter // retried ingest batches acknowledged from the dedup window
 
+	// Hot-swap lifecycle (labeled series of one family; Prometheus-only
+	// like the rest of the post-freeze metrics). Per-tenant request and
+	// shed counters are registered lazily per tenant id (tenancy.go).
+	SwapStaged    *obs.Counter
+	SwapPromotes  *obs.Counter
+	SwapRollbacks *obs.Counter
+
 	// Latency of served /v1 requests (excluding shed ones), seconds.
 	Latency *obs.Histogram
 }
@@ -99,6 +106,10 @@ func newMetrics() *Metrics {
 		Retries:       reg.Counter("udm_retry_total", "model evaluations retried after a transient failure"),
 		Degraded:      reg.Counter("udm_server_degraded_total", "degraded responses served from the stale density cache"),
 		IngestDeduped: reg.Counter("udm_server_ingest_dedup_total", "retried ingest batches acknowledged without re-applying"),
+
+		SwapStaged:    reg.Counter("udm_server_swaps_total", "hot-swap lifecycle operations", "op", "stage"),
+		SwapPromotes:  reg.Counter("udm_server_swaps_total", "hot-swap lifecycle operations", "op", "promote"),
+		SwapRollbacks: reg.Counter("udm_server_swaps_total", "hot-swap lifecycle operations", "op", "rollback"),
 
 		Latency: reg.Histogram("udm_server_latency_seconds", "latency of served /v1 requests", latencyBuckets),
 	}

@@ -9,11 +9,13 @@ package server
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"udm/internal/core"
 	"udm/internal/density"
@@ -340,51 +342,362 @@ func (m *Model) Checkpoint() error {
 	return f.Close()
 }
 
-// Registry is the immutable name → model table the server routes on.
-// Models are added before the server starts; lookups are lock-free.
+// Points returns the number of summarized source points resident in
+// the model — the unit the per-tenant resident-point quota is charged
+// in. Stream models report their ingested row count; static models the
+// point count their summary was built from.
+func (m *Model) Points() int {
+	if m.eng != nil {
+		return m.eng.Count()
+	}
+	if m.sum != nil {
+		return m.sum.Count()
+	}
+	return 0
+}
+
+// DefaultTenant is the namespace the un-prefixed /v1/models/... routes
+// alias to. Pre-tenancy clients land here without changing a byte.
+const DefaultTenant = "default"
+
+// Hot-swap lifecycle errors. They are registry-level conditions, not
+// library sentinels: the handlers map them to 409s with stable codes.
+var (
+	// ErrNoStaged: promote was called on a slot with nothing staged.
+	ErrNoStaged = errors.New("server: no staged version to promote")
+	// ErrNoPrevious: rollback was called on a slot that never swapped.
+	ErrNoPrevious = errors.New("server: no previous version to roll back to")
+)
+
+// servedModel is one published (model, generation) pair. It is the
+// unit of atomic hot-swap: readers load the pair with a single atomic
+// pointer read, so a request can never observe one version's model
+// with another version's generation — the property the version-echo
+// headers and the swap atomicity test rely on.
+type servedModel struct {
+	m      *Model
+	tenant string
+	gen    uint64 // activation generation, unique per slot, starts at 1
+}
+
+// Model returns the published model.
+func (sm *servedModel) Model() *Model { return sm.m }
+
+// Tenant returns the namespace the model is published in.
+func (sm *servedModel) Tenant() string { return sm.tenant }
+
+// Gen returns the activation generation (echoed as
+// X-UDM-Model-Version and folded into density-cache keys).
+func (sm *servedModel) Gen() uint64 { return sm.gen }
+
+// qualified renders "name" for the default tenant and "tenant/name"
+// otherwise — the form used in spans, errors and breaker metric
+// labels, keeping single-tenant dashboards unchanged.
+func qualified(tenant, name string) string {
+	if tenant == DefaultTenant {
+		return name
+	}
+	return tenant + "/" + name
+}
+
+// slot is one (tenant, name) registration: the atomically-published
+// active version plus the staged and previous versions the hot-swap
+// state machine moves between. mu serializes the writers (stage,
+// promote, rollback); readers never take it.
+type slot struct {
+	active atomic.Pointer[servedModel]
+
+	mu      sync.Mutex
+	staged  *Model
+	prev    *servedModel // last retired active; rollback target
+	lastGen uint64
+}
+
+// Registry is the tenant → name → model table the server routes on.
+// Lookups take a read lock on the two-level map only; the model behind
+// a name is resolved with one atomic load, so a promote concurrent
+// with a million in-flight reads is still a single pointer swing.
 type Registry struct {
-	models map[string]*Model
+	mu      sync.RWMutex
+	tenants map[string]map[string]*slot
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*Model)}
+	return &Registry{tenants: make(map[string]map[string]*slot)}
 }
 
-// Add registers a model under its name. Duplicate names are an error.
+// ValidIdent reports whether s is usable as a tenant or model name:
+// 1–64 bytes of [A-Za-z0-9._-], excluding the path-traversal names.
+// Keeping NUL and '/' out of the charset is what lets cache and dedup
+// keys join tenant and name with separators unambiguously.
+func ValidIdent(s string) bool {
+	if len(s) == 0 || len(s) > 64 || s == "." || s == ".." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// slotFor returns the slot for (tenant, name), creating it when create
+// is set.
+func (r *Registry) slotFor(tenant, name string, create bool) *slot {
+	if create {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		ns := r.tenants[tenant]
+		if ns == nil {
+			ns = make(map[string]*slot)
+			r.tenants[tenant] = ns
+		}
+		sl := ns[name]
+		if sl == nil {
+			sl = &slot{}
+			ns[name] = sl
+		}
+		return sl
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tenants[tenant][name]
+}
+
+// Add registers a model in the default tenant. Duplicate names are an
+// error.
 func (r *Registry) Add(m *Model) error {
-	if m.name == "" {
-		return fmt.Errorf("server: model with empty name")
+	return r.AddTenant(DefaultTenant, m)
+}
+
+// AddTenant registers a model in tenant's namespace as its immediately
+// active (generation 1) version. Duplicates are an error; use Stage +
+// Promote to replace a live model.
+func (r *Registry) AddTenant(tenant string, m *Model) error {
+	if !ValidIdent(tenant) {
+		return fmt.Errorf("server: invalid tenant id %q", tenant)
 	}
-	if _, dup := r.models[m.name]; dup {
-		return fmt.Errorf("server: duplicate model name %q", m.name)
+	if !ValidIdent(m.name) {
+		return fmt.Errorf("server: invalid model name %q", m.name)
 	}
-	r.models[m.name] = m
+	sl := r.slotFor(tenant, m.name, true)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.active.Load() != nil || sl.staged != nil {
+		return fmt.Errorf("server: duplicate model name %q in tenant %q", m.name, tenant)
+	}
+	sl.lastGen = 1
+	sl.active.Store(&servedModel{m: m, tenant: tenant, gen: 1})
 	return nil
 }
 
-// Get looks a model up by name.
+// Get looks a model up in the default tenant.
 func (r *Registry) Get(name string) (*Model, bool) {
-	m, ok := r.models[name]
-	return m, ok
+	sm, ok := r.Resolve(DefaultTenant, name)
+	if !ok {
+		return nil, false
+	}
+	return sm.m, true
 }
 
-// Names returns the registered model names, sorted.
+// Resolve returns the active (model, generation) pair for (tenant,
+// name) with a single atomic load — the request-path lookup.
+func (r *Registry) Resolve(tenant, name string) (*servedModel, bool) {
+	sl := r.slotFor(tenant, name, false)
+	if sl == nil {
+		return nil, false
+	}
+	sm := sl.active.Load()
+	if sm == nil {
+		return nil, false // staged-only slot: not routable until promoted
+	}
+	return sm, true
+}
+
+// Stage installs m as the slot's staged (next) version without
+// touching the active one. Staging over an un-promoted staged version
+// replaces it. A slot with no active version may be staged into — a
+// brand-new model deploys as stage + promote.
+func (r *Registry) Stage(tenant, name string, m *Model) error {
+	if !ValidIdent(tenant) {
+		return fmt.Errorf("server: invalid tenant id %q", tenant)
+	}
+	if !ValidIdent(name) {
+		return fmt.Errorf("server: invalid model name %q", name)
+	}
+	if m.name != name {
+		return fmt.Errorf("server: staging model named %q into slot %q", m.name, name)
+	}
+	sl := r.slotFor(tenant, name, true)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	sl.staged = m
+	return nil
+}
+
+// Promote atomically publishes the staged version as active, retiring
+// the current active version as the rollback target. It returns the
+// newly published pair and the retired one (nil on first promote).
+// In-flight requests that resolved before the swap keep the pair they
+// loaded — they finish on their version, new requests get the new one,
+// and nobody observes a mix.
+func (r *Registry) Promote(tenant, name string) (now, old *servedModel, err error) {
+	sl := r.slotFor(tenant, name, false)
+	if sl == nil {
+		return nil, nil, fmt.Errorf("server: model %q tenant %q: %w", name, tenant, ErrNoStaged)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.staged == nil {
+		return nil, nil, fmt.Errorf("server: model %q tenant %q: %w", name, tenant, ErrNoStaged)
+	}
+	old = sl.active.Load()
+	sl.lastGen++
+	now = &servedModel{m: sl.staged, tenant: tenant, gen: sl.lastGen}
+	sl.active.Store(now)
+	sl.prev, sl.staged = old, nil
+	return now, old, nil
+}
+
+// Rollback atomically republishes the previously active version (the
+// one the last Promote retired) under a fresh generation, retiring the
+// current active as the new rollback target — so two rollbacks swing
+// back and forth. The generation always moves forward: a rollback is a
+// new activation, not a return to the old one, which keeps cached
+// densities from the first activation from leaking into the second.
+func (r *Registry) Rollback(tenant, name string) (now, old *servedModel, err error) {
+	sl := r.slotFor(tenant, name, false)
+	if sl == nil {
+		return nil, nil, fmt.Errorf("server: model %q tenant %q: %w", name, tenant, ErrNoPrevious)
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.prev == nil {
+		return nil, nil, fmt.Errorf("server: model %q tenant %q: %w", name, tenant, ErrNoPrevious)
+	}
+	old = sl.active.Load()
+	sl.lastGen++
+	now = &servedModel{m: sl.prev.m, tenant: tenant, gen: sl.lastGen}
+	sl.active.Store(now)
+	sl.prev = old
+	return now, old, nil
+}
+
+// Staged reports whether (tenant, name) currently has a staged
+// version awaiting promote.
+func (r *Registry) Staged(tenant, name string) bool {
+	sl := r.slotFor(tenant, name, false)
+	if sl == nil {
+		return false
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.staged != nil
+}
+
+// Names returns the default tenant's model names, sorted.
 func (r *Registry) Names() []string {
-	out := make([]string, 0, len(r.models))
-	for n := range r.models {
-		out = append(out, n)
+	return r.TenantNames(DefaultTenant)
+}
+
+// TenantNames returns tenant's routable (active) model names, sorted.
+func (r *Registry) TenantNames(tenant string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tenants[tenant]))
+	for n, sl := range r.tenants[tenant] {
+		if sl.active.Load() != nil {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Checkpoint saves every stream model that has a checkpoint path,
-// returning the first error after attempting all of them.
+// Tenants returns every tenant id with at least one slot, sorted.
+func (r *Registry) Tenants() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tenants))
+	for t := range r.tenants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModelCount counts tenant's occupied slots (active or staged) — the
+// figure the per-tenant model quota is checked against, so a tenant
+// cannot dodge its cap by parking models in the staged position.
+func (r *Registry) ModelCount(tenant string) int {
+	r.mu.RLock()
+	slots := make([]*slot, 0, len(r.tenants[tenant]))
+	for _, sl := range r.tenants[tenant] {
+		slots = append(slots, sl)
+	}
+	r.mu.RUnlock()
+	n := 0
+	for _, sl := range slots {
+		sl.mu.Lock()
+		if sl.active.Load() != nil || sl.staged != nil {
+			n++
+		}
+		sl.mu.Unlock()
+	}
+	return n
+}
+
+// Points sums the resident summarized points across tenant's active
+// models, excluding the model named skip (the one a quota check is
+// about to replace; "" skips nothing).
+func (r *Registry) Points(tenant, skip string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for n, sl := range r.tenants[tenant] {
+		if n == skip {
+			continue
+		}
+		if sm := sl.active.Load(); sm != nil {
+			total += int64(sm.m.Points())
+		}
+	}
+	return total
+}
+
+// Checkpoint saves every active stream model (all tenants) that has a
+// checkpoint path, returning the first error after attempting all.
 func (r *Registry) Checkpoint() error {
+	r.mu.RLock()
+	tenants := make([]string, 0, len(r.tenants))
+	for t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	var models []*Model
+	for _, t := range tenants {
+		ns := r.tenants[t]
+		names := make([]string, 0, len(ns))
+		for n := range ns {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if sm := ns[n].active.Load(); sm != nil {
+				models = append(models, sm.m)
+			}
+		}
+	}
+	r.mu.RUnlock()
 	var first error
-	for _, n := range r.Names() {
-		if err := r.models[n].Checkpoint(); err != nil && first == nil {
+	for _, m := range models {
+		if err := m.Checkpoint(); err != nil && first == nil {
 			first = err
 		}
 	}

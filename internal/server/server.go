@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -82,6 +83,32 @@ type Options struct {
 	// flight at once, and how many must succeed consecutively to close
 	// the breaker again (default 1).
 	BreakerProbes int
+
+	// TenantMaxInflight is the default per-tenant fair-share cap on
+	// concurrently admitted /v1 requests (default MaxInflight, i.e. no
+	// tighter than the global gate until configured; negative =
+	// unlimited). One tenant bursting past its share sheds with 429
+	// tenant_overloaded while other tenants keep their headroom.
+	TenantMaxInflight int
+	// TenantMaxModels is the default per-tenant cap on occupied registry
+	// slots, active or staged (0 = unlimited).
+	TenantMaxModels int
+	// TenantMaxPoints is the default per-tenant cap on resident
+	// summarized points across active models (0 = unlimited); ingest and
+	// staged uploads that would exceed it are refused with 429
+	// quota_exceeded.
+	TenantMaxPoints int64
+	// TenantQuotas overrides the three per-tenant caps for specific
+	// tenants; zero fields inherit the defaults above.
+	TenantQuotas map[string]Quota
+
+	// ModelKDE is the estimator policy applied to models staged via
+	// PUT /v1/t/{tenant}/models/{model} (the upload carries only the
+	// artifact; evaluation policy is the operator's).
+	ModelKDE kde.Options
+	// ModelThreshold is the classifier density threshold for staged
+	// transform uploads (0 = the library default).
+	ModelThreshold float64
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +158,9 @@ func (o Options) withDefaults() Options {
 	if o.BreakerProbes == 0 {
 		o.BreakerProbes = 1
 	}
+	if o.TenantMaxInflight == 0 {
+		o.TenantMaxInflight = o.MaxInflight
+	}
 	return o
 }
 
@@ -147,13 +177,15 @@ type Server struct {
 	handler  http.Handler
 	ready    atomic.Bool
 
-	// Resilience: shared retry pacing, one breaker per model (nil when
-	// disabled), and the stale density cache backing degraded mode. The
-	// stale cache is keyed without the model version, so entries survive
-	// the version bumps that retire the exact cache — deliberately: a
-	// stale answer is degraded mode's whole point.
+	// Resilience: shared retry pacing, one breaker per (tenant, model)
+	// slot — shared across that slot's versions, created lazily — and
+	// the stale density cache backing degraded mode. The stale cache is
+	// keyed without the model version or generation, so entries survive
+	// the bumps that retire the exact cache — deliberately: a stale
+	// answer is degraded mode's whole point.
 	retry    *retrier
-	breakers map[string]*breaker
+	brMu     sync.Mutex
+	breakers map[string]*breaker // key: tenant + "\x00" + name
 	stale    *lruCache
 
 	// ingestSeen remembers recently acknowledged ingest batches by
@@ -161,8 +193,21 @@ type Server struct {
 	// records (idempotency.go).
 	ingestSeen *ingestDedup
 
-	httpSrv  *http.Server
-	batchers map[string]*modelBatchers
+	// tenantStates holds each tenant's fair-share admission ledger and
+	// labeled counters, created on first sight (tenancy.go).
+	tnMu         sync.Mutex
+	tenantStates map[string]*tenantState
+
+	httpSrv *http.Server
+
+	// runtimes maps each published *Model instance — not its name — to
+	// its coalescing batchers, so a micro-batch only ever contains
+	// requests that resolved the same (model, generation) pair: the
+	// version-pinning half of atomic hot-swap. baseCtx parents every
+	// batch flush; retired instances are drained and dropped on swap.
+	baseCtx  context.Context
+	rtMu     sync.Mutex
+	runtimes map[*Model]*modelBatchers
 }
 
 // modelBatchers holds one coalescer per (model, operation) pair.
@@ -201,12 +246,13 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 			SlowThreshold: opt.SlowRequest,
 			SlowLogf:      opt.SlowLogf,
 		}),
-		cache:      newLRUCache(opt.CacheSize),
-		inflight:   make(chan struct{}, opt.MaxInflight),
-		batchers:   make(map[string]*modelBatchers),
-		breakers:   make(map[string]*breaker),
-		stale:      newLRUCache(opt.CacheSize),
-		ingestSeen: newIngestDedup(),
+		cache:        newLRUCache(opt.CacheSize),
+		inflight:     make(chan struct{}, opt.MaxInflight),
+		breakers:     make(map[string]*breaker),
+		stale:        newLRUCache(opt.CacheSize),
+		ingestSeen:   newIngestDedup(),
+		tenantStates: make(map[string]*tenantState),
+		runtimes:     make(map[*Model]*modelBatchers),
 	}
 	s.retry = newRetrier(opt, s.metrics.Retries)
 	s.metrics.reg.GaugeFunc("udm_server_cache_entries", "live density-cache entries",
@@ -216,44 +262,93 @@ func NewContext(ctx context.Context, reg *Registry, opt Options) *Server {
 	}
 	// Batch flushes run under the server lifecycle context, not any one
 	// request's; carry the server tracer so their library spans land in
-	// the same rings as request spans.
-	ctx = obs.WithTracer(ctx, s.tracer)
-	for _, name := range reg.Names() {
-		m, _ := reg.Get(name)
-		br := newBreaker(name, opt, s.metrics.reg)
-		s.breakers[name] = br
-		mb := &modelBatchers{}
-		if m.Classifier() != nil {
-			clf := m.Classifier()
-			mb.classify = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
-				func(ctx context.Context, reqs [][]float64) ([]int, error) {
-					return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]int, error) {
-						if err := evalFault.Hit(ctx); err != nil {
-							return nil, err
-						}
-						return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
-					})
-				})
-		}
-		model := m
-		mb.density = newBatcher(ctx, opt.MaxBatch, opt.BatchDelay, s.metrics,
-			func(ctx context.Context, reqs [][]float64) ([]float64, error) {
-				return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]float64, error) {
-					if err := evalFault.Hit(ctx); err != nil {
-						return nil, err
-					}
-					est, _, err := model.estimator()
-					if err != nil {
-						return nil, err
-					}
-					return kde.DensityBatchOpts(est, reqs, nil, kde.BatchOptions{Ctx: ctx, Workers: opt.Workers})
-				})
-			})
-		s.batchers[name] = mb
-	}
+	// the same rings as request spans. Batchers themselves are built
+	// lazily per published model instance (see runtime) — models now
+	// appear and swap at runtime, not only before the server starts.
+	s.baseCtx = obs.WithTracer(ctx, s.tracer)
 	s.handler = s.routes()
 	s.ready.Store(true)
 	return s
+}
+
+// breakerFor get-or-creates the circuit breaker for a (tenant, model)
+// slot. The breaker outlives version swaps on purpose: a promote is
+// not evidence the dependency recovered, and a rollback must not reset
+// accumulated failure state. The metric label stays the bare model
+// name for the default tenant so pre-tenancy dashboards keep working.
+func (s *Server) breakerFor(tenant, name string) *breaker {
+	key := tenant + "\x00" + name
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	br, ok := s.breakers[key]
+	if !ok {
+		br = newBreaker(qualified(tenant, name), s.opt, s.metrics.reg)
+		s.breakers[key] = br
+	}
+	return br
+}
+
+// runtime get-or-creates the coalescing batchers for one published
+// (model, generation) pair, keyed by model instance: every request in
+// a coalesced batch resolved the same instance, so a batch can never
+// span a version swap. Flush closures capture the instance and the
+// slot's breaker, and run under the server lifecycle context.
+func (s *Server) runtime(sm *servedModel) *modelBatchers {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	mb, ok := s.runtimes[sm.m]
+	if ok {
+		return mb
+	}
+	m, opt := sm.m, s.opt
+	br := s.breakerFor(sm.tenant, m.Name())
+	mb = &modelBatchers{}
+	if clf := m.Classifier(); clf != nil {
+		mb.classify = newBatcher(s.baseCtx, opt.MaxBatch, opt.BatchDelay, s.metrics,
+			func(ctx context.Context, reqs [][]float64) ([]int, error) {
+				return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]int, error) {
+					if err := evalFault.Hit(ctx); err != nil {
+						return nil, err
+					}
+					return clf.ClassifyBatchContext(ctx, reqs, opt.Workers)
+				})
+			})
+	}
+	mb.density = newBatcher(s.baseCtx, opt.MaxBatch, opt.BatchDelay, s.metrics,
+		func(ctx context.Context, reqs [][]float64) ([]float64, error) {
+			return retryDo(ctx, s.retry, br, func(ctx context.Context) ([]float64, error) {
+				if err := evalFault.Hit(ctx); err != nil {
+					return nil, err
+				}
+				est, _, err := m.estimator()
+				if err != nil {
+					return nil, err
+				}
+				return kde.DensityBatchOpts(est, reqs, nil, kde.BatchOptions{Ctx: ctx, Workers: opt.Workers})
+			})
+		})
+	s.runtimes[sm.m] = mb
+	return mb
+}
+
+// retire drains and drops a swapped-out model instance's batchers.
+// Draining (not killing) them is what makes the swap zero-downtime:
+// requests already pinned to the old version flush immediately and
+// finish on it, while new arrivals resolve the new instance.
+func (s *Server) retire(m *Model) {
+	s.rtMu.Lock()
+	mb := s.runtimes[m]
+	delete(s.runtimes, m)
+	s.rtMu.Unlock()
+	if mb == nil {
+		return
+	}
+	if mb.classify != nil {
+		mb.classify.drain()
+	}
+	if mb.density != nil {
+		mb.density.drain()
+	}
 }
 
 // Handler returns the root handler (useful for httptest and embedding).
@@ -294,7 +389,13 @@ func (s *Server) ListenAndServe(addr string) error {
 // via its engine's Save. It returns the first error encountered.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
-	for _, mb := range s.batchers {
+	s.rtMu.Lock()
+	mbs := make([]*modelBatchers, 0, len(s.runtimes))
+	for _, mb := range s.runtimes {
+		mbs = append(mbs, mb)
+	}
+	s.rtMu.Unlock()
+	for _, mb := range mbs {
 		if mb.classify != nil {
 			mb.classify.drain()
 		}
@@ -320,17 +421,28 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/models/{model}/classify", s.guard("classify", s.metrics.ClassifyRequests, s.handleClassify))
-	mux.HandleFunc("POST /v1/models/{model}/density", s.guard("density", s.metrics.DensityRequests, s.handleDensity))
-	mux.HandleFunc("POST /v1/models/{model}/outliers", s.guard("outliers", s.metrics.OutlierRequests, s.handleOutliers))
-	mux.HandleFunc("POST /v1/models/{model}/ingest", s.guard("ingest", s.metrics.IngestRequests, s.handleIngest))
-	// Distributed-serving protocol (internal/distrib): summary pull,
-	// partial-term fan-out, and replica catch-up.
-	mux.HandleFunc("GET /v1/models/{model}/summary", s.handleSummary)
-	mux.HandleFunc("GET /v1/models/{model}/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /v1/models/{model}/tail", s.handleTail)
-	mux.HandleFunc("POST /v1/models/{model}/partial", s.guard("partial", s.metrics.PartialRequests, s.handlePartial))
+	// Every model route is registered twice: under the tenant namespace
+	// /v1/t/{tenant}/models/... and under the legacy /v1/models/...
+	// alias, which resolves the tenant from X-UDM-Tenant (defaulting to
+	// the default tenant) — pre-tenancy clients keep working unchanged.
+	for _, p := range []string{"/v1", "/v1/t/{tenant}"} {
+		mux.HandleFunc("GET "+p+"/models", s.handleModels)
+		mux.HandleFunc("POST "+p+"/models/{model}/classify", s.guard("classify", s.metrics.ClassifyRequests, s.handleClassify))
+		mux.HandleFunc("POST "+p+"/models/{model}/density", s.guard("density", s.metrics.DensityRequests, s.handleDensity))
+		mux.HandleFunc("POST "+p+"/models/{model}/outliers", s.guard("outliers", s.metrics.OutlierRequests, s.handleOutliers))
+		mux.HandleFunc("POST "+p+"/models/{model}/ingest", s.guard("ingest", s.metrics.IngestRequests, s.handleIngest))
+		// Hot-swap lifecycle: stage an uploaded artifact, promote it
+		// atomically, roll back to the retired version.
+		mux.HandleFunc("PUT "+p+"/models/{model}", s.handleStage)
+		mux.HandleFunc("POST "+p+"/models/{model}/promote", s.handlePromote)
+		mux.HandleFunc("POST "+p+"/models/{model}/rollback", s.handleRollback)
+		// Distributed-serving protocol (internal/distrib): summary pull,
+		// partial-term fan-out, and replica catch-up.
+		mux.HandleFunc("GET "+p+"/models/{model}/summary", s.handleSummary)
+		mux.HandleFunc("GET "+p+"/models/{model}/checkpoint", s.handleCheckpoint)
+		mux.HandleFunc("GET "+p+"/models/{model}/tail", s.handleTail)
+		mux.HandleFunc("POST "+p+"/models/{model}/partial", s.guard("partial", s.metrics.PartialRequests, s.handlePartial))
+	}
 	if s.opt.Debug {
 		mux.HandleFunc("GET /debug/traces", s.handleTraces)
 		mux.HandleFunc("GET /debug/slow", s.handleSlow)
@@ -344,16 +456,28 @@ func (s *Server) routes() http.Handler {
 }
 
 // guard is the admission-control middleware for /v1 model endpoints:
-// count the request (total and per-endpoint), shed with 429 when
-// MaxInflight requests are already admitted, bound the work with the
-// per-request timeout, open the request's root trace span, and record
-// the latency of admitted requests overall and per endpoint.
+// resolve and echo the tenant, count the request (total, per-endpoint
+// and per-tenant), shed with 429 when MaxInflight requests are already
+// admitted globally or the tenant is past its fair-share cap, bound
+// the work with the per-request timeout, open the request's root trace
+// span, and record the latency of admitted requests overall and per
+// endpoint. The global gate is taken first so a tenant-capped request
+// still cannot oversubscribe the server; shed responses carry
+// X-UDM-Tenant, so a client can tell whose budget ran out.
 func (s *Server) guard(endpoint string, endpointCounter *obs.Counter, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	endpointLatency := s.metrics.endpointLatency(endpoint)
 	spanName := "server." + endpoint
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
 		endpointCounter.Add(1)
+		tenant, ok := requestTenant(r)
+		if !ok {
+			s.badTenant(w, r.PathValue("tenant"))
+			return
+		}
+		w.Header().Set(TenantHeader, tenant)
+		ts := s.tenant(tenant)
+		ts.requests.Inc()
 		select {
 		case s.inflight <- struct{}{}:
 		default:
@@ -364,11 +488,20 @@ func (s *Server) guard(endpoint string, endpointCounter *obs.Counter, h func(htt
 			return
 		}
 		defer func() { <-s.inflight }()
+		if !ts.acquire() {
+			s.metrics.Shed.Add(1)
+			ts.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, s.metrics, http.StatusTooManyRequests, "tenant_overloaded",
+				fmt.Sprintf("tenant %q has more than %d requests in flight", tenant, ts.limit))
+			return
+		}
+		defer ts.release()
 		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
 		ctx, sp := obs.StartSpan(obs.WithTracer(ctx, s.tracer), spanName)
 		defer sp.End()
-		sp.Attr("model", r.PathValue("model"))
+		sp.Attr("model", qualified(tenant, r.PathValue("model")))
 		start := time.Now()
 		h(w, r.WithContext(ctx))
 		d := time.Since(start)

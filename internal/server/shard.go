@@ -72,10 +72,11 @@ type tailResponse struct {
 // (microcluster.Save wire form) with the reflected version in
 // X-UDM-Version.
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	sum, v, err := m.SummarySnapshot()
 	if err != nil {
 		s.fail(w, err)
@@ -93,10 +94,11 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 // handleCheckpoint streams a stream model's engine checkpoint
 // (stream.Save wire form) — the first half of replica catch-up.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	eng := m.Engine()
 	if eng == nil {
 		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
@@ -116,10 +118,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // back to N answers 410 tail_expired: the replica must restart from a
 // fresh checkpoint.
 func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	eng := m.Engine()
 	if eng == nil {
 		writeError(w, s.metrics, http.StatusBadRequest, "unsupported_kind",
@@ -151,10 +154,11 @@ func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
 // version. It runs under the same admission guard, fault site, retry
 // budget and circuit breaker as /density.
 func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.model(w, r)
+	sm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
+	m := sm.m
 	var req partialRequest
 	if !decode(w, r, s.metrics, &req) {
 		return
@@ -169,7 +173,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		weight float64
 		v      uint64
 	}
-	res, err := evalRetry(r.Context(), s, m.Name(), func(ctx context.Context) (partial, error) {
+	res, err := evalRetry(r.Context(), s, s.breakerFor(sm.tenant, m.Name()), func(ctx context.Context) (partial, error) {
 		est, v, err := m.partialEstimator(req.Bandwidths)
 		if err != nil {
 			return partial{}, err

@@ -18,7 +18,17 @@
 # degrade — not fail — queries: 200 with `X-UDM-Degraded: partial` and
 # a coverage fraction in the body.
 #
-# Usage: serve_smoke.sh [serve|proxy|all]   (default: all)
+# Stage `tenant`: udmserve with two tenant namespaces plus a default
+# model. Legacy un-namespaced paths must keep answering via the
+# default-tenant alias (bit-identically to /v1/t/default), namespaced
+# paths must isolate tenants (same model name, different answers,
+# cross-tenant 404s, X-UDM-Tenant echoes), the hot-swap lifecycle
+# (PUT stage → promote → rollback) must flip and restore answers with
+# the X-UDM-Model-Version generation counting up, and a short udmload
+# replay must finish with zero isolation violations on both the
+# namespaced and legacy path styles.
+#
+# Usage: serve_smoke.sh [serve|proxy|tenant|all]   (default: all)
 # Run via `make serve-smoke` / `make proxy-smoke` or directly from the
 # repository root.
 set -euo pipefail
@@ -286,15 +296,132 @@ proxy_stage() {
   echo "proxy-smoke: proxy stage PASS"
 }
 
+# density_of FILE — extract the bare density value from a response
+# body (ignores the "cached":true marker repeats carry).
+density_of() {
+  sed -n 's/.*"density":\([^,}]*\).*/\1/p' "$1"
+}
+
+# expect_header NAME VALUE — require a header on the last response.
+expect_header() {
+  local name="$1" value="$2"
+  if ! grep -qi "^${name}: ${value}" "$TMP/last_headers"; then
+    echo "tenant-smoke: FAIL: missing header ${name}: ${value}" >&2
+    cat "$TMP/last_headers" >&2
+    exit 1
+  fi
+}
+
+tenant_stage() {
+  local base="http://127.0.0.1:${PORT}"
+  echo "tenant-smoke: building tools"
+  go build -o "$TMP/udmgen" ./cmd/udmgen
+  go build -o "$TMP/udmclassify" ./cmd/udmclassify
+  go build -o "$TMP/udmserve" ./cmd/udmserve
+  go build -o "$TMP/udmload" ./cmd/udmload
+
+  echo "tenant-smoke: training one model per tenant"
+  "$TMP/udmgen" -profile two-blobs -n 600 -f 1.0 -seed 1 -o "$TMP/train_t1.csv"
+  "$TMP/udmgen" -profile two-blobs -n 600 -f 1.0 -seed 5 -o "$TMP/train_t2.csv"
+  "$TMP/udmgen" -profile two-blobs -n 100 -f 1.0 -seed 2 -o "$TMP/test.csv"
+  "$TMP/udmclassify" -train "$TMP/train_t1.csv" -test "$TMP/test.csv" \
+    -save "$TMP/model_t1.gob" >/dev/null
+  "$TMP/udmclassify" -train "$TMP/train_t2.csv" -test "$TMP/test.csv" \
+    -save "$TMP/model_t2.gob" >/dev/null
+
+  echo "tenant-smoke: starting udmserve with two tenants plus a default model"
+  "$TMP/udmserve" -addr "127.0.0.1:${PORT}" -no-checkpoint \
+    -model "blobs=transform:$TMP/model_t1.gob" \
+    -model "t1/live=transform:$TMP/model_t1.gob" \
+    -model "t2/live=transform:$TMP/model_t2.gob" \
+    -tenant-inflight 64 2>"$TMP/tenant_server.log" &
+  local server_pid=$!
+  PIDS+=("$server_pid")
+  wait_ready "$base/readyz" "$server_pid" "$TMP/tenant_server.log"
+
+  echo "tenant-smoke: legacy un-namespaced paths keep serving the default tenant"
+  expect 200 GET "$base/v1/models"
+  expect 200 POST "$base/v1/models/blobs/classify" '{"point": [-2.5, 0]}'
+  expect 200 POST "$base/v1/models/blobs/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-tenant' 'default'
+  cp "$TMP/last_body" "$TMP/legacy_density"
+  expect 200 POST "$base/v1/t/default/models/blobs/density" '{"point": [0, 0]}'
+  if [ "$(density_of "$TMP/last_body")" != "$(density_of "$TMP/legacy_density")" ]; then
+    echo "tenant-smoke: FAIL: /v1/t/default answer differs from legacy path" >&2
+    exit 1
+  fi
+  echo "tenant-smoke: ok: default-tenant alias is bit-identical to the legacy path"
+
+  echo "tenant-smoke: namespaced paths isolate tenants"
+  expect 200 POST "$base/v1/t/t1/models/live/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-tenant' 't1'
+  cp "$TMP/last_body" "$TMP/t1_density"
+  expect 200 POST "$base/v1/t/t2/models/live/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-tenant' 't2'
+  if [ "$(density_of "$TMP/last_body")" = "$(density_of "$TMP/t1_density")" ]; then
+    echo "tenant-smoke: FAIL: t1 and t2 answered identically for distinct models" >&2
+    exit 1
+  fi
+  expect 404 POST "$base/v1/t/t1/models/blobs/density" '{"point": [0, 0]}'
+  expect 404 POST "$base/v1/models/live/density" '{"point": [0, 0]}'
+
+  echo "tenant-smoke: hot swap — stage, promote, rollback"
+  d_before="$(density_of "$TMP/t1_density")"
+  code="$(curl -s -o "$TMP/last_body" -D "$TMP/last_headers" -w '%{http_code}' \
+    -X PUT --data-binary @"$TMP/model_t2.gob" "$base/v1/t/t1/models/live?kind=transform")"
+  if [ "$code" != "200" ]; then
+    echo "tenant-smoke: FAIL: staging returned $code" >&2
+    cat "$TMP/last_body" >&2
+    exit 1
+  fi
+  expect 200 POST "$base/v1/t/t1/models/live/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-model-version' '1'
+  if [ "$(density_of "$TMP/last_body")" != "$d_before" ]; then
+    echo "tenant-smoke: FAIL: staging alone changed the served answer" >&2
+    exit 1
+  fi
+  expect 200 POST "$base/v1/t/t1/models/live/promote" ''
+  expect 200 POST "$base/v1/t/t1/models/live/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-model-version' '2'
+  d_promoted="$(density_of "$TMP/last_body")"
+  if [ "$d_promoted" = "$d_before" ]; then
+    echo "tenant-smoke: FAIL: promote did not change the served model" >&2
+    exit 1
+  fi
+  expect 200 POST "$base/v1/t/t1/models/live/rollback" ''
+  expect 200 POST "$base/v1/t/t1/models/live/density" '{"point": [0, 0]}'
+  expect_header 'x-udm-model-version' '3'
+  if [ "$(density_of "$TMP/last_body")" != "$d_before" ]; then
+    echo "tenant-smoke: FAIL: rollback did not restore the old answers" >&2
+    exit 1
+  fi
+  expect 409 POST "$base/v1/t/t1/models/live/promote" ''
+  echo "tenant-smoke: ok: hot-swap lifecycle (gen 1 -> 2 -> 3, answers restored)"
+
+  echo "tenant-smoke: udmload replay against both path styles"
+  "$TMP/udmload" -base "$base" -model live -tenants t1,t2 \
+    -streams 4 -requests 8 -seed 42 -mix density=0.8,classify=0.2 \
+    -write-tenants t1 -probe-every 4
+  "$TMP/udmload" -base "$base" -model blobs -tenants default \
+    -streams 2 -requests 8 -seed 43 -namespaced=false -mix density=1
+  echo "tenant-smoke: ok: udmload passed with zero isolation violations"
+
+  echo "tenant-smoke: graceful shutdown"
+  stop_graceful "$server_pid" "$TMP/tenant_server.log"
+  echo "tenant-smoke: tenant stage PASS"
+}
+
 case "$STAGE" in
 serve) serve_stage ;;
 proxy) proxy_stage ;;
+tenant) tenant_stage ;;
 all)
   serve_stage
   proxy_stage
+  tenant_stage
   ;;
 *)
-  echo "serve_smoke.sh: unknown stage $STAGE (want serve, proxy or all)" >&2
+  echo "serve_smoke.sh: unknown stage $STAGE (want serve, proxy, tenant or all)" >&2
   exit 2
   ;;
 esac
